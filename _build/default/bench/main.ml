@@ -1,0 +1,332 @@
+(* Reproduction harness: regenerates every table and figure of the paper
+   (F1..F8, T1, T2) plus the ablations (A1, A2), then times the pipeline's
+   own hot paths with Bechamel.
+
+   Usage:
+     dune exec bench/main.exe            # everything
+     dune exec bench/main.exe f3 t2      # selected experiments
+     dune exec bench/main.exe micro      # only the microbenchmarks
+*)
+
+open Costmodel
+
+let scatter_for ~title predicted samples =
+  Printf.printf "\n   --- %s ---\n" title;
+  Report.scatter ~xlabel:"measured speedup" ~ylabel:"estimated"
+    (Dataset.measured_array samples)
+    predicted
+
+let run_f1 () =
+  let r = Experiment.f1 () in
+  Report.print r;
+  (* The paper's figure is a scatter of estimated vs measured speedup. *)
+  let machine = Vmachine.Machines.neon_a57 in
+  let s = Experiment.samples ~machine ~transform:Dataset.Llv () in
+  scatter_for ~title:"F1 scatter: baseline model (ARM)"
+    (Dataset.baseline_array s) s
+
+let run_f3_scatter () =
+  let machine = Vmachine.Machines.neon_a57 in
+  let s = Experiment.samples ~machine ~transform:Dataset.Llv () in
+  let m =
+    Linmodel.fit ~method_:Linmodel.Nnls ~features:Linmodel.Rated
+      ~target:Linmodel.Speedup s
+  in
+  scatter_for ~title:"F3 scatter: NNLS rated (ARM)" (Linmodel.predict_all m s) s
+
+let run_t1 () =
+  let t1 = Experiment.t1 () in
+  Printf.printf "\n== T1: LLV vs SLP on kernel %s (xeon-avx2) ==\n" t1.t1_kernel;
+  Printf.printf "   %-6s %18s %18s %18s\n" "pass" "baseline estimate"
+    "refined estimate" "measured";
+  List.iter
+    (fun (r : Experiment.t1_row) ->
+      Printf.printf "   %-6s %18.2f %18.2f %18.2f\n" r.t1_transform r.t1_baseline
+        r.t1_refined r.t1_measured)
+    t1.t1_rows;
+  Printf.printf
+    "   note: paper: aligned cost models let transformations be compared\n"
+
+let run_a6 () =
+  let r = Experiment.a6 () in
+  Printf.printf
+    "\n== A6: trace-driven validation of the analytic memory model (%s) ==\n"
+    r.Experiment.a6_machine;
+  Printf.printf
+    "   analytic bottleneck level matches the simulated hierarchy on %d / %d kernels\n"
+    r.Experiment.a6_agreeing r.Experiment.a6_total;
+  Printf.printf "   %-10s %10s %10s %14s\n" "kernel" "analytic" "simulated"
+    "bytes/elem";
+  List.iter
+    (fun (row : Experiment.a6_row) ->
+      Printf.printf "   %-10s %10s %10s %14.1f%s\n" row.Experiment.a6_name
+        row.Experiment.a6_analytic row.Experiment.a6_simulated
+        row.Experiment.a6_bytes_per_elem
+        (if row.Experiment.a6_agrees then "" else "   <- disagrees"))
+    r.Experiment.a6_rows;
+  Printf.printf
+    "   note: ours: the roofline term of the machine model is backed by an\n";
+  Printf.printf
+    "   note: actual set-associative LRU hierarchy replaying each kernel's trace\n"
+
+let run_a7 () =
+  let r = Experiment.a7 () in
+  Printf.printf
+    "\n== A7: transformation selection with aligned cost models (%s) ==\n"
+    r.Experiment.a7_machine;
+  Printf.printf "   %-30s %14s %16s\n" "policy" "exec (Mcyc)" "optimal picks";
+  List.iter
+    (fun (s : Select.summary) ->
+      Printf.printf "   %-30s %14.2f %10d / %d\n" s.Select.sm_policy
+        (s.Select.sm_total_cycles /. 1e6)
+        s.Select.sm_optimal_picks s.Select.sm_kernels)
+    r.Experiment.a7_rows;
+  Printf.printf
+    "   note: the cost-targeted fit prices scalar, LLV and SLP code with one\n";
+  Printf.printf
+    "   note: weight vector, making the transformations directly comparable\n"
+
+let run_a9 () =
+  let r = Experiment.a9 () in
+  Printf.printf "\n== A9: interleaving ablation (%s) ==\n" r.Experiment.a9_machine;
+  Printf.printf "   %-6s %10s %22s %22s\n" "ic" "kernels" "geomean speedup (all)"
+    "geomean (reductions)";
+  List.iter
+    (fun (row : Experiment.a9_row) ->
+      Printf.printf "   %-6d %10d %22.2f %22.2f\n" row.Experiment.a9_ic
+        row.Experiment.a9_kernels row.Experiment.a9_geo_all
+        row.Experiment.a9_geo_red)
+    r.Experiment.a9_rows;
+  Printf.printf
+    "   note: the paper's setup disables interleaving; enabling it mostly\n";
+  Printf.printf
+    "   note: helps latency-bound reductions (more accumulators), while\n";
+  Printf.printf
+    "   note: dependence legality removes distance-limited kernels at high ic\n"
+
+let run_a11 () =
+  Printf.printf "\n== A11: loop interchange as an enabling transform ==\n";
+  Printf.printf "   %-10s %14s %16s %18s\n" "kernel" "as written"
+    "after interchange" "unlocked speedup";
+  let machine = Vmachine.Machines.neon_a57 in
+  List.iter
+    (fun (e : Tsvc.Registry.entry) ->
+      if List.length e.kernel.Vir.Kernel.loops = 2 then begin
+        let verdict k = if Vdeps.Dependence.vectorizable k then "vec" else "serial" in
+        match Vvect.Interchange.apply e.kernel with
+        | Error _ -> ()
+        | Ok k' ->
+            let unlocked =
+              (not (Vdeps.Dependence.vectorizable e.kernel))
+              && Vdeps.Dependence.vectorizable k'
+            in
+            let speedup =
+              if unlocked then
+                let vf = Vmachine.Descr.vf_for_kernel machine k' in
+                match Vvect.Llv.vectorize ~vf k' with
+                | Ok vk ->
+                    Printf.sprintf "%.2f"
+                      (Vmachine.Measure.measure machine ~n:32000 vk)
+                        .Vmachine.Measure.speedup
+                | Error _ -> "-"
+              else "-"
+            in
+            Printf.printf "   %-10s %14s %16s %18s\n" e.kernel.Vir.Kernel.name
+              (verdict e.kernel) (verdict k') speedup
+      end)
+    Tsvc.Registry.all;
+  Printf.printf
+    "   note: the transform trades the recurrence for column-strided accesses;\n";
+  Printf.printf
+    "   note: whether that pays is exactly a cost-model question (slide 15)\n"
+
+(* Suite-level statistics: distribution and per-category breakdown of the
+   measured speedups on the ARM machine. *)
+let run_stats () =
+  let machine = Vmachine.Machines.neon_a57 in
+  let s = Experiment.samples ~machine ~transform:Dataset.Llv () in
+  let measured = Dataset.measured_array s in
+  Printf.printf "\n== Suite statistics (%s, LLV, n = %d) ==\n"
+    machine.Vmachine.Descr.name Tsvc.Registry.default_n;
+  Printf.printf "   geomean %.2f, median %.2f, min %.2f, max %.2f\n"
+    (Vstats.Descriptive.geomean measured)
+    (Vstats.Descriptive.median measured)
+    (Vstats.Descriptive.minimum measured)
+    (Vstats.Descriptive.maximum measured);
+  Report.histogram ~label:"measured speedup distribution" measured;
+  Printf.printf "\n   %-24s %8s %9s %8s %8s\n" "category" "kernels" "geomean"
+    "min" "max";
+  List.iter
+    (fun cat ->
+      let in_cat =
+        List.filter (fun (x : Dataset.sample) -> x.category = cat) s
+      in
+      if in_cat <> [] then begin
+        let m = Dataset.measured_array in_cat in
+        Printf.printf "   %-24s %8d %9.2f %8.2f %8.2f\n"
+          (Tsvc.Category.to_string cat) (List.length in_cat)
+          (Vstats.Descriptive.geomean m)
+          (Vstats.Descriptive.minimum m)
+          (Vstats.Descriptive.maximum m)
+      end)
+    Tsvc.Category.all
+
+let experiments : (string * (unit -> unit)) list =
+  [ ("f1", run_f1);
+    ("f2", fun () -> Report.print (Experiment.f2 ()));
+    ( "f3",
+      fun () ->
+        Report.print (Experiment.f3 ());
+        run_f3_scatter () );
+    ("f4", fun () -> Report.print (Experiment.f4 ()));
+    ("f5", fun () -> Report.print (Experiment.f5 ()));
+    ("f6", fun () -> Report.print (Experiment.f6 ()));
+    ("f7", fun () -> Report.print (Experiment.f7 ()));
+    ("f8", fun () -> Report.print (Experiment.f8 ()));
+    ("t1", run_t1);
+    ("t2", fun () -> Report.print (Experiment.t2 ()));
+    ("a1", fun () -> Report.print (Experiment.a1 ()));
+    ( "a2",
+      fun () ->
+        let a, b = Experiment.a2 () in
+        Report.print a;
+        Report.print b );
+    ( "a3",
+      fun () ->
+        let a, b = Experiment.a3 () in
+        Report.print a;
+        Report.print b );
+    ("a4", fun () -> Report.print (Experiment.a4 ()));
+    ("a5", fun () -> Report.print (Experiment.a5 ()));
+    ("a6", fun () -> run_a6 ());
+    ("a7", fun () -> run_a7 ());
+    ("a8", fun () -> Report.print (Experiment.a8 ()));
+    ("a9", fun () -> run_a9 ());
+    ("a10", fun () -> Report.print (Experiment.a10 ()));
+    ("a11", fun () -> run_a11 ());
+    ("stats", fun () -> run_stats ()) ]
+
+(* --- microbenchmarks ----------------------------------------------------- *)
+
+let microbenchmarks () =
+  let open Bechamel in
+  let machine = Vmachine.Machines.neon_a57 in
+  let kernels = Tsvc.Registry.kernels in
+  let samples = Experiment.samples ~machine ~transform:Dataset.Llv () in
+  let vectorizable =
+    List.filter (fun k -> Vdeps.Dependence.vectorizable k) kernels
+  in
+  let tests =
+    [ Test.make ~name:"dependence-analysis-151-kernels"
+        (Staged.stage (fun () ->
+             List.iter (fun k -> ignore (Vdeps.Dependence.vf_limit k)) kernels));
+      Test.make ~name:"llv-vectorize-legal-kernels"
+        (Staged.stage (fun () ->
+             List.iter
+               (fun k -> ignore (Vvect.Llv.vectorize ~vf:4 k))
+               vectorizable));
+      Test.make ~name:"slp-vectorize-legal-kernels"
+        (Staged.stage (fun () ->
+             List.iter
+               (fun k -> ignore (Vvect.Slp.vectorize ~vf:4 k))
+               vectorizable));
+      Test.make ~name:"machine-estimate-151-kernels"
+        (Staged.stage (fun () ->
+             List.iter
+               (fun k ->
+                 ignore (Vmachine.Sched.scalar_estimate machine ~n:32000 k))
+               kernels));
+      Test.make ~name:"fit-nnls-rated"
+        (Staged.stage (fun () ->
+             ignore
+               (Linmodel.fit ~method_:Linmodel.Nnls ~features:Linmodel.Rated
+                  ~target:Linmodel.Speedup samples)));
+      Test.make ~name:"fit-l2-raw"
+        (Staged.stage (fun () ->
+             ignore
+               (Linmodel.fit ~method_:Linmodel.L2 ~features:Linmodel.Raw
+                  ~target:Linmodel.Speedup samples)));
+      Test.make ~name:"fit-svr-rated"
+        (Staged.stage (fun () ->
+             ignore
+               (Linmodel.fit ~method_:Linmodel.Svr ~features:Linmodel.Rated
+                  ~target:Linmodel.Speedup samples)));
+      Test.make ~name:"interp-s000-n4096"
+        (Staged.stage (fun () ->
+             ignore
+               (Vinterp.Interp.run ~n:4096
+                  (Tsvc.Registry.find_exn "s000").kernel)))
+    ]
+  in
+  let test = Test.make_grouped ~name:"pipeline" ~fmt:"%s/%s" tests in
+  let instance = Toolkit.Instance.monotonic_clock in
+  let cfg =
+    Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~stabilize:true ()
+  in
+  let raw = Benchmark.all cfg [ instance ] test in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols instance raw in
+  Printf.printf "\n== Microbenchmarks (ns per run, monotonic clock) ==\n";
+  let rows = Hashtbl.fold (fun k v acc -> (k, v) :: acc) results [] in
+  List.iter
+    (fun (name, ols_result) ->
+      match Analyze.OLS.estimates ols_result with
+      | Some [ est ] -> Printf.printf "   %-42s %14.0f\n" name est
+      | Some _ | None -> Printf.printf "   %-42s %14s\n" name "n/a")
+    (List.sort compare rows)
+
+(* csv DIR: write per-experiment summary CSVs plus the F1/F3 scatters. *)
+let export_csv dir =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let table (r : Report.result) =
+    Report.write_file
+      (Filename.concat dir (String.lowercase_ascii r.Report.id ^ "_summary.csv"))
+      (Report.to_csv r)
+  in
+  List.iter table
+    [ Experiment.f1 (); Experiment.f2 (); Experiment.f3 (); Experiment.f4 ();
+      Experiment.f5 (); Experiment.f6 (); Experiment.f7 (); Experiment.f8 ();
+      Experiment.t2 (); Experiment.a1 (); Experiment.a4 (); Experiment.a5 ();
+      Experiment.a8 (); Experiment.a10 () ];
+  let machine = Vmachine.Machines.neon_a57 in
+  let s = Experiment.samples ~machine ~transform:Dataset.Llv () in
+  let names = Array.of_list (List.map (fun (x : Dataset.sample) -> x.name) s) in
+  let measured = Dataset.measured_array s in
+  Report.write_file
+    (Filename.concat dir "f1_scatter.csv")
+    (Report.scatter_csv ~names ~measured ~predicted:(Dataset.baseline_array s));
+  let m =
+    Linmodel.fit ~method_:Linmodel.Nnls ~features:Linmodel.Rated
+      ~target:Linmodel.Speedup s
+  in
+  Report.write_file
+    (Filename.concat dir "f3_scatter.csv")
+    (Report.scatter_csv ~names ~measured ~predicted:(Linmodel.predict_all m s));
+  Printf.printf "CSV tables written to %s/\n" dir
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let wanted =
+    if args = [] then List.map fst experiments @ [ "micro" ] else args
+  in
+  Printf.printf
+    "Cost Modelling for Vectorization on ARM - reproduction harness\n";
+  Printf.printf "TSVC kernels: %d; problem size n = %d\n" Tsvc.Registry.count
+    Tsvc.Registry.default_n;
+  let rec run = function
+    | [] -> ()
+    | "csv" :: dir :: rest ->
+        export_csv dir;
+        run rest
+    | "micro" :: rest ->
+        microbenchmarks ();
+        run rest
+    | w :: rest ->
+        (match List.assoc_opt w experiments with
+        | Some f -> f ()
+        | None -> Printf.printf "unknown experiment %s\n" w);
+        run rest
+  in
+  run wanted

@@ -1,0 +1,419 @@
+(* vecmodel: command-line front end for the cost-model reproduction.
+
+     vecmodel list [--category C]
+     vecmodel show KERNEL
+     vecmodel simulate KERNEL [--machine M] [--n N] [--transform T]
+     vecmodel fit [--machine M] [--method m] [--features f] [--target t]
+     vecmodel loocv [...]
+     vecmodel report [EXPERIMENT ...]
+*)
+
+open Cmdliner
+open Costmodel
+
+let machine_names = List.map (fun m -> m.Vmachine.Descr.name) Vmachine.Machines.all
+
+let machine_conv =
+  let parse s =
+    match Vmachine.Machines.by_name s with
+    | Some m -> Ok m
+    | None ->
+        Error
+          (`Msg
+             (Printf.sprintf "unknown machine %s (expected one of: %s)" s
+                (String.concat ", " machine_names)))
+  in
+  Arg.conv (parse, fun fmt m -> Format.pp_print_string fmt m.Vmachine.Descr.name)
+
+let machine_file_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "machine-file" ] ~docv:"FILE"
+        ~doc:"Load the machine model from a description file (vecmodel-machine v1).")
+
+let machine_arg =
+  let base =
+    Arg.(
+      value
+      & opt machine_conv Vmachine.Machines.neon_a57
+      & info [ "machine"; "m" ] ~docv:"MACHINE"
+          ~doc:"Machine model: neon-a57, xeon-avx2, sve-256 or cortex-a53.")
+  in
+  let resolve m file =
+    match file with
+    | None -> m
+    | Some path -> (
+        match Vmachine.Config.load path with
+        | Ok m' -> m'
+        | Error e -> failwith (Printf.sprintf "cannot load %s: %s" path e))
+  in
+  Term.(const resolve $ base $ machine_file_arg)
+
+let n_arg =
+  Arg.(
+    value
+    & opt int Tsvc.Registry.default_n
+    & info [ "n" ] ~docv:"N" ~doc:"Problem size (TSVC LEN).")
+
+let transform_conv =
+  let parse = function
+    | "llv" -> Ok Dataset.Llv
+    | "slp" -> Ok Dataset.Slp
+    | s -> Error (`Msg (Printf.sprintf "unknown transform %s (llv|slp)" s))
+  in
+  Arg.conv
+    (parse, fun fmt t -> Format.pp_print_string fmt (Dataset.transform_to_string t))
+
+let transform_arg =
+  Arg.(
+    value
+    & opt transform_conv Dataset.Llv
+    & info [ "transform"; "t" ] ~docv:"T" ~doc:"Vectorization pass: llv or slp.")
+
+let method_conv =
+  let parse = function
+    | "l2" -> Ok Linmodel.L2
+    | "nnls" -> Ok Linmodel.Nnls
+    | "svr" -> Ok Linmodel.Svr
+    | s -> Error (`Msg (Printf.sprintf "unknown method %s (l2|nnls|svr)" s))
+  in
+  Arg.conv
+    (parse, fun fmt m -> Format.pp_print_string fmt (Linmodel.fit_method_to_string m))
+
+let method_arg =
+  Arg.(
+    value & opt method_conv Linmodel.Nnls
+    & info [ "method" ] ~docv:"M" ~doc:"Fitting method: l2, nnls or svr.")
+
+let features_conv =
+  let parse = function
+    | "raw" -> Ok Linmodel.Raw
+    | "rated" -> Ok Linmodel.Rated
+    | "extended" -> Ok Linmodel.Extended
+    | s ->
+        Error
+          (`Msg (Printf.sprintf "unknown feature kind %s (raw|rated|extended)" s))
+  in
+  Arg.conv
+    (parse, fun fmt f -> Format.pp_print_string fmt (Linmodel.feature_kind_to_string f))
+
+let features_arg =
+  Arg.(
+    value & opt features_conv Linmodel.Rated
+    & info [ "features" ] ~docv:"F" ~doc:"Feature kind: raw, rated or extended.")
+
+let target_conv =
+  let parse = function
+    | "speedup" -> Ok Linmodel.Speedup
+    | "cost" -> Ok Linmodel.Cost
+    | s -> Error (`Msg (Printf.sprintf "unknown target %s (speedup|cost)" s))
+  in
+  Arg.conv (parse, fun fmt t -> Format.pp_print_string fmt (Linmodel.target_to_string t))
+
+let target_arg =
+  Arg.(
+    value & opt target_conv Linmodel.Speedup
+    & info [ "target" ] ~docv:"T" ~doc:"Fit target: speedup or cost.")
+
+(* --- list ----------------------------------------------------------------- *)
+
+let list_cmd =
+  let category =
+    Arg.(
+      value & opt (some string) None
+      & info [ "category"; "c" ] ~docv:"CAT" ~doc:"Filter by category name.")
+  in
+  let run category =
+    List.iter
+      (fun (e : Tsvc.Registry.entry) ->
+        let cat = Tsvc.Category.to_string e.category in
+        if category = None || category = Some cat then begin
+          let verdict =
+            match Vdeps.Dependence.vf_limit e.kernel with
+            | Vdeps.Dependence.Unlimited -> "vectorizable"
+            | Vdeps.Dependence.Max_vf 1 -> "not vectorizable"
+            | Vdeps.Dependence.Max_vf m -> Printf.sprintf "max VF %d" m
+          in
+          Printf.printf "%-10s %-22s %-16s %s\n" e.kernel.Vir.Kernel.name cat
+            verdict e.kernel.Vir.Kernel.descr
+        end)
+      Tsvc.Registry.all;
+    Printf.printf "%d kernels\n" Tsvc.Registry.count
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List the TSVC kernels and their verdicts")
+    Term.(const run $ category)
+
+(* --- show ----------------------------------------------------------------- *)
+
+let kernel_arg =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"KERNEL" ~doc:"TSVC kernel name, e.g. s000.")
+
+let show_cmd =
+  let asm_arg =
+    Arg.(
+      value & flag
+      & info [ "asm" ] ~doc:"Also print pseudo-assembly (scalar and vectorized).")
+  in
+  let run name asm machine =
+    let e = Tsvc.Registry.find_exn name in
+    print_endline (Vir.Pp.kernel_to_string e.kernel);
+    if asm then begin
+      let style =
+        if String.equal machine.Vmachine.Descr.name "xeon-avx2" then
+          Vvect.Emit.Avx
+        else Vvect.Emit.Neon
+      in
+      print_newline ();
+      print_string (Vvect.Emit.scalar ~style e.kernel);
+      let vf = Vmachine.Descr.vf_for_kernel machine e.kernel in
+      match Vvect.Llv.vectorize ~vf e.kernel with
+      | Ok vk ->
+          print_newline ();
+          print_string (Vvect.Emit.vector ~style vk)
+      | Error err ->
+          Printf.printf "\n; not vectorized: %s\n"
+            (Vvect.Llv.error_to_string err)
+    end;
+    Printf.printf "category: %s\n" (Tsvc.Category.to_string e.category);
+    (match Vvect.Interchange.enable_vectorization e.kernel with
+    | Some _ ->
+        print_endline "note: vectorizable after loop interchange"
+    | None -> ());
+    let deps = Vdeps.Dependence.analyze e.kernel in
+    if deps = [] then print_endline "dependences: none"
+    else begin
+      print_endline "dependences:";
+      List.iter
+        (fun d -> Format.printf "  %a@." Vdeps.Dependence.pp_dep d)
+        deps
+    end;
+    Format.printf "features: %a@." Feature.pp (Feature.counts e.kernel)
+  in
+  Cmd.v (Cmd.info "show" ~doc:"Print a kernel's IR, dependences and features")
+    Term.(const run $ kernel_arg $ asm_arg $ machine_arg)
+
+(* --- simulate --------------------------------------------------------------- *)
+
+let simulate_cmd =
+  let run name machine n transform =
+    let e = Tsvc.Registry.find_exn name in
+    let vf = Vmachine.Descr.vf_for_kernel machine e.kernel in
+    let vk =
+      match transform with
+      | Dataset.Llv -> (
+          match Vvect.Llv.vectorize ~vf e.kernel with
+          | Ok vk -> vk
+          | Error err -> failwith (Vvect.Llv.error_to_string err))
+      | Dataset.Slp -> (
+          match Vvect.Slp.vectorize ~vf e.kernel with
+          | Ok vk -> vk
+          | Error err -> failwith (Vvect.Slp.error_to_string err))
+    in
+    let m = Vmachine.Measure.measure machine ~n vk in
+    Printf.printf "kernel %s on %s (%s, VF %d, n = %d)\n" name
+      machine.Vmachine.Descr.name
+      (Dataset.transform_to_string transform)
+      vf n;
+    Printf.printf "  scalar cycles   %14.0f\n" m.Vmachine.Measure.scalar_cycles;
+    Printf.printf "  vector cycles   %14.0f\n" m.Vmachine.Measure.vector_cycles;
+    Printf.printf "  measured speedup %13.2f\n" m.Vmachine.Measure.speedup;
+    Printf.printf "  baseline estimate %12.2f\n" (Baseline.predicted_speedup vk)
+  in
+  Cmd.v
+    (Cmd.info "simulate" ~doc:"Measure one kernel on a machine model")
+    Term.(const run $ kernel_arg $ machine_arg $ n_arg $ transform_arg)
+
+(* --- fit / loocv --------------------------------------------------------------- *)
+
+let print_eval label (e : Metrics.eval) =
+  Printf.printf "%s: r=%.3f rho=%.3f rmse=%.3f fp=%d fn=%d acc=%.2f\n" label
+    e.pearson e.spearman e.rmse e.confusion.Vstats.Confusion.fp
+    e.confusion.Vstats.Confusion.fn
+    (Vstats.Confusion.accuracy e.confusion)
+
+let build_samples machine transform n =
+  Dataset.build ~machine ~transform ~n Tsvc.Registry.all
+
+let save_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "save" ] ~docv:"FILE" ~doc:"Write the fitted model to FILE.")
+
+let fit_cmd =
+  let run machine n transform method_ features target save =
+    let samples = build_samples machine transform n in
+    let m = Linmodel.fit ~method_ ~features ~target samples in
+    (match save with
+    | Some path ->
+        Linmodel.save m path;
+        Printf.printf "model written to %s\n" path
+    | None -> ());
+    Printf.printf "fitted %s / %s features / %s target on %d kernels (%s, %s)\n"
+      (Linmodel.fit_method_to_string method_)
+      (Linmodel.feature_kind_to_string features)
+      (Linmodel.target_to_string target)
+      (List.length samples)
+      machine.Vmachine.Descr.name
+      (Dataset.transform_to_string transform);
+    print_endline "weights:";
+    let weight_names =
+      match features with
+      | Linmodel.Extended -> Feature.extended_names
+      | Linmodel.Raw | Linmodel.Rated -> Feature.names
+    in
+    List.iteri
+      (fun i name ->
+        if m.Linmodel.weights.(i) <> 0.0 then
+          Printf.printf "  %-14s %10.4f\n" name m.Linmodel.weights.(i))
+      weight_names;
+    print_eval "in-sample" (Metrics.evaluate ~predicted:(Linmodel.predict_all m samples) samples);
+    print_eval "baseline " (Metrics.evaluate ~predicted:(Dataset.baseline_array samples) samples)
+  in
+  Cmd.v (Cmd.info "fit" ~doc:"Fit a cost model and print weights and metrics")
+    Term.(
+      const run $ machine_arg $ n_arg $ transform_arg $ method_arg
+      $ features_arg $ target_arg $ save_arg)
+
+(* --- predict ------------------------------------------------------------------- *)
+
+let predict_cmd =
+  let model_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "model" ] ~docv:"FILE" ~doc:"Model file written by fit --save.")
+  in
+  let run name model_path machine n transform =
+    match Linmodel.load model_path with
+    | Error e -> failwith e
+    | Ok m -> (
+        let entry = Tsvc.Registry.find_exn name in
+        match Dataset.build ~machine ~transform ~n [ entry ] with
+        | [ sample ] ->
+            Printf.printf "kernel %s: predicted speedup %.2f (measured %.2f)\n"
+              name (Linmodel.predict m sample) sample.Dataset.measured
+        | _ -> failwith "kernel is not vectorizable by this transform")
+  in
+  Cmd.v
+    (Cmd.info "predict" ~doc:"Predict one kernel's speedup with a saved model")
+    Term.(const run $ kernel_arg $ model_arg $ machine_arg $ n_arg $ transform_arg)
+
+let loocv_cmd =
+  let run machine n transform method_ features target =
+    let samples = build_samples machine transform n in
+    let predicted = Crossval.loocv ~method_ ~features ~target samples in
+    print_eval "loocv    " (Metrics.evaluate ~predicted samples);
+    print_eval "baseline " (Metrics.evaluate ~predicted:(Dataset.baseline_array samples) samples)
+  in
+  Cmd.v
+    (Cmd.info "loocv" ~doc:"Leave-one-out cross-validation of a cost model")
+    Term.(
+      const run $ machine_arg $ n_arg $ transform_arg $ method_arg
+      $ features_arg $ target_arg)
+
+(* --- report ---------------------------------------------------------------------- *)
+
+let report_cmd =
+  let which =
+    Arg.(
+      value & pos_all string []
+      & info [] ~docv:"EXPERIMENT" ~doc:"Experiment ids (f1..f8, t1, t2, a1..a10).")
+  in
+  let run which =
+    let all =
+      [ "f1"; "f2"; "f3"; "f4"; "f5"; "f6"; "f7"; "f8"; "t1"; "t2"; "a1";
+        "a2"; "a3"; "a4"; "a5"; "a6"; "a7"; "a8"; "a9"; "a10" ]
+    in
+    let wanted = if which = [] then all else which in
+    List.iter
+      (fun id ->
+        match String.lowercase_ascii id with
+        | "f1" -> Report.print (Experiment.f1 ())
+        | "f2" -> Report.print (Experiment.f2 ())
+        | "f3" -> Report.print (Experiment.f3 ())
+        | "f4" -> Report.print (Experiment.f4 ())
+        | "f5" -> Report.print (Experiment.f5 ())
+        | "f6" -> Report.print (Experiment.f6 ())
+        | "f7" -> Report.print (Experiment.f7 ())
+        | "f8" -> Report.print (Experiment.f8 ())
+        | "t2" -> Report.print (Experiment.t2 ())
+        | "a1" -> Report.print (Experiment.a1 ())
+        | "a2" ->
+            let a, b = Experiment.a2 () in
+            Report.print a;
+            Report.print b
+        | "a3" ->
+            let a, b = Experiment.a3 () in
+            Report.print a;
+            Report.print b
+        | "a4" -> Report.print (Experiment.a4 ())
+        | "a5" -> Report.print (Experiment.a5 ())
+        | "a6" ->
+            let r = Experiment.a6 () in
+            Printf.printf "A6: memory-model agreement %d / %d on %s\n"
+              r.Experiment.a6_agreeing r.Experiment.a6_total
+              r.Experiment.a6_machine
+        | "a7" ->
+            let r = Experiment.a7 () in
+            List.iter
+              (fun (s : Select.summary) ->
+                Printf.printf "A7 %-30s %14.2f Mcyc, optimal %d/%d\n"
+                  s.Select.sm_policy
+                  (s.Select.sm_total_cycles /. 1e6)
+                  s.Select.sm_optimal_picks s.Select.sm_kernels)
+              r.Experiment.a7_rows
+        | "a8" -> Report.print (Experiment.a8 ())
+        | "a9" ->
+            let r = Experiment.a9 () in
+            List.iter
+              (fun (row : Experiment.a9_row) ->
+                Printf.printf "A9 ic=%d geomean all %.2f, reductions %.2f (%d kernels)\n"
+                  row.Experiment.a9_ic row.Experiment.a9_geo_all
+                  row.Experiment.a9_geo_red row.Experiment.a9_kernels)
+              r.Experiment.a9_rows
+        | "a10" -> Report.print (Experiment.a10 ())
+        | "t1" ->
+            let t = Experiment.t1 () in
+            Printf.printf "\n== T1: LLV vs SLP on %s ==\n" t.Experiment.t1_kernel;
+            List.iter
+              (fun (r : Experiment.t1_row) ->
+                Printf.printf "  %-4s baseline %.2f refined %.2f measured %.2f\n"
+                  r.t1_transform r.t1_baseline r.t1_refined r.t1_measured)
+              t.Experiment.t1_rows
+        | other -> Printf.printf "unknown experiment %s\n" other)
+      wanted
+  in
+  Cmd.v (Cmd.info "report" ~doc:"Reproduce the paper's tables and figures")
+    Term.(const run $ which)
+
+(* --- export-machine -------------------------------------------------------- *)
+
+let export_machine_cmd =
+  let out_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"FILE" ~doc:"Output path for the machine description.")
+  in
+  let run machine out =
+    Vmachine.Config.save machine out;
+    Printf.printf "wrote %s (%s) - edit and load with --machine-file\n" out
+      machine.Vmachine.Descr.name
+  in
+  Cmd.v
+    (Cmd.info "export-machine"
+       ~doc:"Write a machine model to an editable description file")
+    Term.(const run $ machine_arg $ out_arg)
+
+let () =
+  let doc = "Cost modelling for vectorization on ARM - reproduction toolkit" in
+  let info = Cmd.info "vecmodel" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ list_cmd; show_cmd; simulate_cmd; fit_cmd; predict_cmd; loocv_cmd;
+            report_cmd; export_machine_cmd ]))

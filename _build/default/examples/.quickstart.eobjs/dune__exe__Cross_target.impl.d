@@ -1,0 +1,1 @@
+examples/cross_target.ml: Costmodel Dataset Linmodel List Metrics Printf Tsvc Vmachine

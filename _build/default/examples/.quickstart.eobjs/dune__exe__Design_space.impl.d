@@ -1,0 +1,1 @@
+examples/design_space.ml: Array Costmodel Dataset Feature Linmodel List Metrics Printf Tsvc Vmachine Vstats

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Baseline Builder Costmodel Dataset Kernel Linmodel List Pp Printf Tsvc Validate Vdeps Vinterp Vir Vmachine Vvect

@@ -1,0 +1,1 @@
+examples/synth_training.ml: Costmodel Dataset Linmodel List Metrics Printf Tsvc Vmachine Vsynth

@@ -1,0 +1,1 @@
+examples/synth_training.mli:

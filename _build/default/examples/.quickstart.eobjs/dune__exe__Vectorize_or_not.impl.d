@@ -1,0 +1,1 @@
+examples/vectorize_or_not.ml: Costmodel Dataset Linmodel List Printf Tsvc Vmachine

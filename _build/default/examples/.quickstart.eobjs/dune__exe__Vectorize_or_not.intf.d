@@ -1,0 +1,1 @@
+examples/vectorize_or_not.mli:

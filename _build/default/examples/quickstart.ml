@@ -1,0 +1,71 @@
+(* Quickstart: author a loop in the IR, check vectorization legality,
+   vectorize it, prove the transformation didn't change semantics, and ask
+   both the baseline and a fitted cost model whether it was worth it.
+
+     dune exec examples/quickstart.exe
+*)
+
+open Vir
+open Costmodel
+module B = Builder
+
+let () =
+  (* 1. Write a loop: a[i] = sqrt(b[i]) * s + c[i]  (a saxpy with a twist). *)
+  let b = B.make "my_kernel" ~descr:"a[i] = sqrt(b[i])*s + c[i]" in
+  let i = B.loop b "i" Kernel.Tn in
+  let s = B.param b "s" in
+  let root = B.sqrtf b (B.load b "b" [ B.ix i ]) in
+  let v = B.fma b root s (B.load b "c" [ B.ix i ]) in
+  B.store b "a" [ B.ix i ] v;
+  let k = B.finish b in
+  Validate.check_exn k;
+  print_endline (Pp.kernel_to_string k);
+
+  (* 2. Is it legal to vectorize? *)
+  (match Vdeps.Dependence.vf_limit k with
+  | Vdeps.Dependence.Unlimited -> print_endline "legality: no limiting dependence"
+  | Vdeps.Dependence.Max_vf m -> Printf.printf "legality: max VF %d\n" m);
+
+  (* 3. Vectorize for a 128-bit NEON machine. *)
+  let machine = Vmachine.Machines.neon_a57 in
+  let vf = Vmachine.Descr.vf_for_kernel machine k in
+  let vk =
+    match Vvect.Llv.vectorize ~vf k with
+    | Ok vk -> vk
+    | Error e -> failwith (Vvect.Llv.error_to_string e)
+  in
+  Printf.printf "vectorized at VF %d: %d wide instructions\n" vf
+    (List.length vk.Vvect.Vinstr.vbody);
+
+  (* 4. Same semantics?  Run both and compare every array. *)
+  let n = 1000 in
+  let rs = Vinterp.Interp.run ~n k in
+  let rv = Vvect.Vexec.run ~n vk in
+  let identical =
+    Vinterp.Env.snapshot rs.Vinterp.Interp.env
+    = Vinterp.Env.snapshot rv.Vinterp.Interp.env
+  in
+  Printf.printf "scalar and vector runs agree: %b\n" identical;
+
+  (* 5. Was it beneficial?  Ask the machine, the baseline model, and a model
+     fitted on the TSVC suite. *)
+  let m = Vmachine.Measure.measure machine ~n:Tsvc.Registry.default_n vk in
+  Printf.printf "measured speedup on %s: %.2f\n" machine.Vmachine.Descr.name
+    m.Vmachine.Measure.speedup;
+  Printf.printf "baseline model estimate: %.2f\n" (Baseline.predicted_speedup vk);
+
+  let training =
+    Dataset.build ~machine ~transform:Dataset.Llv ~n:Tsvc.Registry.default_n
+      Tsvc.Registry.all
+  in
+  let model =
+    Linmodel.fit ~method_:Linmodel.Nnls ~features:Linmodel.Rated
+      ~target:Linmodel.Speedup training
+  in
+  (* Wrap our kernel as a sample to reuse the prediction path. *)
+  let sample =
+    List.hd
+      (Dataset.build ~machine ~transform:Dataset.Llv ~n:Tsvc.Registry.default_n
+         [ { Tsvc.Registry.category = Tsvc.Category.Vector_basics; kernel = k } ])
+  in
+  Printf.printf "fitted model estimate:   %.2f\n" (Linmodel.predict model sample)

@@ -1,0 +1,59 @@
+(* Vectorize or not?  The compiler-engineer scenario from the paper's intro:
+   for a set of candidate loops, compare what the baseline cost model, the
+   refined fitted model, and the (simulated) hardware each say -- across
+   problem sizes, so the cache-driven crossover points are visible.
+
+     dune exec examples/vectorize_or_not.exe
+*)
+
+open Costmodel
+
+let candidates = [ "s000"; "vpvtv"; "vdotr"; "s127"; "vag"; "s2101"; "vbor" ]
+
+let () =
+  let machine = Vmachine.Machines.neon_a57 in
+  let sizes = [ 1000; 8000; 32000; 500_000; 4_000_000 ] in
+  (* Fit the refined model once, at the paper's problem size. *)
+  let training =
+    Dataset.build ~machine ~transform:Dataset.Llv ~n:Tsvc.Registry.default_n
+      Tsvc.Registry.all
+  in
+  let refined =
+    Linmodel.fit ~method_:Linmodel.Nnls ~features:Linmodel.Rated
+      ~target:Linmodel.Speedup training
+  in
+  Printf.printf
+    "Measured speedup by problem size on %s (fitted estimate at n=32000)\n\n"
+    machine.Vmachine.Descr.name;
+  Printf.printf "%-8s %9s %9s |" "kernel" "baseline" "fitted";
+  List.iter (fun n -> Printf.printf " n=%-9d" n) sizes;
+  print_newline ();
+  List.iter
+    (fun name ->
+      let entry = Tsvc.Registry.find_exn name in
+      let sample =
+        List.hd
+          (Dataset.build ~machine ~transform:Dataset.Llv
+             ~n:Tsvc.Registry.default_n [ entry ])
+      in
+      Printf.printf "%-8s %9.2f %9.2f |" name sample.Dataset.baseline
+        (Linmodel.predict refined sample);
+      List.iter
+        (fun n ->
+          let m =
+            Vmachine.Measure.measure ~noise_amp:0.0 machine ~n sample.Dataset.vk
+          in
+          Printf.printf " %-11.2f" m.Vmachine.Measure.speedup)
+        sizes;
+      print_newline ())
+    candidates;
+  print_newline ();
+  print_endline
+    "Reading the table: compute-heavy loops (vbor) keep their speedup at any";
+  print_endline
+    "size; streaming loops (s000) lose it once the working set leaves the";
+  print_endline
+    "caches; gathers (vag) never win on a machine without a gather unit.";
+  print_endline
+    "The baseline column misses all of that; the fitted column tracks the";
+  print_endline "measurement at its training size."

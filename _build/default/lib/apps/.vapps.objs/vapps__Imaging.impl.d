@@ -1,0 +1,1 @@
+lib/apps/imaging.ml: Builder Kernel Op Tsvc Vir

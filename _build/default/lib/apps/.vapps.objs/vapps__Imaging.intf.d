@@ -1,0 +1,1 @@
+lib/apps/imaging.mli: Vir

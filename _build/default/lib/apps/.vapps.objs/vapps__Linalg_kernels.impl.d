@@ -1,0 +1,1 @@
+lib/apps/linalg_kernels.ml: Builder Kernel Op Tsvc Vir

@@ -1,0 +1,1 @@
+lib/apps/livermore.ml: Builder Kernel Op Tsvc Vir

@@ -1,0 +1,1 @@
+lib/apps/livermore.mli: Vir

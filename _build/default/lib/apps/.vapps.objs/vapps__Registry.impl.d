@@ -1,0 +1,1 @@
+lib/apps/registry.ml: Imaging Linalg_kernels List Livermore Stencils String Tsvc Vir

@@ -1,0 +1,1 @@
+lib/apps/stencils.ml: Builder Kernel Tsvc Vir

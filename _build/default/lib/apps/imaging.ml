@@ -1,0 +1,72 @@
+(* Application kernels: image/signal processing and a little physics. *)
+
+open Vir
+open Tsvc.Helpers
+module B = Builder
+
+let threshold =
+  mk "threshold" "out[i] = in[i] > t ? 1 : 0" @@ fun b ->
+  let i = B.loop b "i" Kernel.Tn in
+  let t = B.param b "t" in
+  let cond = B.cmp b Op.Gt (ld b "img" i) t in
+  st b "out" i (B.select b cond c1 c0)
+
+let alpha_blend =
+  mk "alpha_blend" "out[i] = alpha*a[i] + (1-alpha)*b[i]" @@ fun b ->
+  let i = B.loop b "i" Kernel.Tn in
+  let alpha = B.param b "alpha" in
+  let beta = B.subf b c1 alpha in
+  st b "out" i (B.fma b alpha (ld b "a" i) (B.mulf b beta (ld b "bimg" i)))
+
+let saturate =
+  mk "saturate" "out[i] = min(max(in[i], lo), hi)" @@ fun b ->
+  let i = B.loop b "i" Kernel.Tn in
+  let lo = B.param b "lo" and hi = B.param b "hi" in
+  st b "out" i (B.minf b (B.maxf b (ld b "img" i) lo) hi)
+
+let rgb_to_gray =
+  mk "rgb_to_gray" "g[i] = 0.299r[i] + 0.587g[i] + 0.114b[i]" @@ fun b ->
+  let i = B.loop b "i" Kernel.Tn in
+  let r = ld b "red" i and g = ld b "green" i and bl = ld b "blue" i in
+  let v =
+    B.fma b (B.cf 0.114) bl
+      (B.fma b (B.cf 0.587) g (B.mulf b (B.cf 0.299) r))
+  in
+  st b "gray" i v
+
+let permute_apply =
+  mk "permute_apply" "out[i] = in[perm[i]] (shuffle by permutation)" @@ fun b ->
+  let i = B.loop b "i" Kernel.Tn in
+  st b "out" i (B.load_ix b "img" (ldx b "perm" i))
+
+let gamma_correct =
+  mk "gamma_correct" "out[i] = sqrt(in[i]) (gamma 0.5)" @@ fun b ->
+  let i = B.loop b "i" Kernel.Tn in
+  st b "out" i (B.sqrtf b (ld b "img" i))
+
+let spring_forces =
+  mk "spring_forces" "f[i] = -k*(x[i] - r) - c*v[i]" @@ fun b ->
+  let i = B.loop b "i" Kernel.Tn in
+  let k = B.param b "k" and r = B.param b "r" and c = B.param b "c" in
+  let pull = B.mulf b (B.negf b k) (B.subf b (ld b "x" i) r) in
+  st b "f" i (B.subf b pull (B.mulf b c (ld b "v" i)))
+
+let kinetic_energy =
+  mk "kinetic_energy" "e += 0.5 * m[i] * v[i]^2" @@ fun b ->
+  let i = B.loop b "i" Kernel.Tn in
+  let v = ld b "v" i in
+  B.reduce b "e" Op.Rsum (B.mulf b chalf (B.mulf b (ld b "m" i) (B.mulf b v v)))
+
+let nbody_force =
+  mk "nbody_force" "f += (x[i]-xt) / (|x[i]-xt|^3 + eps) (force on a target)"
+  @@ fun b ->
+  let i = B.loop b "i" Kernel.Tn in
+  let xt = B.param b "xt" in
+  let d = B.subf b (ld b "x" i) xt in
+  let ad = B.absf b d in
+  let cube = B.mulf b (B.mulf b ad ad) ad in
+  B.reduce b "f" Op.Rsum (B.divf b d (B.addf b cube (B.cf 1e-3)))
+
+let all =
+  [ threshold; alpha_blend; saturate; rgb_to_gray; permute_apply;
+    gamma_correct; spring_forces; kinetic_energy; nbody_force ]

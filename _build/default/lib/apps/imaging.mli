@@ -1,0 +1,3 @@
+(** Application kernels; see the implementation for per-kernel sources. *)
+
+val all : Vir.Kernel.t list

@@ -1,0 +1,65 @@
+(* Application kernels: dense linear algebra building blocks. *)
+
+open Vir
+open Tsvc.Helpers
+module B = Builder
+
+let saxpy =
+  mk "saxpy" "y[i] += alpha * x[i]" @@ fun b ->
+  let i = B.loop b "i" Kernel.Tn in
+  let alpha = B.param b "alpha" in
+  st b "y" i (B.fma b alpha (ld b "x" i) (ld b "y" i))
+
+let triad =
+  mk "triad" "a[i] = b[i] + s*c[i] (STREAM triad)" @@ fun b ->
+  let i = B.loop b "i" Kernel.Tn in
+  let s = B.param b "s" in
+  st b "a" i (B.fma b s (ld b "c" i) (ld b "b" i))
+
+let gemv_axpy =
+  mk "gemv_axpy" "y[i] += aa[i][j] * x[j] (gemv, axpy order: j outer)" @@ fun b ->
+  let j = B.loop b "j" Kernel.Tn2 in
+  let i = B.loop b "i" Kernel.Tn2 in
+  let xj = B.load b "x" [ B.ix j ] in
+  st b "y" i (B.fma b (ld2 b "aa" i j) xj (ld b "y" i))
+
+let norms =
+  mk "norms" "sumsq += x[i]^2; sumabs += |x[i]| (two reductions)" @@ fun b ->
+  let i = B.loop b "i" Kernel.Tn in
+  let x = ld b "x" i in
+  B.reduce b "sumsq" Op.Rsum (B.mulf b x x);
+  B.reduce b "sumabs" Op.Rsum (B.absf b x)
+
+let cosine_parts =
+  mk "cosine_parts" "dot += x*y; nx += x*x; ny += y*y (cosine similarity)"
+  @@ fun b ->
+  let i = B.loop b "i" Kernel.Tn in
+  let x = ld b "x" i and y = ld b "y" i in
+  B.reduce b "dot" Op.Rsum (B.mulf b x y);
+  B.reduce b "nx" Op.Rsum (B.mulf b x x);
+  B.reduce b "ny" Op.Rsum (B.mulf b y y)
+
+let mat_scale =
+  mk "mat_scale" "aa[i][j] *= alpha" @@ fun b ->
+  let i = B.loop b "i" Kernel.Tn2 in
+  let j = B.loop b "j" Kernel.Tn2 in
+  let alpha = B.param b "alpha" in
+  st2 b "aa" i j (B.mulf b alpha (ld2 b "aa" i j))
+
+let transpose =
+  mk "transpose" "bb[i][j] = aa[j][i]" @@ fun b ->
+  let i = B.loop b "i" Kernel.Tn2 in
+  let j = B.loop b "j" Kernel.Tn2 in
+  st2 b "bb" i j (ld2 b "aa" j i)
+
+let gauss_step =
+  mk "gauss_step" "row_i -= f * row_0 (elimination step)" @@ fun b ->
+  let i = B.loop b ~start:1 "i" Kernel.Tn2 in
+  let j = B.loop b "j" Kernel.Tn2 in
+  let f = B.param b "f" in
+  let pivot = B.load b "aa" [ B.ix_const 0; B.ix j ] in
+  st2 b "aa" i j (B.subf b (ld2 b "aa" i j) (B.mulf b f pivot))
+
+let all =
+  [ saxpy; triad; gemv_axpy; norms; cosine_parts; mat_scale; transpose;
+    gauss_step ]

@@ -1,0 +1,146 @@
+(* The Livermore Fortran kernels (LFK), the classic companion suite to TSVC,
+   in their loop-IR form.  Kernels whose original uses constructs outside
+   the IR (exp in k22, triangular nests in k6) are represented by documented
+   simplifications that keep the dependence structure and instruction mix. *)
+
+open Vir
+open Tsvc.Helpers
+module B = Builder
+
+(* K1: hydro fragment. *)
+let k1_hydro =
+  mk "lfk1_hydro" "x[k] = q + y[k]*(r*z[k+10] + t*z[k+11])" @@ fun b ->
+  let k = B.loop b "k" (Kernel.Tn_minus 11) in
+  let q = B.param b "q" and r = B.param b "r" and t = B.param b "t" in
+  let inner = B.fma b t (ld ~off:11 b "z" k) (B.mulf b r (ld ~off:10 b "z" k)) in
+  st b "x" k (B.fma b (ld b "y" k) inner q)
+
+(* K2: ICCG excerpt — strided gather of the even elements. *)
+let k2_iccg =
+  mk "lfk2_iccg" "x[i] = x[2i] - v[2i]*x[2i+1] (halving step)" @@ fun b ->
+  let i = B.loop b "i" (Kernel.Tn_div 2) in
+  let hi = ld_s b "x" ~scale:2 i and vv = ld_s b "v" ~scale:2 i in
+  let lo = ld_s b "x" ~scale:2 ~off:1 i in
+  B.store b "xnew" [ B.ix i ] (B.subf b hi (B.mulf b vv lo))
+
+(* K3: inner product. *)
+let k3_inner =
+  mk "lfk3_inner" "q += z[k]*x[k]" @@ fun b ->
+  let k = B.loop b "k" Kernel.Tn in
+  B.reduce b "q" Op.Rsum (B.mulf b (ld b "z" k) (ld b "x" k))
+
+(* K5: tri-diagonal elimination, the canonical serial recurrence. *)
+let k5_tridiag =
+  mk "lfk5_tridiag" "x[i] = z[i]*(y[i] - x[i-1])" @@ fun b ->
+  let i = B.loop b ~start:1 "i" Kernel.Tn in
+  st b "x" i (B.mulf b (ld b "z" i) (B.subf b (ld b "y" i) (ld ~off:(-1) b "x" i)))
+
+(* K7: equation of state fragment — the big straight-line body. *)
+let k7_state =
+  mk "lfk7_state"
+    "x[k] = u[k] + r*(z[k] + r*y[k]) + t*(u[k+3] + r*(u[k+2] + r*u[k+1]) + t*(u[k+6] + q*(u[k+5] + q*u[k+4])))"
+  @@ fun b ->
+  let k = B.loop b "k" (Kernel.Tn_minus 6) in
+  let q = B.param b "q" and r = B.param b "r" and t = B.param b "t" in
+  let u o = ld ~off:o b "u" k in
+  let t1 = B.fma b r (ld b "y" k) (ld b "z" k) in
+  let t2 = B.fma b r (u 1) (u 2) in
+  let t3 = B.fma b q (u 4) (u 5) in
+  let t4 = B.fma b r t2 (u 3) in
+  let t5 = B.fma b q t3 (u 6) in
+  let s = B.fma b t t5 t4 in
+  st b "x" k (B.fma b t s (B.fma b r t1 (u 0)))
+
+(* K9: integrate predictors — long fused multiply-add chain over many
+   arrays. *)
+let k9_integrate =
+  mk "lfk9_integrate" "px[i] = dm*px[i] + c0*(px1[i] + ... + px5[i])" @@ fun b ->
+  let i = B.loop b "i" Kernel.Tn in
+  let dm = B.param b "dm" and c0 = B.param b "c0" in
+  let s =
+    B.addf b
+      (B.addf b (ld b "px1" i) (ld b "px2" i))
+      (B.addf b (ld b "px3" i) (B.addf b (ld b "px4" i) (ld b "px5" i)))
+  in
+  st b "px" i (B.fma b dm (ld b "px" i) (B.mulf b c0 s))
+
+(* K11: first sum — prefix sum, serial. *)
+let k11_prefix =
+  mk "lfk11_prefix" "x[k] = x[k-1] + y[k]" @@ fun b ->
+  let k = B.loop b ~start:1 "k" Kernel.Tn in
+  st b "x" k (B.addf b (ld ~off:(-1) b "x" k) (ld b "y" k))
+
+(* K12: first difference. *)
+let k12_diff =
+  mk "lfk12_diff" "x[k] = y[k+1] - y[k]" @@ fun b ->
+  let k = B.loop b "k" (Kernel.Tn_minus 1) in
+  st b "x" k (B.subf b (ld ~off:1 b "y" k) (ld b "y" k))
+
+(* K13: 2-d particle in cell, the gather/scatter fragment. *)
+let k13_pic =
+  mk "lfk13_pic" "vx[i] += grid[cell[i]]; grid[cell[i]] updated (PIC move)"
+  @@ fun b ->
+  let i = B.loop b "i" Kernel.Tn in
+  let cell = ldx b "cell" i in
+  let g = B.load_ix b "grid" cell in
+  st b "vx" i (B.addf b (ld b "vx" i) g);
+  B.store_ix b "grid" cell (B.mulf b g (B.cf 0.99))
+
+(* K17: implicit conditional computation, if-converted. *)
+let k17_cond =
+  mk "lfk17_cond" "if (vl[k] > vh[k]) t = vl[k] else t = vh[k]; x[k] = t*0.5"
+  @@ fun b ->
+  let k = B.loop b "k" Kernel.Tn in
+  let vl = ld b "vl" k and vh = ld b "vh" k in
+  let cond = B.cmp b Op.Gt vl vh in
+  st b "x" k (B.mulf b (B.select b cond vl vh) chalf)
+
+(* K18: 2-d explicit hydrodynamics fragment (two coupled updates). *)
+let k18_hydro2d =
+  mk "lfk18_hydro2d" "za[j][k] = (zp[j-1][k] + zq[j-1][k]) * zr[j][k]; zb[j][k] = za[j][k] * zz[j][k]"
+  @@ fun b ->
+  let j = B.loop b ~start:1 "j" Kernel.Tn2 in
+  let k = B.loop b "k" Kernel.Tn2 in
+  let za_new =
+    B.mulf b
+      (B.addf b (ld2 ~roff:(-1) b "zp" j k) (ld2 ~roff:(-1) b "zq" j k))
+      (ld2 b "zr" j k)
+  in
+  st2 b "za" j k za_new;
+  st2 b "zb" j k (B.mulf b za_new (ld2 b "zz" j k))
+
+(* K20: discrete ordinates transport — serial through xx. *)
+let k20_transport =
+  mk "lfk20_transport" "xx[k] = dk*vx[k] + xx[k-1] (carried)" @@ fun b ->
+  let k = B.loop b ~start:1 "k" Kernel.Tn in
+  let dk = B.param b "dk" in
+  st b "xx" k (B.fma b dk (ld b "vx" k) (ld ~off:(-1) b "xx" k))
+
+(* K21: one k-step of matrix product = rank-1 update. *)
+let k21_rank1 =
+  mk "lfk21_rank1" "px[i][j] += vy[i] * cx[j] (gemm k-step)" @@ fun b ->
+  let i = B.loop b "i" Kernel.Tn2 in
+  let j = B.loop b "j" Kernel.Tn2 in
+  let vyi = B.load b "vy" [ B.ix i ] in
+  st2 b "px" i j (B.fma b vyi (B.load b "cx" [ B.ix j ]) (ld2 b "px" i j))
+
+(* K22: Planckian distribution; sqrt stands in for exp (same unit mix:
+   div + transcendental-class op). *)
+let k22_planck =
+  mk "lfk22_planck" "y[k] = u[k]/v[k]; w[k] = x[k] / (sqrt(y[k]) + 1)" @@ fun b ->
+  let k = B.loop b "k" Kernel.Tn in
+  let y = B.divf b (ld b "u" k) (ld b "v" k) in
+  st b "y" k y;
+  st b "w" k (B.divf b (ld b "x" k) (B.addf b (B.sqrtf b y) c1))
+
+(* K24: location of first minimum, as a keyed min reduction. *)
+let k24_argmin =
+  mk "lfk24_argmin" "m = k of min x[k] (keyed reduction)" @@ fun b ->
+  let k = B.loop b "k" Kernel.Tn in
+  let key = B.fma b (ld b "x" k) (B.cf 1.0e6) (fidx b k) in
+  B.reduce b ~init:infinity "argmin_key" Op.Rmin key
+
+let all =
+  [ k1_hydro; k2_iccg; k3_inner; k5_tridiag; k7_state; k9_integrate;
+    k11_prefix; k12_diff; k13_pic; k17_cond; k18_hydro2d; k20_transport;
+    k21_rank1; k22_planck; k24_argmin ]

@@ -1,0 +1,4 @@
+(** The Livermore Fortran kernels in loop-IR form (documented
+    simplifications where the original exceeds the IR). *)
+
+val all : Vir.Kernel.t list

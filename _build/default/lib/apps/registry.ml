@@ -1,0 +1,30 @@
+(* Application-kernel registry: realistic loops beyond TSVC, used for the
+   out-of-distribution generalization experiment (A8) and as example
+   workloads. *)
+
+type entry = { name : string; group : string; kernel : Vir.Kernel.t }
+
+let all : entry list =
+  List.map
+    (fun k -> { name = k.Vir.Kernel.name; group = "stencil"; kernel = k })
+    Stencils.all
+  @ List.map
+      (fun k -> { name = k.Vir.Kernel.name; group = "linalg"; kernel = k })
+      Linalg_kernels.all
+  @ List.map
+      (fun k -> { name = k.Vir.Kernel.name; group = "imaging"; kernel = k })
+      Imaging.all
+  @ List.map
+      (fun k -> { name = k.Vir.Kernel.name; group = "livermore"; kernel = k })
+      Livermore.all
+
+let count = List.length all
+
+let find name = List.find_opt (fun e -> String.equal e.name name) all
+
+(* As TSVC-style entries, for the shared dataset builder. *)
+let as_tsvc_entries =
+  List.map
+    (fun e ->
+      { Tsvc.Registry.category = Tsvc.Category.Vector_basics; kernel = e.kernel })
+    all

@@ -1,0 +1,10 @@
+(** Application-kernel registry: realistic loops beyond TSVC. *)
+
+type entry = { name : string; group : string; kernel : Vir.Kernel.t }
+
+val all : entry list
+val count : int
+val find : string -> entry option
+
+(** As TSVC-style entries, for the shared dataset builder. *)
+val as_tsvc_entries : Tsvc.Registry.entry list

@@ -1,0 +1,66 @@
+(* Application kernels: stencils and finite differences. *)
+
+open Vir
+open Tsvc.Helpers
+module B = Builder
+
+let jacobi1d =
+  mk "jacobi1d" "b[i] = (a[i-1] + a[i] + a[i+1]) / 3" @@ fun b ->
+  let i = B.loop b ~start:1 "i" (Kernel.Tn_minus 1) in
+  let s =
+    B.addf b (B.addf b (ld ~off:(-1) b "a" i) (ld b "a" i)) (ld ~off:1 b "a" i)
+  in
+  st b "b" i (B.mulf b s (B.cf (1.0 /. 3.0)))
+
+let heat1d =
+  mk "heat1d" "u1[i] = u[i] + k*(u[i-1] - 2u[i] + u[i+1])" @@ fun b ->
+  let i = B.loop b ~start:1 "i" (Kernel.Tn_minus 1) in
+  let k = B.param b "k" in
+  let lap =
+    B.addf b
+      (B.subf b (ld ~off:(-1) b "u" i) (B.mulf b c2 (ld b "u" i)))
+      (ld ~off:1 b "u" i)
+  in
+  st b "u1" i (B.fma b k lap (ld b "u" i))
+
+let gradient1d =
+  mk "gradient1d" "g[i] = 0.5 * (a[i+1] - a[i-1])" @@ fun b ->
+  let i = B.loop b ~start:1 "i" (Kernel.Tn_minus 1) in
+  st b "g" i (B.mulf b (B.subf b (ld ~off:1 b "a" i) (ld ~off:(-1) b "a" i)) chalf)
+
+let jacobi2d =
+  mk "jacobi2d" "bb[i][j] = 0.25*(aa[i-1][j] + aa[i+1][j] + aa[i][j-1] + aa[i][j+1])"
+  @@ fun b ->
+  let i = B.loop b ~start:1 "i" (Kernel.Tn2_minus 1) in
+  let j = B.loop b ~start:1 "j" (Kernel.Tn2_minus 1) in
+  let up = ld2 ~roff:(-1) b "aa" i j and down = ld2 ~roff:1 b "aa" i j in
+  let left = ld2 ~coff:(-1) b "aa" i j and right = ld2 ~coff:1 b "aa" i j in
+  st2 b "bb" i j (B.mulf b (B.addf b (B.addf b up down) (B.addf b left right)) (B.cf 0.25))
+
+let seidel1d =
+  mk "seidel1d" "a[i] = (a[i-1] + a[i] + a[i+1]) / 3 (in place: serial)" @@ fun b ->
+  let i = B.loop b ~start:1 "i" (Kernel.Tn_minus 1) in
+  let s =
+    B.addf b (B.addf b (ld ~off:(-1) b "a" i) (ld b "a" i)) (ld ~off:1 b "a" i)
+  in
+  st b "a" i (B.mulf b s (B.cf (1.0 /. 3.0)))
+
+let fir4 =
+  mk "fir4" "y[i] = sum_{t<4} h[t]*x[i+t] (4-tap FIR, taps unrolled)" @@ fun b ->
+  let i = B.loop b "i" (Kernel.Tn_minus 4) in
+  B.declare b "h" ~extent:(Kernel.Lin (0, 8));
+  let tap t acc =
+    B.fma b (B.load b "h" [ B.ix_const t ]) (ld ~off:t b "x" i) acc
+  in
+  st b "y" i (tap 3 (tap 2 (tap 1 (tap 0 c0))))
+
+let sobel1d =
+  mk "sobel1d" "m[i] = |a[i+1] - a[i-1]| + |a[i] - a[i-1]| (edge magnitude)"
+  @@ fun b ->
+  let i = B.loop b ~start:1 "i" (Kernel.Tn_minus 1) in
+  let dx = B.absf b (B.subf b (ld ~off:1 b "a" i) (ld ~off:(-1) b "a" i)) in
+  let dy = B.absf b (B.subf b (ld b "a" i) (ld ~off:(-1) b "a" i)) in
+  st b "m" i (B.addf b dx dy)
+
+let all =
+  [ jacobi1d; heat1d; gradient1d; jacobi2d; seidel1d; fir4; sobel1d ]

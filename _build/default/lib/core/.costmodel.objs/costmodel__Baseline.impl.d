@@ -1,0 +1,1 @@
+lib/core/baseline.ml: Array Feature Kernel List Vir Vvect

@@ -1,0 +1,1 @@
+lib/core/crossval.ml: Array Dataset Linmodel List

@@ -1,0 +1,1 @@
+lib/core/crossval.mli: Dataset Linmodel

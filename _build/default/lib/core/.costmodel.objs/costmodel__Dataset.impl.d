@@ -1,0 +1,1 @@
+lib/core/dataset.ml: Array Baseline Feature Kernel List Tsvc Vir Vmachine Vvect

@@ -1,0 +1,1 @@
+lib/core/experiment.ml: Array Crossval Dataset Feature Linmodel List Metrics Printf Report Select Tsvc Vapps Vir Vmachine Vstats Vvect

@@ -1,0 +1,1 @@
+lib/core/experiment.mli: Dataset Report Select Vmachine

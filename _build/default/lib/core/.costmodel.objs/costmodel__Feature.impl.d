@@ -1,0 +1,1 @@
+lib/core/feature.ml: Array Float Format Hashtbl Instr Kernel List Vdeps Vir Vmachine Vvect

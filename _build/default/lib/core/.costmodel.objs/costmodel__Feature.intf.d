@@ -1,0 +1,1 @@
+lib/core/feature.mli: Format Vir Vmachine Vvect

@@ -1,0 +1,1 @@
+lib/core/linmodel.ml: Array Buffer Dataset Feature Float Fun Hashtbl List Printf Result String Vlinalg

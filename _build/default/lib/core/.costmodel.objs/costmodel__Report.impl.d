@@ -1,0 +1,1 @@
+lib/core/report.ml: Array Buffer Float Format Fun List Metrics Printf String Vstats

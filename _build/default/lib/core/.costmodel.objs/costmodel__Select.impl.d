@@ -1,0 +1,1 @@
+lib/core/select.ml: Array Baseline Feature Float Fun Kernel Linmodel List Option Printf Tsvc Vir Vmachine Vvect

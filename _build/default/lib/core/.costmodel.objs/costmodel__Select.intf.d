@@ -1,0 +1,1 @@
+lib/core/select.mli: Linmodel Tsvc Vir Vmachine Vvect

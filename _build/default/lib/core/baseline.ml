@@ -1,0 +1,71 @@
+(* The baseline cost model, in the style of LLVM 6's TargetTransformInfo
+   tables: a static per-instruction cost, scalar and vector, with no notion
+   of memory bandwidth, latency chains, or issue width.  The paper's
+   "state of the art" experiments run LLVM's vectorizer with exactly this
+   kind of model and show where it mispredicts; the fitted models then
+   replace it. *)
+
+open Vir
+
+(* Per-instruction-class costs in abstract "TTI units". *)
+let scalar_class_cost (c : Feature.cls) =
+  match c with
+  | Feature.F_int_alu -> 1.0
+  | Feature.F_int_mul -> 1.0
+  | Feature.F_int_div -> 8.0
+  | Feature.F_fp_add -> 1.0
+  | Feature.F_fp_mul -> 1.0
+  | Feature.F_fp_fma -> 1.0
+  | Feature.F_fp_div -> 8.0
+  | Feature.F_fp_sqrt -> 8.0
+  | Feature.F_cmp -> 1.0
+  | Feature.F_select -> 1.0
+  | Feature.F_cast -> 1.0
+  | Feature.F_load_unit | Feature.F_load_inv | Feature.F_load_strided
+  | Feature.F_load_gather ->
+      1.0 (* scalar code pays one unit per access, whatever the pattern *)
+  | Feature.F_store_unit | Feature.F_store_strided | Feature.F_store_scatter ->
+      1.0
+  | Feature.F_shuffle -> 1.0
+  | Feature.F_reduction -> 1.0
+
+(* One full-width vector instruction. *)
+let vector_class_cost ~vf (c : Feature.cls) =
+  let fvf = float_of_int vf in
+  match c with
+  | Feature.F_int_alu | Feature.F_fp_add | Feature.F_fp_mul | Feature.F_fp_fma
+  | Feature.F_cmp | Feature.F_select | Feature.F_cast | Feature.F_int_mul ->
+      1.0
+  | Feature.F_int_div | Feature.F_fp_div | Feature.F_fp_sqrt -> 8.0
+  | Feature.F_load_unit | Feature.F_load_inv | Feature.F_store_unit -> 1.0
+  | Feature.F_load_strided | Feature.F_store_strided ->
+      (* priced as scalarized: element op + insert/extract per lane *)
+      1.0
+  | Feature.F_load_gather | Feature.F_store_scatter -> 1.0
+  | Feature.F_shuffle -> 1.0
+  | Feature.F_reduction -> 1.0 +. log (fvf) /. log 2.0 /. 8.0
+
+(* Cost of one scalar iteration. *)
+let scalar_cost (k : Kernel.t) =
+  let f = Feature.counts k in
+  let total = ref 0.0 in
+  List.iteri (fun i c -> total := !total +. (f.(i) *. scalar_class_cost c))
+    Feature.all;
+  !total
+
+(* Cost of one vector block (vf elements).  Uses the widened body, like
+   LLVM's vectorizer costing the code it is about to emit. *)
+let vector_cost (vk : Vvect.Vinstr.vkernel) =
+  let f = Feature.vcounts vk in
+  let total = ref 0.0 in
+  List.iteri
+    (fun i c -> total := !total +. (f.(i) *. vector_class_cost ~vf:vk.vf c))
+    Feature.all;
+  !total
+
+(* The vectorizer's benefit estimate: scalar cost of vf iterations over the
+   vector block cost. *)
+let predicted_speedup (vk : Vvect.Vinstr.vkernel) =
+  let s = scalar_cost vk.scalar *. float_of_int vk.vf in
+  let v = vector_cost vk in
+  if v <= 0.0 then 1.0 else s /. v

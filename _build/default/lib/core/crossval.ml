@@ -1,0 +1,31 @@
+(* Leave-one-out cross-validation: each kernel is predicted by a model
+   fitted on the other kernels, the paper's test for whether the fitted
+   weights generalize rather than memorize. *)
+
+let loocv ~method_ ~features ~target (samples : Dataset.sample list) =
+  let arr = Array.of_list samples in
+  Array.mapi
+    (fun i s ->
+      let training =
+        List.filteri (fun j _ -> j <> i) (Array.to_list arr)
+      in
+      let m = Linmodel.fit ~method_ ~features ~target training in
+      Linmodel.predict m s)
+    arr
+
+(* k-fold variant (an extension beyond the paper, used by the ablations):
+   deterministic contiguous folds over the registry order. *)
+let kfold ~k ~method_ ~features ~target (samples : Dataset.sample list) =
+  if k < 2 then invalid_arg "Crossval.kfold: k must be >= 2";
+  let arr = Array.of_list samples in
+  let n = Array.length arr in
+  let fold_of i = i * k / n in
+  Array.mapi
+    (fun i s ->
+      let fi = fold_of i in
+      let training =
+        List.filteri (fun j _ -> fold_of j <> fi) (Array.to_list arr)
+      in
+      let m = Linmodel.fit ~method_ ~features ~target training in
+      Linmodel.predict m s)
+    arr

@@ -1,0 +1,11 @@
+(** Cross-validation of fitted models. *)
+
+(** Leave-one-out: each sample predicted by a model fitted on the rest. *)
+val loocv :
+  method_:Linmodel.fit_method -> features:Linmodel.feature_kind ->
+  target:Linmodel.target -> Dataset.sample list -> float array
+
+(** Deterministic contiguous k-fold variant. *)
+val kfold :
+  k:int -> method_:Linmodel.fit_method -> features:Linmodel.feature_kind ->
+  target:Linmodel.target -> Dataset.sample list -> float array

@@ -1,0 +1,79 @@
+(* Experiment samples: one per TSVC kernel that the transform under study
+   can vectorize, with features, baseline prediction and "measured" numbers
+   from the machine model. *)
+
+open Vir
+
+type transform = Llv | Slp
+
+let transform_to_string = function Llv -> "llv" | Slp -> "slp"
+
+type sample = {
+  name : string;
+  category : Tsvc.Category.t;
+  kernel : Kernel.t;
+  vk : Vvect.Vinstr.vkernel;
+  vf : int;
+  raw : float array;  (* scalar body instruction-class counts *)
+  rated : float array;  (* block-composition features *)
+  extended : float array;  (* rated + derived features (extension) *)
+  vraw : float array;  (* vector body counts (cost-target fits) *)
+  measured : float;  (* noisy measured speedup: the ground truth *)
+  scalar_cycles_iter : float;  (* noisy per-iteration scalar cycles *)
+  vector_cycles_block : float;  (* noisy per-block vector cycles *)
+  scalar_total : float;  (* total scalar cycles for the full run *)
+  vector_total : float;  (* total vectorized cycles for the full run *)
+  baseline : float;  (* baseline model's predicted speedup *)
+}
+
+let apply_transform transform ~vf k =
+  match transform with
+  | Llv -> (
+      match Vvect.Llv.vectorize ~vf k with Ok vk -> Some vk | Error _ -> None)
+  | Slp -> (
+      match Vvect.Slp.vectorize ~vf k with Ok vk -> Some vk | Error _ -> None)
+
+let build ?(noise_amp = Vmachine.Measure.default_noise) ?(seed = 1)
+    ~(machine : Vmachine.Descr.t) ~transform ~n
+    (entries : Tsvc.Registry.entry list) =
+  List.filter_map
+    (fun (e : Tsvc.Registry.entry) ->
+      let k = e.kernel in
+      let vf = Vmachine.Descr.vf_for_kernel machine k in
+      if vf < 2 then None
+      else
+        match apply_transform transform ~vf k with
+        | None -> None
+        | Some vk ->
+            let m =
+              Vmachine.Measure.measure ~noise_amp ~seed machine ~n vk
+            in
+            let sest = Vmachine.Sched.scalar_estimate machine ~n k in
+            let vest = Vmachine.Sched.vector_estimate machine ~n vk in
+            (* Independent noise draws for the block-cost targets. *)
+            let nf salt =
+              Vmachine.Measure.noise_factor ~amp:noise_amp ~seed
+                (k.Kernel.name ^ salt) machine.name
+            in
+            Some
+              {
+                name = k.Kernel.name;
+                category = e.category;
+                kernel = k;
+                vk;
+                vf;
+                raw = Feature.counts k;
+                rated = Feature.rated k;
+                extended = Feature.extended k;
+                vraw = Feature.vcounts vk;
+                measured = m.speedup;
+                scalar_cycles_iter = sest.Vmachine.Sched.cycles *. nf "#s";
+                vector_cycles_block = vest.Vmachine.Sched.cycles *. nf "#v";
+                scalar_total = m.scalar_cycles;
+                vector_total = m.scalar_cycles /. m.speedup;
+                baseline = Baseline.predicted_speedup vk;
+              })
+    entries
+
+let measured_array samples = Array.of_list (List.map (fun s -> s.measured) samples)
+let baseline_array samples = Array.of_list (List.map (fun s -> s.baseline) samples)

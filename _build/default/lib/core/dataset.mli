@@ -1,0 +1,35 @@
+(** Experiment samples: one per TSVC kernel the transform can vectorize. *)
+
+type transform = Llv | Slp
+
+val transform_to_string : transform -> string
+
+type sample = {
+  name : string;
+  category : Tsvc.Category.t;
+  kernel : Vir.Kernel.t;
+  vk : Vvect.Vinstr.vkernel;
+  vf : int;
+  raw : float array;  (** scalar body instruction-class counts *)
+  rated : float array;  (** block-composition features *)
+  extended : float array;  (** rated + derived features (extension) *)
+  vraw : float array;  (** vector body counts (cost-target fits) *)
+  measured : float;  (** noisy measured speedup: the ground truth *)
+  scalar_cycles_iter : float;
+  vector_cycles_block : float;
+  scalar_total : float;
+  vector_total : float;
+  baseline : float;  (** baseline model's predicted speedup *)
+}
+
+val apply_transform :
+  transform -> vf:int -> Vir.Kernel.t -> Vvect.Vinstr.vkernel option
+
+(** Build samples for every entry the transform can vectorize at the
+    machine's natural VF. *)
+val build :
+  ?noise_amp:float -> ?seed:int -> machine:Vmachine.Descr.t ->
+  transform:transform -> n:int -> Tsvc.Registry.entry list -> sample list
+
+val measured_array : sample list -> float array
+val baseline_array : sample list -> float array

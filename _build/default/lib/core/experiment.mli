@@ -1,0 +1,115 @@
+(** Drivers for every table and figure of the paper plus the ablations.
+    Ids follow DESIGN.md: F1..F8 are the slides' figures, T1/T2 the tables,
+    A1/A2 this repo's ablations. *)
+
+type config = { n : int; noise_amp : float; seed : int }
+
+val default_config : config
+
+(** Build the sample set for a machine/transform pair. *)
+val samples :
+  ?config:config -> machine:Vmachine.Descr.t -> transform:Dataset.transform ->
+  unit -> Dataset.sample list
+
+(** F1: state of the art, baseline model on ARM. *)
+val f1 : ?config:config -> unit -> Report.result
+
+(** F2: fitted for speedup on ARM (L2, NNLS over raw counts). *)
+val f2 : ?config:config -> unit -> Report.result
+
+(** F3: rated instruction-count features on ARM. *)
+val f3 : ?config:config -> unit -> Report.result
+
+(** F4: LOOCV of the NNLS fit on ARM. *)
+val f4 : ?config:config -> unit -> Report.result
+
+(** F5: LOOCV of the L2 fit on ARM. *)
+val f5 : ?config:config -> unit -> Report.result
+
+(** F6: state of the art on x86 (SLP after unrolling, AVX2). *)
+val f6 : ?config:config -> unit -> Report.result
+
+(** F7: fitted for cost on x86 (L2, NNLS, SVR). *)
+val f7 : ?config:config -> unit -> Report.result
+
+(** F8: fitted for speedup on x86 (L2, NNLS, SVR). *)
+val f8 : ?config:config -> unit -> Report.result
+
+type t1_row = {
+  t1_transform : string;
+  t1_baseline : float;
+  t1_refined : float;
+  t1_measured : float;
+}
+
+type t1_result = { t1_kernel : string; t1_rows : t1_row list }
+
+(** T1: LLV vs SLP on the kernel where they disagree the most. *)
+val t1 : ?config:config -> unit -> t1_result
+
+(** T2: summary, baseline vs refined model on ARM. *)
+val t2 : ?config:config -> unit -> Report.result
+
+(** A1 (ablation): which features carry the signal. *)
+val a1 : ?config:config -> unit -> Report.result
+
+(** A2 (ablation): 128-bit vs 256-bit ARM machine. *)
+val a2 : ?config:config -> unit -> Report.result * Report.result
+
+(** Sample transformer used by A1: collapse the access-pattern split. *)
+val collapse_access : Dataset.sample -> Dataset.sample
+
+(** A3 (ablation): out-of-order big core vs in-order little core. *)
+val a3 : ?config:config -> unit -> Report.result * Report.result
+
+(** A4 (extension): extended feature set, evaluated out-of-sample. *)
+val a4 : ?config:config -> unit -> Report.result
+
+(** A5 (extension): f64/i32 typed-variant coverage. *)
+val a5 : ?config:config -> unit -> Report.result
+
+type a6_row = {
+  a6_name : string;
+  a6_analytic : string;
+  a6_simulated : string;
+  a6_bytes_per_elem : float;
+  a6_agrees : bool;
+}
+
+type a6_result = {
+  a6_machine : string;
+  a6_total : int;
+  a6_agreeing : int;
+  a6_rows : a6_row list;
+}
+
+(** A6 (validation): analytic memory level vs trace-driven cache simulation
+    over the whole suite. *)
+val a6 : ?config:config -> unit -> a6_result
+
+type a7_result = { a7_machine : string; a7_rows : Select.summary list }
+
+(** A7 (extension): per-kernel transformation selection (scalar / LLV / SLP)
+    under different predictors, generalizing T1. *)
+val a7 : ?config:config -> unit -> a7_result
+
+(** A8 (extension): out-of-distribution generalization from TSVC to
+    application kernels (stencils, linear algebra, imaging). *)
+val a8 : ?config:config -> unit -> Report.result
+
+type a9_row = {
+  a9_ic : int;
+  a9_geo_all : float;
+  a9_geo_red : float;
+  a9_kernels : int;
+}
+
+type a9_result = { a9_machine : string; a9_rows : a9_row list }
+
+(** A9 (extension): interleaving (multiple accumulators) — the knob the
+    paper's setup disables — measured across the suite. *)
+val a9 : ?config:config -> unit -> a9_result
+
+(** A10 (ablation): feature extraction before vs after IR cleanup
+    (constant folding, CSE, DCE). *)
+val a10 : ?config:config -> unit -> Report.result

@@ -1,0 +1,215 @@
+(* Feature extraction: the paper formulates each loop body as a linear
+   equation over instruction-class counts.  Memory operations are split by
+   access pattern (the dominant cost driver), and reductions contribute the
+   accumulation they imply.  The same vocabulary describes scalar bodies and
+   vectorized bodies, so cost-targeted fits can price both with one weight
+   vector. *)
+
+open Vir
+
+type cls =
+  | F_int_alu
+  | F_int_mul
+  | F_int_div
+  | F_fp_add
+  | F_fp_mul
+  | F_fp_fma
+  | F_fp_div
+  | F_fp_sqrt
+  | F_cmp
+  | F_select
+  | F_cast
+  | F_load_unit  (* |stride| = 1 *)
+  | F_load_inv  (* loop-invariant address *)
+  | F_load_strided  (* |stride| > 1 or row walk *)
+  | F_load_gather
+  | F_store_unit
+  | F_store_strided
+  | F_store_scatter
+  | F_shuffle  (* lane moves; only nonzero for vector bodies *)
+  | F_reduction
+
+let all =
+  [ F_int_alu; F_int_mul; F_int_div; F_fp_add; F_fp_mul; F_fp_fma; F_fp_div;
+    F_fp_sqrt; F_cmp; F_select; F_cast; F_load_unit; F_load_inv;
+    F_load_strided; F_load_gather; F_store_unit; F_store_strided;
+    F_store_scatter; F_shuffle; F_reduction ]
+
+let dim = List.length all
+
+let index =
+  let tbl = Hashtbl.create 32 in
+  List.iteri (fun i c -> Hashtbl.replace tbl c i) all;
+  fun c -> Hashtbl.find tbl c
+
+let name = function
+  | F_int_alu -> "int_alu"
+  | F_int_mul -> "int_mul"
+  | F_int_div -> "int_div"
+  | F_fp_add -> "fp_add"
+  | F_fp_mul -> "fp_mul"
+  | F_fp_fma -> "fp_fma"
+  | F_fp_div -> "fp_div"
+  | F_fp_sqrt -> "fp_sqrt"
+  | F_cmp -> "cmp"
+  | F_select -> "select"
+  | F_cast -> "cast"
+  | F_load_unit -> "load_unit"
+  | F_load_inv -> "load_inv"
+  | F_load_strided -> "load_strided"
+  | F_load_gather -> "load_gather"
+  | F_store_unit -> "store_unit"
+  | F_store_strided -> "store_strided"
+  | F_store_scatter -> "store_scatter"
+  | F_shuffle -> "shuffle"
+  | F_reduction -> "reduction"
+
+let names = List.map name all
+
+let of_opclass (c : Vmachine.Opclass.t) =
+  match c with
+  | Vmachine.Opclass.Int_alu -> F_int_alu
+  | Vmachine.Opclass.Int_mul -> F_int_mul
+  | Vmachine.Opclass.Int_div -> F_int_div
+  | Vmachine.Opclass.Fp_add -> F_fp_add
+  | Vmachine.Opclass.Fp_mul -> F_fp_mul
+  | Vmachine.Opclass.Fp_fma -> F_fp_fma
+  | Vmachine.Opclass.Fp_div -> F_fp_div
+  | Vmachine.Opclass.Fp_sqrt -> F_fp_sqrt
+  | Vmachine.Opclass.Cmp -> F_cmp
+  | Vmachine.Opclass.Select -> F_select
+  | Vmachine.Opclass.Cast -> F_cast
+  | Vmachine.Opclass.Load -> F_load_unit
+  | Vmachine.Opclass.Store -> F_store_unit
+  | Vmachine.Opclass.Shuffle -> F_shuffle
+
+let load_cls (stride : Kernel.stride) =
+  match stride with
+  | Kernel.Sconst 0 -> F_load_inv
+  | Kernel.Sconst c when abs c = 1 -> F_load_unit
+  | Kernel.Sconst _ | Kernel.Srow _ -> F_load_strided
+  | Kernel.Sindirect -> F_load_gather
+
+let store_cls (stride : Kernel.stride) =
+  match stride with
+  | Kernel.Sconst c when abs c <= 1 -> F_store_unit
+  | Kernel.Sconst _ | Kernel.Srow _ -> F_store_strided
+  | Kernel.Sindirect -> F_store_scatter
+
+(* Raw instruction-class counts of the scalar loop body. *)
+let counts (k : Kernel.t) =
+  let f = Array.make dim 0.0 in
+  let bump c = f.(index c) <- f.(index c) +. 1.0 in
+  List.iter
+    (fun (i : Instr.t) ->
+      match i with
+      | Instr.Load { addr; _ } -> bump (load_cls (Kernel.access_stride k addr))
+      | Instr.Store { addr; _ } -> bump (store_cls (Kernel.access_stride k addr))
+      | _ -> bump (of_opclass (Vmachine.Opclass.of_instr i)))
+    k.body;
+  List.iter (fun (_ : Kernel.reduction) -> bump F_reduction) k.reductions;
+  f
+
+(* Vector-body counts, for cost-targeted fits: one wide op counts 1, a
+   scalarized group counts its parts. *)
+let vcounts (vk : Vvect.Vinstr.vkernel) =
+  let f = Array.make dim 0.0 in
+  let bump ?(by = 1.0) c = f.(index c) <- f.(index c) +. by in
+  let vf = float_of_int vk.vf in
+  List.iter
+    (fun (vi : Vvect.Vinstr.t) ->
+      match vi with
+      | Vvect.Vinstr.Vbin { ty; op; _ } ->
+          bump (of_opclass (Vmachine.Opclass.of_binop ty op))
+      | Vvect.Vinstr.Vuna { ty; op; _ } ->
+          bump (of_opclass (Vmachine.Opclass.of_unop ty op))
+      | Vvect.Vinstr.Vfma _ -> bump F_fp_fma
+      | Vvect.Vinstr.Vcmp _ -> bump F_cmp
+      | Vvect.Vinstr.Vselect _ -> bump F_select
+      | Vvect.Vinstr.Vcast _ -> bump F_cast
+      | Vvect.Vinstr.Viota _ -> bump F_int_alu
+      | Vvect.Vinstr.Vload { access; _ } -> (
+          match access with
+          | Vvect.Vinstr.Contig -> bump F_load_unit
+          | Vvect.Vinstr.Rev ->
+              bump F_load_unit;
+              bump F_shuffle
+          | Vvect.Vinstr.Strided _ | Vvect.Vinstr.Row ->
+              bump ~by:vf F_load_strided;
+              bump ~by:vf F_shuffle)
+      | Vvect.Vinstr.Vstore { access; _ } -> (
+          match access with
+          | Vvect.Vinstr.Contig -> bump F_store_unit
+          | Vvect.Vinstr.Rev ->
+              bump F_store_unit;
+              bump F_shuffle
+          | Vvect.Vinstr.Strided _ | Vvect.Vinstr.Row ->
+              bump ~by:vf F_store_strided;
+              bump ~by:vf F_shuffle)
+      | Vvect.Vinstr.Vgather _ ->
+          bump ~by:vf F_load_gather
+      | Vvect.Vinstr.Vscatter _ -> bump ~by:vf F_store_scatter
+      | Vvect.Vinstr.Vpack { srcs; _ } ->
+          bump ~by:(float_of_int (Array.length srcs)) F_shuffle
+      | Vvect.Vinstr.Vextract _ -> bump F_shuffle
+      | Vvect.Vinstr.Sc { instr; _ } -> (
+          match instr with
+          | Instr.Load { addr; _ } ->
+              bump (load_cls (Kernel.access_stride vk.scalar addr))
+          | Instr.Store { addr; _ } ->
+              bump (store_cls (Kernel.access_stride vk.scalar addr))
+          | _ -> bump (of_opclass (Vmachine.Opclass.of_instr instr))))
+    vk.vbody;
+  List.iter (fun (_ : Vvect.Vinstr.vreduction) -> bump F_reduction)
+    vk.vreductions;
+  f
+
+let total f = Array.fold_left ( +. ) 0.0 f
+
+(* Rated ("block composition") features: each class as a fraction of the
+   block, exposing arithmetic intensity to the linear model. *)
+let rate f =
+  let t = total f in
+  if t = 0.0 then Array.copy f else Array.map (fun v -> v /. t) f
+
+let rated k = rate (counts k)
+
+(* --- extended features: the paper's "add more code features" next step --- *)
+
+let mem_classes =
+  [ F_load_unit; F_load_inv; F_load_strided; F_load_gather; F_store_unit;
+    F_store_strided; F_store_scatter ]
+
+let extended_names = names @ [ "x_intensity"; "x_log_size"; "x_recurrence" ]
+let extended_dim = dim + 3
+
+(* Rated features plus three derived ones: arithmetic intensity (compute ops
+   per memory op), body size, and the strength of the tightest memory-carried
+   flow dependence (1/distance) - the latency chains the linear counts cannot
+   see. *)
+let extended (k : Kernel.t) =
+  let f = counts k in
+  let r = rate f in
+  let mem =
+    List.fold_left (fun acc c -> acc +. f.(index c)) 0.0 mem_classes
+  in
+  let arith = total f -. mem in
+  let intensity = arith /. (mem +. 1.0) in
+  let log_size = log (1.0 +. total f) in
+  let recurrence =
+    List.fold_left
+      (fun acc (d : Vdeps.Dependence.dep) ->
+        match (d.kind, d.distance) with
+        | Vdeps.Dependence.Flow, Vdeps.Dependence.Dconst dist ->
+            Float.max acc (1.0 /. float_of_int dist)
+        | _ -> acc)
+      0.0
+      (Vdeps.Dependence.analyze k)
+  in
+  Array.append r [| intensity; log_size; recurrence |]
+
+let pp fmt f =
+  List.iteri
+    (fun i c ->
+      if f.(i) <> 0.0 then Format.fprintf fmt "%s=%g " (name c) f.(i))
+    all

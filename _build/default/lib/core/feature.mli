@@ -1,0 +1,62 @@
+(** Feature extraction: instruction-class counts of a loop body, with memory
+    operations split by access pattern, plus the rated ("block composition")
+    variant that exposes arithmetic intensity. *)
+
+type cls =
+  | F_int_alu
+  | F_int_mul
+  | F_int_div
+  | F_fp_add
+  | F_fp_mul
+  | F_fp_fma
+  | F_fp_div
+  | F_fp_sqrt
+  | F_cmp
+  | F_select
+  | F_cast
+  | F_load_unit
+  | F_load_inv
+  | F_load_strided
+  | F_load_gather
+  | F_store_unit
+  | F_store_strided
+  | F_store_scatter
+  | F_shuffle
+  | F_reduction
+
+val all : cls list
+
+(** Number of feature classes. *)
+val dim : int
+
+(** Index of a class within a feature vector. *)
+val index : cls -> int
+
+val name : cls -> string
+val names : string list
+
+val of_opclass : Vmachine.Opclass.t -> cls
+val load_cls : Vir.Kernel.stride -> cls
+val store_cls : Vir.Kernel.stride -> cls
+
+(** Raw instruction-class counts of the scalar loop body. *)
+val counts : Vir.Kernel.t -> float array
+
+(** Vector-body counts (cost-targeted fits): one wide op counts 1, a
+    scalarized group counts its parts. *)
+val vcounts : Vvect.Vinstr.vkernel -> float array
+
+val total : float array -> float
+
+(** Normalize counts to fractions of the block. *)
+val rate : float array -> float array
+
+val rated : Vir.Kernel.t -> float array
+
+(** Extended feature set: rated features plus arithmetic intensity, body
+    size and memory-recurrence strength (1/distance). *)
+val extended_names : string list
+
+val extended_dim : int
+val extended : Vir.Kernel.t -> float array
+val pp : Format.formatter -> float array -> unit

@@ -1,0 +1,206 @@
+(* The paper's refined cost models: linear in instruction-class features,
+   fitted against measurements.
+
+   Speedup-targeted models predict the speedup directly (target interval
+   (0, VF], which is what makes the fit well-conditioned); cost-targeted
+   models price scalar and vector blocks with one shared weight vector and
+   derive the speedup as a cost ratio. *)
+
+type fit_method = L2 | Nnls | Svr
+
+let fit_method_to_string = function L2 -> "L2" | Nnls -> "NNLS" | Svr -> "SVR"
+
+type feature_kind = Raw | Rated | Extended
+
+let feature_kind_to_string = function
+  | Raw -> "raw"
+  | Rated -> "rated"
+  | Extended -> "extended"
+
+type target = Speedup | Cost
+
+let target_to_string = function Speedup -> "speedup" | Cost -> "cost"
+
+type t = {
+  weights : float array;
+  method_ : fit_method;
+  features : feature_kind;
+  target : target;
+}
+
+let features_of kind (s : Dataset.sample) =
+  match kind with Raw -> s.raw | Rated -> s.rated | Extended -> s.extended
+
+let solve method_ rows ys =
+  let x = Vlinalg.Mat.of_rows rows in
+  match method_ with
+  | L2 -> (
+      try Vlinalg.Qr.lstsq x ys
+      with Vlinalg.Qr.Singular _ -> Vlinalg.Qr.lstsq_ridge ~lambda:1e-6 x ys)
+  | Nnls -> Vlinalg.Nnls.solve x ys
+  | Svr ->
+      (* Normalize the epsilon tube to the target scale. *)
+      let scale =
+        Array.fold_left (fun m v -> Float.max m (abs_float v)) 1.0 ys
+      in
+      let params =
+        { Vlinalg.Svr.default_params with epsilon = 0.02 *. scale; c = 100.0 }
+      in
+      Vlinalg.Svr.fit ~params x ys
+
+let fit ~method_ ~features ~target (samples : Dataset.sample list) =
+  let weights =
+    match target with
+    | Speedup ->
+        let rows = List.map (features_of features) samples in
+        let ys = Dataset.measured_array samples in
+        solve method_ rows ys
+    | Cost ->
+        (* Two rows per kernel: the scalar block priced per vf iterations and
+           the vector block priced per block, sharing one weight vector.
+           Cost fits always use raw counts: a block's cost scales with its
+           size, which rating would erase. *)
+        let rows =
+          List.concat_map
+            (fun (s : Dataset.sample) ->
+              [ Array.map (fun v -> v *. float_of_int s.vf) s.raw; s.vraw ])
+            samples
+        in
+        let ys =
+          Array.of_list
+            (List.concat_map
+               (fun (s : Dataset.sample) ->
+                 [ s.scalar_cycles_iter *. float_of_int s.vf;
+                   s.vector_cycles_block ])
+               samples)
+        in
+        solve method_ rows ys
+  in
+  { weights; method_; features; target }
+
+let dot w f =
+  let acc = ref 0.0 in
+  Array.iteri (fun i v -> acc := !acc +. (v *. w.(i))) f;
+  !acc
+
+(* Predicted speedup of one sample under the model. *)
+let predict (m : t) (s : Dataset.sample) =
+  match m.target with
+  | Speedup -> dot m.weights (features_of m.features s)
+  | Cost ->
+      let scalar =
+        dot m.weights (Array.map (fun v -> v *. float_of_int s.vf) s.raw)
+      in
+      let vector = dot m.weights s.vraw in
+      (* An L2 fit can price a block at a non-positive cost; clamp as a
+         real compiler would. *)
+      if vector <= 1e-6 then float_of_int s.vf
+      else Float.max 0.0 (scalar /. vector)
+
+let predict_all m samples = Array.of_list (List.map (predict m) samples)
+
+(* --- persistence ----------------------------------------------------------
+   A fitted model is a handful of floats; the textual format is one
+   key/value pair per line so models can be versioned and diffed. *)
+
+let to_string (m : t) =
+  let b = Buffer.create 256 in
+  Buffer.add_string b "vecmodel-linmodel v1\n";
+  Buffer.add_string b
+    (Printf.sprintf "method %s\n" (fit_method_to_string m.method_));
+  Buffer.add_string b
+    (Printf.sprintf "features %s\n" (feature_kind_to_string m.features));
+  Buffer.add_string b (Printf.sprintf "target %s\n" (target_to_string m.target));
+  let names =
+    match m.features with
+    | Extended -> Feature.extended_names
+    | Raw | Rated -> Feature.names
+  in
+  List.iteri
+    (fun i n -> Buffer.add_string b (Printf.sprintf "w %s %.17g\n" n m.weights.(i)))
+    names;
+  Buffer.contents b
+
+let of_string s =
+  let err fmt = Printf.ksprintf (fun m -> Error m) fmt in
+  match String.split_on_char '\n' (String.trim s) with
+  | header :: rest when String.equal header "vecmodel-linmodel v1" -> (
+      let meta = Hashtbl.create 4 in
+      let weights = Hashtbl.create 32 in
+      let parse_line line =
+        match String.split_on_char ' ' line with
+        | [ "method"; v ] | [ "features"; v ] | [ "target"; v ] ->
+            Hashtbl.replace meta (List.hd (String.split_on_char ' ' line)) v;
+            Ok ()
+        | [ "w"; name; v ] -> (
+            match float_of_string_opt v with
+            | Some f ->
+                Hashtbl.replace weights name f;
+                Ok ()
+            | None -> err "bad weight %s" line)
+        | [ "" ] -> Ok ()
+        | _ -> err "unparseable line: %s" line
+      in
+      let rec parse = function
+        | [] -> Ok ()
+        | l :: ls -> ( match parse_line l with Ok () -> parse ls | e -> e)
+      in
+      match parse rest with
+      | Error e -> Error e
+      | Ok () -> (
+          let get k = Hashtbl.find_opt meta k in
+          let method_ =
+            match get "method" with
+            | Some "L2" -> Some L2
+            | Some "NNLS" -> Some Nnls
+            | Some "SVR" -> Some Svr
+            | _ -> None
+          in
+          let features =
+            match get "features" with
+            | Some "raw" -> Some Raw
+            | Some "rated" -> Some Rated
+            | Some "extended" -> Some Extended
+            | _ -> None
+          in
+          let target =
+            match get "target" with
+            | Some "speedup" -> Some Speedup
+            | Some "cost" -> Some Cost
+            | _ -> None
+          in
+          match (method_, features, target) with
+          | Some method_, Some features, Some target ->
+              let names =
+                match features with
+                | Extended -> Feature.extended_names
+                | Raw | Rated -> Feature.names
+              in
+              let w =
+                List.map
+                  (fun n ->
+                    match Hashtbl.find_opt weights n with
+                    | Some v -> Ok v
+                    | None -> err "missing weight %s" n)
+                  names
+              in
+              if List.exists Result.is_error w then
+                List.find Result.is_error w |> Result.map (fun _ -> assert false)
+              else
+                Ok
+                  { weights = Array.of_list (List.map Result.get_ok w);
+                    method_; features; target }
+          | _ -> err "missing or invalid method/features/target header"))
+  | _ -> err "not a vecmodel-linmodel v1 file"
+
+let save m path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string m))
+
+let load path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> of_string (really_input_string ic (in_channel_length ic)))

@@ -1,0 +1,40 @@
+(** The refined linear cost models: fitted over instruction-class features
+    with L2, NNLS or SVR, targeting either the speedup directly or block
+    costs shared between scalar and vector code. *)
+
+type fit_method = L2 | Nnls | Svr
+
+val fit_method_to_string : fit_method -> string
+
+type feature_kind = Raw | Rated | Extended
+
+val feature_kind_to_string : feature_kind -> string
+
+type target = Speedup | Cost
+
+val target_to_string : target -> string
+
+type t = {
+  weights : float array;
+  method_ : fit_method;
+  features : feature_kind;
+  target : target;
+}
+
+(** Fit a model on a sample set.  Cost-target fits use raw counts and two
+    rows per kernel (scalar block at vf iterations, vector block). *)
+val fit :
+  method_:fit_method -> features:feature_kind -> target:target ->
+  Dataset.sample list -> t
+
+(** Predicted speedup of one sample under the model. *)
+val predict : t -> Dataset.sample -> float
+
+val predict_all : t -> Dataset.sample list -> float array
+
+(** Textual serialization (one key/value per line, versioned header). *)
+val to_string : t -> string
+
+val of_string : string -> (t, string) result
+val save : t -> string -> unit
+val load : string -> (t, string) result

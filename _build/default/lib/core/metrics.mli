@@ -1,0 +1,17 @@
+(** Evaluation of a set of speedup predictions: the paper's correlation,
+    false-prediction and execution-time metrics. *)
+
+type eval = {
+  pearson : float;
+  pearson_ci : float * float;  (** 95% bootstrap interval *)
+  spearman : float;
+  rmse : float;
+  confusion : Vstats.Confusion.t;
+  exec_cycles : float;  (** total when vectorizing iff predicted > threshold *)
+  oracle_cycles : float;  (** vectorize iff actually beneficial *)
+  scalar_cycles : float;  (** never vectorize *)
+  always_cycles : float;  (** always vectorize *)
+}
+
+val evaluate :
+  ?threshold:float -> predicted:float array -> Dataset.sample list -> eval

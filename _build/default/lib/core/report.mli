@@ -1,0 +1,40 @@
+(** Text rendering of experiment results: tables and ASCII scatter plots.
+    All printers default to stdout; pass [?ppf] to capture. *)
+
+type row = { label : string; eval : Metrics.eval }
+
+type result = {
+  id : string;
+  title : string;
+  machine : string;
+  transform : string;
+  n_samples : int;
+  rows : row list;
+  notes : string list;
+}
+
+val print_header : ?ppf:Format.formatter -> result -> unit
+val print_rows : ?ppf:Format.formatter -> result -> unit
+val print : ?ppf:Format.formatter -> result -> unit
+
+(** Render a result into a string. *)
+val to_string : result -> string
+
+(** ASCII scatter of [ys] against [xs] with the y = x diagonal drawn. *)
+val scatter :
+  ?ppf:Format.formatter -> ?width:int -> ?height:int -> xlabel:string ->
+  ylabel:string -> float array -> float array -> unit
+
+(** Summary table as CSV. *)
+val to_csv : result -> string
+
+(** Per-kernel scatter points as CSV. *)
+val scatter_csv :
+  names:string array -> measured:float array -> predicted:float array -> string
+
+val write_file : string -> string -> unit
+
+(** ASCII histogram of a sample. *)
+val histogram :
+  ?ppf:Format.formatter -> ?bins:int -> ?width:int -> label:string ->
+  float array -> unit

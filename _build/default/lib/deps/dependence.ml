@@ -1,0 +1,222 @@
+(* Data-dependence analysis of the innermost loop, in the style of classic
+   vectorizing compilers: ZIV and strong-SIV subscript tests with a GCD
+   fallback, per dimension of multi-dimensional accesses.
+
+   The legality criterion matches the transformation that [Vvect.Llv]
+   actually performs: statements stay in order, each statement executes all
+   VF lanes before the next statement runs.  A loop-carried dependence is
+   violated exactly when its sink statement is lexically at-or-before its
+   source statement and the distance is smaller than VF. *)
+
+open Vir
+
+type kind = Flow | Anti | Output
+
+type distance =
+  | Dconst of int  (* loop-carried, fixed iteration distance > 0 *)
+  | Dany  (* same location touched every iteration (ZIV) *)
+  | Dunknown  (* cannot be determined; conservatively distance 1 *)
+
+type dep = {
+  src_pos : int;  (* body index of the source (earlier-executed) access *)
+  snk_pos : int;  (* body index of the sink access *)
+  array : string;
+  kind : kind;
+  distance : distance;
+  assumed : bool;  (* true when indirect accesses were assumed conflict-free *)
+}
+
+let kind_to_string = function
+  | Flow -> "flow"
+  | Anti -> "anti"
+  | Output -> "output"
+
+let distance_to_string = function
+  | Dconst d -> string_of_int d
+  | Dany -> "*"
+  | Dunknown -> "?"
+
+(* --- subscript tests ------------------------------------------------- *)
+
+type mem_ref = { pos : int; store : bool; addr : Instr.addr }
+
+let collect_refs (k : Kernel.t) =
+  List.concat
+    (List.mapi
+       (fun pos instr ->
+         match instr with
+         | Instr.Load { addr; _ } -> [ { pos; store = false; addr } ]
+         | Instr.Store { addr; _ } -> [ { pos; store = true; addr } ]
+         | Instr.Bin _ | Instr.Una _ | Instr.Fma _ | Instr.Cmp _
+         | Instr.Select _ | Instr.Cast _ ->
+             [])
+       k.body)
+
+let sorted_assoc l = List.sort compare l
+
+(* Result of testing one subscript dimension: either the refs can never
+   subscript the same element, or they coincide at a fixed iteration delta
+   (ref1 at iteration k+delta touches what ref2 touches at k), or they
+   coincide at every iteration, or we cannot tell. *)
+type dim_result = Never | Delta of int | Always | Unknown_dim
+
+let test_dim ~inner_var ~step (d1 : Instr.dim) (d2 : Instr.dim) =
+  let split (d : Instr.dim) =
+    let c = Kernel.coeff_of inner_var d in
+    let rest = List.filter (fun (v, _) -> v <> inner_var) d.terms in
+    (c, sorted_assoc rest, sorted_assoc d.pterms, d.rel_n, d.off)
+  in
+  let c1, r1, p1, n1, o1 = split d1 in
+  let c2, r2, p2, n2, o2 = split d2 in
+  if r1 <> r2 || p1 <> p2 || n1 <> n2 then
+    (* Symbolic parts differ: the classic tests do not apply. *)
+    Unknown_dim
+  else if c1 = 0 && c2 = 0 then if o1 = o2 then Always else Never
+  else if c1 = c2 then begin
+    (* Strong SIV: c*step*k1 + o1 = c*step*k2 + o2. *)
+    let stride = c1 * step in
+    let diff = o2 - o1 in
+    if diff mod stride <> 0 then Never else Delta (diff / stride)
+  end
+  else begin
+    (* Weak SIV; fall back to the GCD test. *)
+    let rec gcd a b = if b = 0 then abs a else gcd b (a mod b) in
+    let g = gcd (c1 * step) (c2 * step) in
+    if g <> 0 && (o2 - o1) mod g <> 0 then Never else Unknown_dim
+  end
+
+(* Combine per-dimension results: a dependence needs every dimension to
+   coincide simultaneously. *)
+let combine_dims results =
+  let rec go acc = function
+    | [] -> acc
+    | Never :: _ -> Never
+    | Always :: rest -> go acc rest
+    | Unknown_dim :: rest -> (
+        match go acc rest with Never -> Never | _ -> Unknown_dim)
+    | Delta d :: rest -> (
+        match acc with
+        | Always -> go (Delta d) rest
+        | Delta d' when d' <> d -> Never
+        | Delta _ -> go acc rest
+        | Never -> Never
+        | Unknown_dim -> ( match go acc rest with Never -> Never | _ -> Unknown_dim))
+  in
+  go Always results
+
+let dep_kind ~src_store ~snk_store =
+  match (src_store, snk_store) with
+  | true, false -> Flow
+  | false, true -> Anti
+  | true, true -> Output
+  | false, false -> invalid_arg "dep_kind: load/load"
+
+(* Test an unordered pair of references; [r1] appears at the lexically
+   earlier-or-equal body position.  ZIV and unknown dependences are carried
+   in both directions, so they yield two records. *)
+let test_pair ~inner_var ~step r1 r2 =
+  if (not r1.store) && not r2.store then []
+  else
+    let arr1 = Instr.addr_array r1.addr and arr2 = Instr.addr_array r2.addr in
+    if not (String.equal arr1 arr2) then []
+    else
+      let mk ~assumed ~distance src snk =
+        {
+          src_pos = src.pos;
+          snk_pos = snk.pos;
+          array = arr1;
+          kind = dep_kind ~src_store:src.store ~snk_store:snk.store;
+          distance;
+          assumed;
+        }
+      in
+      let both_directions ~assumed ~distance =
+        if r1.pos = r2.pos then [ mk ~assumed ~distance r1 r2 ]
+        else [ mk ~assumed ~distance r1 r2; mk ~assumed ~distance r2 r1 ]
+      in
+      match (r1.addr, r2.addr) with
+      | Instr.Affine { dims = dims1; _ }, Instr.Affine { dims = dims2; _ }
+        when List.length dims1 = List.length dims2 -> (
+          let results = List.map2 (test_dim ~inner_var ~step) dims1 dims2 in
+          match combine_dims results with
+          | Never -> []
+          | Always ->
+              (* Same location every iteration: carried at all distances,
+                 in both directions. *)
+              both_directions ~assumed:false ~distance:Dany
+          | Unknown_dim -> both_directions ~assumed:false ~distance:Dunknown
+          | Delta 0 ->
+              (* Loop-independent; execution order within the iteration is
+                 preserved by the transform, so it never constrains VF. *)
+              []
+          | Delta d ->
+              (* ref1@(k+d) and ref2@k touch the same element.  d > 0 means
+                 ref2 executes first (source); d < 0 the other way around. *)
+              let src, snk, dist =
+                if d > 0 then (r2, r1, d) else (r1, r2, -d)
+              in
+              [ mk ~assumed:false ~distance:(Dconst dist) src snk ])
+      | (Instr.Affine _ | Instr.Indirect _), _ ->
+          (* Indirect on at least one side (or mismatched dimensionality).
+             Index arrays hold permutations of [0, n), so distinct iterations
+             touch distinct elements; we record the assumption, as the paper
+             does when it forces vectorization. *)
+          both_directions ~assumed:true ~distance:Dunknown
+
+(* All dependences of the innermost loop. *)
+let analyze (k : Kernel.t) =
+  let inner = Kernel.innermost k in
+  let refs = collect_refs k in
+  let deps = ref [] in
+  let rec pairs = function
+    | [] -> ()
+    | r :: rest ->
+        (* Include r with itself: self output deps from ZIV stores. *)
+        List.iter
+          (fun r' ->
+            let found = test_pair ~inner_var:inner.var ~step:inner.step r r' in
+            deps := List.rev_append found !deps)
+          (r :: rest);
+        pairs rest
+  in
+  pairs refs;
+  List.rev !deps
+
+(* A dependence constrains VF when its sink statement does not come strictly
+   after its source statement (same-statement ZIV conflicts included). *)
+let constrains d = d.snk_pos <= d.src_pos && not d.assumed
+
+type vf_limit = Unlimited | Max_vf of int  (* Max_vf 1 = not vectorizable *)
+
+let vf_limit (k : Kernel.t) =
+  let deps = analyze k in
+  List.fold_left
+    (fun acc d ->
+      if not (constrains d) then acc
+      else
+        let lim =
+          match d.distance with
+          | Dconst dist -> Max_vf dist
+          | Dany | Dunknown -> Max_vf 1
+        in
+        match (acc, lim) with
+        | Unlimited, l -> l
+        | Max_vf a, Max_vf b -> Max_vf (min a b)
+        | Max_vf _, Unlimited -> acc)
+    Unlimited deps
+
+let legal_for_vf k vf =
+  match vf_limit k with Unlimited -> true | Max_vf m -> vf <= m
+
+(* Vectorizable at all, i.e. for VF = 2. *)
+let vectorizable k = legal_for_vf k 2
+
+(* True when legality rests on the conflict-freedom of index arrays. *)
+let needs_runtime_assumption k =
+  List.exists (fun d -> d.assumed && d.snk_pos <= d.src_pos) (analyze k)
+
+let pp_dep fmt d =
+  Format.fprintf fmt "%s dep on %s: %d -> %d, distance %s%s"
+    (kind_to_string d.kind) d.array d.src_pos d.snk_pos
+    (distance_to_string d.distance)
+    (if d.assumed then " (assumed safe)" else "")

@@ -1,0 +1,42 @@
+(** Data-dependence analysis of the innermost loop (ZIV / strong-SIV / GCD
+    subscript tests) and the vectorization-legality verdict derived from it. *)
+
+type kind = Flow | Anti | Output
+
+type distance =
+  | Dconst of int  (** loop-carried at a fixed iteration distance > 0 *)
+  | Dany  (** same location every iteration (ZIV) *)
+  | Dunknown  (** undetermined; conservatively distance 1 *)
+
+type dep = {
+  src_pos : int;
+  snk_pos : int;
+  array : string;
+  kind : kind;
+  distance : distance;
+  assumed : bool;  (** legality rests on conflict-free index arrays *)
+}
+
+val kind_to_string : kind -> string
+val distance_to_string : distance -> string
+
+(** All dependences carried by (or crossing iterations of) the innermost
+    loop. *)
+val analyze : Vir.Kernel.t -> dep list
+
+(** Whether a dependence restricts the vectorization factor. *)
+val constrains : dep -> bool
+
+type vf_limit = Unlimited | Max_vf of int
+
+(** Largest legal vectorization factor ([Max_vf 1] = not vectorizable). *)
+val vf_limit : Vir.Kernel.t -> vf_limit
+
+val legal_for_vf : Vir.Kernel.t -> int -> bool
+val vectorizable : Vir.Kernel.t -> bool
+
+(** True when legality relies on the index-array conflict-freedom
+    assumption. *)
+val needs_runtime_assumption : Vir.Kernel.t -> bool
+
+val pp_dep : Format.formatter -> dep -> unit

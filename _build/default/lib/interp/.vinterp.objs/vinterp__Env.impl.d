@@ -1,0 +1,1 @@
+lib/interp/env.ml: Array Char Fun Hashtbl Kernel List Printf String Types Vir

@@ -1,0 +1,1 @@
+lib/interp/interp.ml: Array Env Float Instr Kernel List Op Printf Types Vir

@@ -1,0 +1,156 @@
+(* Execution environment shared by the scalar interpreter and the vectorized
+   executor: array storage, parameter bindings and deterministic
+   initialization.
+
+   Initialization is pure in (seed, array name, element index), so a scalar
+   run and a vector run of the same kernel start from bit-identical state. *)
+
+open Vir
+
+type store = F_arr of float array | I_arr of int array
+
+type t = {
+  n : int;
+  n2 : int;
+  arrays : (string, store) Hashtbl.t;
+  params : (string, float) Hashtbl.t;
+  mutable on_access : (string -> int -> bool -> unit) option;
+      (* called as [f arr idx is_write] on every element access; used by the
+         trace-driven cache simulator *)
+}
+
+(* SplitMix64-style hash, reduced to OCaml's 63-bit ints; good enough to
+   decorrelate (seed, name, index) triples. *)
+let hash3 seed name idx =
+  let h = ref (seed * 0x9E3779B1) in
+  String.iter (fun c -> h := ((!h lxor Char.code c) * 0x01000193) land max_int) name;
+  h := !h lxor idx;
+  h := (!h * 0xff51afd7) land max_int;
+  h := !h lxor (!h lsr 23);
+  h := (!h * 0xc4ceb9fe) land max_int;
+  h := !h lxor (!h lsr 29);
+  !h land max_int
+
+(* Data floats in [0.5, 1.5): safe for division and stable under long
+   product reductions. *)
+let float_at seed name idx =
+  0.5 +. (float_of_int (hash3 seed name idx mod 10000) /. 10000.0)
+
+(* Small positive ints for integer data arrays. *)
+let int_at seed name idx = 1 + (hash3 seed name idx mod 4)
+
+(* A deterministic permutation of [0, n), extended periodically when the
+   array extent exceeds n.  Conflict-freedom inside any vector window is what
+   the forced-vectorization experiments assume of index arrays. *)
+let permutation seed name n =
+  let p = Array.init n Fun.id in
+  for i = n - 1 downto 1 do
+    let j = hash3 seed name i mod (i + 1) in
+    let t = p.(i) in
+    p.(i) <- p.(j);
+    p.(j) <- t
+  done;
+  p
+
+let create ?(seed = 42) ~n (k : Kernel.t) =
+  if n < 4 then invalid_arg "Env.create: n must be at least 4";
+  let n2 = Kernel.isqrt n in
+  let arrays = Hashtbl.create 8 in
+  List.iter
+    (fun (d : Kernel.array_decl) ->
+      let len = max 1 (Kernel.extent_elems ~n d.arr_extent) in
+      let store =
+        match (d.arr_role, d.arr_ty) with
+        | Kernel.Idx, _ ->
+            let perm = permutation seed d.arr_name n in
+            I_arr (Array.init len (fun i -> perm.(i mod n)))
+        | Kernel.Data, (Types.F32 | Types.F64) ->
+            F_arr (Array.init len (float_at seed d.arr_name))
+        | Kernel.Data, (Types.I32 | Types.I64) ->
+            I_arr (Array.init len (int_at seed d.arr_name))
+      in
+      Hashtbl.replace arrays d.arr_name store)
+    k.arrays;
+  let params = Hashtbl.create 4 in
+  List.iteri
+    (fun i p ->
+      (* Parameter values: small, positive, deterministic, distinct. *)
+      Hashtbl.replace params p (1.0 +. (0.5 *. float_of_int (i + 1))))
+    k.params;
+  { n; n2; arrays; params; on_access = None }
+
+let set_param t name v = Hashtbl.replace t.params name v
+
+let set_trace t f = t.on_access <- Some f
+let clear_trace t = t.on_access <- None
+
+let trace t name idx write =
+  match t.on_access with Some f -> f name idx write | None -> ()
+
+let param t name =
+  match Hashtbl.find_opt t.params name with
+  | Some v -> v
+  | None -> invalid_arg (Printf.sprintf "Env.param: unbound parameter %s" name)
+
+let store t name =
+  match Hashtbl.find_opt t.arrays name with
+  | Some s -> s
+  | None -> invalid_arg (Printf.sprintf "Env.store: unknown array %s" name)
+
+let length t name =
+  match store t name with F_arr a -> Array.length a | I_arr a -> Array.length a
+
+exception Out_of_bounds of string * int
+
+let read_float t name idx =
+  trace t name idx false;
+  match store t name with
+  | F_arr a ->
+      if idx < 0 || idx >= Array.length a then raise (Out_of_bounds (name, idx));
+      a.(idx)
+  | I_arr a ->
+      if idx < 0 || idx >= Array.length a then raise (Out_of_bounds (name, idx));
+      float_of_int a.(idx)
+
+let read_int t name idx =
+  trace t name idx false;
+  match store t name with
+  | I_arr a ->
+      if idx < 0 || idx >= Array.length a then raise (Out_of_bounds (name, idx));
+      a.(idx)
+  | F_arr a ->
+      if idx < 0 || idx >= Array.length a then raise (Out_of_bounds (name, idx));
+      int_of_float a.(idx)
+
+let write_float t name idx v =
+  trace t name idx true;
+  match store t name with
+  | F_arr a ->
+      if idx < 0 || idx >= Array.length a then raise (Out_of_bounds (name, idx));
+      a.(idx) <- v
+  | I_arr a ->
+      if idx < 0 || idx >= Array.length a then raise (Out_of_bounds (name, idx));
+      a.(idx) <- int_of_float v
+
+let write_int t name idx v =
+  trace t name idx true;
+  match store t name with
+  | I_arr a ->
+      if idx < 0 || idx >= Array.length a then raise (Out_of_bounds (name, idx));
+      a.(idx) <- v
+  | F_arr a ->
+      if idx < 0 || idx >= Array.length a then raise (Out_of_bounds (name, idx));
+      a.(idx) <- float_of_int v
+
+(* Flat snapshot of every array as floats, for comparing two executions. *)
+let snapshot t =
+  Hashtbl.fold
+    (fun name st acc ->
+      let data =
+        match st with
+        | F_arr a -> Array.copy a
+        | I_arr a -> Array.map float_of_int a
+      in
+      (name, data) :: acc)
+    t.arrays []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)

@@ -1,0 +1,36 @@
+(** Execution environment: array storage, parameters, deterministic init. *)
+
+type store = F_arr of float array | I_arr of int array
+
+type t = {
+  n : int;
+  n2 : int;
+  arrays : (string, store) Hashtbl.t;
+  params : (string, float) Hashtbl.t;
+  mutable on_access : (string -> int -> bool -> unit) option;
+}
+
+exception Out_of_bounds of string * int
+
+(** Allocate and deterministically initialize state for a kernel at problem
+    size [n] (>= 4).  Same seed => bit-identical state. *)
+val create : ?seed:int -> n:int -> Vir.Kernel.t -> t
+
+val set_param : t -> string -> float -> unit
+
+(** Install / remove a hook called as [f arr idx is_write] on every element
+    access (trace-driven cache simulation). *)
+val set_trace : t -> (string -> int -> bool -> unit) -> unit
+
+val clear_trace : t -> unit
+val param : t -> string -> float
+val store : t -> string -> store
+val length : t -> string -> int
+
+val read_float : t -> string -> int -> float
+val read_int : t -> string -> int -> int
+val write_float : t -> string -> int -> float -> unit
+val write_int : t -> string -> int -> int -> unit
+
+(** All arrays as float snapshots, sorted by name. *)
+val snapshot : t -> (string * float array) list

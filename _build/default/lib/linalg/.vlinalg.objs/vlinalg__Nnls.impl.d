@@ -1,0 +1,1 @@
+lib/linalg/nnls.ml: Array Fun List Mat Qr

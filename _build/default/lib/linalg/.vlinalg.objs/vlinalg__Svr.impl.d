@@ -1,0 +1,1 @@
+lib/linalg/svr.ml: Array Float Fun Mat

@@ -1,0 +1,1 @@
+lib/linalg/svr.mli: Mat

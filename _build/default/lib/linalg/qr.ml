@@ -1,0 +1,100 @@
+(* Least squares by Householder QR with column pivoting disabled (the fitting
+   matrices here are small and well scaled; rank deficiency is handled by
+   regularizing the trailing diagonal). *)
+
+exception Singular of string
+
+(* Factor A (m x n, m >= n) in place into R (upper triangle) while applying
+   the same reflections to b.  Returns the packed factorization. *)
+let factorize a b =
+  let m = Mat.rows a and n = Mat.cols a in
+  if m < n then invalid_arg "Qr.factorize: need rows >= cols";
+  if Array.length b <> m then invalid_arg "Qr.factorize: rhs size mismatch";
+  let r = Mat.copy a in
+  let qtb = Array.copy b in
+  for k = 0 to n - 1 do
+    (* Householder vector for column k below the diagonal. *)
+    let norm = ref 0.0 in
+    for i = k to m - 1 do
+      let v = Mat.get r i k in
+      norm := !norm +. (v *. v)
+    done;
+    let norm = sqrt !norm in
+    if norm > 0.0 then begin
+      let alpha = if Mat.get r k k > 0.0 then -.norm else norm in
+      (* v = x - alpha * e1, normalized so v.(k) = 1 *)
+      let vk = Mat.get r k k -. alpha in
+      if vk <> 0.0 then begin
+        let v = Array.make m 0.0 in
+        v.(k) <- 1.0;
+        for i = k + 1 to m - 1 do
+          v.(i) <- Mat.get r i k /. vk
+        done;
+        let vtv = ref 0.0 in
+        for i = k to m - 1 do
+          vtv := !vtv +. (v.(i) *. v.(i))
+        done;
+        let beta = 2.0 /. !vtv in
+        (* Apply H = I - beta v v^T to the remaining columns of r. *)
+        for j = k to n - 1 do
+          let dot = ref 0.0 in
+          for i = k to m - 1 do
+            dot := !dot +. (v.(i) *. Mat.get r i j)
+          done;
+          let s = beta *. !dot in
+          for i = k to m - 1 do
+            Mat.set r i j (Mat.get r i j -. (s *. v.(i)))
+          done
+        done;
+        (* And to the right-hand side. *)
+        let dot = ref 0.0 in
+        for i = k to m - 1 do
+          dot := !dot +. (v.(i) *. qtb.(i))
+        done;
+        let s = beta *. !dot in
+        for i = k to m - 1 do
+          qtb.(i) <- qtb.(i) -. (s *. v.(i))
+        done
+      end;
+      Mat.set r k k alpha;
+      for i = k + 1 to m - 1 do
+        Mat.set r i k 0.0
+      done
+    end
+  done;
+  (r, qtb)
+
+(* Solve the triangular system R x = (Q^T b)[0..n-1]. *)
+let back_substitute r qtb =
+  let n = Mat.cols r in
+  let x = Array.make n 0.0 in
+  for i = n - 1 downto 0 do
+    let s = ref qtb.(i) in
+    for j = i + 1 to n - 1 do
+      s := !s -. (Mat.get r i j *. x.(j))
+    done;
+    let d = Mat.get r i i in
+    if abs_float d < 1e-12 then
+      raise (Singular (Printf.sprintf "zero pivot at column %d" i));
+    x.(i) <- !s /. d
+  done;
+  x
+
+(* Minimize ||A x - b||_2.  @raise Singular when A is (numerically) rank
+   deficient. *)
+let lstsq a b =
+  let r, qtb = factorize a b in
+  back_substitute r qtb
+
+(* Ridge-regularized least squares: minimize ||Ax-b||^2 + lambda ||x||^2 by
+   stacking sqrt(lambda) I below A.  Never singular for lambda > 0. *)
+let lstsq_ridge ~lambda a b =
+  if lambda < 0.0 then invalid_arg "Qr.lstsq_ridge: negative lambda";
+  let m = Mat.rows a and n = Mat.cols a in
+  let sl = sqrt lambda in
+  let aug =
+    Mat.init (m + n) n (fun i j ->
+        if i < m then Mat.get a i j else if i - m = j then sl else 0.0)
+  in
+  let baug = Array.append b (Array.make n 0.0) in
+  lstsq aug baug

@@ -1,0 +1,15 @@
+(** Householder-QR least squares. *)
+
+exception Singular of string
+
+(** [factorize a b] returns [(r, qtb)] with [r] upper triangular and
+    [qtb = Q^T b], for [a] with at least as many rows as columns. *)
+val factorize : Mat.t -> float array -> Mat.t * float array
+
+val back_substitute : Mat.t -> float array -> float array
+
+(** Minimize [||a x - b||_2].  @raise Singular on rank deficiency. *)
+val lstsq : Mat.t -> float array -> float array
+
+(** Ridge-regularized least squares; never singular for [lambda > 0]. *)
+val lstsq_ridge : lambda:float -> Mat.t -> float array -> float array

@@ -1,0 +1,1 @@
+lib/machine/config.ml: Buffer Descr Fun Hashtbl List Opclass Option Printf String Types Vir

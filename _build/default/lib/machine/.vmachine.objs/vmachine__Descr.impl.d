@@ -1,0 +1,1 @@
+lib/machine/descr.ml: Instr Kernel List Opclass Types Vir

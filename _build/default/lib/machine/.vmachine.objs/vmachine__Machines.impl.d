@@ -1,0 +1,1 @@
+lib/machine/machines.ml: Descr Float List Opclass String Types Vir

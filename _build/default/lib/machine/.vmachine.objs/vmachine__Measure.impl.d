@@ -1,0 +1,1 @@
+lib/machine/measure.ml: Char Descr Kernel Sched String Vir Vvect

@@ -1,0 +1,1 @@
+lib/machine/measure.mli: Descr Vir Vvect

@@ -1,0 +1,1 @@
+lib/machine/memmodel.ml: Descr Kernel Vir

@@ -1,0 +1,1 @@
+lib/machine/memmodel.mli: Descr Vir

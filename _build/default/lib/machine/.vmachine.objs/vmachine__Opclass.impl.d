@@ -1,0 +1,1 @@
+lib/machine/opclass.ml: Instr Op Types Vir

@@ -1,0 +1,1 @@
+lib/machine/sched.ml: Array Descr Float Instr Kernel List Memmodel Opclass Types Vdeps Vir Vvect

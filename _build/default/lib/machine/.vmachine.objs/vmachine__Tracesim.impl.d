@@ -1,0 +1,1 @@
+lib/machine/tracesim.ml: Cache Descr Kernel List Memmodel Printf Types Vinterp Vir

@@ -1,0 +1,1 @@
+lib/machine/tracesim.mli: Cache Descr Memmodel Vir

@@ -1,0 +1,93 @@
+(* Set-associative LRU caches and a small hierarchy, driven by element-level
+   access traces.  This is the behavioural counterpart of the analytic
+   [Memmodel]: the validation experiment replays kernels through it and
+   checks that the analytic bottleneck-level choice matches the simulated
+   miss behaviour. *)
+
+type config = {
+  size_bytes : int;
+  ways : int;
+  line_bytes : int;
+}
+
+type t = {
+  cfg : config;
+  sets : int;
+  tags : int array array;  (* tags.(set).(way); -1 = invalid *)
+  age : int array array;  (* LRU stamps *)
+  mutable clock : int;
+  mutable accesses : int;
+  mutable misses : int;
+}
+
+let create cfg =
+  if cfg.size_bytes <= 0 || cfg.ways <= 0 || cfg.line_bytes <= 0 then
+    invalid_arg "Cache.create: non-positive parameter";
+  let lines = cfg.size_bytes / cfg.line_bytes in
+  if lines < cfg.ways || lines mod cfg.ways <> 0 then
+    invalid_arg "Cache.create: size/ways/line mismatch";
+  let sets = lines / cfg.ways in
+  {
+    cfg;
+    sets;
+    tags = Array.make_matrix sets cfg.ways (-1);
+    age = Array.make_matrix sets cfg.ways 0;
+    clock = 0;
+    accesses = 0;
+    misses = 0;
+  }
+
+let accesses t = t.accesses
+let misses t = t.misses
+let hits t = t.accesses - t.misses
+
+let miss_rate t =
+  if t.accesses = 0 then 0.0 else float_of_int t.misses /. float_of_int t.accesses
+
+(* Touch one byte address; returns true on hit.  Misses install the line. *)
+let access t addr =
+  t.clock <- t.clock + 1;
+  t.accesses <- t.accesses + 1;
+  let line = addr / t.cfg.line_bytes in
+  let set = line mod t.sets in
+  let tag = line / t.sets in
+  let tags = t.tags.(set) and age = t.age.(set) in
+  let hit_way = ref (-1) in
+  for w = 0 to t.cfg.ways - 1 do
+    if tags.(w) = tag then hit_way := w
+  done;
+  if !hit_way >= 0 then begin
+    age.(!hit_way) <- t.clock;
+    true
+  end
+  else begin
+    t.misses <- t.misses + 1;
+    (* Evict the least recently used way. *)
+    let victim = ref 0 in
+    for w = 1 to t.cfg.ways - 1 do
+      if age.(w) < age.(!victim) then victim := w
+    done;
+    tags.(!victim) <- tag;
+    age.(!victim) <- t.clock;
+    false
+  end
+
+let reset_stats t =
+  t.accesses <- 0;
+  t.misses <- 0
+
+(* A non-inclusive two/three-level hierarchy: an access filters down until
+   it hits. *)
+type hierarchy = { levels : t list }
+
+let hierarchy configs = { levels = List.map create configs }
+
+(* Returns the 0-based index of the level that hit (length = memory). *)
+let hierarchy_access h addr =
+  let rec go i = function
+    | [] -> i
+    | c :: rest -> if access c addr then i else go (i + 1) rest
+  in
+  go 0 h.levels
+
+let level_stats h = List.map (fun c -> (accesses c, misses c)) h.levels

@@ -1,0 +1,28 @@
+(** Set-associative LRU caches and a simple hierarchy, for trace-driven
+    validation of the analytic memory model. *)
+
+type config = { size_bytes : int; ways : int; line_bytes : int }
+
+type t
+
+(** @raise Invalid_argument when the geometry is inconsistent. *)
+val create : config -> t
+
+(** Touch one byte address; true on hit.  Misses install the line (LRU). *)
+val access : t -> int -> bool
+
+val accesses : t -> int
+val misses : t -> int
+val hits : t -> int
+val miss_rate : t -> float
+val reset_stats : t -> unit
+
+type hierarchy = { levels : t list }
+
+val hierarchy : config list -> hierarchy
+
+(** Index of the level that hit (= number of levels on a full miss). *)
+val hierarchy_access : hierarchy -> int -> int
+
+(** Per-level (accesses, misses). *)
+val level_stats : hierarchy -> (int * int) list

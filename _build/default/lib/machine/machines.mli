@@ -1,0 +1,14 @@
+(** Concrete machine models: a Cortex-A57-like NEON core (the paper's ARM
+    target), a Haswell-like AVX2 Xeon (the x86 comparison), and a
+    hypothetical 256-bit ARM core for the width ablation. *)
+
+val neon_a57 : Descr.t
+val xeon_avx2 : Descr.t
+val sve_256 : Descr.t
+
+(** 2-wide in-order little core (Cortex-A53-like), used by the
+    big.LITTLE ablation. *)
+val cortex_a53 : Descr.t
+
+val all : Descr.t list
+val by_name : string -> Descr.t option

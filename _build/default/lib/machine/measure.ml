@@ -1,0 +1,58 @@
+(* "Measurement": total cycle counts for a full kernel execution (vector main
+   loop + scalar epilogue + one-off setup), with a small deterministic
+   perturbation standing in for run-to-run hardware noise.  These numbers
+   play the role of the paper's hardware measurements. *)
+
+open Vir
+
+let default_noise = 0.03
+
+(* Deterministic noise factor in [1 - amp, 1 + amp], keyed on kernel,
+   machine and seed. *)
+let noise_factor ~amp ~seed name machine =
+  let h = ref (seed * 0x45d9f3b) in
+  String.iter
+    (fun c -> h := ((!h lxor Char.code c) * 0x01000193) land max_int)
+    (name ^ "@" ^ machine);
+  let u = float_of_int (!h mod 10007) /. 10007.0 in
+  1.0 +. (amp *. ((2.0 *. u) -. 1.0))
+
+let total_scalar_cycles (d : Descr.t) ~n (k : Kernel.t) =
+  let est = Sched.scalar_estimate d ~n k in
+  let iters = float_of_int (Kernel.total_iterations ~n k) in
+  est.Sched.cycles *. iters
+
+let total_vector_cycles (d : Descr.t) ~n (vk : Vvect.Vinstr.vkernel) =
+  let k = vk.scalar in
+  let inner = Kernel.innermost k in
+  let inner_iters = Kernel.iterations ~n inner in
+  let outer_instances =
+    let total = Kernel.total_iterations ~n k in
+    if inner_iters = 0 then 0 else total / inner_iters
+  in
+  let span = vk.vf * vk.ic in
+  let blocks = inner_iters / span in
+  let tail = inner_iters mod span in
+  let vest = Sched.vector_estimate d ~n vk in
+  let sest = Sched.scalar_estimate d ~n k in
+  float_of_int outer_instances
+  *. ((float_of_int blocks *. vest.Sched.cycles)
+     +. (float_of_int tail *. sest.Sched.cycles)
+     +. d.vec_setup_cycles)
+
+type measurement = {
+  scalar_cycles : float;
+  vector_cycles : float;
+  speedup : float;  (* noisy, the "hardware" ground truth *)
+  speedup_clean : float;  (* noise-free model output *)
+}
+
+let measure ?(noise_amp = default_noise) ?(seed = 1) (d : Descr.t) ~n
+    (vk : Vvect.Vinstr.vkernel) =
+  let scalar_cycles = total_scalar_cycles d ~n vk.scalar in
+  let vector_cycles = total_vector_cycles d ~n vk in
+  let clean = scalar_cycles /. vector_cycles in
+  let noisy =
+    clean *. noise_factor ~amp:noise_amp ~seed vk.scalar.Kernel.name d.name
+  in
+  { scalar_cycles; vector_cycles; speedup = noisy; speedup_clean = clean }

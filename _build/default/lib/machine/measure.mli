@@ -1,0 +1,22 @@
+(** "Measurement": total cycles for a full run (vector main loop + scalar
+    epilogue + setup) with deterministic pseudo-noise standing in for
+    hardware run-to-run variance. *)
+
+val default_noise : float
+
+(** Noise factor in [1-amp, 1+amp], pure in (amp, seed, name, machine). *)
+val noise_factor : amp:float -> seed:int -> string -> string -> float
+
+val total_scalar_cycles : Descr.t -> n:int -> Vir.Kernel.t -> float
+val total_vector_cycles : Descr.t -> n:int -> Vvect.Vinstr.vkernel -> float
+
+type measurement = {
+  scalar_cycles : float;
+  vector_cycles : float;
+  speedup : float;  (** noisy: plays the role of the hardware ground truth *)
+  speedup_clean : float;  (** noise-free model output *)
+}
+
+val measure :
+  ?noise_amp:float -> ?seed:int -> Descr.t -> n:int -> Vvect.Vinstr.vkernel ->
+  measurement

@@ -1,0 +1,19 @@
+(** Cache-hierarchy behaviour: bottleneck level and effective bytes moved
+    per access at that level. *)
+
+type level = L1 | L2 | L3 | Dram
+
+val level_to_string : level -> string
+
+(** Smallest level that holds the whole working set. *)
+val level_of : Descr.mem -> footprint_bytes:int -> level
+
+(** Sustainable bytes per cycle at a level. *)
+val bandwidth : Descr.mem -> level -> float
+
+val latency : Descr.mem -> level -> float
+
+(** Bytes one element access effectively pulls through the bottleneck:
+    invariant accesses are free, sparse accesses pay whole lines beyond
+    L1. *)
+val effective_bytes : Descr.mem -> level -> Vir.Kernel.stride -> int -> float

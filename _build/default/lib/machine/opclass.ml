@@ -1,0 +1,73 @@
+(* Operation classes: the granularity at which machines price instructions
+   and at which the cost models count features.  Both the scalar and the
+   vector IR map onto this one vocabulary. *)
+
+open Vir
+
+type t =
+  | Int_alu  (* add/sub/min/max/logic/shift *)
+  | Int_mul
+  | Int_div
+  | Fp_add  (* add/sub/neg/abs/min/max *)
+  | Fp_mul
+  | Fp_fma
+  | Fp_div
+  | Fp_sqrt
+  | Cmp
+  | Select
+  | Cast
+  | Load
+  | Store
+  | Shuffle  (* lane permutes, packs, extracts *)
+
+let all =
+  [ Int_alu; Int_mul; Int_div; Fp_add; Fp_mul; Fp_fma; Fp_div; Fp_sqrt; Cmp;
+    Select; Cast; Load; Store; Shuffle ]
+
+let to_string = function
+  | Int_alu -> "int_alu"
+  | Int_mul -> "int_mul"
+  | Int_div -> "int_div"
+  | Fp_add -> "fp_add"
+  | Fp_mul -> "fp_mul"
+  | Fp_fma -> "fp_fma"
+  | Fp_div -> "fp_div"
+  | Fp_sqrt -> "fp_sqrt"
+  | Cmp -> "cmp"
+  | Select -> "select"
+  | Cast -> "cast"
+  | Load -> "load"
+  | Store -> "store"
+  | Shuffle -> "shuffle"
+
+let of_binop ty (op : Op.binop) =
+  let fp = Types.is_float ty in
+  match op with
+  | Op.Add | Op.Sub | Op.Min | Op.Max ->
+      if fp then Fp_add else Int_alu
+  | Op.Mul -> if fp then Fp_mul else Int_mul
+  | Op.Div | Op.Rem -> if fp then Fp_div else Int_div
+  | Op.And | Op.Or | Op.Xor | Op.Shl | Op.Shr -> Int_alu
+
+let of_unop ty (op : Op.unop) =
+  match op with
+  | Op.Neg | Op.Abs -> if Types.is_float ty then Fp_add else Int_alu
+  | Op.Sqrt -> Fp_sqrt
+  | Op.Not -> Int_alu
+
+let of_redop ty (op : Op.redop) =
+  match op with
+  | Op.Rsum -> if Types.is_float ty then Fp_add else Int_alu
+  | Op.Rprod -> if Types.is_float ty then Fp_mul else Int_mul
+  | Op.Rmin | Op.Rmax -> if Types.is_float ty then Fp_add else Int_alu
+
+(* The class of a scalar instruction. *)
+let of_instr = function
+  | Instr.Bin { ty; op; _ } -> of_binop ty op
+  | Instr.Una { ty; op; _ } -> of_unop ty op
+  | Instr.Fma _ -> Fp_fma
+  | Instr.Cmp _ -> Cmp
+  | Instr.Select _ -> Select
+  | Instr.Cast _ -> Cast
+  | Instr.Load _ -> Load
+  | Instr.Store _ -> Store

@@ -1,0 +1,24 @@
+(** Operation classes: the granularity of the machine cost tables. *)
+
+type t =
+  | Int_alu
+  | Int_mul
+  | Int_div
+  | Fp_add
+  | Fp_mul
+  | Fp_fma
+  | Fp_div
+  | Fp_sqrt
+  | Cmp
+  | Select
+  | Cast
+  | Load
+  | Store
+  | Shuffle
+
+val all : t list
+val to_string : t -> string
+val of_binop : Vir.Types.scalar -> Vir.Op.binop -> t
+val of_unop : Vir.Types.scalar -> Vir.Op.unop -> t
+val of_redop : Vir.Types.scalar -> Vir.Op.redop -> t
+val of_instr : Vir.Instr.t -> t

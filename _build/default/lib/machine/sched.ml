@@ -1,0 +1,336 @@
+(* Analytic steady-state cycle estimator, llvm-mca style.  A loop's
+   per-iteration (or per-vector-block) cost is the maximum of four bounds:
+
+     resource   - busiest functional-unit group
+     frontend   - micro-ops through the issue stage
+     memory     - effective bytes through the bottleneck cache level
+     recurrence - loop-carried latency chains (reductions and
+                  memory-carried recurrences), which out-of-order
+                  execution cannot hide
+
+   This is deliberately an *analytic* model rather than a cycle-accurate
+   simulator: the paper's measured speedups are steady-state throughput
+   ratios over 32k-iteration loops, which such a model captures. *)
+
+open Vir
+
+type bounds = {
+  resource : float;
+  frontend : float;
+  memory : float;
+  recurrence : float;
+}
+
+(* Per scalar element for scalar code; per vector block for vector code. *)
+type estimate = { cycles : float; bounds : bounds }
+
+let bound_max b =
+  Float.max b.resource (Float.max b.frontend (Float.max b.memory b.recurrence))
+
+(* --- unit-pressure accumulator ---------------------------------------- *)
+
+let unit_slot = function
+  | Descr.U_alu -> 0
+  | Descr.U_fpu -> 1
+  | Descr.U_mem_load -> 2
+  | Descr.U_mem_store -> 3
+
+type acc = {
+  busy : float array;  (* one slot per unit kind *)
+  mutable uops : int;
+  mutable mem_bytes : float;
+}
+
+let fresh_acc () = { busy = Array.make 4 0.0; uops = 0; mem_bytes = 0.0 }
+
+let charge acc (i : Descr.op_info) =
+  acc.busy.(unit_slot i.unit_kind) <- acc.busy.(unit_slot i.unit_kind) +. i.rtp;
+  acc.uops <- acc.uops + i.uops
+
+let resource_bound (d : Descr.t) acc =
+  List.fold_left
+    (fun m (kind, count) ->
+      if count = 0 then m
+      else Float.max m (acc.busy.(unit_slot kind) /. float_of_int count))
+    0.0 d.units
+
+let frontend_bound (d : Descr.t) acc =
+  float_of_int acc.uops /. float_of_int d.issue_width
+
+(* --- instruction typing helpers --------------------------------------- *)
+
+let instr_ty (i : Instr.t) =
+  match Instr.result_ty i with
+  | Some t -> t
+  | None -> ( match i with Instr.Store { ty; _ } -> ty | _ -> Types.F32)
+
+(* --- loop-carried latency chains -------------------------------------- *)
+
+(* Longest def-use latency path from [load_pos] to [store_pos] within one
+   iteration; [op_lat pos] prices each producer.  Infinite paths cannot
+   occur (SSA is forward); [None] when the loaded value does not feed the
+   store. *)
+let chain_latency ~op_lat (body : Instr.t array) ~load_pos ~store_pos =
+  if load_pos >= store_pos then None
+  else begin
+    let dist = Array.make (Array.length body) neg_infinity in
+    dist.(load_pos) <- op_lat load_pos;
+    for p = load_pos + 1 to store_pos do
+      let best =
+        List.fold_left
+          (fun m r -> if r < p then Float.max m dist.(r) else m)
+          neg_infinity
+          (Instr.reg_uses body.(p))
+      in
+      if best > neg_infinity then dist.(p) <- best +. op_lat p
+    done;
+    if dist.(store_pos) > neg_infinity then Some dist.(store_pos) else None
+  end
+
+(* Per-element recurrence bound from memory-carried flow dependences:
+   a chain of latency L at distance d limits throughput to L/d cycles per
+   element, scalar or vector alike. *)
+let memdep_bound ~op_lat (k : Kernel.t) =
+  let body = Array.of_list k.body in
+  let deps = Vdeps.Dependence.analyze k in
+  List.fold_left
+    (fun m (dep : Vdeps.Dependence.dep) ->
+      match (dep.kind, dep.distance) with
+      | Vdeps.Dependence.Flow, Vdeps.Dependence.Dconst dist ->
+          (* src = store, snk = load. *)
+          let path =
+            chain_latency ~op_lat body ~load_pos:dep.snk_pos
+              ~store_pos:dep.src_pos
+          in
+          (match path with
+          | Some l -> Float.max m (l /. float_of_int dist)
+          | None -> m)
+      | (Vdeps.Dependence.Flow | Vdeps.Dependence.Anti | Vdeps.Dependence.Output), _
+        ->
+          m)
+    0.0 deps
+
+(* Longest def-use latency path through one whole body execution.  Out-of-
+   order cores hide it behind other iterations; in-order cores expose it,
+   softened by a factor 2 for the overlap a dual-issue pipeline still
+   achieves. *)
+let critical_path ~op_lat (body : Instr.t array) =
+  let n = Array.length body in
+  let dist = Array.make n 0.0 in
+  for p = 0 to n - 1 do
+    let best =
+      List.fold_left
+        (fun m r -> if r < p then Float.max m dist.(r) else m)
+        0.0
+        (Instr.reg_uses body.(p))
+    in
+    dist.(p) <- best +. op_lat p
+  done;
+  Array.fold_left Float.max 0.0 dist
+
+let inorder_overlap = 2.0
+
+(* --- scalar loops ------------------------------------------------------ *)
+
+let scalar_op_lat (d : Descr.t) (body : Instr.t array) pos =
+  match body.(pos) with
+  | Instr.Load _ -> d.mem.l1_lat
+  | Instr.Store _ -> 1.0 (* store-to-load forwarding *)
+  | i -> (d.scalar_op (Opclass.of_instr i) (instr_ty i)).lat
+
+let scalar_estimate (d : Descr.t) ~n (k : Kernel.t) : estimate =
+  let acc = fresh_acc () in
+  let level =
+    Memmodel.level_of d.mem ~footprint_bytes:(Kernel.footprint_bytes ~n k)
+  in
+  List.iter
+    (fun (i : Instr.t) ->
+      let ty = instr_ty i in
+      charge acc (d.scalar_op (Opclass.of_instr i) ty);
+      match i with
+      | Instr.Load { ty; addr } | Instr.Store { ty; addr; _ } ->
+          let stride = Kernel.access_stride k addr in
+          acc.mem_bytes <-
+            acc.mem_bytes
+            +. Memmodel.effective_bytes d.mem level stride (Types.size_bytes ty)
+      | Instr.Bin _ | Instr.Una _ | Instr.Fma _ | Instr.Cmp _ | Instr.Select _
+      | Instr.Cast _ ->
+          ())
+    k.body;
+  (* Loop control: an increment plus a fused compare-and-branch. *)
+  acc.uops <- acc.uops + d.loop_uops;
+  acc.busy.(unit_slot Descr.U_alu) <- acc.busy.(unit_slot Descr.U_alu) +. 1.0;
+  let body = Array.of_list k.body in
+  let red_bound =
+    List.fold_left
+      (fun m (r : Kernel.reduction) ->
+        Float.max m (d.scalar_op (Opclass.of_redop r.red_ty r.red_op) r.red_ty).lat)
+      0.0 k.reductions
+  in
+  let inorder_bound =
+    if d.inorder then
+      critical_path ~op_lat:(scalar_op_lat d body) body /. inorder_overlap
+    else 0.0
+  in
+  let bounds =
+    {
+      resource = Float.max inorder_bound (resource_bound d acc);
+      frontend = frontend_bound d acc;
+      memory = acc.mem_bytes /. Memmodel.bandwidth d.mem level;
+      recurrence =
+        Float.max red_bound (memdep_bound ~op_lat:(scalar_op_lat d body) k);
+    }
+  in
+  { cycles = bound_max bounds; bounds }
+
+(* --- vector loops ------------------------------------------------------ *)
+
+(* Lane-insert/extract work when the packer crosses the scalar/vector
+   boundary. *)
+let charge_shuffles (d : Descr.t) acc ty count =
+  for _ = 1 to count do
+    charge acc (d.vector_op Opclass.Shuffle ty)
+  done
+
+let vector_op_lat (d : Descr.t) (body : Instr.t array) pos =
+  match body.(pos) with
+  | Instr.Load _ -> d.mem.l1_lat +. 1.0
+  | Instr.Store _ -> 1.0
+  | i -> (d.vector_op (Opclass.of_instr i) (instr_ty i)).lat
+
+(* How many vector registers an interleaved (LDn-style) access touches. *)
+let interleave_limit = 4
+
+(* For interleaved kernels the "block" is the full superblock of ic
+   sub-blocks: unit pressure and memory traffic scale by ic, loop control is
+   amortized once, and each reduction accumulator's chain advances once per
+   superblock. *)
+let vector_estimate (d : Descr.t) ~n (vk : Vvect.Vinstr.vkernel) : estimate =
+  let k = vk.scalar in
+  let vf = vk.vf in
+  let fvf = float_of_int vf in
+  let fic = float_of_int vk.ic in
+  let acc = fresh_acc () in
+  let level =
+    Memmodel.level_of d.mem ~footprint_bytes:(Kernel.footprint_bytes ~n k)
+  in
+  let mem_elem stride ty =
+    acc.mem_bytes <-
+      acc.mem_bytes
+      +. Memmodel.effective_bytes d.mem level stride (Types.size_bytes ty)
+  in
+  let wide_access ~load ty (access : Vvect.Vinstr.access) =
+    let cls = if load then Opclass.Load else Opclass.Store in
+    let stride_of = function
+      | Vvect.Vinstr.Contig -> Kernel.Sconst 1
+      | Vvect.Vinstr.Rev -> Kernel.Sconst (-1)
+      | Vvect.Vinstr.Strided s -> Kernel.Sconst s
+      | Vvect.Vinstr.Row -> Kernel.Srow 1
+    in
+    (match access with
+    | Vvect.Vinstr.Contig -> charge acc (d.vector_op cls ty)
+    | Vvect.Vinstr.Rev ->
+        charge acc (d.vector_op cls ty);
+        charge_shuffles d acc ty 1
+    | Vvect.Vinstr.Strided s when abs s <= interleave_limit ->
+        (* LDn/STn-style interleaved access. *)
+        for _ = 1 to abs s do
+          charge acc (d.vector_op cls ty)
+        done;
+        charge_shuffles d acc ty (abs s - 1)
+    | Vvect.Vinstr.Strided _ | Vvect.Vinstr.Row ->
+        (* Scalarized: one element access plus one lane insert/extract per
+           lane. *)
+        for _ = 1 to vf do
+          charge acc (d.scalar_op cls ty)
+        done;
+        charge_shuffles d acc ty vf);
+    for _ = 1 to vf do
+      mem_elem (stride_of access) ty
+    done
+  in
+  let indirect_access ~load ty =
+    let cls = if load then Opclass.Load else Opclass.Store in
+    (match d.gather with
+    | Descr.Scalarized ->
+        (* Extract each lane's index, do a scalar access, insert the value. *)
+        for _ = 1 to vf do
+          charge acc (d.scalar_op cls ty)
+        done;
+        charge_shuffles d acc ty (2 * vf)
+    | Descr.Native { per_elem_rtp } ->
+        let kind = if load then Descr.U_mem_load else Descr.U_mem_store in
+        charge acc
+          { Descr.lat = d.mem.l1_lat +. 10.0; rtp = per_elem_rtp *. fvf;
+            unit_kind = kind; uops = 2 });
+    for _ = 1 to vf do
+      mem_elem Kernel.Sindirect ty
+    done
+  in
+  List.iter
+    (fun (vi : Vvect.Vinstr.t) ->
+      match vi with
+      | Vvect.Vinstr.Vbin { ty; op; _ } -> charge acc (d.vector_op (Opclass.of_binop ty op) ty)
+      | Vvect.Vinstr.Vuna { ty; op; _ } -> charge acc (d.vector_op (Opclass.of_unop ty op) ty)
+      | Vvect.Vinstr.Vfma { ty; _ } -> charge acc (d.vector_op Opclass.Fp_fma ty)
+      | Vvect.Vinstr.Vcmp { ty; _ } -> charge acc (d.vector_op Opclass.Cmp ty)
+      | Vvect.Vinstr.Vselect { ty; _ } -> charge acc (d.vector_op Opclass.Select ty)
+      | Vvect.Vinstr.Vcast { dst_ty; _ } -> charge acc (d.vector_op Opclass.Cast dst_ty)
+      | Vvect.Vinstr.Viota { ty } -> charge acc (d.vector_op Opclass.Int_alu ty)
+      | Vvect.Vinstr.Vload { ty; access; _ } -> wide_access ~load:true ty access
+      | Vvect.Vinstr.Vstore { ty; access; _ } -> wide_access ~load:false ty access
+      | Vvect.Vinstr.Vgather { ty; _ } -> indirect_access ~load:true ty
+      | Vvect.Vinstr.Vscatter { ty; _ } -> indirect_access ~load:false ty
+      | Vvect.Vinstr.Vpack { ty; srcs } ->
+          (* Constant vectors are hoisted out of the loop. *)
+          let all_imm =
+            Array.for_all
+              (function
+                | Instr.Imm_int _ | Instr.Imm_float _ -> true
+                | Instr.Reg _ | Instr.Index _ | Instr.Param _ -> false)
+              srcs
+          in
+          if not all_imm then charge_shuffles d acc ty (Array.length srcs)
+      | Vvect.Vinstr.Vextract { ty; _ } -> charge_shuffles d acc ty 1
+      | Vvect.Vinstr.Sc { instr; _ } -> (
+          charge acc (d.scalar_op (Opclass.of_instr instr) (instr_ty instr));
+          match instr with
+          | Instr.Load { ty; addr } | Instr.Store { ty; addr; _ } ->
+              mem_elem (Kernel.access_stride k addr) ty
+          | Instr.Bin _ | Instr.Una _ | Instr.Fma _ | Instr.Cmp _
+          | Instr.Select _ | Instr.Cast _ ->
+              ()))
+    vk.vbody;
+  (* Scale one sub-block's charges to the whole superblock. *)
+  if vk.ic > 1 then begin
+    Array.iteri (fun i v -> acc.busy.(i) <- v *. fic) acc.busy;
+    acc.uops <- acc.uops * vk.ic;
+    acc.mem_bytes <- acc.mem_bytes *. fic
+  end;
+  acc.uops <- acc.uops + d.loop_uops;
+  acc.busy.(unit_slot Descr.U_alu) <- acc.busy.(unit_slot Descr.U_alu) +. 1.0;
+  (* Recurrences, in per-block terms. *)
+  let body = Array.of_list k.body in
+  let red_bound =
+    List.fold_left
+      (fun m (r : Vvect.Vinstr.vreduction) ->
+        Float.max m (d.vector_op (Opclass.of_redop r.vr_ty r.vr_op) r.vr_ty).lat)
+      0.0 vk.vreductions
+  in
+  let memdep = memdep_bound ~op_lat:(vector_op_lat d body) k in
+  let inorder_bound =
+    if d.inorder then
+      critical_path ~op_lat:(vector_op_lat d body) body /. inorder_overlap
+    else 0.0
+  in
+  let bounds =
+    {
+      resource = Float.max inorder_bound (resource_bound d acc);
+      frontend = frontend_bound d acc;
+      memory = acc.mem_bytes /. Memmodel.bandwidth d.mem level;
+      (* Reduction chains: one accumulator update per superblock.  Memory
+         recurrences advance d elements per chain traversal regardless. *)
+      recurrence = Float.max red_bound (memdep *. fvf *. fic);
+    }
+  in
+  { cycles = bound_max bounds; bounds }

@@ -1,0 +1,32 @@
+(** Trace-driven cache simulation: replay a kernel's exact accesses through
+    a set-associative hierarchy built from a machine's memory parameters,
+    to validate the analytic {!Memmodel}. *)
+
+type layout
+
+(** Contiguous array layout with inter-array gaps. *)
+val layout : n:int -> line_bytes:int -> Vir.Kernel.t -> layout
+
+val address : layout -> arr:string -> idx:int -> int
+
+type stats = {
+  total_accesses : int;
+  per_level : (Memmodel.level * int * int) list;
+      (** level, accesses reaching it, misses at it *)
+  dram_accesses : int;
+  bytes_moved_per_elem : float;
+}
+
+val hierarchy_of : Descr.mem -> Cache.config list
+
+(** Run the scalar kernel once at size [n] with every access simulated. *)
+val simulate : ?seed:int -> Descr.mem -> n:int -> Vir.Kernel.t -> stats
+
+(** The deepest level whose local miss rate exceeds 10%: where the stream
+    actually lives. *)
+val dominant_level : stats -> Memmodel.level
+
+val level_rank : Memmodel.level -> int
+
+(** Analytic vs simulated agreement, within one level of slack. *)
+val agrees : analytic:Memmodel.level -> simulated:Memmodel.level -> bool

@@ -1,0 +1,49 @@
+(* Percentile bootstrap confidence intervals, used to report correlation
+   results with uncertainty (the paper's scatter plots carry no error bars;
+   we add them as part of making the reproduction auditable). *)
+
+(* Deterministic xorshift PRNG: confidence intervals must reproduce. *)
+let make_rng seed =
+  let state = ref (max 1 (seed land max_int)) in
+  fun bound ->
+    let x = !state in
+    let x = x lxor (x lsl 13) in
+    let x = x lxor (x lsr 7) in
+    let x = x lxor (x lsl 17) in
+    state := x land max_int;
+    !state mod bound
+
+(* Percentile CI of a paired statistic under resampling with replacement. *)
+let paired_ci ?(iterations = 1000) ?(seed = 7) ?(alpha = 0.05) stat xs ys =
+  let n = Array.length xs in
+  if n < 3 || n <> Array.length ys then invalid_arg "Bootstrap.paired_ci";
+  let rand = make_rng seed in
+  let stats =
+    Array.init iterations (fun _ ->
+        let bx = Array.make n 0.0 and by = Array.make n 0.0 in
+        for i = 0 to n - 1 do
+          let j = rand n in
+          bx.(i) <- xs.(j);
+          by.(i) <- ys.(j)
+        done;
+        stat bx by)
+  in
+  Array.sort compare stats;
+  let pick q =
+    let idx =
+      int_of_float (q *. float_of_int (iterations - 1)) |> max 0
+      |> min (iterations - 1)
+    in
+    stats.(idx)
+  in
+  (pick (alpha /. 2.0), pick (1.0 -. (alpha /. 2.0)))
+
+let pearson_ci ?iterations ?seed ?alpha xs ys =
+  paired_ci ?iterations ?seed ?alpha
+    (fun a b -> Correlation.pearson a b)
+    xs ys
+
+let spearman_ci ?iterations ?seed ?alpha xs ys =
+  paired_ci ?iterations ?seed ?alpha
+    (fun a b -> Correlation.spearman a b)
+    xs ys

@@ -1,0 +1,62 @@
+(* Correlation coefficients.  The paper's headline metric is the correlation
+   between estimated and measured speedup. *)
+
+let pearson a b =
+  let n = Array.length a in
+  if n < 2 || n <> Array.length b then invalid_arg "Correlation.pearson";
+  let ma = Descriptive.mean a and mb = Descriptive.mean b in
+  let num = ref 0.0 and da = ref 0.0 and db = ref 0.0 in
+  for i = 0 to n - 1 do
+    let xa = a.(i) -. ma and xb = b.(i) -. mb in
+    num := !num +. (xa *. xb);
+    da := !da +. (xa *. xa);
+    db := !db +. (xb *. xb)
+  done;
+  let denom = sqrt (!da *. !db) in
+  if denom = 0.0 then 0.0 else !num /. denom
+
+(* Fractional ranks with ties averaged, as Spearman requires. *)
+let ranks xs =
+  let n = Array.length xs in
+  let order = Array.init n Fun.id in
+  Array.sort (fun i j -> compare xs.(i) xs.(j)) order;
+  let r = Array.make n 0.0 in
+  let i = ref 0 in
+  while !i < n do
+    let j = ref !i in
+    while !j + 1 < n && xs.(order.(!j + 1)) = xs.(order.(!i)) do
+      incr j
+    done;
+    (* Positions !i..!j are tied; assign the average rank (1-based). *)
+    let avg = float_of_int (!i + !j + 2) /. 2.0 in
+    for k = !i to !j do
+      r.(order.(k)) <- avg
+    done;
+    i := !j + 1
+  done;
+  r
+
+let spearman a b = pearson (ranks a) (ranks b)
+
+(* Kendall's tau-b: rank correlation robust to the heavy ties that
+   classification-style predictions (like the baseline model's banded
+   estimates) produce.  O(n^2), fine at suite scale. *)
+let kendall a b =
+  let n = Array.length a in
+  if n < 2 || n <> Array.length b then invalid_arg "Correlation.kendall";
+  let concordant = ref 0 and discordant = ref 0 in
+  let ties_a = ref 0 and ties_b = ref 0 in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      let da = compare a.(i) a.(j) and db = compare b.(i) b.(j) in
+      if da = 0 && db = 0 then ()
+      else if da = 0 then incr ties_a
+      else if db = 0 then incr ties_b
+      else if da * db > 0 then incr concordant
+      else incr discordant
+    done
+  done;
+  let c = float_of_int !concordant and d = float_of_int !discordant in
+  let ta = float_of_int !ties_a and tb = float_of_int !ties_b in
+  let denom = sqrt ((c +. d +. ta) *. (c +. d +. tb)) in
+  if denom = 0.0 then 0.0 else (c -. d) /. denom

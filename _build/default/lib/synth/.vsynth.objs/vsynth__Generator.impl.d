@@ -1,0 +1,1 @@
+lib/synth/generator.ml: Builder Kernel List Op Printf Types Vir

@@ -1,0 +1,12 @@
+(** Random kernel generation for property tests and training-set extension
+    (the paper's "add more tests" future-work item).  Kernels are pure
+    functions of their seed and always well-formed. *)
+
+val kernel : ?max_ops:int -> int -> Vir.Kernel.t
+
+val batch : ?max_ops:int -> count:int -> int -> Vir.Kernel.t list
+
+(** Adversarial dependence-stress kernels over a single array with random
+    small offsets; frequently illegal to vectorize.  Used to check that a
+    "legal" verdict always implies a semantics-preserving transform. *)
+val dep_kernel : int -> Vir.Kernel.t

@@ -1,0 +1,1 @@
+lib/tsvc/category.mli:

@@ -1,0 +1,1 @@
+lib/tsvc/helpers.ml: Bounds Builder Format Types Validate Vir

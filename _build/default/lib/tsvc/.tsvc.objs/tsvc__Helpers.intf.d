@@ -1,0 +1,1 @@
+lib/tsvc/helpers.mli: Builder Instr Kernel Vir

@@ -1,0 +1,1 @@
+lib/tsvc/registry.ml: Category Kernel List Printf String T_basics T_control T_dataflow T_extra T_induction T_linear T_misc T_reductions T_reorder T_splitting T_typed Vir

@@ -1,0 +1,1 @@
+lib/tsvc/registry.mli: Category Vir

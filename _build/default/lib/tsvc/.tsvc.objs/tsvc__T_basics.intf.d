@@ -1,0 +1,1 @@
+lib/tsvc/t_basics.mli: Category Vir

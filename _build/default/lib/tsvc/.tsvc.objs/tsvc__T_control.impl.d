@@ -1,0 +1,1 @@
+lib/tsvc/t_control.ml: Builder Category Helpers Kernel List Op Vir

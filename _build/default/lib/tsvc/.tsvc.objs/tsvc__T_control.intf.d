@@ -1,0 +1,1 @@
+lib/tsvc/t_control.mli: Category Vir

@@ -1,0 +1,1 @@
+lib/tsvc/t_dataflow.mli: Category Vir

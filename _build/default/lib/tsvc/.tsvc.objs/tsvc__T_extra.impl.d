@@ -1,0 +1,1 @@
+lib/tsvc/t_extra.ml: Builder Category Helpers Kernel Op Vir

@@ -1,0 +1,1 @@
+lib/tsvc/t_extra.mli: Category Vir

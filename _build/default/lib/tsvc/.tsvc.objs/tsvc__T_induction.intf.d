@@ -1,0 +1,1 @@
+lib/tsvc/t_induction.mli: Category Vir

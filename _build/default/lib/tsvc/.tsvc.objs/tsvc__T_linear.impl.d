@@ -1,0 +1,1 @@
+lib/tsvc/t_linear.ml: Builder Category Helpers Kernel List Vir

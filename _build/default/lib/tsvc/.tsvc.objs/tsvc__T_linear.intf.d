@@ -1,0 +1,1 @@
+lib/tsvc/t_linear.mli: Category Vir

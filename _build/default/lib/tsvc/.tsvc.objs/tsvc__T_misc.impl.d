@@ -1,0 +1,1 @@
+lib/tsvc/t_misc.ml: Builder Category Helpers Kernel List Op Types Vir

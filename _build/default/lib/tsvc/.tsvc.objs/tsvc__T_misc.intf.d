@@ -1,0 +1,1 @@
+lib/tsvc/t_misc.mli: Category Vir

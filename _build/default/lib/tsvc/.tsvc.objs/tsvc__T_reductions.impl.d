@@ -1,0 +1,1 @@
+lib/tsvc/t_reductions.ml: Builder Category Helpers Kernel List Op Vir

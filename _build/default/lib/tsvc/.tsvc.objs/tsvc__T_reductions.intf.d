@@ -1,0 +1,1 @@
+lib/tsvc/t_reductions.mli: Category Vir

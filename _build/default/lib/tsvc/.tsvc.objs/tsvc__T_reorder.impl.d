@@ -1,0 +1,1 @@
+lib/tsvc/t_reorder.ml: Builder Category Helpers Kernel List Op Types Vir

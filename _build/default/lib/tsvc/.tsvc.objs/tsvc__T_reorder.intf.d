@@ -1,0 +1,1 @@
+lib/tsvc/t_reorder.mli: Category Vir

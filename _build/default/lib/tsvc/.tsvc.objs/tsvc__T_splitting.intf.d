@@ -1,0 +1,1 @@
+lib/tsvc/t_splitting.mli: Category Vir

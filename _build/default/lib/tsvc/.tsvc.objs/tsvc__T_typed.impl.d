@@ -1,0 +1,1 @@
+lib/tsvc/t_typed.ml: Builder Category Helpers Kernel List Op Types Vir

@@ -1,0 +1,1 @@
+lib/tsvc/t_typed.mli: Category Vir

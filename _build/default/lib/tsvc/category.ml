@@ -1,0 +1,52 @@
+(* TSVC loop-pattern categories, following the benchmark's own grouping. *)
+
+type t =
+  | Linear_dependence
+  | Induction
+  | Global_dataflow
+  | Symbolics
+  | Statement_reordering
+  | Loop_distribution
+  | Loop_interchange
+  | Node_splitting
+  | Expansion
+  | Control_flow
+  | Crossing_thresholds
+  | Reductions
+  | Recurrences
+  | Search
+  | Packing
+  | Rerolling
+  | Equivalencing
+  | Indirect_addressing
+  | Statement_functions
+  | Vector_basics
+
+let to_string = function
+  | Linear_dependence -> "linear-dependence"
+  | Induction -> "induction"
+  | Global_dataflow -> "global-dataflow"
+  | Symbolics -> "symbolics"
+  | Statement_reordering -> "statement-reordering"
+  | Loop_distribution -> "loop-distribution"
+  | Loop_interchange -> "loop-interchange"
+  | Node_splitting -> "node-splitting"
+  | Expansion -> "expansion"
+  | Control_flow -> "control-flow"
+  | Crossing_thresholds -> "crossing-thresholds"
+  | Reductions -> "reductions"
+  | Recurrences -> "recurrences"
+  | Search -> "search"
+  | Packing -> "packing"
+  | Rerolling -> "rerolling"
+  | Equivalencing -> "equivalencing"
+  | Indirect_addressing -> "indirect-addressing"
+  | Statement_functions -> "statement-functions"
+  | Vector_basics -> "vector-basics"
+
+let all =
+  [ Linear_dependence; Induction; Global_dataflow; Symbolics;
+    Statement_reordering; Loop_distribution; Loop_interchange; Node_splitting;
+    Expansion; Control_flow; Crossing_thresholds; Reductions; Recurrences;
+    Search; Packing; Rerolling; Equivalencing; Indirect_addressing;
+    Statement_functions; Vector_basics ]

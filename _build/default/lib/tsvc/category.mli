@@ -1,0 +1,26 @@
+(** TSVC loop-pattern categories, following the benchmark's own grouping. *)
+
+type t =
+  | Linear_dependence
+  | Induction
+  | Global_dataflow
+  | Symbolics
+  | Statement_reordering
+  | Loop_distribution
+  | Loop_interchange
+  | Node_splitting
+  | Expansion
+  | Control_flow
+  | Crossing_thresholds
+  | Reductions
+  | Recurrences
+  | Search
+  | Packing
+  | Rerolling
+  | Equivalencing
+  | Indirect_addressing
+  | Statement_functions
+  | Vector_basics
+
+val to_string : t -> string
+val all : t list

@@ -1,0 +1,36 @@
+(* The full TSVC suite: 151 loop patterns with their categories. *)
+
+open Vir
+
+type entry = { category : Category.t; kernel : Kernel.t }
+
+let all : entry list =
+  List.map
+    (fun (category, kernel) -> { category; kernel })
+    (T_linear.all @ T_induction.all @ T_dataflow.all @ T_reorder.all
+   @ T_splitting.all @ T_control.all @ T_reductions.all @ T_misc.all
+   @ T_basics.all @ T_extra.all)
+
+let count = List.length all
+
+let kernels = List.map (fun e -> e.kernel) all
+
+let find name =
+  List.find_opt (fun e -> String.equal e.kernel.Kernel.name name) all
+
+let find_exn name =
+  match find name with
+  | Some e -> e
+  | None -> invalid_arg (Printf.sprintf "Tsvc.Registry: unknown kernel %s" name)
+
+let by_category c =
+  List.filter (fun e -> e.category = c) all
+
+(* The paper's default problem size: LEN = 32000 (f32), LEN2 = 256 for the
+   2-d patterns. *)
+let default_n = 32000
+
+(* Typed (f64/i32) variants beyond the canonical 151, for the type-coverage
+   extension experiment. *)
+let typed_extension : entry list =
+  List.map (fun (category, kernel) -> { category; kernel }) T_typed.all

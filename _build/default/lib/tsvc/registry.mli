@@ -1,0 +1,19 @@
+(** The full TSVC suite: 151 loop patterns with their categories. *)
+
+type entry = { category : Category.t; kernel : Vir.Kernel.t }
+
+val all : entry list
+val count : int
+val kernels : Vir.Kernel.t list
+val find : string -> entry option
+
+(** @raise Invalid_argument for unknown names. *)
+val find_exn : string -> entry
+
+val by_category : Category.t -> entry list
+
+(** The paper's problem size: LEN = 32000. *)
+val default_n : int
+
+(** Typed (f64/i32) variants beyond the canonical 151. *)
+val typed_extension : entry list

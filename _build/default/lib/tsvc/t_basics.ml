@@ -1,0 +1,180 @@
+(* TSVC: loop-body control (s431..s491) and the vector-basics micro loops
+   (va..vbor). *)
+
+open Vir
+open Helpers
+module B = Builder
+
+let s431 =
+  mk "s431" "a[i] = a[i+k] + b[i] (k = 2 constant)" @@ fun b ->
+  let i = B.loop b "i" (Kernel.Tn_minus 2) in
+  st b "a" i (B.addf b (ld ~off:2 b "a" i) (ld b "b" i))
+
+let s441 =
+  mk "s441" "a[i] += (d[i]<0 ? b[i] : d[i]==0 ? b[i]+c[i] : c[i]) * e[i]" @@ fun b ->
+  let i = B.loop b "i" Kernel.Tn in
+  let d = ld b "d" i in
+  let neg = B.cmp b Op.Lt d c0 in
+  let zero = B.cmp b Op.Eq d c0 in
+  let mid = B.select b zero (B.addf b (ld b "b" i) (ld b "c" i)) (ld b "c" i) in
+  let factor = B.select b neg (ld b "b" i) mid in
+  st b "a" i (B.fma b factor (ld b "e" i) (ld b "a" i))
+
+let s442 =
+  mk "s442" "switch (indx[i]) { 4 cases: a += b*b | c*c | d*d | e*e }" @@ fun b ->
+  let i = B.loop b "i" Kernel.Tn in
+  let sel = ldx b "indx4" i in
+  let selc = B.cast b ~from_:Types.I32 ~to_:Types.F32 sel in
+  let case arr = B.fma b (ld b arr i) (ld b arr i) (ld b "a" i) in
+  let c_lt v = B.cmp b Op.Lt selc (B.cf v) in
+  (* Nested selects in case order, exactly a lowered dense switch. *)
+  let hi = B.select b (c_lt 24000.0) (case "d") (case "e") in
+  let mid = B.select b (c_lt 16000.0) (case "c") hi in
+  st b "a" i (B.select b (c_lt 8000.0) (case "b") mid)
+
+let s443 =
+  mk "s443" "if (d[i] <= 0) a[i] += b[i]*c[i] else a[i] += b[i]*b[i]" @@ fun b ->
+  let i = B.loop b "i" Kernel.Tn in
+  let cond = B.cmp b Op.Le (ld b "d" i) c0 in
+  let v1 = B.fma b (ld b "b" i) (ld b "c" i) (ld b "a" i) in
+  let v2 = B.fma b (ld b "b" i) (ld b "b" i) (ld b "a" i) in
+  st b "a" i (B.select b cond v1 v2)
+
+let s451 =
+  mk "s451" "a[i] = sqrt(b[i]) + c[i]*d[i] (intrinsic call)" @@ fun b ->
+  let i = B.loop b "i" Kernel.Tn in
+  st b "a" i (B.fma b (ld b "c" i) (ld b "d" i) (B.sqrtf b (ld b "b" i)))
+
+let s452 =
+  mk "s452" "a[i] = b[i] + c[i] * (i+1)" @@ fun b ->
+  let i = B.loop b "i" Kernel.Tn in
+  let fi = B.addf b (fidx b i) c1 in
+  st b "a" i (B.fma b (ld b "c" i) fi (ld b "b" i))
+
+let s453 =
+  mk "s453" "s += 2; a[i] = s * b[i]  =>  a[i] = 2(i+1) * b[i]" @@ fun b ->
+  let i = B.loop b "i" Kernel.Tn in
+  let s = B.mulf b (B.addf b (fidx b i) c1) c2 in
+  st b "a" i (B.mulf b s (ld b "b" i))
+
+let s471 =
+  mk "s471" "x[i] = b[i] + d[i]*d[i]; b[i] = c[i] + d[i]*e[i]" @@ fun b ->
+  let i = B.loop b "i" Kernel.Tn in
+  B.store b "x" [ B.ix i ]
+    (B.fma b (ld b "d" i) (ld b "d" i) (ld b "b" i));
+  st b "b" i (B.fma b (ld b "d" i) (ld b "e" i) (ld b "c" i))
+
+(* Early exits become full traversals under if-conversion; the exit becomes
+   a mask on the remaining work. *)
+let s481 =
+  mk "s481" "if (d[i] < 0) exit; a[i] += b[i]*c[i] (if-converted)" @@ fun b ->
+  let i = B.loop b "i" Kernel.Tn in
+  let alive = B.cmp b Op.Ge (ld b "d" i) c0 in
+  let upd = B.fma b (ld b "b" i) (ld b "c" i) (ld b "a" i) in
+  st b "a" i (B.select b alive upd (ld b "a" i))
+
+let s482 =
+  mk "s482" "a[i] += b[i]*c[i]; if (c[i] > b[i]) break (if-converted)" @@ fun b ->
+  let i = B.loop b "i" Kernel.Tn in
+  let keep = B.cmp b Op.Le (ld b "c" i) (ld b "b" i) in
+  let upd = B.fma b (ld b "b" i) (ld b "c" i) (ld b "a" i) in
+  st b "a" i (B.select b keep upd (ld b "a" i))
+
+let s491 =
+  mk "s491" "a[ip[i]] = b[i] + c[i]*d[i]" @@ fun b ->
+  let i = B.loop b "i" Kernel.Tn in
+  B.store_ix b "a" (ldx b "ip" i) (B.fma b (ld b "c" i) (ld b "d" i) (ld b "b" i))
+
+(* --- vector basics ------------------------------------------------------ *)
+
+let va =
+  mk "va" "a[i] = b[i]" @@ fun b ->
+  let i = B.loop b "i" Kernel.Tn in
+  st b "a" i (ld b "b" i)
+
+let vag =
+  mk "vag" "a[i] = b[ip[i]]" @@ fun b ->
+  let i = B.loop b "i" Kernel.Tn in
+  st b "a" i (B.load_ix b "b" (ldx b "ip" i))
+
+let vas =
+  mk "vas" "a[ip[i]] = b[i]" @@ fun b ->
+  let i = B.loop b "i" Kernel.Tn in
+  B.store_ix b "a" (ldx b "ip" i) (ld b "b" i)
+
+let vif =
+  mk "vif" "if (b[i] > 0) a[i] = b[i]" @@ fun b ->
+  let i = B.loop b "i" Kernel.Tn in
+  let cond = B.cmp b Op.Gt (ld b "b" i) c0 in
+  st b "a" i (B.select b cond (ld b "b" i) (ld b "a" i))
+
+let vpv =
+  mk "vpv" "a[i] += b[i]" @@ fun b ->
+  let i = B.loop b "i" Kernel.Tn in
+  st b "a" i (B.addf b (ld b "a" i) (ld b "b" i))
+
+let vtv =
+  mk "vtv" "a[i] *= b[i]" @@ fun b ->
+  let i = B.loop b "i" Kernel.Tn in
+  st b "a" i (B.mulf b (ld b "a" i) (ld b "b" i))
+
+let vpvtv =
+  mk "vpvtv" "a[i] += b[i]*c[i]" @@ fun b ->
+  let i = B.loop b "i" Kernel.Tn in
+  st b "a" i (B.fma b (ld b "b" i) (ld b "c" i) (ld b "a" i))
+
+let vpvts =
+  mk "vpvts" "a[i] += b[i]*s" @@ fun b ->
+  let i = B.loop b "i" Kernel.Tn in
+  let s = B.param b "s" in
+  st b "a" i (B.fma b (ld b "b" i) s (ld b "a" i))
+
+let vpvpv =
+  mk "vpvpv" "a[i] += b[i] + c[i]" @@ fun b ->
+  let i = B.loop b "i" Kernel.Tn in
+  st b "a" i (B.addf b (ld b "a" i) (B.addf b (ld b "b" i) (ld b "c" i)))
+
+let vtvtv =
+  mk "vtvtv" "a[i] *= b[i]*c[i]" @@ fun b ->
+  let i = B.loop b "i" Kernel.Tn in
+  st b "a" i (B.mulf b (ld b "a" i) (B.mulf b (ld b "b" i) (ld b "c" i)))
+
+let vsumr =
+  mk "vsumr" "sum += a[i]" @@ fun b ->
+  let i = B.loop b "i" Kernel.Tn in
+  B.reduce b "sum" Op.Rsum (ld b "a" i)
+
+let vdotr =
+  mk "vdotr" "dot += a[i]*b[i]" @@ fun b ->
+  let i = B.loop b "i" Kernel.Tn in
+  B.reduce b "dot" Op.Rsum (B.mulf b (ld b "a" i) (ld b "b" i))
+
+(* Compute-heavy basic: long arithmetic chain, high arithmetic intensity. *)
+let vbor =
+  mk "vbor" "a[i] = long product/sum expression of b..f" @@ fun b ->
+  let i = B.loop b "i" Kernel.Tn in
+  let b1 = ld b "b" i and c1_ = ld b "c" i and d1 = ld b "d" i in
+  let e1 = ld b "e" i and f1 = ld b "f" i in
+  let a1 = B.mulf b b1 c1_ in
+  let a2 = B.mulf b b1 d1 in
+  let a3 = B.mulf b b1 e1 in
+  let a4 = B.mulf b b1 f1 in
+  let a5 = B.mulf b c1_ d1 in
+  let a6 = B.mulf b c1_ e1 in
+  let a7 = B.mulf b c1_ f1 in
+  let a8 = B.mulf b d1 e1 in
+  let a9 = B.mulf b d1 f1 in
+  let a10 = B.mulf b e1 f1 in
+  let s1 = B.addf b (B.mulf b a1 a2) (B.mulf b a3 a4) in
+  let s2 = B.addf b (B.mulf b a5 a6) (B.mulf b a7 a8) in
+  let s3 = B.mulf b a9 a10 in
+  st b "x" i (B.mulf b (B.addf b s1 s2) s3)
+
+let all =
+  List.map
+    (fun k -> (Category.Statement_functions, k))
+    [ s431; s441; s442; s443; s451; s452; s453; s471; s481; s482; s491 ]
+  @ List.map
+      (fun k -> (Category.Vector_basics, k))
+      [ va; vag; vas; vif; vpv; vtv; vpvtv; vpvts; vpvpv; vtvtv; vsumr; vdotr;
+        vbor ]

@@ -1,0 +1,3 @@
+(** TSVC kernels: see the implementation for per-kernel C sources. *)
+
+val all : (Category.t * Vir.Kernel.t) list

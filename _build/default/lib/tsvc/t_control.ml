@@ -1,0 +1,198 @@
+(* TSVC: control flow (s271..s2712), if-converted as a vectorizer must, and
+   crossing thresholds (s281..s293). *)
+
+open Vir
+open Helpers
+module B = Builder
+
+let s271 =
+  mk "s271" "if (b[i] > 0) a[i] += b[i]*c[i]" @@ fun b ->
+  let i = B.loop b "i" Kernel.Tn in
+  let cond = B.cmp b Op.Gt (ld b "b" i) c0 in
+  let upd = B.fma b (ld b "b" i) (ld b "c" i) (ld b "a" i) in
+  st b "a" i (B.select b cond upd (ld b "a" i))
+
+let s272 =
+  mk "s272" "if (e[i] >= t) { a[i] += c[i]*d[i]; b[i] += c[i]*c[i] }" @@ fun b ->
+  let i = B.loop b "i" Kernel.Tn in
+  let t = B.param b "t" in
+  let cond = B.cmp b Op.Ge (ld b "e" i) t in
+  let a_upd = B.fma b (ld b "c" i) (ld b "d" i) (ld b "a" i) in
+  st b "a" i (B.select b cond a_upd (ld b "a" i));
+  let b_upd = B.fma b (ld b "c" i) (ld b "c" i) (ld b "b" i) in
+  st b "b" i (B.select b cond b_upd (ld b "b" i))
+
+let s273 =
+  mk "s273" "a[i] += d[i]*e[i]; if (a[i] < 0) b[i] += d[i]*e[i]; c[i] += a[i]*d[i]"
+  @@ fun b ->
+  let i = B.loop b "i" Kernel.Tn in
+  let de = B.mulf b (ld b "d" i) (ld b "e" i) in
+  let a_new = B.addf b (ld b "a" i) de in
+  st b "a" i a_new;
+  let cond = B.cmp b Op.Lt a_new c0 in
+  st b "b" i (B.select b cond (B.addf b (ld b "b" i) de) (ld b "b" i));
+  st b "c" i (B.fma b a_new (ld b "d" i) (ld b "c" i))
+
+let s274 =
+  mk "s274" "a[i] = c[i] + e[i]*d[i]; if (a[i] > 0) b[i] = a[i] + b[i] else a[i] = d[i]*e[i]"
+  @@ fun b ->
+  let i = B.loop b "i" Kernel.Tn in
+  let de = B.mulf b (ld b "e" i) (ld b "d" i) in
+  let a1 = B.addf b (ld b "c" i) de in
+  let cond = B.cmp b Op.Gt a1 c0 in
+  st b "a" i (B.select b cond a1 de);
+  st b "b" i (B.select b cond (B.addf b a1 (ld b "b" i)) (ld b "b" i))
+
+(* Conditional column update: the guard is uniform per outer iteration, but
+   if-conversion still evaluates it lane-wise. *)
+let s275 =
+  mk "s275" "if (aa[0][i] > 0) aa[j][i] = aa[j-1][i] + bb[j][i]*cc[j][i]" @@ fun b ->
+  let j = B.loop b ~start:1 "j" Kernel.Tn2 in
+  let i = B.loop b "i" Kernel.Tn2 in
+  let guard = B.cmp b Op.Gt (B.load b "aa" [ B.ix_const 0; B.ix i ]) c0 in
+  let upd = B.fma b (ld2 b "bb" j i) (ld2 b "cc" j i) (ld2 ~roff:(-1) b "aa" j i) in
+  st2 b "aa" j i (B.select b guard upd (ld2 b "aa" j i))
+
+let s276 =
+  mk "s276" "if (i < mid) a[i] += b[i]*c[i] else a[i] += b[i]*d[i]" @@ fun b ->
+  let i = B.loop b "i" Kernel.Tn in
+  let mid = B.param b "mid" in
+  let fi = fidx b i in
+  let cond = B.cmp b Op.Lt fi mid in
+  let v1 = B.fma b (ld b "b" i) (ld b "c" i) (ld b "a" i) in
+  let v2 = B.fma b (ld b "b" i) (ld b "d" i) (ld b "a" i) in
+  st b "a" i (B.select b cond v1 v2)
+
+(* The guarded value feeds the next statement's guard: serial-looking control
+   flow that if-conversion still linearizes. *)
+let s277 =
+  mk "s277" "if (a[i] >= 0 && b[i] >= 0) { a[i] += c[i]*d[i]; b[i+1] = c[i] + d[i]*e[i] }"
+  @@ fun b ->
+  let i = B.loop b "i" (Kernel.Tn_minus 1) in
+  let c1_ = B.cmp b Op.Ge (ld b "a" i) c0 in
+  let ca = B.select b c1_ c1 c0 in
+  let c2_ = B.cmp b Op.Ge (ld b "b" i) c0 in
+  let cb = B.select b c2_ c1 c0 in
+  let both = B.cmp b Op.Gt (B.mulf b ca cb) chalf in
+  let a_upd = B.fma b (ld b "c" i) (ld b "d" i) (ld b "a" i) in
+  st b "a" i (B.select b both a_upd (ld b "a" i));
+  let b_upd = B.fma b (ld b "d" i) (ld b "e" i) (ld b "c" i) in
+  st ~off:1 b "b" i (B.select b both b_upd (ld ~off:1 b "b" i))
+
+let s278 =
+  mk "s278" "if (a[i] > 0) { c[i] = -c[i] + d[i]*e[i] } else { b[i] = -b[i] + d[i]*e[i] }; a[i] = b[i] + c[i]*d[i]"
+  @@ fun b ->
+  let i = B.loop b "i" Kernel.Tn in
+  let cond = B.cmp b Op.Gt (ld b "a" i) c0 in
+  let de = B.mulf b (ld b "d" i) (ld b "e" i) in
+  let c_new = B.addf b (B.negf b (ld b "c" i)) de in
+  let b_new = B.addf b (B.negf b (ld b "b" i)) de in
+  let c_val = B.select b cond c_new (ld b "c" i) in
+  st b "c" i c_val;
+  let b_val = B.select b cond (ld b "b" i) b_new in
+  st b "b" i b_val;
+  st b "a" i (B.fma b c_val (ld b "d" i) b_val)
+
+let s279 =
+  mk "s279" "if (a[i] > 0) c[i] = -c[i] + e[i]*e[i] else { b[i] = -b[i] + d[i]*d[i]; c[i] = b[i] + d[i]*e[i] }; a[i] = b[i] + c[i]*d[i]"
+  @@ fun b ->
+  let i = B.loop b "i" Kernel.Tn in
+  let cond = B.cmp b Op.Gt (ld b "a" i) c0 in
+  let c_then = B.addf b (B.negf b (ld b "c" i)) (B.mulf b (ld b "e" i) (ld b "e" i)) in
+  let b_else = B.addf b (B.negf b (ld b "b" i)) (B.mulf b (ld b "d" i) (ld b "d" i)) in
+  let b_val = B.select b cond (ld b "b" i) b_else in
+  st b "b" i b_val;
+  let c_else = B.fma b (ld b "d" i) (ld b "e" i) b_val in
+  let c_val = B.select b cond c_then c_else in
+  st b "c" i c_val;
+  st b "a" i (B.fma b c_val (ld b "d" i) b_val)
+
+let s1279 =
+  mk "s1279" "if (a[i] < 0 && b[i] > a[i]) c[i] += d[i]*e[i]" @@ fun b ->
+  let i = B.loop b "i" Kernel.Tn in
+  let g1 = B.cmp b Op.Lt (ld b "a" i) c0 in
+  let m1 = B.select b g1 c1 c0 in
+  let g2 = B.cmp b Op.Gt (ld b "b" i) (ld b "a" i) in
+  let m2 = B.select b g2 c1 c0 in
+  let both = B.cmp b Op.Gt (B.mulf b m1 m2) chalf in
+  let upd = B.fma b (ld b "d" i) (ld b "e" i) (ld b "c" i) in
+  st b "c" i (B.select b both upd (ld b "c" i))
+
+let s2710 =
+  mk "s2710" "if (a[i] > b[i]) ... nested two-level selects with x" @@ fun b ->
+  let i = B.loop b "i" Kernel.Tn in
+  let x = B.param b "x" in
+  let outer = B.cmp b Op.Gt (ld b "a" i) (ld b "b" i) in
+  let inner1 = B.cmp b Op.Gt (ld b "a" i) x in
+  let inner2 = B.cmp b Op.Gt (ld b "b" i) x in
+  let a_then = B.select b inner1 (B.fma b (ld b "d" i) (ld b "e" i) (ld b "a" i)) (ld b "a" i) in
+  let c_then = B.select b inner1 (ld b "c" i) (B.addf b (ld b "c" i) (ld b "d" i)) in
+  let b_else = B.select b inner2 (B.fma b (ld b "c" i) (ld b "d" i) (ld b "b" i)) (ld b "b" i) in
+  let e_else = B.select b inner2 (ld b "e" i) (B.mulf b (ld b "e" i) (ld b "c" i)) in
+  st b "a" i (B.select b outer a_then (ld b "a" i));
+  st b "b" i (B.select b outer (ld b "b" i) b_else);
+  st b "c" i (B.select b outer c_then (ld b "c" i));
+  st b "e" i (B.select b outer (ld b "e" i) e_else)
+
+let s2711 =
+  mk "s2711" "if (b[i] != 0) a[i] += b[i]*c[i]" @@ fun b ->
+  let i = B.loop b "i" Kernel.Tn in
+  let cond = B.cmp b Op.Ne (ld b "b" i) c0 in
+  let upd = B.fma b (ld b "b" i) (ld b "c" i) (ld b "a" i) in
+  st b "a" i (B.select b cond upd (ld b "a" i))
+
+let s2712 =
+  mk "s2712" "if (a[i] > b[i]) a[i] += b[i]*c[i]" @@ fun b ->
+  let i = B.loop b "i" Kernel.Tn in
+  let cond = B.cmp b Op.Gt (ld b "a" i) (ld b "b" i) in
+  let upd = B.fma b (ld b "b" i) (ld b "c" i) (ld b "a" i) in
+  st b "a" i (B.select b cond upd (ld b "a" i))
+
+(* --- crossing thresholds ------------------------------------------------ *)
+
+(* Read crosses the write front at n/2: undecidable for SIV tests. *)
+let s281 =
+  mk "s281" "x = a[n-i-1] + b[i]*c[i]; a[i] = x - 1; b[i] = x" @@ fun b ->
+  let i = B.loop b "i" Kernel.Tn in
+  let x = B.fma b (ld b "b" i) (ld b "c" i) (ld_rev b "a" i) in
+  st b "a" i (B.subf b x c1);
+  st b "b" i x
+
+let s1281 =
+  mk "s1281" "x = b[i]*c[i] + a[i]*d[i] + e[i]; a[i] = x - 1; b[i] = x" @@ fun b ->
+  let i = B.loop b "i" Kernel.Tn in
+  let x =
+    B.addf b
+      (B.addf b (B.mulf b (ld b "b" i) (ld b "c" i))
+         (B.mulf b (ld b "a" i) (ld b "d" i)))
+      (ld b "e" i)
+  in
+  st b "a" i (B.subf b x c1);
+  st b "b" i x
+
+let s291 =
+  mk "s291" "a[i] = (b[i] + b[im1]) * 0.5; im1 = i (wrap-around)" @@ fun b ->
+  let i = B.loop b ~start:1 "i" Kernel.Tn in
+  st b "a" i (B.mulf b (B.addf b (ld b "b" i) (ld ~off:(-1) b "b" i)) chalf)
+
+let s292 =
+  mk "s292" "a[i] = (b[i] + b[im1] + b[im2]) * 0.333 (two wrap-arounds)" @@ fun b ->
+  let i = B.loop b ~start:2 "i" Kernel.Tn in
+  let s =
+    B.addf b (B.addf b (ld b "b" i) (ld ~off:(-1) b "b" i)) (ld ~off:(-2) b "b" i)
+  in
+  st b "a" i (B.mulf b s (B.cf 0.333))
+
+let s293 =
+  mk "s293" "a[i] = a[0] (propagate first element)" @@ fun b ->
+  let i = B.loop b ~start:1 "i" Kernel.Tn in
+  st b "a" i (B.load b "a" [ B.ix_const 0 ])
+
+let all =
+  List.map
+    (fun k -> (Category.Control_flow, k))
+    [ s271; s272; s273; s274; s275; s276; s277; s278; s279; s1279; s2710;
+      s2711; s2712 ]
+  @ List.map
+      (fun k -> (Category.Crossing_thresholds, k))
+      [ s281; s1281; s291; s292; s293 ]

@@ -1,0 +1,130 @@
+(* TSVC: global data-flow analysis (s131..s162) and symbolic subscript
+   resolution (s171..s176). *)
+
+open Vir
+open Helpers
+module B = Builder
+
+let s131 =
+  mk "s131" "m = 1; a[i] = a[i+m] + b[i]" @@ fun b ->
+  let i = B.loop b "i" (Kernel.Tn_minus 1) in
+  st b "a" i (B.addf b (ld ~off:1 b "a" i) (ld b "b" i))
+
+let s132 =
+  mk "s132" "aa[j][i] = aa[j-1][i-1] + b[i]*c[1] (j fixed per row walk)" @@ fun b ->
+  let j = B.loop b ~start:1 "j" Kernel.Tn2 in
+  let i = B.loop b ~start:1 "i" Kernel.Tn2 in
+  let scale = B.load b "c" [ B.ix_const 1 ] in
+  let v = B.fma b (ld b "b" i) scale (ld2 ~roff:(-1) ~coff:(-1) b "aa" j i) in
+  st2 b "aa" j i v
+
+let s141 =
+  mk "s141" "flat[k] += bb[j][i] (row-major packing)" @@ fun b ->
+  let i = B.loop b "i" Kernel.Tn2 in
+  let j = B.loop b "j" Kernel.Tn2 in
+  let addr = [ B.ix_vars [ (i, 1); (j, 1) ] ] in
+  B.store b "flat" addr (B.addf b (B.load b "flat" addr) (ld2 b "bb" j i))
+
+let s151 =
+  mk "s151" "s151s(a, b, 1): a[i] = a[i+1] + b[i]" @@ fun b ->
+  let i = B.loop b "i" (Kernel.Tn_minus 1) in
+  st b "a" i (B.addf b (ld ~off:1 b "a" i) (ld b "b" i))
+
+let s152 =
+  mk "s152" "b[i] = d[i]*e[i]; s152s(a,b,c,i): a[i] += b[i]*c[i]" @@ fun b ->
+  let i = B.loop b "i" Kernel.Tn in
+  let v = B.mulf b (ld b "d" i) (ld b "e" i) in
+  st b "b" i v;
+  st b "a" i (B.fma b v (ld b "c" i) (ld b "a" i))
+
+(* Forward control flow, if-converted; the false arm forwards c[i+1]. *)
+let s161 =
+  mk "s161" "if (b[i] < 0) c[i+1] = a[i] + d[i]*d[i] else a[i] = c[i] + d[i]*e[i]"
+  @@ fun b ->
+  let i = B.loop b "i" (Kernel.Tn_minus 1) in
+  let cond = B.cmp b Op.Lt (ld b "b" i) c0 in
+  let a_new = B.fma b (ld b "d" i) (ld b "e" i) (ld b "c" i) in
+  let a_val = B.select b cond (ld b "a" i) a_new in
+  st b "a" i a_val;
+  let dd = B.mulf b (ld b "d" i) (ld b "d" i) in
+  let c_new = B.addf b a_val dd in
+  st ~off:1 b "c" i (B.select b cond c_new (ld ~off:1 b "c" i))
+
+let s1161 =
+  mk "s1161" "if (c[i] < 0) b[i] = a[i] + d[i]*d[i] else { a[i] = c[i] + d[i]*e[i]; b[i] = a[i] + d[i]*d[i] }"
+  @@ fun b ->
+  let i = B.loop b "i" Kernel.Tn in
+  let cond = B.cmp b Op.Lt (ld b "c" i) c0 in
+  let a_new = B.fma b (ld b "d" i) (ld b "e" i) (ld b "c" i) in
+  let a_val = B.select b cond (ld b "a" i) a_new in
+  st b "a" i a_val;
+  let dd = B.mulf b (ld b "d" i) (ld b "d" i) in
+  st b "b" i (B.addf b a_val dd)
+
+let s162 =
+  mk "s162" "if (k > 0) a[i] = a[i+k] + b[i]*c[i] (k = 1 at run time)" @@ fun b ->
+  let i = B.loop b "i" (Kernel.Tn_minus 1) in
+  st b "a" i (B.fma b (ld b "b" i) (ld b "c" i) (ld ~off:1 b "a" i))
+
+(* --- symbolics: subscripts the compiler cannot resolve ------------------ *)
+
+(* Runtime-scaled subscript: executed as gather/scatter. *)
+let s171 =
+  mk "s171" "a[i*inc] += b[i]" @@ fun b ->
+  let i = B.loop b "i" (Kernel.Tn_div 2) in
+  let inc = B.param b "inc" in
+  let inc_i = B.cast b ~from_:Types.F32 ~to_:Types.I64 inc in
+  let idx = B.bin b Types.I64 Op.Mul i inc_i in
+  let v = B.addf b (B.load_ix b "a" idx) (ld b "b" i) in
+  B.store_ix b "a" idx v
+
+(* Runtime offset: distance unknown to the dependence tests. *)
+let s172 =
+  mk "s172" "a[i] = a[i+k] + b[i] (k symbolic)" @@ fun b ->
+  let i = B.loop b "i" (Kernel.Tn_minus 4) in
+  let dim = B.ix_plus_param b (B.ix i) ("koff", 1) in
+  st b "a" i (B.addf b (B.load b "a" [ dim ]) (ld b "b" i))
+
+(* Split array halves: large, provably safe distance. *)
+let s173 =
+  mk "s173" "a[i+n/2] = a[i] + b[i] (disjoint halves)" @@ fun b ->
+  let i = B.loop b "i" (Kernel.Tn_div 2) in
+  B.store b "ahi" [ B.ix i ] (B.addf b (ld b "a" i) (ld b "b" i))
+
+let s174 =
+  mk "s174" "a[i+m] = a[i] + b[i] (m = n/2 at run time)" @@ fun b ->
+  let i = B.loop b "i" (Kernel.Tn_div 2) in
+  B.store b "ahi" [ B.ix i ] (B.addf b (ld b "a" i) (ld b "b" i));
+  st b "c" i (B.mulf b (ld b "b" i) chalf)
+
+(* Symbolic stride: gathers again. *)
+let s175 =
+  mk "s175" "a[i] = a[i+inc] + b[i] (inc symbolic stride)" @@ fun b ->
+  let i = B.loop b "i" (Kernel.Tn_div 2) in
+  let inc = B.param b "inc" in
+  let inc_i = B.cast b ~from_:Types.F32 ~to_:Types.I64 inc in
+  let idx = B.bin b Types.I64 Op.Add i inc_i in
+  st b "a" i (B.addf b (B.load_ix b "a" idx) (ld b "b" i))
+
+(* Convolution with the filter index in the outer loop. *)
+let s176 =
+  mk "s176" "a[i] += b[i+m-j-1] * c[j] (j outer)" @@ fun b ->
+  let j = B.loop b "j" (Kernel.Tconst 16) in
+  let i = B.loop b "i" (Kernel.Tn_div 2) in
+  (* The filter is indexed by the constant-trip outer loop, beyond what the
+     inner subscripts imply. *)
+  B.declare b "c" ~extent:(Kernel.Lin (1, 16));
+  let bload = B.load b "b" [ B.ix_vars [ (i, 1); (j, -1) ] ~off:16 ] in
+  st b "a" i (B.fma b bload (B.load b "c" [ B.ix j ]) (ld b "a" i))
+
+let dataflow =
+  List.map
+    (fun k -> (Category.Global_dataflow, k))
+    [ s131; s132; s141; s151; s152; s161; s1161; s162 ]
+
+let symbolics =
+  List.map
+    (fun k -> (Category.Symbolics, k))
+    [ s171; s172; s173; s174; s175; s176 ]
+
+let all = dataflow @ symbolics

@@ -1,0 +1,67 @@
+(* TSVC: remaining numbered variants (s1244..s13110). *)
+
+open Vir
+open Helpers
+module B = Builder
+
+let s1244 =
+  mk "s1244" "a[i] = b[i] + c[i]*c[i] + b[i]*b[i] + c[i]; d[i] = a[i] + a[i+1]"
+  @@ fun b ->
+  let i = B.loop b "i" (Kernel.Tn_minus 1) in
+  let bb = ld b "b" i and cc = ld b "c" i in
+  let v = B.addf b (B.addf b (B.addf b bb (B.mulf b cc cc)) (B.mulf b bb bb)) cc in
+  st b "a" i v;
+  st b "d" i (B.addf b v (ld ~off:1 b "a" i))
+
+let s1251 =
+  mk "s1251" "s = b[i] + c[i]; b[i] = a[i] + d[i]; a[i] = s * e[i]" @@ fun b ->
+  let i = B.loop b "i" Kernel.Tn in
+  let s = B.addf b (ld b "b" i) (ld b "c" i) in
+  st b "b" i (B.addf b (ld b "a" i) (ld b "d" i));
+  st b "a" i (B.mulf b s (ld b "e" i))
+
+let s1351 =
+  mk "s1351" "*a++ = *b++ + *c++ (restrict pointers)" @@ fun b ->
+  let i = B.loop b "i" Kernel.Tn in
+  st b "a" i (B.addf b (ld b "b" i) (ld b "c" i))
+
+(* Output dependence at distance 1, forward: the later statement wins in
+   both orders. *)
+let s2244 =
+  mk "s2244" "a[i+1] = b[i] + e[i]; a[i] = b[i] + c[i]" @@ fun b ->
+  let i = B.loop b "i" (Kernel.Tn_minus 1) in
+  st ~off:1 b "a" i (B.addf b (ld b "b" i) (ld b "e" i));
+  st b "a" i (B.addf b (ld b "b" i) (ld b "c" i))
+
+let s2275 =
+  mk "s2275" "if (aa[0][i] > 0) aa[j][i] += bb[j][i]*cc[j][i]; a[i] = b[i] + c[i]*d[i]"
+  @@ fun b ->
+  let j = B.loop b "j" Kernel.Tn2 in
+  let i = B.loop b "i" Kernel.Tn2 in
+  let guard = B.cmp b Op.Gt (B.load b "aa" [ B.ix_const 0; B.ix i ]) c0 in
+  let upd = B.fma b (ld2 b "bb" j i) (ld2 b "cc" j i) (ld2 b "aa" j i) in
+  st2 b "aa" j i (B.select b guard upd (ld2 b "aa" j i));
+  st b "a" i (B.fma b (ld b "c" i) (ld b "d" i) (ld b "b" i))
+
+(* Scalar-expanded version of a crossing pattern: forward flow only. *)
+let s3251 =
+  mk "s3251" "a[i+1] = b[i] + c[i]; b[i] = c[i]*e[i]; d[i] = a[i]*e[i]" @@ fun b ->
+  let i = B.loop b ~start:1 "i" (Kernel.Tn_minus 1) in
+  st ~off:1 b "a" i (B.addf b (ld b "b" i) (ld b "c" i));
+  st b "b" i (B.mulf b (ld b "c" i) (ld b "e" i));
+  st b "d" i (B.mulf b (ld b "a" i) (ld b "e" i))
+
+let s13110 =
+  mk "s13110" "min over aa[i][j] with position key" @@ fun b ->
+  let i = B.loop b "i" Kernel.Tn2 in
+  let j = B.loop b "j" Kernel.Tn2 in
+  B.reduce b ~init:infinity "min2d" Op.Rmin (ld2 b "aa" i j)
+
+let all =
+  [ (Category.Node_splitting, s1244);
+    (Category.Expansion, s1251);
+    (Category.Rerolling, s1351);
+    (Category.Node_splitting, s2244);
+    (Category.Control_flow, s2275);
+    (Category.Expansion, s3251);
+    (Category.Reductions, s13110) ]

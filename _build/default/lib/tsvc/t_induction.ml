@@ -1,0 +1,91 @@
+(* TSVC: induction variable recognition (s121..s128 family).  Secondary
+   induction variables are expressed directly as affine functions of the
+   primary one, which is what induction-variable recognition recovers. *)
+
+open Vir
+open Helpers
+module B = Builder
+
+let s121 =
+  mk "s121" "j = i+1; a[i] = a[j] + b[i]" @@ fun b ->
+  let i = B.loop b "i" (Kernel.Tn_minus 1) in
+  st b "a" i (B.addf b (ld ~off:1 b "a" i) (ld b "b" i))
+
+(* Wrap-around induction: k walks b backwards while i walks a forwards. *)
+let s122 =
+  mk "s122" "k += j; a[i] += b[n-k]" @@ fun b ->
+  let i = B.loop b "i" Kernel.Tn in
+  st b "a" i (B.addf b (ld b "a" i) (ld_rev b "b" i))
+
+(* Conditional secondary induction, if-converted: both lanes computed, the
+   condition selects which value lands in the packed stream. *)
+let s123 =
+  mk "s123" "j++; a[j] = b[i] + d[i]*e[i]; if (c[i] > 0) { j++; a[j] = c[i] + d[i]*e[i]; }"
+  @@ fun b ->
+  let i = B.loop b "i" (Kernel.Tn_div 2) in
+  let de = B.mulf b (ld b "d" i) (ld b "e" i) in
+  st_s b "a" ~scale:2 i (B.addf b (ld b "b" i) de);
+  let cond = B.cmp b Op.Gt (ld b "c" i) c0 in
+  let alt = B.addf b (ld b "c" i) de in
+  let keep = ld_s ~off:1 b "a" ~scale:2 i in
+  st_s b "a" ~scale:2 ~off:1 i (B.select b cond alt keep)
+
+let s124 =
+  mk "s124" "j++; a[j] = (b[i]>0 ? b[i]+d[i]*e[i] : c[i]+d[i]*e[i])" @@ fun b ->
+  let i = B.loop b "i" Kernel.Tn in
+  let de = B.mulf b (ld b "d" i) (ld b "e" i) in
+  let cond = B.cmp b Op.Gt (ld b "b" i) c0 in
+  let v = B.select b cond (B.addf b (ld b "b" i) de) (B.addf b (ld b "c" i) de) in
+  st b "a" i v
+
+(* Flattened 2-d store: k = i*n2 + j. *)
+let s125 =
+  mk "s125" "flat[k++] = aa[i][j]*bb[i][j] + cc[i][j]" @@ fun b ->
+  let i = B.loop b "i" Kernel.Tn2 in
+  let j = B.loop b "j" Kernel.Tn2 in
+  let v = B.fma b (ld2 b "aa" i j) (ld2 b "bb" i j) (ld2 b "cc" i j) in
+  B.store b "flat" [ B.ix_vars [ (i, 1); (j, 1) ] ] v
+
+(* Column-major walk of bb against a flat stream. *)
+let s126 =
+  mk "s126" "bb[j][i] = bb[j-1][i] + flat[k++]*cc[j][i] (interchanged)" @@ fun b ->
+  let j = B.loop b ~start:1 "j" Kernel.Tn2 in
+  let i = B.loop b "i" Kernel.Tn2 in
+  let v =
+    B.fma b
+      (B.load b "flat" [ B.ix_vars [ (j, 1); (i, 1) ] ])
+      (ld2 b "cc" j i)
+      (ld2 ~roff:(-1) b "bb" j i)
+  in
+  st2 b "bb" j i v
+
+(* Secondary induction j += 2: paired strided stores. *)
+let s127 =
+  mk "s127" "a[j] = b[i] + c[i]*d[i]; j++; a[j] = b[i] + d[i]*e[i]; j++" @@ fun b ->
+  let i = B.loop b "i" (Kernel.Tn_div 2) in
+  st_s b "a" ~scale:2 i (B.fma b (ld b "c" i) (ld b "d" i) (ld b "b" i));
+  st_s b "a" ~scale:2 ~off:1 i (B.fma b (ld b "d" i) (ld b "e" i) (ld b "b" i))
+
+let s128 =
+  mk "s128" "a[i] = b[k] - d[i]; b[k+1] = a[i] + c[k] (k = 2i)" @@ fun b ->
+  let i = B.loop b "i" (Kernel.Tn_div 2) in
+  let v = B.subf b (ld_s b "b" ~scale:2 i) (ld b "d" i) in
+  st b "a" i v;
+  st_s b "b" ~scale:2 ~off:1 i (B.addf b v (ld_s b "c" ~scale:2 i))
+
+(* Fixed dependence distance 4: vectorizable up to VF = 4. *)
+let s1221 =
+  mk "s1221" "b[i] = b[i-4] + a[i]" @@ fun b ->
+  let i = B.loop b ~start:4 "i" Kernel.Tn in
+  st b "b" i (B.addf b (ld ~off:(-4) b "b" i) (ld b "a" i))
+
+let s1232 =
+  mk "s1232" "aa[j][i] = bb[j][i] + cc[j][i] (j outer walk)" @@ fun b ->
+  let j = B.loop b "j" Kernel.Tn2 in
+  let i = B.loop b "i" Kernel.Tn2 in
+  st2 b "aa" j i (B.addf b (ld2 b "bb" j i) (ld2 b "cc" j i))
+
+let all =
+  List.map
+    (fun k -> (Category.Induction, k))
+    [ s121; s122; s123; s124; s125; s126; s127; s128; s1221; s1232 ]

@@ -1,0 +1,118 @@
+(* TSVC: linear dependence testing (s000, s111..s1119 family). *)
+
+open Vir
+open Helpers
+module B = Builder
+
+let s000 =
+  mk "s000" "a[i] = b[i] + 1" @@ fun b ->
+  let i = B.loop b "i" Kernel.Tn in
+  st b "a" i (B.addf b (ld b "b" i) c1)
+
+(* Odd-index update: no dependence because reads and writes interleave. *)
+let s111 =
+  mk "s111" "for (i=1; i<n; i+=2) a[i] = a[i-1] + b[i]" @@ fun b ->
+  let i = B.loop b ~start:1 ~step:2 "i" Kernel.Tn in
+  st b "a" i (B.addf b (ld ~off:(-1) b "a" i) (ld b "b" i))
+
+let s1111 =
+  mk "s1111" "a[2i] = c[i]*b[i] + d[i]*b[i] + c[i]*c[i] + d[i]*b[i] + d[i]*c[i]"
+  @@ fun b ->
+  let i = B.loop b "i" (Kernel.Tn_div 2) in
+  let bb = ld b "b" i and cc = ld b "c" i and dd = ld b "d" i in
+  let t1 = B.mulf b cc bb in
+  let t2 = B.mulf b dd bb in
+  let t3 = B.mulf b cc cc in
+  let t4 = B.mulf b dd bb in
+  let t5 = B.mulf b dd cc in
+  let s = B.addf b (B.addf b (B.addf b (B.addf b t1 t2) t3) t4) t5 in
+  st_s b "a" ~scale:2 i s
+
+(* Backward traversal with an anti dependence: safe to widen. *)
+let s112 =
+  mk "s112" "for (i=n-2; i>=0; i--) a[i+1] = a[i] + b[i]" @@ fun b ->
+  let i = B.loop b "i" (Kernel.Tn_minus 1) in
+  let old = ld_rev ~off:(-1) b "a" i in
+  st_rev b "a" i (B.addf b old (ld_rev ~off:(-1) b "b" i))
+
+let s1112 =
+  mk "s1112" "for (i=n-1; i>=0; i--) a[i] = b[i] + 1" @@ fun b ->
+  let i = B.loop b "i" Kernel.Tn in
+  st_rev b "a" i (B.addf b (ld_rev b "b" i) c1)
+
+(* Write range crosses a fixed read location: undecidable by SIV tests. *)
+let s113 =
+  mk "s113" "a[i] = a[1] + b[i]" @@ fun b ->
+  let i = B.loop b ~start:1 "i" Kernel.Tn in
+  let fixed = B.load b "a" [ B.ix_const 1 ] in
+  st b "a" i (B.addf b fixed (ld b "b" i))
+
+let s1113 =
+  mk "s1113" "a[i] = a[n-1] + b[i]" @@ fun b ->
+  let i = B.loop b "i" Kernel.Tn in
+  let fixed = B.load b "a" [ B.ix_const ~rel_n:true 0 ] in
+  st b "a" i (B.addf b fixed (ld b "b" i))
+
+(* Transpose-style exchange: dependence undecidable without direction info. *)
+let s114 =
+  mk "s114" "aa[i][j] = aa[j][i] + bb[i][j]" @@ fun b ->
+  let i = B.loop b "i" Kernel.Tn2 in
+  let j = B.loop b "j" Kernel.Tn2 in
+  st2 b "aa" i j (B.addf b (ld2 b "aa" j i) (ld2 b "bb" i j))
+
+(* Triangular-solve shape: a[i] couples to a[j] of the outer loop. *)
+let s115 =
+  mk "s115" "a[i] -= aa[j][i] * a[j]" @@ fun b ->
+  let j = B.loop b "j" Kernel.Tn2 in
+  let i = B.loop b "i" Kernel.Tn2 in
+  let aj = B.load b "a" [ B.ix j ] in
+  let prod = B.mulf b (ld2 b "aa" j i) aj in
+  st b "a" i (B.subf b (ld b "a" i) prod)
+
+(* Hand-unrolled multiply chain with intra-block dependences. *)
+let s116 =
+  mk "s116" "a[i] = a[i+1]*a[i]; ... (5-way unrolled)" @@ fun b ->
+  let i = B.loop b ~step:5 "i" (Kernel.Tn_minus 5) in
+  let upd off =
+    let v = B.mulf b (ld ~off:(off + 1) b "a" i) (ld ~off b "a" i) in
+    st ~off b "a" i v
+  in
+  upd 0; upd 1; upd 2; upd 3; upd 4
+
+(* Inner loop sums a row into a column: couples through [a].  The filter
+   loop is bounded so that i - j - 1 stays in range, as the triangular
+   original guarantees. *)
+let s118 =
+  mk "s118" "a[i] += bb[j][i] * a[i-j-1] (coupled)" @@ fun b ->
+  let j = B.loop b "j" (Kernel.Tconst 4) in
+  let i = B.loop b ~start:5 "i" Kernel.Tn2 in
+  let prev = B.load b "a" [ B.ix_vars [ (i, 1); (j, -1) ] ~off:(-1) ] in
+  let v = B.mulf b (ld2 b "bb" j i) prev in
+  st b "a" i (B.addf b (ld b "a" i) v)
+
+(* Diagonal recurrence: independent along the inner (column) direction. *)
+let s119 =
+  mk "s119" "aa[i][j] = aa[i-1][j-1] + bb[i][j]" @@ fun b ->
+  let i = B.loop b ~start:1 "i" Kernel.Tn2 in
+  let j = B.loop b ~start:1 "j" Kernel.Tn2 in
+  st2 b "aa" i j
+    (B.addf b (ld2 ~roff:(-1) ~coff:(-1) b "aa" i j) (ld2 b "bb" i j))
+
+let s1119 =
+  mk "s1119" "aa[i][j] = aa[i-1][j] + bb[i][j]" @@ fun b ->
+  let i = B.loop b ~start:1 "i" Kernel.Tn2 in
+  let j = B.loop b "j" Kernel.Tn2 in
+  st2 b "aa" i j (B.addf b (ld2 ~roff:(-1) b "aa" i j) (ld2 b "bb" i j))
+
+let s1115 =
+  mk "s1115" "aa[i][j] = aa[i][j]*cc[j][i] + bb[i][j]" @@ fun b ->
+  let i = B.loop b "i" Kernel.Tn2 in
+  let j = B.loop b "j" Kernel.Tn2 in
+  let v = B.fma b (ld2 b "aa" i j) (ld2 b "cc" j i) (ld2 b "bb" i j) in
+  st2 b "aa" i j v
+
+let all =
+  List.map
+    (fun k -> (Category.Linear_dependence, k))
+    [ s000; s111; s1111; s112; s1112; s113; s1113; s114; s115; s116; s118;
+      s119; s1119; s1115 ]

@@ -1,0 +1,133 @@
+(* TSVC: packing (s341..s343), loop rerolling (s351..s353), equivalenced
+   (overlapping) storage (s421..s424) and indirect addressing
+   (s4112..s4121). *)
+
+open Vir
+open Helpers
+module B = Builder
+
+(* Pack/unpack through a precomputed index permutation: the data-dependent
+   compress of the C original becomes a scatter/gather, which is how a
+   forced vectorizer executes it. *)
+let s341 =
+  mk "s341" "pack: a[j++] = b[i] if b[i] > 0 (via index map)" @@ fun b ->
+  let i = B.loop b "i" Kernel.Tn in
+  let target = ldx b "ip" i in
+  B.store_ix b "a" target (ld b "b" i)
+
+let s342 =
+  mk "s342" "unpack: a[i] = b[j++] (via index map)" @@ fun b ->
+  let i = B.loop b "i" Kernel.Tn in
+  let src = ldx b "ip" i in
+  st b "a" i (B.load_ix b "b" src)
+
+let s343 =
+  mk "s343" "flat[k++] = aa[j][i] if bb[j][i] > 0 (2-d pack)" @@ fun b ->
+  let j = B.loop b "j" Kernel.Tn2 in
+  let i = B.loop b "i" Kernel.Tn2 in
+  let cond = B.cmp b Op.Gt (ld2 b "bb" j i) c0 in
+  let addr = [ B.ix_vars [ (j, 1); (i, 1) ] ] in
+  let keep = B.load b "flat" addr in
+  B.store b "flat" addr (B.select b cond (ld2 b "aa" j i) keep)
+
+(* Hand-unrolled saxpy: five strided statements per iteration. *)
+let s351 =
+  mk "s351" "a[i..i+4] += alpha * b[i..i+4] (5-way unrolled)" @@ fun b ->
+  let i = B.loop b ~step:5 "i" Kernel.Tn in
+  let alpha = B.param b "alpha" in
+  for off = 0 to 4 do
+    st ~off b "a" i (B.fma b alpha (ld ~off b "b" i) (ld ~off b "a" i))
+  done
+
+let s352 =
+  mk "s352" "dot += a[i..i+4]*b[i..i+4] (5-way unrolled dot)" @@ fun b ->
+  let i = B.loop b ~step:5 "i" Kernel.Tn in
+  let rec chain off acc =
+    if off = 5 then acc
+    else chain (off + 1) (B.fma b (ld ~off b "a" i) (ld ~off b "b" i) acc)
+  in
+  B.reduce b "dot" Op.Rsum (chain 1 (B.mulf b (ld b "a" i) (ld b "b" i)))
+
+let s353 =
+  mk "s353" "a[i..i+4] += alpha * b[ip[i..i+4]] (unrolled gather saxpy)" @@ fun b ->
+  let i = B.loop b ~step:5 "i" Kernel.Tn in
+  let alpha = B.param b "alpha" in
+  for off = 0 to 4 do
+    let idx = ldx ~off b "ip" i in
+    st ~off b "a" i (B.fma b alpha (B.load_ix b "b" idx) (ld ~off b "a" i))
+  done
+
+(* Equivalenced arrays: one buffer accessed at two offsets.  The dependence
+   distance is the offset, so legality depends on VF. *)
+let s421 =
+  mk "s421" "x[i] = y[i+8] + a[i] (x, y overlap at distance 8)" @@ fun b ->
+  let i = B.loop b "i" (Kernel.Tn_minus 8) in
+  B.store b "xy" [ B.ix i ] (B.addf b (B.load b "xy" [ B.ix ~off:8 i ]) (ld b "a" i))
+
+let s422 =
+  mk "s422" "x[i] = x[i+4] + a[i] (overlap at distance 4)" @@ fun b ->
+  let i = B.loop b "i" (Kernel.Tn_minus 4) in
+  B.store b "xy" [ B.ix i ] (B.addf b (B.load b "xy" [ B.ix ~off:4 i ]) (ld b "a" i))
+
+let s423 =
+  mk "s423" "x[i+2] = x[i] + a[i] (flow at distance 2)" @@ fun b ->
+  let i = B.loop b "i" (Kernel.Tn_minus 2) in
+  B.store b "xy" [ B.ix ~off:2 i ] (B.addf b (B.load b "xy" [ B.ix i ]) (ld b "a" i))
+
+let s424 =
+  mk "s424" "x[i+1] = x[i] + a[i] (flow at distance 1)" @@ fun b ->
+  let i = B.loop b "i" (Kernel.Tn_minus 1) in
+  B.store b "xy" [ B.ix ~off:1 i ] (B.addf b (B.load b "xy" [ B.ix i ]) (ld b "a" i))
+
+(* --- indirect addressing ------------------------------------------------ *)
+
+let s4112 =
+  mk "s4112" "a[i] += b[ip[i]] * s" @@ fun b ->
+  let i = B.loop b "i" Kernel.Tn in
+  let s = B.param b "s" in
+  let g = B.load_ix b "b" (ldx b "ip" i) in
+  st b "a" i (B.fma b g s (ld b "a" i))
+
+let s4113 =
+  mk "s4113" "a[ip[i]] = b[ip[i]] + c[i]" @@ fun b ->
+  let i = B.loop b "i" Kernel.Tn in
+  let idx = ldx b "ip" i in
+  B.store_ix b "a" idx (B.addf b (B.load_ix b "b" idx) (ld b "c" i))
+
+let s4114 =
+  mk "s4114" "a[i] = b[ip[i]] + c[i] (mixed direct/indirect)" @@ fun b ->
+  let i = B.loop b "i" Kernel.Tn in
+  st b "a" i (B.addf b (B.load_ix b "b" (ldx b "ip" i)) (ld b "c" i))
+
+let s4115 =
+  mk "s4115" "sum += a[i] * b[ip[i]]" @@ fun b ->
+  let i = B.loop b "i" Kernel.Tn in
+  let g = B.load_ix b "b" (ldx b "ip" i) in
+  B.reduce b "sum" Op.Rsum (B.mulf b (ld b "a" i) g)
+
+let s4116 =
+  mk "s4116" "sum += aa[j][ip[i]] (row gather)" @@ fun b ->
+  let i = B.loop b "i" (Kernel.Tn_div 2) in
+  let idx = ldx b "ip" i in
+  (* Flatten the fixed row: aa2 is the row as a 1-d array. *)
+  B.reduce b "sum" Op.Rsum (B.load_ix b "aa_row" idx)
+
+let s4117 =
+  mk "s4117" "a[i] = b[i] + c[i/2] * d[i]" @@ fun b ->
+  let i = B.loop b "i" Kernel.Tn in
+  let half = B.bin b Types.I64 Op.Shr i (B.ci 1) in
+  let ci = B.load_ix b "c" half in
+  st b "a" i (B.fma b ci (ld b "d" i) (ld b "b" i))
+
+let s4121 =
+  mk "s4121" "a[i] += f(b[i], c[i]) (statement function)" @@ fun b ->
+  let i = B.loop b "i" Kernel.Tn in
+  st b "a" i (B.fma b (ld b "b" i) (ld b "c" i) (ld b "a" i))
+
+let all =
+  List.map (fun k -> (Category.Packing, k)) [ s341; s342; s343 ]
+  @ List.map (fun k -> (Category.Rerolling, k)) [ s351; s352; s353 ]
+  @ List.map (fun k -> (Category.Equivalencing, k)) [ s421; s422; s423; s424 ]
+  @ List.map
+      (fun k -> (Category.Indirect_addressing, k))
+      [ s4112; s4113; s4114; s4115; s4116; s4117; s4121 ]

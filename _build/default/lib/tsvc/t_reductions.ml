@@ -1,0 +1,139 @@
+(* TSVC: reductions (s311..s31111), recurrences (s321..s323) and search
+   loops (s331..s332). *)
+
+open Vir
+open Helpers
+module B = Builder
+
+let s311 =
+  mk "s311" "sum += a[i]" @@ fun b ->
+  let i = B.loop b "i" Kernel.Tn in
+  B.reduce b "sum" Op.Rsum (ld b "a" i)
+
+let s312 =
+  mk "s312" "prod *= a[i]" @@ fun b ->
+  let i = B.loop b "i" Kernel.Tn in
+  B.reduce b ~init:1.0 "prod" Op.Rprod (ld b "a" i)
+
+let s313 =
+  mk "s313" "dot += a[i]*b[i]" @@ fun b ->
+  let i = B.loop b "i" Kernel.Tn in
+  B.reduce b "dot" Op.Rsum (B.mulf b (ld b "a" i) (ld b "b" i))
+
+let s314 =
+  mk "s314" "x = max(x, a[i])" @@ fun b ->
+  let i = B.loop b "i" Kernel.Tn in
+  B.reduce b ~init:neg_infinity "max" Op.Rmax (ld b "a" i)
+
+(* Index-of-maximum: the index is folded into the reduced value (value-major
+   lexicographic encoding), the standard if-conversion of argmax. *)
+let s315 =
+  mk "s315" "if (a[i] > x) { x = a[i]; index = i }" @@ fun b ->
+  let i = B.loop b "i" Kernel.Tn in
+  let big = B.cf 1.0e6 in
+  let key = B.fma b (ld b "a" i) big (fidx b i) in
+  B.reduce b ~init:neg_infinity "argmax_key" Op.Rmax key
+
+let s316 =
+  mk "s316" "x = min(x, a[i])" @@ fun b ->
+  let i = B.loop b "i" Kernel.Tn in
+  B.reduce b ~init:infinity "min" Op.Rmin (ld b "a" i)
+
+let s317 =
+  mk "s317" "q *= 0.99 (constant-fold opportunity)" @@ fun b ->
+  let i = B.loop b "i" Kernel.Tn in
+  ignore i;
+  B.reduce b ~init:1.0 "q" Op.Rprod (B.cf 0.99)
+
+let s318 =
+  mk "s318" "index of max |a[i*inc]| (inc = 1)" @@ fun b ->
+  let i = B.loop b "i" Kernel.Tn in
+  let key = B.fma b (B.absf b (ld b "a" i)) (B.cf 1.0e6) (fidx b i) in
+  B.reduce b ~init:neg_infinity "argmax_abs" Op.Rmax key
+
+let s319 =
+  mk "s319" "a[i] = c[i] + d[i]; sum += a[i]; b[i] = c[i] + e[i]; sum += b[i]"
+  @@ fun b ->
+  let i = B.loop b "i" Kernel.Tn in
+  let a_new = B.addf b (ld b "c" i) (ld b "d" i) in
+  st b "a" i a_new;
+  let b_new = B.addf b (ld b "c" i) (ld b "e" i) in
+  st b "b" i b_new;
+  B.reduce b "sum" Op.Rsum (B.addf b a_new b_new)
+
+let s3110 =
+  mk "s3110" "max over aa[i][j] (2-d argmax as keyed max)" @@ fun b ->
+  let i = B.loop b "i" Kernel.Tn2 in
+  let j = B.loop b "j" Kernel.Tn2 in
+  B.reduce b ~init:neg_infinity "max2d" Op.Rmax (ld2 b "aa" i j)
+
+let s3111 =
+  mk "s3111" "if (a[i] > 0) sum += a[i]" @@ fun b ->
+  let i = B.loop b "i" Kernel.Tn in
+  let cond = B.cmp b Op.Gt (ld b "a" i) c0 in
+  B.reduce b "sum" Op.Rsum (B.select b cond (ld b "a" i) c0)
+
+(* Prefix sum: a genuine serial recurrence through memory. *)
+let s3112 =
+  mk "s3112" "sum += a[i]; b[i] = sum (prefix sum)" @@ fun b ->
+  let i = B.loop b ~start:1 "i" Kernel.Tn in
+  let run = B.addf b (ld ~off:(-1) b "b" i) (ld b "a" i) in
+  st b "b" i run
+
+let s3113 =
+  mk "s3113" "max = max(max, |a[i]|)" @@ fun b ->
+  let i = B.loop b "i" Kernel.Tn in
+  B.reduce b ~init:0.0 "maxabs" Op.Rmax (B.absf b (ld b "a" i))
+
+let s31111 =
+  mk "s31111" "sum += a[i] (re-rolled 8-way sum)" @@ fun b ->
+  let i = B.loop b ~step:8 "i" Kernel.Tn in
+  let rec chain off acc =
+    if off = 8 then acc else chain (off + 1) (B.addf b acc (ld ~off b "a" i))
+  in
+  B.reduce b "sum" Op.Rsum (chain 1 (ld b "a" i))
+
+(* --- recurrences -------------------------------------------------------- *)
+
+let s321 =
+  mk "s321" "a[i] += a[i-1]*b[i] (first-order recurrence)" @@ fun b ->
+  let i = B.loop b ~start:1 "i" Kernel.Tn in
+  st b "a" i (B.fma b (ld ~off:(-1) b "a" i) (ld b "b" i) (ld b "a" i))
+
+(* Second-order: distance 2 allows VF = 2 but not more. *)
+let s322 =
+  mk "s322" "a[i] += a[i-1]*b[i] + a[i-2]*c[i] -> distance-2 form" @@ fun b ->
+  let i = B.loop b ~start:2 "i" Kernel.Tn in
+  st b "a" i (B.fma b (ld ~off:(-2) b "a" i) (ld b "b" i) (ld b "a" i))
+
+let s323 =
+  mk "s323" "b[i] = a[i-1] + c[i]*d[i]; a[i] = b[i] + c[i]*e[i] (coupled)" @@ fun b ->
+  let i = B.loop b ~start:1 "i" Kernel.Tn in
+  let b_new = B.fma b (ld b "c" i) (ld b "d" i) (ld ~off:(-1) b "a" i) in
+  st b "b" i b_new;
+  st b "a" i (B.fma b (ld b "c" i) (ld b "e" i) b_new)
+
+(* --- search loops ------------------------------------------------------- *)
+
+let s331 =
+  mk "s331" "if (a[i] < 0) j = i (last negative index)" @@ fun b ->
+  let i = B.loop b "i" Kernel.Tn in
+  let cond = B.cmp b Op.Lt (ld b "a" i) c0 in
+  let key = B.select b cond (fidx b i) (B.cf (-1.0)) in
+  B.reduce b ~init:(-1.0) "last_neg" Op.Rmax key
+
+let s332 =
+  mk "s332" "first index with a[i] > threshold (keyed min)" @@ fun b ->
+  let i = B.loop b "i" Kernel.Tn in
+  let t = B.param b "t" in
+  let cond = B.cmp b Op.Gt (ld b "a" i) t in
+  let key = B.select b cond (fidx b i) (B.cf 1.0e9) in
+  B.reduce b ~init:1.0e9 "first_gt" Op.Rmin key
+
+let all =
+  List.map
+    (fun k -> (Category.Reductions, k))
+    [ s311; s312; s313; s314; s315; s316; s317; s318; s319; s3110; s3111;
+      s3112; s3113; s31111 ]
+  @ List.map (fun k -> (Category.Recurrences, k)) [ s321; s322; s323 ]
+  @ List.map (fun k -> (Category.Search, k)) [ s331; s332 ]

@@ -1,0 +1,118 @@
+(* TSVC: statement reordering (s211..s1213), loop distribution (s221..s222)
+   and loop interchange (s231..s2111). *)
+
+open Vir
+open Helpers
+module B = Builder
+
+(* As written, the backward flow dependence through b blocks widening. *)
+let s211 =
+  mk "s211" "a[i] = b[i-1] + c[i]*d[i]; b[i] = b[i+1] - e[i]" @@ fun b ->
+  let i = B.loop b ~start:1 "i" (Kernel.Tn_minus 1) in
+  st b "a" i (B.fma b (ld b "c" i) (ld b "d" i) (ld ~off:(-1) b "b" i));
+  st b "b" i (B.subf b (ld ~off:1 b "b" i) (ld b "e" i))
+
+let s212 =
+  mk "s212" "a[i] *= c[i]; b[i] += a[i+1]*d[i]" @@ fun b ->
+  let i = B.loop b "i" (Kernel.Tn_minus 1) in
+  st b "a" i (B.mulf b (ld b "a" i) (ld b "c" i));
+  st b "b" i (B.fma b (ld ~off:1 b "a" i) (ld b "d" i) (ld b "b" i))
+
+(* s211 after the reordering a vectorizer would need: store first. *)
+let s1213 =
+  mk "s1213" "b[i] = b[i+1] - e[i]; a[i] = b[i-1] + c[i]*d[i] (reordered s211)"
+  @@ fun b ->
+  let i = B.loop b ~start:1 "i" (Kernel.Tn_minus 1) in
+  st b "b" i (B.subf b (ld ~off:1 b "b" i) (ld b "e" i));
+  st b "a" i (B.fma b (ld b "c" i) (ld b "d" i) (ld ~off:(-1) b "b" i))
+
+(* Distribution would split the recurrence from the parallel statement. *)
+let s221 =
+  mk "s221" "a[i] += c[i]*d[i]; b[i] = b[i-1] + a[i] + d[i]" @@ fun b ->
+  let i = B.loop b ~start:1 "i" Kernel.Tn in
+  let a_new = B.fma b (ld b "c" i) (ld b "d" i) (ld b "a" i) in
+  st b "a" i a_new;
+  st b "b" i (B.addf b (B.addf b (ld ~off:(-1) b "b" i) a_new) (ld b "d" i))
+
+let s222 =
+  mk "s222" "a[i] += b[i]*c[i]; e[i] = e[i-1]*e[i-1]; a[i] -= b[i]*c[i]" @@ fun b ->
+  let i = B.loop b ~start:1 "i" Kernel.Tn in
+  let bc = B.mulf b (ld b "b" i) (ld b "c" i) in
+  st b "a" i (B.addf b (ld b "a" i) bc);
+  let e1 = ld ~off:(-1) b "e" i in
+  st b "e" i (B.mulf b e1 e1);
+  st b "a" i (B.subf b (ld b "a" i) bc)
+
+let s2251 =
+  mk "s2251" "s = b[i] + c[i]*d[i]; a[i] = s*s (expanded temp)" @@ fun b ->
+  let i = B.loop b "i" Kernel.Tn in
+  let s = B.fma b (ld b "c" i) (ld b "d" i) (ld b "b" i) in
+  st b "a" i (B.mulf b s s)
+
+(* Interchanged so the inner direction is dependence-free. *)
+let s231 =
+  mk "s231" "aa[j][i] = aa[j-1][i] + bb[j][i] (inner i)" @@ fun b ->
+  let j = B.loop b ~start:1 "j" Kernel.Tn2 in
+  let i = B.loop b "i" Kernel.Tn2 in
+  st2 b "aa" j i (B.addf b (ld2 ~roff:(-1) b "aa" j i) (ld2 b "bb" j i))
+
+(* True column recurrence: interchange does not help. *)
+let s232 =
+  mk "s232" "aa[j][i] = aa[j][i-1]*aa[j][i-1] + bb[j][i]" @@ fun b ->
+  let j = B.loop b "j" Kernel.Tn2 in
+  let i = B.loop b ~start:1 "i" Kernel.Tn2 in
+  let prev = ld2 ~coff:(-1) b "aa" j i in
+  st2 b "aa" j i (B.fma b prev prev (ld2 b "bb" j i))
+
+let s233 =
+  mk "s233" "aa[j][i] = aa[j-1][i] + cc[j][i]; bb[j][i] = bb[j][i-1] + cc[j][i]"
+  @@ fun b ->
+  let j = B.loop b ~start:1 "j" Kernel.Tn2 in
+  let i = B.loop b ~start:1 "i" Kernel.Tn2 in
+  st2 b "aa" j i (B.addf b (ld2 ~roff:(-1) b "aa" j i) (ld2 b "cc" j i));
+  st2 b "bb" j i (B.addf b (ld2 ~coff:(-1) b "bb" j i) (ld2 b "cc" j i))
+
+let s2233 =
+  mk "s2233" "aa[j][i] = aa[j-1][i] + cc[j][i]; bb[i][j] = bb[i-1][j] + cc[i][j]"
+  @@ fun b ->
+  let j = B.loop b ~start:1 "j" Kernel.Tn2 in
+  let i = B.loop b ~start:1 "i" Kernel.Tn2 in
+  st2 b "aa" j i (B.addf b (ld2 ~roff:(-1) b "aa" j i) (ld2 b "cc" j i));
+  st2 b "bb" i j (B.addf b (ld2 ~roff:(-1) b "bb" i j) (ld2 b "cc" i j))
+
+let s235 =
+  mk "s235" "a[i] += b[i]*c[i]; aa[j][i] = aa[j-1][i] + bb[j][i]*a[i]" @@ fun b ->
+  let j = B.loop b ~start:1 "j" Kernel.Tn2 in
+  let i = B.loop b "i" Kernel.Tn2 in
+  let a_new = B.fma b (ld b "b" i) (ld b "c" i) (ld b "a" i) in
+  st b "a" i a_new;
+  st2 b "aa" j i (B.fma b (ld2 b "bb" j i) a_new (ld2 ~roff:(-1) b "aa" j i))
+
+(* Column-major traversals that interchange would fix: row-strided access. *)
+let s2101 =
+  mk "s2101" "aa[i][i] += b[i]*c[i] (diagonal)" @@ fun b ->
+  let i = B.loop b "i" Kernel.Tn2 in
+  let diag = [ B.ix i; B.ix i ] in
+  B.store b "aa" diag
+    (B.fma b (ld b "b" i) (ld b "c" i) (B.load b "aa" diag))
+
+let s2102 =
+  mk "s2102" "identity matrix: aa[j][i] = (i == j) ? 1 : 0 (column walk)" @@ fun b ->
+  let i = B.loop b "i" Kernel.Tn2 in
+  let j = B.loop b "j" Kernel.Tn2 in
+  let diag = B.cmp b ~ty:Types.I64 Op.Eq i j in
+  st2 b "aa" j i (B.select b diag c1 c0)
+
+let s2111 =
+  mk "s2111" "aa[j][i] = (aa[j][i-1] + aa[j-1][i]) / 1.9 (wavefront)" @@ fun b ->
+  let j = B.loop b ~start:1 "j" Kernel.Tn2 in
+  let i = B.loop b ~start:1 "i" Kernel.Tn2 in
+  let s = B.addf b (ld2 ~coff:(-1) b "aa" j i) (ld2 ~roff:(-1) b "aa" j i) in
+  st2 b "aa" j i (B.divf b s (B.cf 1.9))
+
+let all =
+  List.map (fun k -> (Category.Statement_reordering, k)) [ s211; s212; s1213 ]
+  @ List.map (fun k -> (Category.Loop_distribution, k)) [ s221; s222; s2251 ]
+  @ List.map
+      (fun k -> (Category.Loop_interchange, k))
+      [ s231; s232; s233; s2233; s235; s2101; s2102; s2111 ]

@@ -1,0 +1,129 @@
+(* TSVC: node splitting (s241..s244) and scalar/array expansion
+   (s251..s262). *)
+
+open Vir
+open Helpers
+module B = Builder
+
+let s241 =
+  mk "s241" "a[i] = b[i]*c[i]*d[i]; b[i] = a[i]*a[i+1]*d[i]" @@ fun b ->
+  let i = B.loop b "i" (Kernel.Tn_minus 1) in
+  let a_new = B.mulf b (B.mulf b (ld b "b" i) (ld b "c" i)) (ld b "d" i) in
+  st b "a" i a_new;
+  st b "b" i (B.mulf b (B.mulf b a_new (ld ~off:1 b "a" i)) (ld b "d" i))
+
+let s242 =
+  mk "s242" "a[i] = a[i-1] + s1 + s2 + b[i] + c[i] + d[i]" @@ fun b ->
+  let i = B.loop b ~start:1 "i" Kernel.Tn in
+  let s1 = B.param b "s1" and s2 = B.param b "s2" in
+  let sum =
+    B.addf b
+      (B.addf b
+         (B.addf b (B.addf b (ld ~off:(-1) b "a" i) s1) s2)
+         (B.addf b (ld b "b" i) (ld b "c" i)))
+      (ld b "d" i)
+  in
+  st b "a" i sum
+
+let s243 =
+  mk "s243" "a[i] = b[i] + c[i]*d[i]; b[i] = a[i] + d[i]*e[i]; a[i] = b[i] + a[i+1]*d[i]"
+  @@ fun b ->
+  let i = B.loop b "i" (Kernel.Tn_minus 1) in
+  let a1 = B.fma b (ld b "c" i) (ld b "d" i) (ld b "b" i) in
+  st b "a" i a1;
+  let b1 = B.fma b (ld b "d" i) (ld b "e" i) a1 in
+  st b "b" i b1;
+  st b "a" i (B.fma b (ld ~off:1 b "a" i) (ld b "d" i) b1)
+
+let s244 =
+  mk "s244" "a[i] = b[i] + c[i]*d[i]; b[i] = c[i] + b[i]; a[i+1] = b[i] + a[i+1]*d[i]"
+  @@ fun b ->
+  let i = B.loop b "i" (Kernel.Tn_minus 1) in
+  st b "a" i (B.fma b (ld b "c" i) (ld b "d" i) (ld b "b" i));
+  let b_new = B.addf b (ld b "c" i) (ld b "b" i) in
+  st b "b" i b_new;
+  st ~off:1 b "a" i (B.fma b (ld ~off:1 b "a" i) (ld b "d" i) b_new)
+
+let s251 =
+  mk "s251" "s = b[i] + c[i]*d[i]; a[i] = s*s" @@ fun b ->
+  let i = B.loop b "i" Kernel.Tn in
+  let s = B.fma b (ld b "c" i) (ld b "d" i) (ld b "b" i) in
+  st b "a" i (B.mulf b s s)
+
+(* Loop-carried scalar temp, rewritten by recomputation (scalar expansion). *)
+let s252 =
+  mk "s252" "t = a[i]*b[i]; c[i] = t + s; s = t (recomputed)" @@ fun b ->
+  let i = B.loop b ~start:1 "i" Kernel.Tn in
+  let t = B.mulf b (ld b "a" i) (ld b "b" i) in
+  let s_prev = B.mulf b (ld ~off:(-1) b "a" i) (ld ~off:(-1) b "b" i) in
+  st b "c" i (B.addf b t s_prev)
+
+let s253 =
+  mk "s253" "if (a[i] > b[i]) { s = a[i] - b[i]*d[i]; c[i] += s; a[i] = s }"
+  @@ fun b ->
+  let i = B.loop b "i" Kernel.Tn in
+  let cond = B.cmp b Op.Gt (ld b "a" i) (ld b "b" i) in
+  let s = B.subf b (ld b "a" i) (B.mulf b (ld b "b" i) (ld b "d" i)) in
+  st b "c" i (B.select b cond (B.addf b (ld b "c" i) s) (ld b "c" i));
+  st b "a" i (B.select b cond s (ld b "a" i))
+
+let s254 =
+  mk "s254" "a[i] = (b[i] + x) * 0.5; x = b[i] (carried neighbour)" @@ fun b ->
+  let i = B.loop b ~start:1 "i" Kernel.Tn in
+  st b "a" i (B.mulf b (B.addf b (ld b "b" i) (ld ~off:(-1) b "b" i)) chalf)
+
+let s255 =
+  mk "s255" "a[i] = (b[i] + x + y) * 0.333; y = x; x = b[i] (two-deep carry)"
+  @@ fun b ->
+  let i = B.loop b ~start:2 "i" Kernel.Tn in
+  let s =
+    B.addf b (B.addf b (ld b "b" i) (ld ~off:(-1) b "b" i)) (ld ~off:(-2) b "b" i)
+  in
+  st b "a" i (B.mulf b s (B.cf 0.333))
+
+let s256 =
+  mk "s256" "a[j] = aa[j][i] - a[j-1]; aa[j][i] = a[j] + bb[j][i] (column carry)"
+  @@ fun b ->
+  let i = B.loop b "i" Kernel.Tn2 in
+  let j = B.loop b ~start:1 "j" Kernel.Tn2 in
+  let a_new = B.subf b (ld2 b "aa" j i) (B.load b "a" [ B.ix ~off:(-1) j ]) in
+  B.store b "a" [ B.ix j ] a_new;
+  st2 b "aa" j i (B.addf b a_new (ld2 b "bb" j i))
+
+let s257 =
+  mk "s257" "a[i] = aa[j][i] - a[i-1]; aa[j][i] = a[i] + bb[j][i]" @@ fun b ->
+  let j = B.loop b "j" Kernel.Tn2 in
+  let i = B.loop b ~start:1 "i" Kernel.Tn2 in
+  let a_new = B.subf b (ld2 b "aa" j i) (ld ~off:(-1) b "a" i) in
+  st b "a" i a_new;
+  st2 b "aa" j i (B.addf b a_new (ld2 b "bb" j i))
+
+let s258 =
+  mk "s258" "s = d[i]*d[i] if a[i]>0; b[i] = s*c[i]; e[i] = (s+1)*aa[0][i]"
+  @@ fun b ->
+  let i = B.loop b "i" Kernel.Tn2 in
+  let cond = B.cmp b Op.Gt (ld b "a" i) c0 in
+  let dd = B.mulf b (ld b "d" i) (ld b "d" i) in
+  let s = B.select b cond dd c0 in
+  st b "b" i (B.mulf b s (ld b "c" i));
+  st b "e" i (B.mulf b (B.addf b s c1) (B.load b "aa" [ B.ix_const 0; B.ix i ]))
+
+let s261 =
+  mk "s261" "t = a[i] + b[i]; a[i] = t + c[i-1]; t = c[i]*d[i]; c[i] = t" @@ fun b ->
+  let i = B.loop b ~start:1 "i" Kernel.Tn in
+  let t1 = B.addf b (ld b "a" i) (ld b "b" i) in
+  st b "a" i (B.addf b t1 (ld ~off:(-1) b "c" i));
+  st b "c" i (B.mulf b (ld b "c" i) (ld b "d" i))
+
+let s262 =
+  mk "s262" "a[i] = b[i] + c[i]*d[i]; b[i] = a[i] + d[i] (forward only)" @@ fun b ->
+  let i = B.loop b "i" Kernel.Tn in
+  let a_new = B.fma b (ld b "c" i) (ld b "d" i) (ld b "b" i) in
+  st b "a" i a_new;
+  st b "b" i (B.addf b a_new (ld b "d" i))
+
+let all =
+  List.map (fun k -> (Category.Node_splitting, k)) [ s241; s242; s243; s244 ]
+  @ List.map
+      (fun k -> (Category.Expansion, k))
+      [ s251; s252; s253; s254; s255; s256; s257; s258; s261; s262 ]

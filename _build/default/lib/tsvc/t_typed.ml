@@ -1,0 +1,108 @@
+(* Typed variants of the basic patterns: f64 and i32 clones, used by the
+   type-coverage extension experiment (the paper's "cover all instruction
+   types" next step).  These are NOT part of the canonical 151; the registry
+   exposes them separately. *)
+
+open Vir
+open Helpers
+module B = Builder
+
+let f64 = Types.F64
+let i32 = Types.I32
+
+let ld64 ?(off = 0) b arr i = B.load b ~ty:f64 arr [ B.ix ~off i ]
+let st64 b arr i v = B.store b ~ty:f64 arr [ B.ix i ] v
+let ld32 b arr i = B.load b ~ty:i32 arr [ B.ix i ]
+let st32 b arr i v = B.store b ~ty:i32 arr [ B.ix i ] v
+
+let s000_f64 =
+  mk "s000_f64" "double: a[i] = b[i] + 1" @@ fun b ->
+  let i = B.loop b "i" Kernel.Tn in
+  st64 b "a" i (B.bin b f64 Op.Add (ld64 b "b" i) (B.cf 1.0))
+
+let va_f64 =
+  mk "va_f64" "double: a[i] = b[i]" @@ fun b ->
+  let i = B.loop b "i" Kernel.Tn in
+  st64 b "a" i (ld64 b "b" i)
+
+let vtv_f64 =
+  mk "vtv_f64" "double: a[i] *= b[i]" @@ fun b ->
+  let i = B.loop b "i" Kernel.Tn in
+  st64 b "a" i (B.bin b f64 Op.Mul (ld64 b "a" i) (ld64 b "b" i))
+
+let vsumr_f64 =
+  mk "vsumr_f64" "double: sum += a[i]" @@ fun b ->
+  let i = B.loop b "i" Kernel.Tn in
+  B.reduce b ~ty:f64 "sum" Op.Rsum (ld64 b "a" i)
+
+let vdotr_f64 =
+  mk "vdotr_f64" "double: dot += a[i]*b[i]" @@ fun b ->
+  let i = B.loop b "i" Kernel.Tn in
+  B.reduce b ~ty:f64 "dot" Op.Rsum
+    (B.bin b f64 Op.Mul (ld64 b "a" i) (ld64 b "b" i))
+
+let s451_f64 =
+  mk "s451_f64" "double: a[i] = sqrt(b[i]) + c[i]*d[i]" @@ fun b ->
+  let i = B.loop b "i" Kernel.Tn in
+  let root = B.una b f64 Op.Sqrt (ld64 b "b" i) in
+  st64 b "a" i (B.fma b ~ty:f64 (ld64 b "c" i) (ld64 b "d" i) root)
+
+let s127_f64 =
+  mk "s127_f64" "double: paired strided stores" @@ fun b ->
+  let i = B.loop b "i" (Kernel.Tn_div 2) in
+  B.store b ~ty:f64 "a" [ B.ix ~scale:2 i ]
+    (B.bin b f64 Op.Add (ld64 b "b" i) (ld64 b "c" i));
+  B.store b ~ty:f64 "a" [ B.ix ~scale:2 ~off:1 i ]
+    (B.bin b f64 Op.Sub (ld64 b "b" i) (ld64 b "c" i))
+
+let vag_f64 =
+  mk "vag_f64" "double: a[i] = b[ip[i]]" @@ fun b ->
+  let i = B.loop b "i" Kernel.Tn in
+  st64 b "a" i (B.load_ix b ~ty:f64 "b" (ldx b "ip" i))
+
+let s314_f64 =
+  mk "s314_f64" "double: x = max(x, a[i])" @@ fun b ->
+  let i = B.loop b "i" Kernel.Tn in
+  B.reduce b ~ty:f64 ~init:neg_infinity "max" Op.Rmax (ld64 b "a" i)
+
+let s1112_f64 =
+  mk "s1112_f64" "double: reversed a[i] = b[i] + 1" @@ fun b ->
+  let i = B.loop b "i" Kernel.Tn in
+  B.store b ~ty:f64 "a" [ B.ix_rev i ]
+    (B.bin b f64 Op.Add (B.load b ~ty:f64 "b" [ B.ix_rev i ]) (B.cf 1.0))
+
+let va_i32 =
+  mk "va_i32" "int: a[i] = b[i]" @@ fun b ->
+  let i = B.loop b "i" Kernel.Tn in
+  st32 b "a" i (ld32 b "b" i)
+
+let vpv_i32 =
+  mk "vpv_i32" "int: a[i] += b[i]" @@ fun b ->
+  let i = B.loop b "i" Kernel.Tn in
+  st32 b "a" i (B.addi b (ld32 b "a" i) (ld32 b "b" i))
+
+let vtv_i32 =
+  mk "vtv_i32" "int: a[i] *= b[i]" @@ fun b ->
+  let i = B.loop b "i" Kernel.Tn in
+  st32 b "a" i (B.muli b (ld32 b "a" i) (ld32 b "b" i))
+
+let vbits_i32 =
+  mk "vbits_i32" "int: a[i] = (b[i] & c[i]) | (b[i] ^ c[i]) << 1" @@ fun b ->
+  let i = B.loop b "i" Kernel.Tn in
+  let x = ld32 b "b" i and y = ld32 b "c" i in
+  let band = B.bin b i32 Op.And x y in
+  let bxor = B.bin b i32 Op.Xor x y in
+  let shifted = B.bin b i32 Op.Shl bxor (B.ci 1) in
+  st32 b "a" i (B.bin b i32 Op.Or band shifted)
+
+let vsumr_i32 =
+  mk "vsumr_i32" "int: sum += a[i]" @@ fun b ->
+  let i = B.loop b "i" Kernel.Tn in
+  B.reduce b ~ty:i32 "sum" Op.Rsum (ld32 b "a" i)
+
+let all =
+  List.map
+    (fun k -> (Category.Vector_basics, k))
+    [ s000_f64; va_f64; vtv_f64; vsumr_f64; vdotr_f64; s451_f64; s127_f64;
+      vag_f64; s314_f64; s1112_f64; va_i32; vpv_i32; vtv_i32; vbits_i32;
+      vsumr_i32 ]

@@ -1,0 +1,4 @@
+(** Typed (f64 / i32) variants of basic patterns; not part of the canonical
+    151, exposed via {!Registry.typed_extension}. *)
+
+val all : (Category.t * Vir.Kernel.t) list

@@ -1,0 +1,1 @@
+lib/vect/emit.ml: Array Buffer Format Instr Kernel List Op Pp Printf String Types Vinstr Vir

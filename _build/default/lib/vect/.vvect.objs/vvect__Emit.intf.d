@@ -1,0 +1,1 @@
+lib/vect/emit.mli: Vinstr Vir

@@ -1,0 +1,1 @@
+lib/vect/interchange.ml: Instr Kernel List Printf String Vdeps Vir

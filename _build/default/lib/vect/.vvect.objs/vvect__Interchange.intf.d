@@ -1,0 +1,1 @@
+lib/vect/interchange.mli: Vir

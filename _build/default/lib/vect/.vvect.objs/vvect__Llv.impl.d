@@ -1,0 +1,1 @@
+lib/vect/llv.ml: Array Instr Kernel List Printf String Types Vdeps Vinstr Vir

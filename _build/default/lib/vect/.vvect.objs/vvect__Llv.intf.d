@@ -1,0 +1,1 @@
+lib/vect/llv.mli: Vdeps Vinstr Vir

@@ -1,0 +1,1 @@
+lib/vect/slp.mli: Vinstr Vir

@@ -1,0 +1,1 @@
+lib/vect/unroll.ml: Array Instr Kernel List Op Printf String Types Vir

@@ -1,0 +1,1 @@
+lib/vect/unroll.mli: Vir

@@ -1,0 +1,1 @@
+lib/vect/vexec.ml: Array Instr Kernel List Printf Types Vinstr Vinterp Vir

@@ -1,0 +1,1 @@
+lib/vect/vexec.mli: Vinstr Vinterp

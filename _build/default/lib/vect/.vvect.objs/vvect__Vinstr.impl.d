@@ -1,0 +1,1 @@
+lib/vect/vinstr.ml: Array Instr Kernel List Op Printf Types Vir

@@ -1,0 +1,1 @@
+lib/vect/vinstr.mli: Instr Kernel Op Types Vir

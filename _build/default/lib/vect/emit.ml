@@ -1,0 +1,264 @@
+(* Pseudo-assembly rendering of scalar and vectorized kernels, in a NEON or
+   AVX2 flavour.  This is a presentation layer (register allocation is
+   1:1 with SSA positions, addressing is symbolic), meant for inspecting
+   what the vectorizer produced — the moral equivalent of -S. *)
+
+open Vir
+
+type style = Neon | Avx
+
+let style_name = function Neon -> "neon" | Avx -> "avx2"
+
+(* Lane suffix for a full vector of the element type. *)
+let neon_arr ~vf ty =
+  match ty with
+  | Types.F32 | Types.I32 -> Printf.sprintf "%ds" vf
+  | Types.F64 | Types.I64 -> Printf.sprintf "%dd" vf
+
+let avx_suffix ty =
+  match ty with
+  | Types.F32 -> "ps"
+  | Types.F64 -> "pd"
+  | Types.I32 -> "d"
+  | Types.I64 -> "q"
+
+let binop_mnemonic style ty (op : Op.binop) =
+  let fp = Types.is_float ty in
+  let neon = function
+    | Op.Add -> if fp then "fadd" else "add"
+    | Op.Sub -> if fp then "fsub" else "sub"
+    | Op.Mul -> if fp then "fmul" else "mul"
+    | Op.Div -> if fp then "fdiv" else "sdiv"
+    | Op.Rem -> "srem"
+    | Op.Min -> if fp then "fmin" else "smin"
+    | Op.Max -> if fp then "fmax" else "smax"
+    | Op.And -> "and"
+    | Op.Or -> "orr"
+    | Op.Xor -> "eor"
+    | Op.Shl -> "shl"
+    | Op.Shr -> "sshr"
+  in
+  let avx = function
+    | Op.Add -> if fp then "vadd" else "vpadd"
+    | Op.Sub -> if fp then "vsub" else "vpsub"
+    | Op.Mul -> if fp then "vmul" else "vpmull"
+    | Op.Div -> "vdiv"
+    | Op.Rem -> "vrem"
+    | Op.Min -> if fp then "vmin" else "vpmins"
+    | Op.Max -> if fp then "vmax" else "vpmaxs"
+    | Op.And -> "vpand"
+    | Op.Or -> "vpor"
+    | Op.Xor -> "vpxor"
+    | Op.Shl -> "vpsll"
+    | Op.Shr -> "vpsra"
+  in
+  match style with Neon -> neon op | Avx -> avx op ^ avx_suffix ty
+
+let unop_mnemonic style ty (op : Op.unop) =
+  match (style, op) with
+  | Neon, Op.Neg -> if Types.is_float ty then "fneg" else "neg"
+  | Neon, Op.Abs -> if Types.is_float ty then "fabs" else "abs"
+  | Neon, Op.Sqrt -> "fsqrt"
+  | Neon, Op.Not -> "mvn"
+  | Avx, Op.Neg -> "vxorsign"
+  | Avx, Op.Abs -> "vandabs"
+  | Avx, Op.Sqrt -> "vsqrt" ^ avx_suffix ty
+  | Avx, Op.Not -> "vpnot"
+
+let operand_str = function
+  | Instr.Reg r -> Printf.sprintf "s%d" r
+  | Instr.Index v -> v
+  | Instr.Param p -> p
+  | Instr.Imm_int i -> Printf.sprintf "#%d" i
+  | Instr.Imm_float f -> Printf.sprintf "#%g" f
+
+let addr_str = function
+  | Instr.Affine { arr; dims } ->
+      let dim_str (d : Instr.dim) = Format.asprintf "%a" Pp.dim d in
+      Printf.sprintf "%s[%s]" arr (String.concat "][" (List.map dim_str dims))
+  | Instr.Indirect { arr; idx } ->
+      Printf.sprintf "%s[%s]" arr (operand_str idx)
+
+(* --- scalar ------------------------------------------------------------- *)
+
+let scalar_line style pos (i : Instr.t) =
+  let reg r = Printf.sprintf "s%d" r in
+  let op = operand_str in
+  match i with
+  | Instr.Bin { ty; op = o; a; b } ->
+      Printf.sprintf "  %-8s %s, %s, %s" (binop_mnemonic style ty o) (reg pos)
+        (op a) (op b)
+  | Instr.Una { ty; op = o; a } ->
+      Printf.sprintf "  %-8s %s, %s" (unop_mnemonic style ty o) (reg pos) (op a)
+  | Instr.Fma { a; b; c; _ } ->
+      Printf.sprintf "  %-8s %s, %s, %s, %s"
+        (match style with Neon -> "fmadd" | Avx -> "vfmadd213ss")
+        (reg pos) (op a) (op b) (op c)
+  | Instr.Cmp { ty; op = o; a; b } ->
+      Printf.sprintf "  %-8s %s, %s, %s  ; %s"
+        (match style with Neon -> "fcmp" | Avx -> "vcmpss")
+        (reg pos) (op a) (op b) (Op.cmpop_to_string o)
+      |> fun s -> ignore ty; s
+  | Instr.Select { cond; if_true; if_false; _ } ->
+      Printf.sprintf "  %-8s %s, %s, %s, %s"
+        (match style with Neon -> "fcsel" | Avx -> "vblendvss")
+        (reg pos) (op if_true) (op if_false) (op cond)
+  | Instr.Load { addr; _ } ->
+      Printf.sprintf "  %-8s %s, %s"
+        (match style with Neon -> "ldr" | Avx -> "movss")
+        (reg pos) (addr_str addr)
+  | Instr.Store { addr; src; _ } ->
+      Printf.sprintf "  %-8s %s, %s"
+        (match style with Neon -> "str" | Avx -> "movss")
+        (op src) (addr_str addr)
+  | Instr.Cast { dst_ty; a; _ } ->
+      Printf.sprintf "  %-8s %s, %s  ; -> %s"
+        (match style with Neon -> "scvtf" | Avx -> "vcvtsi2ss")
+        (reg pos) (op a) (Types.to_string dst_ty)
+
+let scalar ?(style = Neon) (k : Kernel.t) =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    (Printf.sprintf "; %s — scalar (%s flavour)\n" k.Kernel.name
+       (style_name style));
+  List.iter
+    (fun (l : Kernel.loop) ->
+      Buffer.add_string buf
+        (Format.asprintf ".loop_%s:  ; %a\n" l.Kernel.var Pp.loop l))
+    k.loops;
+  List.iteri
+    (fun pos i -> Buffer.add_string buf (scalar_line style pos i ^ "\n"))
+    k.body;
+  List.iter
+    (fun (r : Kernel.reduction) ->
+      Buffer.add_string buf
+        (Printf.sprintf "  %-8s acc_%s, acc_%s, %s\n"
+           (Op.redop_to_string r.red_op) r.red_name r.red_name
+           (operand_str r.red_src)))
+    k.reductions;
+  Buffer.add_string buf "  b.lt    .loop\n";
+  Buffer.contents buf
+
+(* --- vector -------------------------------------------------------------- *)
+
+let vreg style pos =
+  match style with
+  | Neon -> Printf.sprintf "v%d" pos
+  | Avx -> Printf.sprintf "ymm%d" pos
+
+let voperand_str style = function
+  | Vinstr.V r -> vreg style r
+  | Vinstr.Splat o -> Printf.sprintf "%s(splat)" (operand_str o)
+
+let vector_line style ~vf pos (vi : Vinstr.t) =
+  let vr = vreg style in
+  let vo = voperand_str style in
+  let lane ty = match style with Neon -> "." ^ neon_arr ~vf ty | Avx -> "" in
+  match vi with
+  | Vinstr.Vbin { ty; op; a; b } ->
+      Printf.sprintf "  %-10s %s%s, %s, %s" (binop_mnemonic style ty op)
+        (vr pos) (lane ty) (vo a) (vo b)
+  | Vinstr.Vuna { ty; op; a } ->
+      Printf.sprintf "  %-10s %s%s, %s" (unop_mnemonic style ty op) (vr pos)
+        (lane ty) (vo a)
+  | Vinstr.Vfma { ty; a; b; c } ->
+      Printf.sprintf "  %-10s %s%s, %s, %s, %s"
+        (match style with Neon -> "fmla" | Avx -> "vfmadd231" ^ avx_suffix ty)
+        (vr pos) (lane ty) (vo a) (vo b) (vo c)
+  | Vinstr.Vcmp { ty; op; a; b } ->
+      Printf.sprintf "  %-10s %s%s, %s, %s  ; %s"
+        (match style with Neon -> "fcmgt" | Avx -> "vcmp" ^ avx_suffix ty)
+        (vr pos) (lane ty) (vo a) (vo b) (Op.cmpop_to_string op)
+  | Vinstr.Vselect { ty; cond; if_true; if_false } ->
+      Printf.sprintf "  %-10s %s%s, %s, %s, %s"
+        (match style with Neon -> "bsl" | Avx -> "vblendv" ^ avx_suffix ty)
+        (vr pos) (lane ty) (vo cond) (vo if_true) (vo if_false)
+  | Vinstr.Viota { ty } ->
+      Printf.sprintf "  %-10s %s%s, index_vector" "mov" (vr pos) (lane ty)
+  | Vinstr.Vload { ty; arr; dims; access } -> (
+      let a = addr_str (Instr.Affine { arr; dims }) in
+      match access with
+      | Vinstr.Contig ->
+          Printf.sprintf "  %-10s {%s%s}, %s"
+            (match style with Neon -> "ld1" | Avx -> "vmovups")
+            (vr pos) (lane ty) a
+      | Vinstr.Rev ->
+          Printf.sprintf "  %-10s {%s%s}, %s  ; + rev64"
+            (match style with Neon -> "ld1" | Avx -> "vmovups+vperm")
+            (vr pos) (lane ty) a
+      | Vinstr.Strided s ->
+          Printf.sprintf "  %-10s {%s%s}, %s  ; stride %d"
+            (match style with Neon -> Printf.sprintf "ld%d" (min 4 (abs s)) | Avx -> "vgather(strided)")
+            (vr pos) (lane ty) a s
+      | Vinstr.Row ->
+          Printf.sprintf "  ; %s: scalarized row-stride load into %s (%d lanes)"
+            a (vr pos) vf)
+  | Vinstr.Vstore { ty; arr; dims; access; src } -> (
+      let a = addr_str (Instr.Affine { arr; dims }) in
+      match access with
+      | Vinstr.Contig ->
+          Printf.sprintf "  %-10s {%s%s}, %s"
+            (match style with Neon -> "st1" | Avx -> "vmovups")
+            (voperand_str style src) (lane ty) a
+      | Vinstr.Rev ->
+          Printf.sprintf "  %-10s {%s%s}, %s  ; + rev64"
+            (match style with Neon -> "st1" | Avx -> "vmovups+vperm")
+            (voperand_str style src) (lane ty) a
+      | Vinstr.Strided s ->
+          Printf.sprintf "  %-10s {%s%s}, %s  ; stride %d"
+            (match style with Neon -> Printf.sprintf "st%d" (min 4 (abs s)) | Avx -> "vscatter(strided)")
+            (voperand_str style src) (lane ty) a s
+      | Vinstr.Row ->
+          Printf.sprintf "  ; %s: scalarized row-stride store from %s (%d lanes)"
+            a (voperand_str style src) vf)
+  | Vinstr.Vgather { arr; idx; _ } -> (
+      match style with
+      | Neon ->
+          Printf.sprintf "  ; gather %s[%s] -> %s: %d scalar ldr + ins" arr
+            (vo idx) (vr pos) vf
+      | Avx ->
+          Printf.sprintf "  %-10s %s, %s[%s]" "vgatherdps" (vr pos) arr (vo idx))
+  | Vinstr.Vscatter { arr; idx; src; _ } ->
+      Printf.sprintf "  ; scatter %s -> %s[%s]: %d scalar str" (vo src) arr
+        (vo idx) vf
+  | Vinstr.Vcast { dst_ty; a; _ } ->
+      Printf.sprintf "  %-10s %s, %s  ; -> %s"
+        (match style with Neon -> "scvtf" | Avx -> "vcvtdq2ps")
+        (vr pos) (vo a) (Types.to_string dst_ty)
+  | Vinstr.Vpack { srcs; _ } ->
+      Printf.sprintf "  %-10s %s, {%s}" "ins*" (vr pos)
+        (String.concat ", " (Array.to_list (Array.map operand_str srcs)))
+  | Vinstr.Vextract { src; lane; _ } ->
+      Printf.sprintf "  %-10s s%d, %s[%d]"
+        (match style with Neon -> "mov" | Avx -> "vextract")
+        pos (vo src) lane
+  | Vinstr.Sc { copy; instr } ->
+      Printf.sprintf "%s  ; scalar copy %d" (scalar_line style pos instr) copy
+
+let vector ?(style = Neon) (vk : Vinstr.vkernel) =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf "; %s — vectorized VF %d, %s (%s flavour)\n"
+       vk.Vinstr.scalar.Kernel.name vk.Vinstr.vf
+       (match vk.Vinstr.source with
+       | Vinstr.Src_llv -> "loop vectorizer"
+       | Vinstr.Src_slp -> "SLP")
+       (style_name style));
+  Buffer.add_string buf ".vloop:\n";
+  List.iteri
+    (fun pos vi ->
+      Buffer.add_string buf (vector_line style ~vf:vk.Vinstr.vf pos vi ^ "\n"))
+    vk.Vinstr.vbody;
+  List.iter
+    (fun (r : Vinstr.vreduction) ->
+      Buffer.add_string buf
+        (Printf.sprintf "  %-10s vacc_%s, vacc_%s, %s\n"
+           (Op.redop_to_string r.Vinstr.vr_op)
+           r.Vinstr.vr_name r.Vinstr.vr_name
+           (voperand_str style r.Vinstr.vr_src)))
+    vk.Vinstr.vreductions;
+  Buffer.add_string buf "  b.lt      .vloop\n";
+  if vk.Vinstr.vreductions <> [] then
+    Buffer.add_string buf "  ; horizontal reduction of vacc_* lanes\n";
+  Buffer.add_string buf "  ; scalar epilogue for trailing iterations\n";
+  Buffer.contents buf

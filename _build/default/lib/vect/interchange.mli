@@ -1,0 +1,22 @@
+(** Loop interchange for 2-level perfect nests, with direction-vector
+    legality (refuses anything the separable strong-SIV test cannot
+    prove). *)
+
+type error =
+  | Not_two_level
+  | Imperfect of string
+  | Illegal_direction of string
+
+val error_to_string : error -> string
+
+(** Conservative distance vectors [(array, d_outer, d_inner)] of every
+    loop-carried dependence. *)
+val distance_vectors :
+  Vir.Kernel.t -> ((string * int * int) list, error) result
+
+val legal : Vir.Kernel.t -> (unit, error) result
+val apply : Vir.Kernel.t -> (Vir.Kernel.t, error) result
+
+(** When the nest only vectorizes after interchange, return the interchanged
+    kernel. *)
+val enable_vectorization : Vir.Kernel.t -> Vir.Kernel.t option

@@ -1,0 +1,153 @@
+(* Loop-level vectorization (LLV): strip-mine the innermost loop by VF and
+   widen every body instruction to VF lanes, preserving statement order.
+   Mirrors LLVM's loop vectorizer with unrolling/interleaving disabled, the
+   configuration the paper's ARM experiments use.
+
+   Legality comes from [Vdeps.Dependence]; the transformation itself then
+   only needs to pick the wide form of each access:
+     stride  1  -> one wide load/store
+     stride -1  -> wide access + lane reversal
+     stride  s  -> interleaved/strided access
+     column walk-> row-strided access
+     indirect   -> gather / scatter
+   Loop-invariant scalars are broadcast; uses of the induction variable
+   become an iota vector; reductions get per-lane accumulators combined
+   horizontally after the loop. *)
+
+open Vir
+
+type error =
+  | Not_legal of Vdeps.Dependence.vf_limit
+  | Invariant_store of int  (* body position storing to a fixed location *)
+  | Bad_vf of int
+
+let error_to_string = function
+  | Not_legal (Vdeps.Dependence.Max_vf m) ->
+      Printf.sprintf "loop-carried dependence limits VF to %d" m
+  | Not_legal Vdeps.Dependence.Unlimited -> "unexpected legality failure"
+  | Invariant_store p ->
+      Printf.sprintf "instruction %d stores to a loop-invariant address" p
+  | Bad_vf vf -> Printf.sprintf "invalid vectorization factor %d" vf
+
+type width = Wvec | Wscalar
+
+let vectorize ~vf ?(ic = 1) (k : Kernel.t) : (Vinstr.vkernel, error) result =
+  if vf < 2 || ic < 1 then Error (Bad_vf vf)
+  else if not (Vdeps.Dependence.legal_for_vf k (vf * ic)) then
+    (* Interleaving groups statements across ic sub-blocks, so legality is
+       checked at the full vf*ic span. *)
+    Error (Not_legal (Vdeps.Dependence.vf_limit k))
+  else begin
+    let inner = Kernel.innermost k in
+    let vbody = ref [] in
+    let count = ref 0 in
+    let emit vi =
+      vbody := vi :: !vbody;
+      let p = !count in
+      incr count;
+      p
+    in
+    let vmap = Array.make (List.length k.body) (-1, Wscalar) in
+    let iota = ref None in
+    let get_iota () =
+      match !iota with
+      | Some p -> p
+      | None ->
+          let p = emit (Vinstr.Viota { ty = Types.I64 }) in
+          iota := Some p;
+          p
+    in
+    let convert (op : Instr.operand) : Vinstr.voperand =
+      match op with
+      | Instr.Reg r -> (
+          match vmap.(r) with
+          | p, Wvec -> Vinstr.V p
+          | p, Wscalar -> Vinstr.Splat (Instr.Reg p))
+      | Instr.Index v when String.equal v inner.var -> Vinstr.V (get_iota ())
+      | Instr.Index _ | Instr.Param _ | Instr.Imm_int _ | Instr.Imm_float _ ->
+          Vinstr.Splat op
+    in
+    let classify addr =
+      match Kernel.access_stride k addr with
+      | Kernel.Sconst 0 -> None (* loop-invariant location *)
+      | Kernel.Sconst 1 -> Some Vinstr.Contig
+      | Kernel.Sconst -1 -> Some Vinstr.Rev
+      | Kernel.Sconst s -> Some (Vinstr.Strided s)
+      | Kernel.Srow _ -> Some Vinstr.Row
+      | Kernel.Sindirect -> invalid_arg "classify: indirect"
+    in
+    let failure = ref None in
+    List.iteri
+      (fun pos instr ->
+        if !failure = None then
+          let widen =
+            match instr with
+            | Instr.Bin { ty; op; a; b } ->
+                Some (Vinstr.Vbin { ty; op; a = convert a; b = convert b })
+            | Instr.Una { ty; op; a } -> Some (Vinstr.Vuna { ty; op; a = convert a })
+            | Instr.Fma { ty; a; b; c } ->
+                Some (Vinstr.Vfma { ty; a = convert a; b = convert b; c = convert c })
+            | Instr.Cmp { ty; op; a; b } ->
+                Some (Vinstr.Vcmp { ty; op; a = convert a; b = convert b })
+            | Instr.Select { ty; cond; if_true; if_false } ->
+                Some
+                  (Vinstr.Vselect
+                     { ty; cond = convert cond; if_true = convert if_true;
+                       if_false = convert if_false })
+            | Instr.Cast { src_ty; dst_ty; a } ->
+                Some (Vinstr.Vcast { src_ty; dst_ty; a = convert a })
+            | Instr.Load { ty; addr = Instr.Indirect { arr; idx } } ->
+                Some (Vinstr.Vgather { ty; arr; idx = convert idx })
+            | Instr.Load { ty; addr = Instr.Affine { arr; dims } as addr } -> (
+                match classify addr with
+                | Some access -> Some (Vinstr.Vload { ty; arr; dims; access })
+                | None ->
+                    (* Invariant load: keep it scalar, splat at the uses. *)
+                    let p =
+                      emit (Vinstr.Sc { copy = 0; instr })
+                    in
+                    vmap.(pos) <- (p, Wscalar);
+                    None)
+            | Instr.Store { ty; addr = Instr.Indirect { arr; idx }; src } ->
+                Some
+                  (Vinstr.Vscatter { ty; arr; idx = convert idx; src = convert src })
+            | Instr.Store { ty; addr = Instr.Affine { arr; dims } as addr; src }
+              -> (
+                match classify addr with
+                | Some access ->
+                    Some (Vinstr.Vstore { ty; arr; dims; access; src = convert src })
+                | None ->
+                    failure := Some (Invariant_store pos);
+                    None)
+          in
+          match widen with
+          | Some vi ->
+              let p = emit vi in
+              vmap.(pos) <- (p, Wvec)
+          | None -> ())
+      k.body;
+    match !failure with
+    | Some e -> Error e
+    | None ->
+        let vreductions =
+          List.map
+            (fun (r : Kernel.reduction) ->
+              {
+                Vinstr.vr_name = r.red_name;
+                vr_ty = r.red_ty;
+                vr_op = r.red_op;
+                vr_src = convert r.red_src;
+                vr_init = r.red_init;
+              })
+            k.reductions
+        in
+        Ok
+          {
+            Vinstr.scalar = k;
+            vf;
+            ic;
+            vbody = List.rev !vbody;
+            vreductions;
+            source = Vinstr.Src_llv;
+          }
+  end

@@ -1,0 +1,16 @@
+(** Loop-level vectorization: widen the innermost loop by VF, preserving
+    statement order (LLVM's loop vectorizer with interleaving disabled). *)
+
+type error =
+  | Not_legal of Vdeps.Dependence.vf_limit
+  | Invariant_store of int
+  | Bad_vf of int
+
+val error_to_string : error -> string
+
+(** Vectorize a kernel at the given factor; [ic] interleaves that many
+    sub-blocks (independent accumulators) per iteration, checked for
+    legality at the full [vf*ic] span.  Fails when the dependence analysis
+    forbids the width or the body stores to a loop-invariant address. *)
+val vectorize :
+  vf:int -> ?ic:int -> Vir.Kernel.t -> (Vinstr.vkernel, error) result

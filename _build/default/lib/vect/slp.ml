@@ -1,0 +1,234 @@
+(* Superword-level parallelism (SLP): vectorize the innermost loop body as if
+   it had been unrolled VF times, packing isomorphic instruction groups that
+   root at contiguous stores.  Non-contiguous memory accesses are scalarized
+   (VF scalar copies) and joined to the packed world through explicit
+   [Vpack]/[Vextract] instructions, which is how LLVM's SLP pass costs them.
+   This is the configuration of the paper's x86 study ("SLP vectorization
+   applied after loop unrolling").
+
+   Emission walks the body strictly in original statement order, so the
+   legality criterion shared with LLV applies unchanged. *)
+
+open Vir
+
+type error = Not_legal | No_seed | Has_reductions | Bad_vf of int
+
+let error_to_string = function
+  | Not_legal -> "loop-carried dependence forbids packing"
+  | No_seed -> "no contiguous store to seed a pack tree"
+  | Has_reductions -> "loop-carried reductions are not SLP seeds"
+  | Bad_vf vf -> Printf.sprintf "invalid pack width %d" vf
+
+type mode = Packed | Scalarized | Invariant
+
+let vectorize ~vf (k : Kernel.t) : (Vinstr.vkernel, error) result =
+  if vf < 2 then Error (Bad_vf vf)
+  else if k.reductions <> [] then Error Has_reductions
+  else if not (Vdeps.Dependence.legal_for_vf k vf) then Error Not_legal
+  else begin
+    let body = Array.of_list k.body in
+    let nbody = Array.length body in
+    let inner = Kernel.innermost k in
+    (* --- demand analysis -------------------------------------------- *)
+    let dv = Array.make nbody false (* wanted as a vector *) in
+    let ds = Array.make nbody false (* wanted as per-copy scalars *) in
+    let mode = Array.make nbody Scalarized in
+    let stride pos =
+      match body.(pos) with
+      | Instr.Load { addr; _ } | Instr.Store { addr; _ } ->
+          Some (Kernel.access_stride k addr)
+      | _ -> None
+    in
+    let any_packed_store = ref false in
+    (* Seed demands from the stores. *)
+    Array.iteri
+      (fun pos instr ->
+        match instr with
+        | Instr.Store { src; _ } -> (
+            match stride pos with
+            | Some (Kernel.Sconst 1) ->
+                mode.(pos) <- Packed;
+                any_packed_store := true;
+                (match src with Instr.Reg r -> dv.(r) <- true | _ -> ())
+            | _ ->
+                mode.(pos) <- Scalarized;
+                List.iter
+                  (function Instr.Reg r -> ds.(r) <- true | _ -> ())
+                  (Instr.operands instr))
+        | _ -> ())
+      body;
+    if not !any_packed_store then Error No_seed
+    else begin
+      (* Backwards propagation decides each position's mode. *)
+      for pos = nbody - 1 downto 0 do
+        let instr = body.(pos) in
+        if dv.(pos) then begin
+          match instr with
+          | Instr.Bin _ | Instr.Una _ | Instr.Fma _ | Instr.Cmp _
+          | Instr.Select _ | Instr.Cast _ ->
+              mode.(pos) <- Packed;
+              List.iter
+                (function Instr.Reg r -> dv.(r) <- true | _ -> ())
+                (Instr.operands instr)
+          | Instr.Load _ -> (
+              match stride pos with
+              | Some (Kernel.Sconst 1) -> mode.(pos) <- Packed
+              | Some (Kernel.Sconst 0) -> mode.(pos) <- Invariant
+              | _ ->
+                  (* Reversed/strided/column/gather loads: VF scalar loads
+                     packed into a vector. *)
+                  mode.(pos) <- Scalarized;
+                  List.iter
+                    (function Instr.Reg r -> ds.(r) <- true | _ -> ())
+                    (Instr.operands instr))
+          | Instr.Store _ -> ()
+        end;
+        if ds.(pos) then begin
+          (match instr with
+          | Instr.Store _ -> ()
+          | _ when dv.(pos) && mode.(pos) = Packed ->
+              (* Vector consumers keep it packed; scalar consumers will
+                 extract lanes. *)
+              ()
+          | _ -> mode.(pos) <- if mode.(pos) = Packed then Packed else Scalarized);
+          if mode.(pos) = Scalarized then
+            List.iter
+              (function Instr.Reg r -> ds.(r) <- true | _ -> ())
+              (Instr.operands instr)
+        end
+      done;
+      (* --- emission ---------------------------------------------------- *)
+      let vbody = ref [] in
+      let count = ref 0 in
+      let emit vi =
+        vbody := vi :: !vbody;
+        let p = !count in
+        incr count;
+        p
+      in
+      let vec_pos = Array.make nbody (-1) in
+      let sca_pos = Array.make_matrix vf nbody (-1) in
+      let ext_pos = Array.make_matrix vf nbody (-1) in
+      let iota = ref None in
+      let get_iota () =
+        match !iota with
+        | Some p -> p
+        | None ->
+            let p = emit (Vinstr.Viota { ty = Types.I64 }) in
+            iota := Some p;
+            p
+      in
+      (* Scalar operand for copy [c]; emits a lane extract when the producer
+         is packed. *)
+      let scalar_operand c (op : Instr.operand) : Instr.operand =
+        match op with
+        | Instr.Reg r -> (
+            match mode.(r) with
+            | Scalarized -> Instr.Reg sca_pos.(c).(r)
+            | Invariant -> Instr.Reg sca_pos.(0).(r)
+            | Packed ->
+                if ext_pos.(c).(r) < 0 then begin
+                  let ty =
+                    match Instr.result_ty body.(r) with
+                    | Some t -> t
+                    | None -> Types.F32
+                  in
+                  ext_pos.(c).(r) <-
+                    emit
+                      (Vinstr.Vextract { ty; src = Vinstr.V vec_pos.(r); lane = c })
+                end;
+                Instr.Reg ext_pos.(c).(r))
+        | Instr.Index _ | Instr.Param _ | Instr.Imm_int _ | Instr.Imm_float _ ->
+            op
+      in
+      (* Vector operand; emits a pack when the producer is scalarized. *)
+      let vector_operand (op : Instr.operand) : Vinstr.voperand =
+        match op with
+        | Instr.Reg r -> (
+            match mode.(r) with
+            | Packed -> Vinstr.V vec_pos.(r)
+            | Invariant -> Vinstr.Splat (Instr.Reg sca_pos.(0).(r))
+            | Scalarized ->
+                let ty =
+                  match Instr.result_ty body.(r) with
+                  | Some t -> t
+                  | None -> Types.F32
+                in
+                let srcs =
+                  Array.init vf (fun c -> Instr.Reg sca_pos.(c).(r))
+                in
+                Vinstr.V (emit (Vinstr.Vpack { ty; srcs })))
+        | Instr.Index v when String.equal v inner.var -> Vinstr.V (get_iota ())
+        | Instr.Index _ | Instr.Param _ | Instr.Imm_int _ | Instr.Imm_float _ ->
+            Vinstr.Splat op
+      in
+      (* [Sc { copy = c }] executes with the innermost variable already bound
+         to its lane-c value, so subscripts must not be shifted here. *)
+      let emit_scalarized pos instr =
+        for c = 0 to vf - 1 do
+          let remapped = Instr.map_operands (scalar_operand c) instr in
+          sca_pos.(c).(pos) <- emit (Vinstr.Sc { copy = c; instr = remapped })
+        done
+      in
+      Array.iteri
+        (fun pos instr ->
+          let demanded = dv.(pos) || ds.(pos) || Instr.is_store instr in
+          if demanded then
+            match mode.(pos) with
+            | Invariant ->
+                sca_pos.(0).(pos) <- emit (Vinstr.Sc { copy = 0; instr })
+            | Scalarized -> emit_scalarized pos instr
+            | Packed -> (
+                let v =
+                  match instr with
+                  | Instr.Bin { ty; op; a; b } ->
+                      Some
+                        (Vinstr.Vbin
+                           { ty; op; a = vector_operand a; b = vector_operand b })
+                  | Instr.Una { ty; op; a } ->
+                      Some (Vinstr.Vuna { ty; op; a = vector_operand a })
+                  | Instr.Fma { ty; a; b; c } ->
+                      Some
+                        (Vinstr.Vfma
+                           { ty; a = vector_operand a; b = vector_operand b;
+                             c = vector_operand c })
+                  | Instr.Cmp { ty; op; a; b } ->
+                      Some
+                        (Vinstr.Vcmp
+                           { ty; op; a = vector_operand a; b = vector_operand b })
+                  | Instr.Select { ty; cond; if_true; if_false } ->
+                      Some
+                        (Vinstr.Vselect
+                           { ty; cond = vector_operand cond;
+                             if_true = vector_operand if_true;
+                             if_false = vector_operand if_false })
+                  | Instr.Cast { src_ty; dst_ty; a } ->
+                      Some (Vinstr.Vcast { src_ty; dst_ty; a = vector_operand a })
+                  | Instr.Load { ty; addr = Instr.Affine { arr; dims } } ->
+                      Some (Vinstr.Vload { ty; arr; dims; access = Vinstr.Contig })
+                  | Instr.Store { ty; addr = Instr.Affine { arr; dims }; src } ->
+                      Some
+                        (Vinstr.Vstore
+                           { ty; arr; dims; access = Vinstr.Contig;
+                             src = vector_operand src })
+                  | Instr.Load { addr = Instr.Indirect _; _ }
+                  | Instr.Store { addr = Instr.Indirect _; _ } ->
+                      None
+                in
+                match v with
+                | Some vi -> vec_pos.(pos) <- emit vi
+                | None ->
+                    (* Indirect accesses are never marked Packed. *)
+                    emit_scalarized pos instr))
+        body;
+      Ok
+        {
+          Vinstr.scalar = k;
+          vf;
+          ic = 1;
+          vbody = List.rev !vbody;
+          vreductions = [];
+          source = Vinstr.Src_slp;
+        }
+    end
+  end

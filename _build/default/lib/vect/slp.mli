@@ -1,0 +1,9 @@
+(** Superword-level parallelism: pack the body as if unrolled VF times,
+    seeding from contiguous stores; non-contiguous accesses are scalarized
+    and joined through explicit pack/extract instructions. *)
+
+type error = Not_legal | No_seed | Has_reductions | Bad_vf of int
+
+val error_to_string : error -> string
+
+val vectorize : vf:int -> Vir.Kernel.t -> (Vinstr.vkernel, error) result

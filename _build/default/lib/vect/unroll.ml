@@ -1,0 +1,104 @@
+(* Loop unrolling: replicate the innermost body [uf] times, shifting affine
+   subscripts and rewriting non-address uses of the induction variable into
+   explicit adds, then widen the loop step.  Reductions are kept as single
+   accumulations by combining the per-copy sources with the reduction's
+   operator inside the body, exactly as hand-unrolled code would.
+
+   The unrolled kernel executes floor(iterations / uf) * uf iterations of the
+   original; callers that need exact equivalence must pick sizes where the
+   trip count divides (see [exact_for]). *)
+
+open Vir
+
+let redop_binop = function
+  | Op.Rsum -> Op.Add
+  | Op.Rprod -> Op.Mul
+  | Op.Rmin -> Op.Min
+  | Op.Rmax -> Op.Max
+
+let uses_inner_nonaddr inner_var (body : Instr.t list) =
+  List.exists
+    (fun i ->
+      List.exists
+        (function Instr.Index v -> String.equal v inner_var | _ -> false)
+        (Instr.operands i))
+    body
+
+let exact_for ~n (k : Kernel.t) uf =
+  Kernel.iterations ~n (Kernel.innermost k) mod uf = 0
+
+let by uf (k : Kernel.t) : Kernel.t =
+  if uf < 2 then invalid_arg "Unroll.by: factor must be >= 2";
+  let inner = Kernel.innermost k in
+  let body = Array.of_list k.body in
+  let nbody = Array.length body in
+  let needs_iv = uses_inner_nonaddr inner.var k.body in
+  (* Layout: copy c occupies [base c, base c + size_of_copy); copies beyond
+     the first get a leading "iv = i + c*step" instruction when the body uses
+     the induction variable outside addresses. *)
+  let copy_size c = if needs_iv && c > 0 then nbody + 1 else nbody in
+  let base = Array.make uf 0 in
+  for c = 1 to uf - 1 do
+    base.(c) <- base.(c - 1) + copy_size (c - 1)
+  done;
+  let iv_pos c = base.(c) in
+  let body_pos c r = base.(c) + (if needs_iv && c > 0 then 1 else 0) + r in
+  let remap c (op : Instr.operand) =
+    match op with
+    | Instr.Reg r -> Instr.Reg (body_pos c r)
+    | Instr.Index v when String.equal v inner.var && c > 0 ->
+        Instr.Reg (iv_pos c)
+    | Instr.Index _ | Instr.Param _ | Instr.Imm_int _ | Instr.Imm_float _ -> op
+  in
+  let new_body = ref [] in
+  let emit i = new_body := i :: !new_body in
+  for c = 0 to uf - 1 do
+    if needs_iv && c > 0 then
+      emit
+        (Instr.Bin
+           { ty = Types.I64; op = Op.Add; a = Instr.Index inner.var;
+             b = Instr.Imm_int (c * inner.step) });
+    Array.iter
+      (fun instr ->
+        instr
+        |> Instr.shift_var inner.var (c * inner.step)
+        |> Instr.map_operands (remap c)
+        |> emit)
+      body
+  done;
+  (* Combine the uf reduction sources with the reduction operator so each
+     reduction still accumulates one value per (unrolled) iteration. *)
+  let next_pos = ref (base.(uf - 1) + copy_size (uf - 1)) in
+  let reductions =
+    List.map
+      (fun (r : Kernel.reduction) ->
+        let srcs = List.init uf (fun c -> remap c r.red_src) in
+        let op = redop_binop r.red_op in
+        let combined =
+          match srcs with
+          | [] -> assert false
+          | first :: rest ->
+              List.fold_left
+                (fun acc src ->
+                  emit (Instr.Bin { ty = r.red_ty; op; a = acc; b = src });
+                  let p = !next_pos in
+                  incr next_pos;
+                  Instr.Reg p)
+                first rest
+        in
+        { r with red_src = combined })
+      k.reductions
+  in
+  let loops =
+    List.map
+      (fun (l : Kernel.loop) ->
+        if String.equal l.var inner.var then { l with step = l.step * uf } else l)
+      k.loops
+  in
+  {
+    k with
+    name = Printf.sprintf "%s.unroll%d" k.name uf;
+    loops;
+    body = List.rev !new_body;
+    reductions;
+  }

@@ -1,0 +1,1 @@
+lib/vir/bounds.ml: Format Instr Kernel List

@@ -1,0 +1,1 @@
+lib/vir/bounds.mli: Format Kernel

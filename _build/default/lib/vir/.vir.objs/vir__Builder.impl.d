@@ -1,0 +1,1 @@
+lib/vir/builder.ml: Hashtbl Instr Kernel List Op Printf Types

@@ -1,0 +1,1 @@
+lib/vir/instr.mli: Op Types

@@ -1,0 +1,1 @@
+lib/vir/kernel.ml: Hashtbl Instr List Op Printf String Types

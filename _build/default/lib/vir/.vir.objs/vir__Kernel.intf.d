@@ -1,0 +1,1 @@
+lib/vir/kernel.mli: Hashtbl Instr Op Types

@@ -1,0 +1,1 @@
+lib/vir/op.mli:

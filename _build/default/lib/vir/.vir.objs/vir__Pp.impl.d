@@ -1,0 +1,1 @@
+lib/vir/pp.ml: Format Instr Kernel List Op String Types

@@ -1,0 +1,1 @@
+lib/vir/pp.mli: Format Instr Kernel

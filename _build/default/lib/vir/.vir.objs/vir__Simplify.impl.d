@@ -1,0 +1,1 @@
+lib/vir/simplify.ml: Array Float Hashtbl Instr Kernel List Op Option Types

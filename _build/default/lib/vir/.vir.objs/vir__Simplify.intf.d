@@ -1,0 +1,1 @@
+lib/vir/simplify.mli: Kernel

@@ -1,0 +1,1 @@
+lib/vir/types.ml: Format

@@ -1,0 +1,1 @@
+lib/vir/validate.ml: Array Hashtbl Instr Kernel List Op Option Printf String Types

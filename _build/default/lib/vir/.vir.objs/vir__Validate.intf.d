@@ -1,0 +1,1 @@
+lib/vir/validate.mli: Kernel

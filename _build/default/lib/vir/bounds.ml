@@ -1,0 +1,114 @@
+(* Static array-bounds analysis.
+
+   Both subscripts and extents are (piecewise) linear in the problem size n,
+   so an access that is in bounds at a spread of small witness sizes and at
+   one very large size is in bounds for every practical size: any
+   coefficient-level violation (a subscript growing faster than the extent)
+   must show at the large witness, and any constant-offset violation shows
+   at the small ones.  Indirect accesses are covered by the index-array
+   contract (values in [0, n)) and skipped here.
+
+   Integer parameters used in subscripts are assumed to lie in [1, 4], the
+   contract the interpreter's default bindings satisfy. *)
+
+open Kernel
+
+let witness_sizes = [ 4; 5; 7; 8; 16; 100; 101; 1 lsl 20 ]
+
+type violation = {
+  v_array : string;
+  v_pos : int;  (* body position of the access *)
+  v_n : int;  (* witness problem size *)
+  v_index : int;  (* offending flat index *)
+  v_extent : int;
+}
+
+let pp_violation fmt v =
+  Format.fprintf fmt
+    "instruction %d indexes %s[%d] outside extent %d at n = %d" v.v_pos
+    v.v_array v.v_index v.v_extent v.v_n
+
+(* Extreme values of one subscript dimension given the loop-variable
+   ranges. *)
+let dim_extrema ~ranges (d : Instr.dim) =
+  let lo = ref d.Instr.off and hi = ref d.Instr.off in
+  let widen c vmin vmax =
+    if c >= 0 then begin
+      lo := !lo + (c * vmin);
+      hi := !hi + (c * vmax)
+    end
+    else begin
+      lo := !lo + (c * vmax);
+      hi := !hi + (c * vmin)
+    end
+  in
+  List.iter
+    (fun (v, c) ->
+      match List.assoc_opt v ranges with
+      | Some (vmin, vmax) -> widen c vmin vmax
+      | None -> ())
+    d.Instr.terms;
+  List.iter (fun (_, c) -> widen c 1 4) d.Instr.pterms;
+  (!lo, !hi)
+
+(* Check one kernel at one witness size. *)
+let check_at ~n (k : t) =
+  let n2 = isqrt n in
+  let executes = List.for_all (fun (l : loop) -> iterations ~n l > 0) k.loops in
+  if not executes then []
+  else begin
+    let ranges =
+      List.map
+        (fun (l : loop) ->
+          let bound = trip_bound ~n l.trip in
+          let iters = iterations ~n l in
+          let last = l.start + ((iters - 1) * l.step) in
+          (l.var, (l.start, max l.start (min last (bound - 1)))))
+        k.loops
+    in
+    let violations = ref [] in
+    let check_addr pos = function
+      | Instr.Indirect _ -> ()
+      | Instr.Affine { arr; dims } -> (
+          match find_array k arr with
+          | None -> ()
+          | Some decl ->
+              let extent = extent_elems ~n decl.arr_extent in
+              let ndims = List.length dims in
+              let dim_bound = if ndims >= 2 then n2 else n in
+              let extrema =
+                List.map
+                  (fun (d : Instr.dim) ->
+                    let lo, hi = dim_extrema ~ranges d in
+                    let base = if d.Instr.rel_n then dim_bound - 1 else 0 in
+                    (base + lo, base + hi))
+                  dims
+              in
+              let flat_lo, flat_hi =
+                match extrema with
+                | [ (lo, hi) ] -> (lo, hi)
+                | [ (rlo, rhi); (clo, chi) ] ->
+                    ((rlo * n2) + clo, (rhi * n2) + chi)
+                | _ -> (0, -1)
+              in
+              if flat_lo < 0 || flat_hi >= extent then
+                violations :=
+                  { v_array = arr; v_pos = pos; v_n = n;
+                    v_index = (if flat_lo < 0 then flat_lo else flat_hi);
+                    v_extent = extent }
+                  :: !violations)
+    in
+    List.iteri
+      (fun pos instr ->
+        match instr with
+        | Instr.Load { addr; _ } | Instr.Store { addr; _ } ->
+            check_addr pos addr
+        | _ -> ())
+      k.body;
+    List.rev !violations
+  end
+
+(* All violations over the witness sizes. *)
+let check (k : t) = List.concat_map (fun n -> check_at ~n k) witness_sizes
+
+let is_safe k = check k = []

@@ -1,0 +1,21 @@
+(** Static array-bounds analysis over witness problem sizes.  Subscripts and
+    extents are linear in n, so in-bounds at the witnesses (including one
+    very large size) implies in-bounds at every practical size. *)
+
+type violation = {
+  v_array : string;
+  v_pos : int;
+  v_n : int;
+  v_index : int;
+  v_extent : int;
+}
+
+val pp_violation : Format.formatter -> violation -> unit
+
+(** Violations at one specific problem size. *)
+val check_at : n:int -> Kernel.t -> violation list
+
+(** Violations over all witness sizes; empty means provably safe. *)
+val check : Kernel.t -> violation list
+
+val is_safe : Kernel.t -> bool

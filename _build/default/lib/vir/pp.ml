@@ -1,0 +1,97 @@
+(* Pretty-printing of kernels in a C-like surface syntax, for debugging and
+   the CLI's [list-kernels --dump]. *)
+
+open Format
+
+let operand fmt = function
+  | Instr.Reg r -> fprintf fmt "r%d" r
+  | Instr.Index v -> pp_print_string fmt v
+  | Instr.Param p -> pp_print_string fmt p
+  | Instr.Imm_int i -> pp_print_int fmt i
+  | Instr.Imm_float f -> fprintf fmt "%g" f
+
+let dim fmt (d : Instr.dim) =
+  let first = ref true in
+  let sep fmt () = if !first then first := false else fprintf fmt " + " in
+  if d.rel_n then (
+    sep fmt ();
+    fprintf fmt "(N-1)");
+  List.iter
+    (fun (v, c) ->
+      sep fmt ();
+      if c = 1 then pp_print_string fmt v
+      else if c = -1 then fprintf fmt "-%s" v
+      else fprintf fmt "%d*%s" c v)
+    d.terms;
+  List.iter
+    (fun (p, c) ->
+      sep fmt ();
+      if c = 1 then pp_print_string fmt p else fprintf fmt "%d*%s" c p)
+    d.pterms;
+  if d.off <> 0 || !first then (
+    sep fmt ();
+    pp_print_int fmt d.off)
+
+let addr fmt = function
+  | Instr.Affine { arr; dims } ->
+      pp_print_string fmt arr;
+      List.iter (fun d -> fprintf fmt "[%a]" dim d) dims
+  | Instr.Indirect { arr; idx } -> fprintf fmt "%s[%a]" arr operand idx
+
+let instr fmt k i =
+  match i with
+  | Instr.Bin { ty; op; a; b } ->
+      fprintf fmt "r%d = %s.%s %a, %a" k (Op.binop_to_string op)
+        (Types.to_string ty) operand a operand b
+  | Instr.Una { ty; op; a } ->
+      fprintf fmt "r%d = %s.%s %a" k (Op.unop_to_string op) (Types.to_string ty)
+        operand a
+  | Instr.Fma { ty; a; b; c } ->
+      fprintf fmt "r%d = fma.%s %a, %a, %a" k (Types.to_string ty) operand a
+        operand b operand c
+  | Instr.Cmp { ty; op; a; b } ->
+      fprintf fmt "r%d = cmp.%s.%s %a, %a" k (Op.cmpop_to_string op)
+        (Types.to_string ty) operand a operand b
+  | Instr.Select { ty; cond; if_true; if_false } ->
+      fprintf fmt "r%d = select.%s %a ? %a : %a" k (Types.to_string ty) operand
+        cond operand if_true operand if_false
+  | Instr.Load { ty; addr = a } ->
+      fprintf fmt "r%d = load.%s %a" k (Types.to_string ty) addr a
+  | Instr.Store { ty; addr = a; src } ->
+      fprintf fmt "store.%s %a <- %a" (Types.to_string ty) addr a operand src
+  | Instr.Cast { src_ty; dst_ty; a } ->
+      fprintf fmt "r%d = cast.%s->%s %a" k (Types.to_string src_ty)
+        (Types.to_string dst_ty) operand a
+
+let trip fmt = function
+  | Kernel.Tn -> pp_print_string fmt "N"
+  | Kernel.Tn_div k -> fprintf fmt "N/%d" k
+  | Kernel.Tn_minus k -> fprintf fmt "N-%d" k
+  | Kernel.Tn2 -> pp_print_string fmt "N2"
+  | Kernel.Tn2_minus k -> fprintf fmt "N2-%d" k
+  | Kernel.Tconst c -> pp_print_int fmt c
+
+let loop fmt (l : Kernel.loop) =
+  fprintf fmt "for %s = %d to %a step %d" l.var l.start trip l.trip l.step
+
+let reduction fmt (r : Kernel.reduction) =
+  fprintf fmt "%s = %s.%s(%s, %a)  [init %g]" r.red_name
+    (Op.redop_to_string r.red_op)
+    (Types.to_string r.red_ty) r.red_name operand r.red_src r.red_init
+
+let kernel fmt (k : Kernel.t) =
+  fprintf fmt "@[<v>kernel %s" k.name;
+  if k.descr <> "" then fprintf fmt "  ;; %s" k.descr;
+  fprintf fmt "@,";
+  List.iteri (fun d l -> fprintf fmt "%s%a:@," (String.make (d * 2) ' ') loop l) k.loops;
+  let indent = String.make (List.length k.loops * 2) ' ' in
+  List.iteri
+    (fun i ins ->
+      pp_print_string fmt indent;
+      instr fmt i ins;
+      fprintf fmt "@,")
+    k.body;
+  List.iter (fun r -> fprintf fmt "%s%a@," indent reduction r) k.reductions;
+  fprintf fmt "@]"
+
+let kernel_to_string k = Format.asprintf "%a" kernel k

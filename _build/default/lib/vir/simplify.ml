@@ -1,0 +1,206 @@
+(* IR cleanup passes: constant folding, common-subexpression elimination and
+   dead-code elimination.
+
+   Real compilers run these before the vectorizer, and they matter to this
+   project specifically because the cost models *count instructions*: a body
+   with a redundant load predicts differently from its cleaned form.  The
+   A10 ablation measures that sensitivity.
+
+   All passes preserve SSA-by-position form by rebuilding the body and
+   remapping registers. *)
+
+(* Rebuild a body from a keep-mask and an instruction rewrite, fixing up all
+   register references (including reduction sources). *)
+let rebuild (k : Kernel.t) ~keep ~replace =
+  let body = Array.of_list k.body in
+  let n = Array.length body in
+  let new_pos = Array.make n (-1) in
+  let out = ref [] in
+  let count = ref 0 in
+  for pos = 0 to n - 1 do
+    match replace pos with
+    | Some target ->
+        (* This position's value is an alias of [target]. *)
+        new_pos.(pos) <- new_pos.(target)
+    | None ->
+        if keep pos then begin
+          let remap = function
+            | Instr.Reg r when new_pos.(r) >= 0 -> Instr.Reg new_pos.(r)
+            | op -> op
+          in
+          out := Instr.map_operands remap body.(pos) :: !out;
+          new_pos.(pos) <- !count;
+          incr count
+        end
+  done;
+  let remap_red = function
+    | Instr.Reg r when new_pos.(r) >= 0 -> Instr.Reg new_pos.(r)
+    | op -> op
+  in
+  {
+    k with
+    Kernel.body = List.rev !out;
+    reductions =
+      List.map
+        (fun (r : Kernel.reduction) -> { r with red_src = remap_red r.red_src })
+        k.reductions;
+  }
+
+(* --- dead-code elimination ----------------------------------------------- *)
+
+(* Instructions whose value is never used and which have no side effect. *)
+let dce (k : Kernel.t) =
+  let used = Kernel.used_regs k in
+  let body = Array.of_list k.body in
+  rebuild k
+    ~keep:(fun pos ->
+      Instr.is_store body.(pos) || Hashtbl.mem used pos)
+    ~replace:(fun _ -> None)
+
+(* --- common-subexpression elimination -------------------------------------- *)
+
+(* Pure instructions with syntactically identical operands compute the same
+   value.  Loads are only merged when no store to the same array intervenes
+   (a conservative, array-granular memory dependence check). *)
+let cse (k : Kernel.t) =
+  let body = Array.of_list k.body in
+  let n = Array.length body in
+  let seen : (Instr.t, int) Hashtbl.t = Hashtbl.create 16 in
+  let replace = Array.make n None in
+  let store_seen : (string, int) Hashtbl.t = Hashtbl.create 4 in
+  let canon pos instr =
+    (* Canonicalize through earlier replacements so chains collapse. *)
+    ignore pos;
+    Instr.map_operands
+      (function
+        | Instr.Reg r as op -> (
+            match replace.(r) with Some t -> Instr.Reg t | None -> op)
+        | op -> op)
+      instr
+  in
+  for pos = 0 to n - 1 do
+    let instr = canon pos body.(pos) in
+    match instr with
+    | Instr.Store { addr; _ } ->
+        Hashtbl.replace store_seen (Instr.addr_array addr) pos
+    | Instr.Load { addr; _ } -> (
+        let arr = Instr.addr_array addr in
+        match Hashtbl.find_opt seen instr with
+        | Some prev
+          when (match Hashtbl.find_opt store_seen arr with
+               | Some s -> s < prev
+               | None -> true) ->
+            replace.(pos) <- Some prev
+        | _ -> Hashtbl.replace seen instr pos)
+    | Instr.Bin _ | Instr.Una _ | Instr.Fma _ | Instr.Cmp _ | Instr.Select _
+    | Instr.Cast _ -> (
+        match Hashtbl.find_opt seen instr with
+        | Some prev -> replace.(pos) <- Some prev
+        | None -> Hashtbl.replace seen instr pos)
+  done;
+  rebuild k ~keep:(fun _ -> true) ~replace:(fun pos -> replace.(pos))
+
+(* --- constant folding -------------------------------------------------------- *)
+
+(* Fold pure float/int operations whose operands are immediates, and apply
+   algebraic identities (x+0, x*1, x*0 with finite semantics left alone:
+   only exact-identity rewrites are used). *)
+let fold_binop_float op a b =
+  match op with
+  | Op.Add -> Some (a +. b)
+  | Op.Sub -> Some (a -. b)
+  | Op.Mul -> Some (a *. b)
+  | Op.Div when b <> 0.0 -> Some (a /. b)
+  | Op.Min -> Some (Float.min a b)
+  | Op.Max -> Some (Float.max a b)
+  | _ -> None
+
+let fold_binop_int op a b =
+  match op with
+  | Op.Add -> Some (a + b)
+  | Op.Sub -> Some (a - b)
+  | Op.Mul -> Some (a * b)
+  | Op.Div when b <> 0 -> Some (a / b)
+  | Op.Rem when b <> 0 -> Some (a mod b)
+  | Op.Min -> Some (min a b)
+  | Op.Max -> Some (max a b)
+  | Op.And -> Some (a land b)
+  | Op.Or -> Some (a lor b)
+  | Op.Xor -> Some (a lxor b)
+  | Op.Shl -> Some (a lsl (b land 63))
+  | Op.Shr -> Some (a asr (b land 63))
+  | _ -> None
+
+(* Rewrites each instruction in place (no position changes); folded
+   instructions become [Una Neg (Neg x)]-free immediates via a replacement
+   table consumed by [rebuild]. *)
+let constant_fold (k : Kernel.t) =
+  let body = Array.of_list k.body in
+  let n = Array.length body in
+  (* Track which positions hold known immediates. *)
+  let value = Array.make n None in
+  let imm_of = function
+    | Instr.Imm_float f -> Some (`F f)
+    | Instr.Imm_int i -> Some (`I i)
+    | Instr.Reg r -> value.(r)
+    | _ -> None
+  in
+  let new_body =
+    List.mapi
+      (fun pos instr ->
+        let folded =
+          match instr with
+          | Instr.Bin { ty; op; a; b } -> (
+              match (imm_of a, imm_of b) with
+              | Some (`F x), Some (`F y) when Types.is_float ty ->
+                  Option.map (fun v -> `F v) (fold_binop_float op x y)
+              | Some (`I x), Some (`I y) when Types.is_int ty ->
+                  Option.map (fun v -> `I v) (fold_binop_int op x y)
+              | _ -> None)
+          | Instr.Una { ty; op; a } -> (
+              match imm_of a with
+              | Some (`F x) when Types.is_float ty -> (
+                  match op with
+                  | Op.Neg -> Some (`F (-.x))
+                  | Op.Abs -> Some (`F (abs_float x))
+                  | Op.Sqrt when x >= 0.0 -> Some (`F (sqrt x))
+                  | _ -> None)
+              | Some (`I x) when Types.is_int ty -> (
+                  match op with
+                  | Op.Neg -> Some (`I (-x))
+                  | Op.Abs -> Some (`I (abs x))
+                  | Op.Not -> Some (`I (lnot x))
+                  | _ -> None)
+              | _ -> None)
+          | _ -> None
+        in
+        (match folded with Some v -> value.(pos) <- Some v | None -> ());
+        (* Replace folded positions with a trivial instruction computing the
+           immediate; uses are rewritten to the immediate directly below. *)
+        instr)
+      k.Kernel.body
+  in
+  (* Rewrite uses of folded registers to immediates, then DCE removes the
+     now-dead producers. *)
+  let subst = function
+    | Instr.Reg r as op -> (
+        match value.(r) with
+        | Some (`F f) -> Instr.Imm_float f
+        | Some (`I i) -> Instr.Imm_int i
+        | None -> op)
+    | op -> op
+  in
+  let k' =
+    {
+      k with
+      Kernel.body = List.map (Instr.map_operands subst) new_body;
+      reductions =
+        List.map
+          (fun (r : Kernel.reduction) -> { r with red_src = subst r.red_src })
+          k.reductions;
+    }
+  in
+  dce k'
+
+(* The standard cleanup pipeline. *)
+let run (k : Kernel.t) = dce (cse (constant_fold k))

@@ -1,0 +1,16 @@
+(** IR cleanup passes.  All passes preserve semantics and SSA-by-position
+    form; the tests verify both on the whole TSVC suite and on random
+    kernels. *)
+
+(** Remove pure instructions whose value is never used. *)
+val dce : Kernel.t -> Kernel.t
+
+(** Merge syntactically identical pure instructions; loads merge only when
+    no store to the same array intervenes. *)
+val cse : Kernel.t -> Kernel.t
+
+(** Fold immediate-operand arithmetic and drop the dead producers. *)
+val constant_fold : Kernel.t -> Kernel.t
+
+(** The standard pipeline: constant folding, CSE, DCE. *)
+val run : Kernel.t -> Kernel.t

@@ -1,0 +1,1 @@
+test/test_apps.ml: Alcotest Array Bounds Costmodel Format List Option String Tsvc Validate Vapps Vdeps Vinterp Vir Vvect

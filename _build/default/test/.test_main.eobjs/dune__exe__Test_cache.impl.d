@@ -1,0 +1,1 @@
+test/test_cache.ml: Alcotest List Printf Tsvc Vir Vmachine

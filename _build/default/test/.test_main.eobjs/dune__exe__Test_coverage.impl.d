@@ -1,0 +1,1 @@
+test/test_coverage.ml: Alcotest Array Builder Costmodel Float Format Fun Kernel List Op Option Result String Tsvc Types Vapps Vdeps Vinterp Vir Vvect

@@ -1,0 +1,1 @@
+test/test_deps.ml: Alcotest Builder Kernel List Op Printf Tsvc Vdeps Vir

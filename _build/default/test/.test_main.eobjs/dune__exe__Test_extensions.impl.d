@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Array Costmodel Experiment Feature Instr Kernel List Metrics Op Report String Tsvc Types Validate Vinterp Vir Vmachine Vvect

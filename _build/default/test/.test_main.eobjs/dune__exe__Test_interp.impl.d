@@ -1,0 +1,1 @@
+test/test_interp.ml: Alcotest Array Builder Fun Kernel List Op Tsvc Types Validate Vinterp Vir

@@ -1,0 +1,1 @@
+test/test_machine.ml: Alcotest Builder Kernel List Result String Tsvc Types Vir Vmachine Vvect

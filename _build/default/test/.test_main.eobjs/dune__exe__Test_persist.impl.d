@@ -1,0 +1,1 @@
+test/test_persist.ml: Alcotest Buffer Costmodel Dataset Experiment Filename Format Fun Lazy Linmodel List Report Result String Sys Vmachine

@@ -1,0 +1,1 @@
+test/test_scenarios.ml: Alcotest Array Bounds Builder Costmodel Dataset Experiment Fun Kernel Linmodel List Metrics Result Tsvc Validate Vdeps Vinterp Vir Vmachine Vstats Vsynth Vvect

@@ -1,0 +1,1 @@
+test/test_select.ml: Alcotest Costmodel Dataset Experiment Float Linmodel List Select String Tsvc Vir Vmachine

@@ -1,0 +1,1 @@
+test/test_simplify.ml: Alcotest Builder Kernel List Op QCheck QCheck_alcotest Simplify String Tsvc Types Validate Vdeps Vinterp Vir Vsynth

@@ -1,0 +1,1 @@
+test/test_tsvc.ml: Alcotest Instr Kernel List Printf String Tsvc Validate Vdeps Vir

@@ -1,0 +1,1 @@
+test/test_vect.ml: Alcotest Bounds Builder Fun Instr Kernel List Printf QCheck QCheck_alcotest Result String Tsvc Validate Vdeps Vinterp Vir Vmachine Vsynth Vvect

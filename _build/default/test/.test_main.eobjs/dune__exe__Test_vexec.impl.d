@@ -1,0 +1,1 @@
+test/test_vexec.ml: Alcotest Builder Instr Kernel List Op Printf Types Vinterp Vir Vvect

@@ -1,0 +1,1 @@
+test/test_vir.ml: Alcotest Bounds Builder Format Instr Kernel List Op Option Pp String Tsvc Types Validate Vir

@@ -1,0 +1,155 @@
+(* Tests for the application-kernel suite and the generalization
+   experiment. *)
+
+open Vir
+module I = Vinterp.Interp
+module Env = Vinterp.Env
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let checkf = Alcotest.(check (float 1e-4))
+
+let kern name = (Option.get (Vapps.Registry.find name)).kernel
+
+let test_count_and_groups () =
+  check_int "39 app kernels" 39 Vapps.Registry.count;
+  let groups =
+    List.sort_uniq compare (List.map (fun e -> e.Vapps.Registry.group) Vapps.Registry.all)
+  in
+  check "four groups" true
+    (groups = [ "imaging"; "linalg"; "livermore"; "stencil" ])
+
+let test_all_valid_and_bounded () =
+  List.iter
+    (fun (e : Vapps.Registry.entry) ->
+      (match Validate.errors e.kernel with
+      | [] -> ()
+      | errs -> Alcotest.failf "%s: %s" e.name (String.concat "; " errs));
+      match Bounds.check e.kernel with
+      | [] -> ()
+      | v :: _ ->
+          Alcotest.failf "%s: %s" e.name
+            (Format.asprintf "%a" Bounds.pp_violation v))
+    Vapps.Registry.all
+
+let test_names_unique_and_disjoint_from_tsvc () =
+  let names = List.map (fun e -> e.Vapps.Registry.name) Vapps.Registry.all in
+  check_int "unique" Vapps.Registry.count
+    (List.length (List.sort_uniq compare names));
+  List.iter
+    (fun n -> check (n ^ " not in TSVC") true (Tsvc.Registry.find n = None))
+    names
+
+let test_all_execute () =
+  List.iter
+    (fun (e : Vapps.Registry.entry) ->
+      List.iter (fun n -> ignore (I.run ~n e.kernel)) [ 64; 101 ])
+    Vapps.Registry.all
+
+let test_llv_equivalence () =
+  List.iter
+    (fun (e : Vapps.Registry.entry) ->
+      match Vvect.Llv.vectorize ~vf:4 e.kernel with
+      | Error _ -> ()
+      | Ok vk ->
+          let rs = I.run ~n:173 e.kernel in
+          let rv = Vvect.Vexec.run ~n:173 vk in
+          check (e.name ^ " memory") true
+            (Env.snapshot rs.I.env = Env.snapshot rv.I.env))
+    Vapps.Registry.all
+
+(* Semantics spot-checks against hand-computed values. *)
+
+let test_saxpy_semantics () =
+  let env = Env.create ~n:32 (kern "saxpy") in
+  Env.set_param env "alpha" 2.0;
+  let x0 = Env.read_float env "x" 5 and y0 = Env.read_float env "y" 5 in
+  ignore (I.run_in env (kern "saxpy"));
+  checkf "y5 = y5 + 2*x5" ((2.0 *. x0) +. y0) (Env.read_float env "y" 5)
+
+let test_jacobi1d_semantics () =
+  let k = kern "jacobi1d" in
+  let env = Env.create ~n:32 k in
+  let a i = Env.read_float env "a" i in
+  let expect = (a 4 +. a 5 +. a 6) /. 3.0 in
+  ignore (I.run_in env k);
+  checkf "b5 is the window mean" expect (Env.read_float env "b" 5)
+
+let test_threshold_semantics () =
+  let k = kern "threshold" in
+  let env = Env.create ~n:32 k in
+  Env.set_param env "t" 1.0;
+  let in7 = Env.read_float env "img" 7 in
+  ignore (I.run_in env k);
+  checkf "binary output" (if in7 > 1.0 then 1.0 else 0.0)
+    (Env.read_float env "out" 7)
+
+let test_kinetic_energy_semantics () =
+  let k = kern "kinetic_energy" in
+  let env = Env.create ~n:16 k in
+  let expect = ref 0.0 in
+  for i = 0 to 15 do
+    let m = Env.read_float env "m" i and v = Env.read_float env "v" i in
+    expect := !expect +. (0.5 *. m *. v *. v)
+  done;
+  let reds = I.run_in env k in
+  checkf "sum of 1/2 m v^2" !expect (List.assoc "e" reds)
+
+let test_seidel_serial () =
+  check "in-place stencil is not vectorizable" false
+    (Vdeps.Dependence.vectorizable (kern "seidel1d"))
+
+let test_jacobi_parallel () =
+  check "out-of-place stencil is vectorizable" true
+    (Vdeps.Dependence.vectorizable (kern "jacobi1d"))
+
+let test_livermore_classics () =
+  (* The canonical verdicts: inner product and hydro vectorize, the
+     recurrences don't. *)
+  let legal name = Vdeps.Dependence.vectorizable (kern name) in
+  check "k1 hydro legal" true (legal "lfk1_hydro");
+  check "k3 inner product legal" true (legal "lfk3_inner");
+  check "k7 state legal" true (legal "lfk7_state");
+  check "k12 difference legal" true (legal "lfk12_diff");
+  check "k5 tridiagonal serial" false (legal "lfk5_tridiag");
+  check "k11 prefix serial" false (legal "lfk11_prefix");
+  check "k20 transport serial" false (legal "lfk20_transport")
+
+let test_k7_heavy_body () =
+  (* K7 is the compute-heavy classic: markedly higher arithmetic intensity
+     than the streaming first-difference kernel. *)
+  let intensity name =
+    (Costmodel.Feature.extended (kern name)).(Costmodel.Feature.dim)
+  in
+  check "k7 denser than k12" true
+    (intensity "lfk7_state" > 2.0 *. intensity "lfk12_diff")
+
+let test_a8_shape () =
+  let cfg = { Costmodel.Experiment.default_config with n = 8000 } in
+  let r = Costmodel.Experiment.a8 ~config:cfg () in
+  let eval label =
+    (List.find
+       (fun (x : Costmodel.Report.row) -> x.Costmodel.Report.label = label)
+       r.Costmodel.Report.rows)
+      .Costmodel.Report.eval
+  in
+  let base = eval "baseline, app kernels" in
+  let fitted = eval "TSVC-trained NNLS, app kernels" in
+  check "transfer beats baseline" true
+    (fitted.Costmodel.Metrics.pearson > base.Costmodel.Metrics.pearson +. 0.2)
+
+let tests =
+  [ Alcotest.test_case "count and groups" `Quick test_count_and_groups;
+    Alcotest.test_case "valid and bounded" `Quick test_all_valid_and_bounded;
+    Alcotest.test_case "names disjoint" `Quick test_names_unique_and_disjoint_from_tsvc;
+    Alcotest.test_case "all execute" `Quick test_all_execute;
+    Alcotest.test_case "llv equivalence" `Slow test_llv_equivalence;
+    Alcotest.test_case "saxpy semantics" `Quick test_saxpy_semantics;
+    Alcotest.test_case "jacobi1d semantics" `Quick test_jacobi1d_semantics;
+    Alcotest.test_case "threshold semantics" `Quick test_threshold_semantics;
+    Alcotest.test_case "kinetic energy" `Quick test_kinetic_energy_semantics;
+    Alcotest.test_case "seidel serial" `Quick test_seidel_serial;
+    Alcotest.test_case "jacobi parallel" `Quick test_jacobi_parallel;
+    Alcotest.test_case "livermore classics" `Quick test_livermore_classics;
+    Alcotest.test_case "k7 heavy body" `Quick test_k7_heavy_body;
+    Alcotest.test_case "A8 shape" `Slow test_a8_shape ]

@@ -1,0 +1,163 @@
+(* Tests for the set-associative cache simulator and the trace-driven
+   validation layer. *)
+
+module C = Vmachine.Cache
+module T = Vmachine.Tracesim
+module Mem = Vmachine.Memmodel
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let small = { C.size_bytes = 1024; ways = 2; line_bytes = 64 }
+(* 1KB, 2-way, 64B lines: 16 lines, 8 sets. *)
+
+let test_geometry_validation () =
+  Alcotest.check_raises "bad ways"
+    (Invalid_argument "Cache.create: size/ways/line mismatch") (fun () ->
+      ignore (C.create { C.size_bytes = 128; ways = 3; line_bytes = 64 }));
+  Alcotest.check_raises "negative size"
+    (Invalid_argument "Cache.create: non-positive parameter") (fun () ->
+      ignore (C.create { small with C.size_bytes = 0 }))
+
+let test_cold_miss_then_hit () =
+  let c = C.create small in
+  check "first access misses" false (C.access c 0);
+  check "same line hits" true (C.access c 32);
+  check "next line misses" false (C.access c 64);
+  check_int "two misses" 2 (C.misses c);
+  check_int "three accesses" 3 (C.accesses c)
+
+let test_lru_eviction () =
+  let c = C.create small in
+  (* Three lines mapping to the same set (stride = sets*line = 8*64). *)
+  let a0 = 0 and a1 = 8 * 64 and a2 = 16 * 64 in
+  ignore (C.access c a0);
+  ignore (C.access c a1);
+  (* Set is full (2 ways); touching a0 refreshes it, then a2 evicts a1. *)
+  check "a0 still resident" true (C.access c a0);
+  check "a2 misses" false (C.access c a2);
+  check "a1 was evicted (LRU)" false (C.access c a1);
+  check "a0 evicted by a1's reload" false (C.access c a0)
+
+let test_working_set_fits () =
+  let c = C.create small in
+  (* 1KB working set in a 1KB cache: second sweep hits everywhere. *)
+  for i = 0 to 15 do
+    ignore (C.access c (i * 64))
+  done;
+  C.reset_stats c;
+  for i = 0 to 15 do
+    ignore (C.access c (i * 64))
+  done;
+  check_int "warm sweep: zero misses" 0 (C.misses c)
+
+let test_working_set_thrashes () =
+  let c = C.create small in
+  (* 2KB working set in 1KB: LRU sweep thrashes completely. *)
+  for _pass = 1 to 2 do
+    for i = 0 to 31 do
+      ignore (C.access c (i * 64))
+    done
+  done;
+  check "second pass still misses" true (C.miss_rate c > 0.9)
+
+let test_hierarchy_filtering () =
+  let h =
+    C.hierarchy
+      [ { C.size_bytes = 128; ways = 2; line_bytes = 64 };
+        { C.size_bytes = 1024; ways = 2; line_bytes = 64 } ]
+  in
+  (* 4 lines: miss everywhere first (level index 2 = memory). *)
+  check_int "cold goes to memory" 2 (C.hierarchy_access h 0);
+  check_int "l1 hit" 0 (C.hierarchy_access h 0);
+  (* Fill L1 (2 lines) beyond capacity; older lines remain in L2. *)
+  ignore (C.hierarchy_access h 64);
+  ignore (C.hierarchy_access h 128);
+  ignore (C.hierarchy_access h 192);
+  check_int "evicted from l1, still in l2" 1 (C.hierarchy_access h 0)
+
+let test_miss_rate_reset () =
+  let c = C.create small in
+  ignore (C.access c 0);
+  C.reset_stats c;
+  check_int "reset accesses" 0 (C.accesses c);
+  check "rate zero on empty" true (C.miss_rate c = 0.0)
+
+(* --- tracesim ------------------------------------------------------------- *)
+
+let mem = Vmachine.Machines.neon_a57.Vmachine.Descr.mem
+
+let kern name = (Tsvc.Registry.find_exn name).kernel
+
+let test_layout_disjoint () =
+  let k = kern "s000" in
+  let l = T.layout ~n:100 ~line_bytes:64 k in
+  let a0 = T.address l ~arr:"a" ~idx:0 in
+  let b0 = T.address l ~arr:"b" ~idx:0 in
+  check "arrays do not overlap" true (abs (a0 - b0) >= 100 * 4);
+  check_int "element stride" 4 (T.address l ~arr:"a" ~idx:1 - a0)
+
+let test_layout_unknown_array () =
+  let l = T.layout ~n:100 ~line_bytes:64 (kern "s000") in
+  Alcotest.check_raises "unknown"
+    (Invalid_argument "Tracesim.address: unknown array zz") (fun () ->
+      ignore (T.address l ~arr:"zz" ~idx:0))
+
+let test_streaming_lives_in_l2 () =
+  (* 32000-element f32 streams: beyond L1, inside the 2MB L2. *)
+  let s = T.simulate mem ~n:32000 (kern "s000") in
+  check "dominant level L2" true (T.dominant_level s = Mem.L2);
+  check "no last-level misses once warm" true (s.T.bytes_moved_per_elem < 1.0)
+
+let test_small_footprint_lives_in_l1 () =
+  let s = T.simulate mem ~n:1000 (kern "s000") in
+  check "dominant level L1" true (T.dominant_level s = Mem.L1)
+
+let test_huge_footprint_hits_dram () =
+  let s = T.simulate mem ~n:2_000_000 (kern "va") in
+  check "dominant level DRAM" true (T.dominant_level s = Mem.Dram);
+  (* A streaming copy moves about one line per 16 elements per array. *)
+  check "bytes per element near 8" true
+    (s.T.bytes_moved_per_elem > 4.0 && s.T.bytes_moved_per_elem < 16.0)
+
+let test_gather_misses_l1 () =
+  let s = T.simulate mem ~n:32000 (kern "vag") in
+  let l1_rate =
+    match s.T.per_level with
+    | (Mem.L1, accs, misses) :: _ -> float_of_int misses /. float_of_int accs
+    | _ -> 0.0
+  in
+  check "random gather thrashes L1" true (l1_rate > 0.3)
+
+let test_agreement_whole_suite () =
+  (* The headline validation: analytic level within one level of the
+     simulated dominant level for every kernel (at a reduced size to keep
+     the test fast). *)
+  List.iter
+    (fun (e : Tsvc.Registry.entry) ->
+      let k = e.kernel in
+      let s = T.simulate mem ~n:8000 k in
+      let analytic =
+        Mem.level_of mem ~footprint_bytes:(Vir.Kernel.footprint_bytes ~n:8000 k)
+      in
+      check
+        (Printf.sprintf "%s agreement" k.Vir.Kernel.name)
+        true
+        (T.agrees ~analytic ~simulated:(T.dominant_level s)))
+    Tsvc.Registry.all
+
+let tests =
+  [ Alcotest.test_case "geometry validation" `Quick test_geometry_validation;
+    Alcotest.test_case "cold miss then hit" `Quick test_cold_miss_then_hit;
+    Alcotest.test_case "lru eviction" `Quick test_lru_eviction;
+    Alcotest.test_case "working set fits" `Quick test_working_set_fits;
+    Alcotest.test_case "working set thrashes" `Quick test_working_set_thrashes;
+    Alcotest.test_case "hierarchy filtering" `Quick test_hierarchy_filtering;
+    Alcotest.test_case "stats reset" `Quick test_miss_rate_reset;
+    Alcotest.test_case "layout disjoint" `Quick test_layout_disjoint;
+    Alcotest.test_case "layout unknown" `Quick test_layout_unknown_array;
+    Alcotest.test_case "streaming in L2" `Quick test_streaming_lives_in_l2;
+    Alcotest.test_case "small in L1" `Quick test_small_footprint_lives_in_l1;
+    Alcotest.test_case "huge in DRAM" `Slow test_huge_footprint_hits_dram;
+    Alcotest.test_case "gather thrashes L1" `Quick test_gather_misses_l1;
+    Alcotest.test_case "suite agreement" `Slow test_agreement_whole_suite ]

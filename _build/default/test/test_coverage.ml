@@ -1,0 +1,186 @@
+(* Focused coverage of branches the broader suites exercise only
+   incidentally: integer select/cast semantics, dependence corner cases,
+   vector feature counting of exotic accesses, and baseline cost details. *)
+
+open Vir
+module B = Builder
+module I = Vinterp.Interp
+module Env = Vinterp.Env
+module Dep = Vdeps.Dependence
+module F = Costmodel.Feature
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let checkf = Alcotest.(check (float 1e-9))
+
+(* --- interpreter corners ---------------------------------------------------- *)
+
+let test_int_select () =
+  let b = B.make "isel" in
+  let i = B.loop b "i" Kernel.Tn in
+  let x = B.load b ~ty:Types.I32 "b" [ B.ix i ] in
+  let cond = B.cmp b ~ty:Types.I32 Op.Ge x (B.ci 3) in
+  let v = B.select b ~ty:Types.I32 cond (B.ci 1) (B.ci 0) in
+  B.store b ~ty:Types.I32 "a" [ B.ix i ] v;
+  let k = B.finish b in
+  let r = I.run ~n:32 k in
+  let snap = Env.snapshot r.I.env in
+  let a = List.assoc "a" snap and bv = List.assoc "b" snap in
+  check "int threshold" true
+    (Array.for_all
+       (fun idx -> a.(idx) = (if bv.(idx) >= 3.0 then 1.0 else 0.0))
+       (Array.init 32 Fun.id))
+
+let test_float_to_int_cast () =
+  let b = B.make "f2i" in
+  let i = B.loop b "i" Kernel.Tn in
+  let x = B.mulf b (B.load b "b" [ B.ix i ]) (B.cf 3.0) in
+  let n = B.cast b ~from_:Types.F32 ~to_:Types.I32 x in
+  B.store b ~ty:Types.I32 "a" [ B.ix i ] n;
+  let k = B.finish b in
+  let r = I.run ~n:16 k in
+  let snap = Env.snapshot r.I.env in
+  let a = List.assoc "a" snap and bv = List.assoc "b" snap in
+  check "truncation" true
+    (Array.for_all
+       (fun idx -> a.(idx) = Float.of_int (int_of_float (bv.(idx) *. 3.0)))
+       (Array.init 16 Fun.id))
+
+let test_rem_and_shifts_via_builder () =
+  let b = B.make "bits" in
+  let i = B.loop b "i" Kernel.Tn in
+  let x = B.load b ~ty:Types.I32 "b" [ B.ix i ] in
+  let r1 = B.bin b Types.I32 Op.Rem x (B.ci 3) in
+  let r2 = B.bin b Types.I32 Op.Shl r1 (B.ci 2) in
+  let r3 = B.bin b Types.I32 Op.Shr r2 (B.ci 1) in
+  B.store b ~ty:Types.I32 "a" [ B.ix i ] r3;
+  let k = B.finish b in
+  let r = I.run ~n:16 k in
+  let snap = Env.snapshot r.I.env in
+  let a = List.assoc "a" snap and bv = List.assoc "b" snap in
+  check "rem/shl/shr chain" true
+    (Array.for_all
+       (fun idx ->
+         a.(idx) = float_of_int (((int_of_float bv.(idx) mod 3) lsl 2) asr 1))
+       (Array.init 16 Fun.id))
+
+let test_multiple_reductions_one_loop () =
+  let k = (Option.get (Vapps.Registry.find "cosine_parts")).kernel in
+  let r = I.run ~n:64 k in
+  check_int "three results" 3 (List.length r.I.reductions);
+  let dot = List.assoc "dot" r.I.reductions in
+  let nx = List.assoc "nx" r.I.reductions in
+  let ny = List.assoc "ny" r.I.reductions in
+  (* Cauchy-Schwarz must hold for any data. *)
+  check "cauchy-schwarz" true (dot *. dot <= (nx *. ny) +. 1e-6)
+
+(* --- dependence corners ------------------------------------------------------ *)
+
+let test_assumed_dep_does_not_constrain () =
+  let k = (Tsvc.Registry.find_exn "s4113").kernel in
+  let deps = Dep.analyze k in
+  check "assumed deps recorded" true (List.exists (fun d -> d.Dep.assumed) deps);
+  check "none of them constrain" true
+    (List.for_all (fun d -> not (Dep.constrains d)) deps
+    || Dep.vectorizable k)
+
+let test_output_dep_forward_legal () =
+  (* Two stores, later position hits the earlier iteration's address:
+     src earlier in both orders = legal. *)
+  let k = (Tsvc.Registry.find_exn "s2244").kernel in
+  let deps = Dep.analyze k in
+  check "output dep present" true
+    (List.exists (fun d -> d.Dep.kind = Dep.Output) deps);
+  check "still legal" true (Dep.vectorizable k)
+
+let test_dep_pp_smoke () =
+  let k = (Tsvc.Registry.find_exn "s1221").kernel in
+  match Dep.analyze k with
+  | d :: _ ->
+      let s = Format.asprintf "%a" Dep.pp_dep d in
+      check "pp mentions kind" true (String.length s > 10)
+  | [] -> Alcotest.fail "expected a dependence"
+
+let test_gcd_composite_strides () =
+  (* a[6i] vs a[6i+3]: gcd 6 does not divide 3 -> independent. *)
+  let b = B.make "gcd6" in
+  let i = B.loop b "i" (Kernel.Tn_div 8) in
+  let x = B.load b "a" [ B.ix ~scale:6 ~off:3 i ] in
+  B.store b "a" [ B.ix ~scale:6 i ] (B.addf b x (B.cf 1.0));
+  check "provably independent" true (Dep.analyze (B.finish b) = [])
+
+(* --- feature counting of exotic accesses -------------------------------------- *)
+
+let test_vcounts_reverse () =
+  let k = (Tsvc.Registry.find_exn "s1112").kernel in
+  let vk = Result.get_ok (Vvect.Llv.vectorize ~vf:4 k) in
+  let f = F.vcounts vk in
+  checkf "reverse load costs a shuffle" 2.0 f.(F.index F.F_shuffle)
+
+let test_vcounts_strided_expansion () =
+  let k = (Tsvc.Registry.find_exn "s127").kernel in
+  let vk = Result.get_ok (Vvect.Llv.vectorize ~vf:4 k) in
+  let f = F.vcounts vk in
+  check "strided stores expand per lane" true
+    (f.(F.index F.F_store_strided) >= 8.0)
+
+let test_vcounts_scatter () =
+  let k = (Tsvc.Registry.find_exn "vas").kernel in
+  let vk = Result.get_ok (Vvect.Llv.vectorize ~vf:4 k) in
+  let f = F.vcounts vk in
+  checkf "scatter counts per lane" 4.0 f.(F.index F.F_store_scatter)
+
+let test_counts_invariant_load () =
+  let k = (Tsvc.Registry.find_exn "s113").kernel in
+  let f = F.counts k in
+  checkf "fixed-address load classified" 1.0 f.(F.index F.F_load_inv)
+
+(* --- baseline details ----------------------------------------------------------- *)
+
+let test_baseline_div_expensive () =
+  check "division dearer than addition" true
+    (Costmodel.Baseline.scalar_class_cost F.F_fp_div
+    > Costmodel.Baseline.scalar_class_cost F.F_fp_add)
+
+let test_baseline_reduction_log_term () =
+  let c2 = Costmodel.Baseline.vector_class_cost ~vf:2 F.F_reduction in
+  let c8 = Costmodel.Baseline.vector_class_cost ~vf:8 F.F_reduction in
+  check "wider reduce slightly dearer" true (c8 > c2)
+
+let test_baseline_speedup_caps () =
+  (* A pure-compute body is predicted at close to VF. *)
+  let k = (Tsvc.Registry.find_exn "vbor").kernel in
+  let vk = Result.get_ok (Vvect.Llv.vectorize ~vf:4 k) in
+  let p = Costmodel.Baseline.predicted_speedup vk in
+  check "near vf for clean code" true (p > 3.5 && p <= 4.00001)
+
+(* --- emit corners ------------------------------------------------------------- *)
+
+let test_emit_strided_mnemonic () =
+  let k = (Tsvc.Registry.find_exn "s127").kernel in
+  let vk = Result.get_ok (Vvect.Llv.vectorize ~vf:4 k) in
+  let s = Vvect.Emit.vector vk in
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+    go 0
+  in
+  check "STn mnemonic" true (contains s "st2")
+
+let tests =
+  [ Alcotest.test_case "int select" `Quick test_int_select;
+    Alcotest.test_case "float->int cast" `Quick test_float_to_int_cast;
+    Alcotest.test_case "rem and shifts" `Quick test_rem_and_shifts_via_builder;
+    Alcotest.test_case "multiple reductions" `Quick test_multiple_reductions_one_loop;
+    Alcotest.test_case "assumed deps" `Quick test_assumed_dep_does_not_constrain;
+    Alcotest.test_case "output dep forward" `Quick test_output_dep_forward_legal;
+    Alcotest.test_case "dep pp" `Quick test_dep_pp_smoke;
+    Alcotest.test_case "gcd composite" `Quick test_gcd_composite_strides;
+    Alcotest.test_case "vcounts reverse" `Quick test_vcounts_reverse;
+    Alcotest.test_case "vcounts strided" `Quick test_vcounts_strided_expansion;
+    Alcotest.test_case "vcounts scatter" `Quick test_vcounts_scatter;
+    Alcotest.test_case "counts invariant" `Quick test_counts_invariant_load;
+    Alcotest.test_case "baseline div" `Quick test_baseline_div_expensive;
+    Alcotest.test_case "baseline reduce" `Quick test_baseline_reduction_log_term;
+    Alcotest.test_case "baseline cap" `Quick test_baseline_speedup_caps;
+    Alcotest.test_case "emit strided" `Quick test_emit_strided_mnemonic ]

@@ -1,0 +1,206 @@
+(* Tests for the dependence analysis and vectorization-legality verdicts. *)
+
+open Vir
+module B = Builder
+module Dep = Vdeps.Dependence
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let limit_of k =
+  match Dep.vf_limit k with Dep.Unlimited -> max_int | Dep.Max_vf m -> m
+
+(* Small kernel factory: a[i + store_off] = a[i + load_off] + b[i]. *)
+let offset_kernel ~load_off ~store_off =
+  let b = B.make "dep" in
+  let start = max 0 (max (-load_off) (-store_off)) in
+  let i = B.loop b ~start "i" (Kernel.Tn_minus 8) in
+  let x = B.load b "a" [ B.ix ~off:load_off i ] in
+  B.store b "a" [ B.ix ~off:store_off i ] (B.addf b x (B.load b "b" [ B.ix i ]));
+  B.finish b
+
+let test_no_dep () =
+  let b = B.make "nodep" in
+  let i = B.loop b "i" Kernel.Tn in
+  B.store b "a" [ B.ix i ] (B.load b "b" [ B.ix i ]);
+  let k = B.finish b in
+  check "no dependences" true (Dep.analyze k = []);
+  check "unlimited" true (Dep.vf_limit k = Dep.Unlimited)
+
+let test_backward_flow_distance_1 () =
+  (* a[i] = a[i-1] + b[i]: classic recurrence, not vectorizable. *)
+  let k = offset_kernel ~load_off:(-1) ~store_off:0 in
+  check_int "max vf 1" 1 (limit_of k);
+  check "not vectorizable" false (Dep.vectorizable k)
+
+let test_backward_flow_distance_4 () =
+  let k = offset_kernel ~load_off:(-4) ~store_off:0 in
+  check_int "max vf 4" 4 (limit_of k);
+  check "legal at 4" true (Dep.legal_for_vf k 4);
+  check "illegal at 8" false (Dep.legal_for_vf k 8)
+
+let test_forward_anti_any_vf () =
+  (* a[i] = a[i+1] + b[i]: anti dependence with loads before stores. *)
+  let k = offset_kernel ~load_off:1 ~store_off:0 in
+  check "anti is unlimited" true (Dep.vf_limit k = Dep.Unlimited);
+  let deps = Dep.analyze k in
+  check "anti recorded" true
+    (List.exists (fun d -> d.Dep.kind = Dep.Anti) deps)
+
+let test_forward_flow_store_first () =
+  (* a[i+2] = a[i] + b[i] where the store is at a higher address: the flow
+     edge goes store -> later load, sink after source, so widening is safe
+     only up to the distance. *)
+  let k = offset_kernel ~load_off:0 ~store_off:2 in
+  check_int "limited by distance 2" 2 (limit_of k)
+
+let test_ziv_store () =
+  let b = B.make "ziv" in
+  let i = B.loop b "i" Kernel.Tn in
+  B.store b "a" [ B.ix_const 0 ] (B.load b "b" [ B.ix i ]);
+  let k = B.finish b in
+  check_int "invariant store blocks" 1 (limit_of k);
+  check "dany present" true
+    (List.exists (fun d -> d.Dep.distance = Dep.Dany) (Dep.analyze k))
+
+let test_ziv_read_only () =
+  let b = B.make "zivr" in
+  let i = B.loop b "i" Kernel.Tn in
+  let fixedv = B.load b "c" [ B.ix_const 0 ] in
+  B.store b "a" [ B.ix i ] (B.addf b fixedv (B.load b "b" [ B.ix i ]));
+  let k = B.finish b in
+  check "read-only invariant is fine" true (Dep.vf_limit k = Dep.Unlimited)
+
+let test_interleaved_strides_independent () =
+  (* a[2i] = a[2i+1] + 1: odd and even elements never meet. *)
+  let b = B.make "odd" in
+  let i = B.loop b "i" (Kernel.Tn_div 2) in
+  let x = B.load b "a" [ B.ix ~scale:2 ~off:1 i ] in
+  B.store b "a" [ B.ix ~scale:2 i ] (B.addf b x (B.cf 1.0));
+  let k = B.finish b in
+  check "strong siv: non-integer distance" true (Dep.analyze k = [])
+
+let test_gcd_independence () =
+  (* a[2i] = a[4j... simplistic: write a[2i], read a[2i+1]: covered above.
+     Differing coefficients with incompatible offsets: a[2i] vs a[4i+1]. *)
+  let b = B.make "gcd" in
+  let i = B.loop b "i" (Kernel.Tn_div 4) in
+  let x = B.load b "a" [ B.ix ~scale:4 ~off:1 i ] in
+  B.store b "a" [ B.ix ~scale:2 i ] (B.addf b x (B.cf 1.0));
+  let k = B.finish b in
+  check "gcd proves independence" true (Dep.analyze k = [])
+
+let test_weak_siv_unknown () =
+  (* Write front crosses a moving read at a different rate: a[2i] vs a[i]. *)
+  let b = B.make "weak" in
+  let i = B.loop b "i" (Kernel.Tn_div 2) in
+  let x = B.load b "a" [ B.ix i ] in
+  B.store b "a" [ B.ix ~scale:2 i ] (B.addf b x (B.cf 1.0));
+  let k = B.finish b in
+  check_int "conservative" 1 (limit_of k)
+
+let test_2d_row_independence () =
+  (* aa[j][i] = aa[j-1][i]: rows differ, inner loop on i is free. *)
+  let b = B.make "rows" in
+  let j = B.loop b ~start:1 "j" Kernel.Tn2 in
+  let i = B.loop b "i" Kernel.Tn2 in
+  let x = B.load b "aa" [ B.ix ~off:(-1) j; B.ix i ] in
+  B.store b "aa" [ B.ix j; B.ix i ] x;
+  let k = B.finish b in
+  check "distinct rows never alias in the inner loop" true
+    (Dep.vf_limit k = Dep.Unlimited)
+
+let test_2d_column_recurrence () =
+  let b = B.make "cols" in
+  let j = B.loop b "j" Kernel.Tn2 in
+  let i = B.loop b ~start:1 "i" Kernel.Tn2 in
+  let x = B.load b "aa" [ B.ix j; B.ix ~off:(-1) i ] in
+  B.store b "aa" [ B.ix j; B.ix i ] x;
+  let k = B.finish b in
+  check_int "column recurrence blocks" 1 (limit_of k)
+
+let test_indirect_assumed () =
+  let b = B.make "gath" in
+  let i = B.loop b "i" Kernel.Tn in
+  let idx = B.load_index b "ip" [ B.ix i ] in
+  B.store_ix b "a" idx (B.load b "b" [ B.ix i ]);
+  let k = B.finish b in
+  check "scatter legal under assumption" true (Dep.vectorizable k);
+  check "assumption flagged" true (Dep.needs_runtime_assumption k)
+
+let test_reduction_no_memory_dep () =
+  let b = B.make "red" in
+  let i = B.loop b "i" Kernel.Tn in
+  B.reduce b "s" Op.Rsum (B.load b "a" [ B.ix i ]);
+  let k = B.finish b in
+  check "reductions carry no memory dependence" true
+    (Dep.vf_limit k = Dep.Unlimited)
+
+let test_rel_n_cancels () =
+  (* Reversed traversal of both access and store: distances still exact. *)
+  let b = B.make "revk" in
+  let i = B.loop b "i" (Kernel.Tn_minus 1) in
+  let x = B.load b "a" [ B.ix_rev ~off:(-1) i ] in
+  B.store b "a" [ B.ix_rev i ] (B.addf b x (B.cf 1.0));
+  let k = B.finish b in
+  (* load (n-1)-i-1, store (n-1)-i: the load reads what a LATER iteration
+     overwrites -> anti, forward -> legal. *)
+  check "reverse anti legal" true (Dep.vf_limit k = Dep.Unlimited)
+
+let test_param_offset_unknown () =
+  let b = B.make "paramoff" in
+  let i = B.loop b "i" (Kernel.Tn_minus 8) in
+  let d = B.ix_plus_param b (B.ix i) ("k", 1) in
+  let x = B.load b "a" [ d ] in
+  B.store b "a" [ B.ix i ] (B.addf b x (B.cf 1.0));
+  let k = B.finish b in
+  check_int "symbolic offset conservative" 1 (limit_of k)
+
+(* --- golden verdicts over the TSVC registry ------------------------------ *)
+
+let expect_legal =
+  [ ("s000", true); ("s111", true); ("s112", true); ("s113", false);
+    ("s114", false); ("s115", false); ("s116", false); ("s119", true);
+    ("s121", true); ("s1221", true); ("s211", false); ("s212", false);
+    ("s1213", true); ("s221", false); ("s231", true); ("s232", false);
+    ("s241", false); ("s251", true); ("s254", true); ("s261", false);
+    ("s271", true); ("s281", false); ("s291", true); ("s293", false);
+    ("s311", true); ("s321", false); ("s323", false); ("s331", true);
+    ("s341", true); ("s424", false); ("s4112", true); ("va", true);
+    ("vag", true); ("s3112", false); ("s2244", true); ("s3251", true) ]
+
+let test_golden_verdicts () =
+  List.iter
+    (fun (name, expected) ->
+      let e = Tsvc.Registry.find_exn name in
+      check (Printf.sprintf "%s legality" name) expected
+        (Dep.vectorizable e.kernel))
+    expect_legal
+
+let test_distance_limits () =
+  check_int "s1221 distance 4" 4
+    (limit_of (Tsvc.Registry.find_exn "s1221").kernel);
+  check_int "s322 distance 2" 2
+    (limit_of (Tsvc.Registry.find_exn "s322").kernel);
+  check_int "s423 distance 2" 2
+    (limit_of (Tsvc.Registry.find_exn "s423").kernel)
+
+let tests =
+  [ Alcotest.test_case "no dep" `Quick test_no_dep;
+    Alcotest.test_case "backward flow d=1" `Quick test_backward_flow_distance_1;
+    Alcotest.test_case "backward flow d=4" `Quick test_backward_flow_distance_4;
+    Alcotest.test_case "forward anti" `Quick test_forward_anti_any_vf;
+    Alcotest.test_case "forward flow store-first" `Quick test_forward_flow_store_first;
+    Alcotest.test_case "ziv store" `Quick test_ziv_store;
+    Alcotest.test_case "ziv read only" `Quick test_ziv_read_only;
+    Alcotest.test_case "interleaved strides" `Quick test_interleaved_strides_independent;
+    Alcotest.test_case "gcd independence" `Quick test_gcd_independence;
+    Alcotest.test_case "weak siv" `Quick test_weak_siv_unknown;
+    Alcotest.test_case "2-d rows independent" `Quick test_2d_row_independence;
+    Alcotest.test_case "2-d column recurrence" `Quick test_2d_column_recurrence;
+    Alcotest.test_case "indirect assumed" `Quick test_indirect_assumed;
+    Alcotest.test_case "reductions free" `Quick test_reduction_no_memory_dep;
+    Alcotest.test_case "rel_n cancels" `Quick test_rel_n_cancels;
+    Alcotest.test_case "param offset" `Quick test_param_offset_unknown;
+    Alcotest.test_case "golden verdicts" `Quick test_golden_verdicts;
+    Alcotest.test_case "distance limits" `Quick test_distance_limits ]

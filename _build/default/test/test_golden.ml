@@ -1,0 +1,191 @@
+(* Golden regression table: the dependence verdict, body size and reduction
+   count of every TSVC kernel, locked in after independent verification
+   (semantic equivalence tests, bounds analysis, hand-checked distance
+   cases).  Any change here must be deliberate.
+
+   Format: (name, vf_limit (-1 = unlimited), body length, reductions). *)
+
+let verdicts = [
+    ("s000", -1, 3, 0);
+    ("s111", -1, 4, 0);
+    ("s1111", -1, 13, 0);
+    ("s112", -1, 4, 0);
+    ("s1112", -1, 3, 0);
+    ("s113", 1, 4, 0);
+    ("s1113", 1, 4, 0);
+    ("s114", 1, 4, 0);
+    ("s115", 1, 6, 0);
+    ("s116", 1, 20, 0);
+    ("s118", 1, 6, 0);
+    ("s119", -1, 4, 0);
+    ("s1119", -1, 4, 0);
+    ("s1115", -1, 5, 0);
+    ("s121", -1, 4, 0);
+    ("s122", -1, 4, 0);
+    ("s123", -1, 13, 0);
+    ("s124", -1, 11, 0);
+    ("s125", -1, 5, 0);
+    ("s126", -1, 5, 0);
+    ("s127", -1, 10, 0);
+    ("s128", -1, 7, 0);
+    ("s1221", 4, 4, 0);
+    ("s1232", -1, 4, 0);
+    ("s131", -1, 4, 0);
+    ("s132", -1, 5, 0);
+    ("s141", -1, 4, 0);
+    ("s151", -1, 4, 0);
+    ("s152", -1, 8, 0);
+    ("s161", 1, 16, 0);
+    ("s1161", -1, 14, 0);
+    ("s162", -1, 5, 0);
+    ("s171", -1, 6, 0);
+    ("s172", 1, 4, 0);
+    ("s173", -1, 4, 0);
+    ("s174", -1, 7, 0);
+    ("s175", -1, 6, 0);
+    ("s176", -1, 5, 0);
+    ("s211", 1, 9, 0);
+    ("s212", 1, 9, 0);
+    ("s1213", -1, 9, 0);
+    ("s221", 1, 10, 0);
+    ("s222", 1, 12, 0);
+    ("s2251", -1, 6, 0);
+    ("s231", -1, 4, 0);
+    ("s232", 1, 4, 0);
+    ("s233", 1, 8, 0);
+    ("s2233", 1, 8, 0);
+    ("s235", -1, 9, 0);
+    ("s2101", -1, 5, 0);
+    ("s2102", -1, 3, 0);
+    ("s2111", 1, 5, 0);
+    ("s241", 1, 11, 0);
+    ("s242", 1, 10, 0);
+    ("s243", 1, 13, 0);
+    ("s244", 1, 13, 0);
+    ("s251", -1, 6, 0);
+    ("s252", -1, 8, 0);
+    ("s253", -1, 16, 0);
+    ("s254", -1, 5, 0);
+    ("s255", -1, 7, 0);
+    ("s256", 1, 7, 0);
+    ("s257", 1, 7, 0);
+    ("s258", -1, 13, 0);
+    ("s261", 1, 10, 0);
+    ("s262", -1, 8, 0);
+    ("s271", -1, 9, 0);
+    ("s272", -1, 16, 0);
+    ("s273", -1, 16, 0);
+    ("s274", -1, 13, 0);
+    ("s275", 1, 9, 0);
+    ("s276", -1, 12, 0);
+    ("s277", 1, 22, 0);
+    ("s278", -1, 20, 0);
+    ("s279", -1, 25, 0);
+    ("s1279", -1, 16, 0);
+    ("s2710", -1, 41, 0);
+    ("s2711", -1, 9, 0);
+    ("s2712", -1, 10, 0);
+    ("s281", 1, 7, 0);
+    ("s1281", -1, 12, 0);
+    ("s291", -1, 5, 0);
+    ("s292", -1, 7, 0);
+    ("s293", 1, 2, 0);
+    ("s311", -1, 1, 1);
+    ("s312", -1, 1, 1);
+    ("s313", -1, 3, 1);
+    ("s314", -1, 1, 1);
+    ("s315", -1, 3, 1);
+    ("s316", -1, 1, 1);
+    ("s317", -1, 0, 1);
+    ("s318", -1, 4, 1);
+    ("s319", -1, 9, 1);
+    ("s3110", -1, 1, 1);
+    ("s3111", -1, 4, 1);
+    ("s3112", 1, 4, 0);
+    ("s3113", -1, 2, 1);
+    ("s31111", -1, 15, 1);
+    ("s321", 1, 5, 0);
+    ("s322", 2, 5, 0);
+    ("s323", 1, 9, 0);
+    ("s331", -1, 4, 1);
+    ("s332", -1, 4, 1);
+    ("s341", -1, 3, 0);
+    ("s342", -1, 3, 0);
+    ("s343", -1, 6, 0);
+    ("s351", -1, 20, 0);
+    ("s352", -1, 15, 1);
+    ("s353", -1, 25, 0);
+    ("s421", -1, 4, 0);
+    ("s422", -1, 4, 0);
+    ("s423", 2, 4, 0);
+    ("s424", 1, 4, 0);
+    ("s4112", -1, 5, 0);
+    ("s4113", -1, 5, 0);
+    ("s4114", -1, 5, 0);
+    ("s4115", -1, 4, 1);
+    ("s4116", -1, 2, 1);
+    ("s4117", -1, 6, 0);
+    ("s4121", -1, 5, 0);
+    ("s431", -1, 4, 0);
+    ("s441", -1, 14, 0);
+    ("s442", -1, 25, 0);
+    ("s443", -1, 12, 0);
+    ("s451", -1, 6, 0);
+    ("s452", -1, 6, 0);
+    ("s453", -1, 6, 0);
+    ("s471", -1, 10, 0);
+    ("s481", -1, 9, 0);
+    ("s482", -1, 10, 0);
+    ("s491", -1, 6, 0);
+    ("va", -1, 2, 0);
+    ("vag", -1, 3, 0);
+    ("vas", -1, 3, 0);
+    ("vif", -1, 6, 0);
+    ("vpv", -1, 4, 0);
+    ("vtv", -1, 4, 0);
+    ("vpvtv", -1, 5, 0);
+    ("vpvts", -1, 4, 0);
+    ("vpvpv", -1, 6, 0);
+    ("vtvtv", -1, 6, 0);
+    ("vsumr", -1, 1, 1);
+    ("vdotr", -1, 3, 1);
+    ("vbor", -1, 25, 0);
+    ("s1244", 1, 11, 0);
+    ("s1251", -1, 10, 0);
+    ("s1351", -1, 4, 0);
+    ("s2244", -1, 8, 0);
+    ("s2275", 1, 14, 0);
+    ("s3251", -1, 12, 0);
+    ("s13110", -1, 1, 1);
+  ]
+
+let check = Alcotest.(check bool)
+
+let limit_of k =
+  match Vdeps.Dependence.vf_limit k with
+  | Vdeps.Dependence.Unlimited -> -1
+  | Vdeps.Dependence.Max_vf m -> m
+
+let test_verdicts_locked () =
+  Alcotest.(check int) "table covers the suite" Tsvc.Registry.count
+    (List.length verdicts);
+  List.iter
+    (fun (name, vf, body_len, nred) ->
+      let k = (Tsvc.Registry.find_exn name).kernel in
+      Alcotest.(check int) (name ^ " vf limit") vf (limit_of k);
+      Alcotest.(check int) (name ^ " body length") body_len
+        (List.length k.Vir.Kernel.body);
+      Alcotest.(check int) (name ^ " reductions") nred
+        (List.length k.Vir.Kernel.reductions))
+    verdicts
+
+let test_verdict_distribution () =
+  let unlimited = List.length (List.filter (fun (_, v, _, _) -> v = -1) verdicts) in
+  let blocked = List.length (List.filter (fun (_, v, _, _) -> v = 1) verdicts) in
+  let distance = List.length (List.filter (fun (_, v, _, _) -> v > 1) verdicts) in
+  check "three verdict classes all present" true
+    (unlimited > 100 && blocked > 25 && distance >= 3)
+
+let tests =
+  [ Alcotest.test_case "verdicts locked" `Quick test_verdicts_locked;
+    Alcotest.test_case "verdict distribution" `Quick test_verdict_distribution ]

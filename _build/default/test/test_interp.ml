@@ -1,0 +1,264 @@
+(* Tests for the environment and the scalar reference interpreter. *)
+
+open Vir
+module B = Builder
+module I = Vinterp.Interp
+module Env = Vinterp.Env
+
+let check = Alcotest.(check bool)
+let checkf = Alcotest.(check (float 1e-6))
+let check_int = Alcotest.(check int)
+
+let run_simple body_builder =
+  let b = B.make "t" in
+  let i = B.loop b "i" Kernel.Tn in
+  body_builder b i;
+  let k = B.finish b in
+  Validate.check_exn k;
+  I.run ~n:64 k
+
+(* --- environment --------------------------------------------------------- *)
+
+let test_env_deterministic () =
+  let b = B.make "env" in
+  let i = B.loop b "i" Kernel.Tn in
+  B.store b "a" [ B.ix i ] (B.load b "b" [ B.ix i ]);
+  let k = B.finish b in
+  let e1 = Env.create ~seed:7 ~n:32 k and e2 = Env.create ~seed:7 ~n:32 k in
+  check "same seed same state" true (Env.snapshot e1 = Env.snapshot e2);
+  let e3 = Env.create ~seed:8 ~n:32 k in
+  check "different seed different state" true (Env.snapshot e1 <> Env.snapshot e3)
+
+let test_env_data_range () =
+  let b = B.make "rng" in
+  let i = B.loop b "i" Kernel.Tn in
+  B.store b "a" [ B.ix i ] (B.load b "b" [ B.ix i ]);
+  let k = B.finish b in
+  let e = Env.create ~n:128 k in
+  match Env.store e "b" with
+  | Env.F_arr a ->
+      check "values in [0.5, 1.5)" true
+        (Array.for_all (fun v -> v >= 0.5 && v < 1.5) a)
+  | Env.I_arr _ -> Alcotest.fail "expected float array"
+
+let test_env_index_permutation () =
+  let b = B.make "perm" in
+  let i = B.loop b "i" Kernel.Tn in
+  let idx = B.load_index b "ip" [ B.ix i ] in
+  B.store_ix b "a" idx (B.cf 1.0);
+  let k = B.finish b in
+  let e = Env.create ~n:64 k in
+  match Env.store e "ip" with
+  | Env.I_arr a ->
+      let first = Array.sub a 0 64 in
+      let sorted = Array.copy first in
+      Array.sort compare sorted;
+      check "permutation of 0..n-1" true (sorted = Array.init 64 Fun.id)
+  | Env.F_arr _ -> Alcotest.fail "expected int array"
+
+let test_env_out_of_bounds () =
+  let b = B.make "oob" in
+  let i = B.loop b "i" Kernel.Tn in
+  B.store b "a" [ B.ix i ] (B.load b "b" [ B.ix i ]);
+  let k = B.finish b in
+  let e = Env.create ~n:16 k in
+  Alcotest.check_raises "oob read" (Env.Out_of_bounds ("b", 99)) (fun () ->
+      ignore (Env.read_float e "b" 99))
+
+let test_env_param_default () =
+  let b = B.make "param" in
+  let i = B.loop b "i" Kernel.Tn in
+  let s = B.param b "s" in
+  B.store b "a" [ B.ix i ] (B.mulf b s (B.load b "b" [ B.ix i ]));
+  let k = B.finish b in
+  let e = Env.create ~n:16 k in
+  check "param positive" true (Env.param e "s" > 0.0)
+
+(* --- operator semantics --------------------------------------------------- *)
+
+let test_float_ops () =
+  checkf "add" 3.0 (I.float_bin Op.Add 1.0 2.0);
+  checkf "sub" (-1.0) (I.float_bin Op.Sub 1.0 2.0);
+  checkf "mul" 6.0 (I.float_bin Op.Mul 2.0 3.0);
+  checkf "div" 2.5 (I.float_bin Op.Div 5.0 2.0);
+  checkf "min" 1.0 (I.float_bin Op.Min 1.0 2.0);
+  checkf "max" 2.0 (I.float_bin Op.Max 1.0 2.0);
+  checkf "neg" (-3.0) (I.float_una Op.Neg 3.0);
+  checkf "abs" 3.0 (I.float_una Op.Abs (-3.0));
+  checkf "sqrt" 3.0 (I.float_una Op.Sqrt 9.0)
+
+let test_int_ops () =
+  check_int "and" 4 (I.int_bin Op.And 6 12);
+  check_int "or" 14 (I.int_bin Op.Or 6 12);
+  check_int "xor" 10 (I.int_bin Op.Xor 6 12);
+  check_int "shl" 24 (I.int_bin Op.Shl 6 2);
+  check_int "shr" 3 (I.int_bin Op.Shr 6 1);
+  check_int "div" 3 (I.int_bin Op.Div 7 2);
+  check_int "rem" 1 (I.int_bin Op.Rem 7 2)
+
+let test_cmp_ops () =
+  check "lt" true (I.float_cmp Op.Lt 1.0 2.0);
+  check "ge" false (I.float_cmp Op.Ge 1.0 2.0);
+  check "eq" true (I.float_cmp Op.Eq 2.0 2.0);
+  check "ne" false (I.float_cmp Op.Ne 2.0 2.0)
+
+let test_reduction_semantics () =
+  checkf "sum" 6.0 (List.fold_left (I.red_combine Op.Rsum) (I.red_neutral Op.Rsum) [ 1.0; 2.0; 3.0 ]);
+  checkf "prod" 24.0 (List.fold_left (I.red_combine Op.Rprod) (I.red_neutral Op.Rprod) [ 2.0; 3.0; 4.0 ]);
+  checkf "min" 2.0 (List.fold_left (I.red_combine Op.Rmin) (I.red_neutral Op.Rmin) [ 5.0; 2.0; 4.0 ]);
+  checkf "max" 5.0 (List.fold_left (I.red_combine Op.Rmax) (I.red_neutral Op.Rmax) [ 5.0; 2.0; 4.0 ])
+
+(* --- end-to-end scalar execution ------------------------------------------ *)
+
+let test_copy_kernel () =
+  let r =
+    run_simple (fun b i -> B.store b "a" [ B.ix i ] (B.load b "b" [ B.ix i ]))
+  in
+  let snap = Env.snapshot r.I.env in
+  let a = List.assoc "a" snap and b = List.assoc "b" snap in
+  check "a = b on [0, n)" true (Array.sub a 0 64 = Array.sub b 0 64)
+
+let test_add_one_kernel () =
+  let r =
+    run_simple (fun b i ->
+        B.store b "a" [ B.ix i ]
+          (B.addf b (B.load b "b" [ B.ix i ]) (B.cf 1.0)))
+  in
+  let snap = Env.snapshot r.I.env in
+  let a = List.assoc "a" snap and b = List.assoc "b" snap in
+  check "a = b + 1" true
+    (Array.for_all2 (fun x y -> x = y +. 1.0)
+       (Array.sub a 0 64) (Array.sub b 0 64))
+
+let test_sum_reduction () =
+  let r =
+    run_simple (fun b i -> B.reduce b "s" Op.Rsum (B.load b "a" [ B.ix i ]))
+  in
+  let expected =
+    match Env.store r.I.env "a" with
+    | Env.F_arr a -> Array.fold_left ( +. ) 0.0 (Array.sub a 0 64)
+    | Env.I_arr _ -> Alcotest.fail "float expected"
+  in
+  checkf "sum matches direct fold" expected (List.assoc "s" r.I.reductions)
+
+let test_select_semantics () =
+  let r =
+    run_simple (fun b i ->
+        let x = B.load b "b" [ B.ix i ] in
+        let cond = B.cmp b Op.Gt x (B.cf 1.0) in
+        B.store b "a" [ B.ix i ] (B.select b cond x (B.cf 0.0)))
+  in
+  let snap = Env.snapshot r.I.env in
+  let a = List.assoc "a" snap and b = List.assoc "b" snap in
+  check "if-converted max threshold" true
+    (Array.for_all2
+       (fun x y -> if y > 1.0 then x = y else x = 0.0)
+       (Array.sub a 0 64) (Array.sub b 0 64))
+
+let test_index_cast () =
+  let r =
+    run_simple (fun b i ->
+        let fi = B.cast b ~from_:Types.I64 ~to_:Types.F32 i in
+        B.store b "a" [ B.ix i ] fi)
+  in
+  let a = List.assoc "a" (Env.snapshot r.I.env) in
+  check "a[i] = i" true (Array.for_all2 ( = ) (Array.sub a 0 64) (Array.init 64 float_of_int))
+
+let test_reverse_access () =
+  let r =
+    run_simple (fun b i ->
+        B.store b "a" [ B.ix i ] (B.load b "b" [ B.ix_rev i ]))
+  in
+  let snap = Env.snapshot r.I.env in
+  let a = List.assoc "a" snap and b = List.assoc "b" snap in
+  check "a[i] = b[n-1-i]" true
+    (Array.for_all (fun i -> a.(i) = b.(63 - i)) (Array.init 64 Fun.id))
+
+let test_2d_flattening () =
+  let b = B.make "t2" in
+  let j = B.loop b "j" Kernel.Tn2 in
+  let i = B.loop b "i" Kernel.Tn2 in
+  let fi = B.cast b ~from_:Types.I64 ~to_:Types.F32 j in
+  B.store b "aa" [ B.ix j; B.ix i ] fi;
+  let k = B.finish b in
+  let r = I.run ~n:64 k in
+  let aa = List.assoc "aa" (Env.snapshot r.I.env) in
+  (* n2 = 8: element (j,i) lives at j*8+i and holds j. *)
+  check "row-major layout" true
+    (Array.for_all (fun idx -> aa.(idx) = float_of_int (idx / 8))
+       (Array.init 64 Fun.id))
+
+let test_indirect_gather () =
+  let b = B.make "g" in
+  let i = B.loop b "i" Kernel.Tn in
+  let idx = B.load_index b "ip" [ B.ix i ] in
+  B.store b "a" [ B.ix i ] (B.load_ix b "b" idx);
+  let k = B.finish b in
+  let r = I.run ~n:32 k in
+  let snap = Env.snapshot r.I.env in
+  let a = List.assoc "a" snap and bv = List.assoc "b" snap in
+  let ip =
+    match Env.store r.I.env "ip" with
+    | Env.I_arr x -> x
+    | Env.F_arr _ -> Alcotest.fail "int expected"
+  in
+  check "gather semantics" true
+    (Array.for_all (fun i -> a.(i) = bv.(ip.(i))) (Array.init 32 Fun.id))
+
+let test_strided_loop () =
+  let b = B.make "st" in
+  let i = B.loop b ~start:1 ~step:2 "i" Kernel.Tn in
+  B.store b "a" [ B.ix i ] (B.cf 7.0);
+  let k = B.finish b in
+  let r = I.run ~n:16 k in
+  let a = List.assoc "a" (Env.snapshot r.I.env) in
+  check "odd slots written" true
+    (Array.for_all
+       (fun i -> if i mod 2 = 1 then a.(i) = 7.0 else a.(i) <> 7.0)
+       (Array.init 16 Fun.id))
+
+let test_param_in_subscript () =
+  let b = B.make "ps" in
+  let i = B.loop b "i" (Kernel.Tn_minus 4) in
+  let d = B.ix_plus_param b (B.ix i) ("k", 1) in
+  B.store b "a" [ B.ix i ] (B.load b "b" [ d ]);
+  let k = B.finish b in
+  let env = Env.create ~n:32 k in
+  Env.set_param env "k" 2.0;
+  ignore (Vinterp.Interp.run_in env k);
+  let snap = Env.snapshot env in
+  let a = List.assoc "a" snap and bv = List.assoc "b" snap in
+  check "a[i] = b[i+2]" true
+    (Array.for_all (fun i -> a.(i) = bv.(i + 2)) (Array.init 28 Fun.id))
+
+(* Every TSVC kernel must execute without out-of-bounds accesses at several
+   problem sizes, including awkward (prime) ones. *)
+let test_tsvc_all_execute () =
+  List.iter
+    (fun (e : Tsvc.Registry.entry) ->
+      List.iter
+        (fun n -> ignore (I.run ~n e.kernel))
+        [ 64; 101; 256 ])
+    Tsvc.Registry.all
+
+let tests =
+  [ Alcotest.test_case "env deterministic" `Quick test_env_deterministic;
+    Alcotest.test_case "env data range" `Quick test_env_data_range;
+    Alcotest.test_case "env permutation" `Quick test_env_index_permutation;
+    Alcotest.test_case "env out of bounds" `Quick test_env_out_of_bounds;
+    Alcotest.test_case "env params" `Quick test_env_param_default;
+    Alcotest.test_case "float ops" `Quick test_float_ops;
+    Alcotest.test_case "int ops" `Quick test_int_ops;
+    Alcotest.test_case "cmp ops" `Quick test_cmp_ops;
+    Alcotest.test_case "reduction ops" `Quick test_reduction_semantics;
+    Alcotest.test_case "copy kernel" `Quick test_copy_kernel;
+    Alcotest.test_case "add-one kernel" `Quick test_add_one_kernel;
+    Alcotest.test_case "sum reduction" `Quick test_sum_reduction;
+    Alcotest.test_case "select" `Quick test_select_semantics;
+    Alcotest.test_case "index cast" `Quick test_index_cast;
+    Alcotest.test_case "reverse access" `Quick test_reverse_access;
+    Alcotest.test_case "2-d flattening" `Quick test_2d_flattening;
+    Alcotest.test_case "indirect gather" `Quick test_indirect_gather;
+    Alcotest.test_case "strided loop" `Quick test_strided_loop;
+    Alcotest.test_case "param subscript" `Quick test_param_in_subscript;
+    Alcotest.test_case "tsvc all execute" `Slow test_tsvc_all_execute ]

@@ -1,0 +1,220 @@
+(* Tests for the linear-algebra fitters: QR least squares, Lawson-Hanson
+   NNLS, and linear SVR, including qcheck properties on random systems. *)
+
+module Mat = Vlinalg.Mat
+module Qr = Vlinalg.Qr
+module Nnls = Vlinalg.Nnls
+module Svr = Vlinalg.Svr
+
+let checkf = Alcotest.(check (float 1e-6))
+let check = Alcotest.(check bool)
+
+let approx ?(eps = 1e-8) a b = abs_float (a -. b) <= eps *. (1.0 +. abs_float b)
+
+let vec_approx ?(eps = 1e-8) a b =
+  Array.length a = Array.length b
+  && Array.for_all2 (fun x y -> approx ~eps x y) a b
+
+(* --- Mat ---------------------------------------------------------------- *)
+
+let test_mat_basics () =
+  let m = Mat.init 2 3 (fun i j -> float_of_int ((i * 3) + j)) in
+  checkf "get" 5.0 (Mat.get m 1 2);
+  Mat.set m 1 2 9.0;
+  checkf "set" 9.0 (Mat.get m 1 2);
+  Alcotest.(check int) "rows" 2 (Mat.rows m);
+  Alcotest.(check int) "cols" 3 (Mat.cols m)
+
+let test_mat_bounds () =
+  let m = Mat.create 2 2 in
+  Alcotest.check_raises "oob get" (Invalid_argument "Mat.get (2,0) of 2x2")
+    (fun () -> ignore (Mat.get m 2 0))
+
+let test_mat_transpose () =
+  let m = Mat.of_rows [ [| 1.0; 2.0 |]; [| 3.0; 4.0 |]; [| 5.0; 6.0 |] ] in
+  let t = Mat.transpose m in
+  checkf "t(0,2)" 5.0 (Mat.get t 0 2);
+  checkf "t(1,0)" 2.0 (Mat.get t 1 0)
+
+let test_mat_vec () =
+  let m = Mat.of_rows [ [| 1.0; 2.0 |]; [| 3.0; 4.0 |] ] in
+  check "mat_vec" true (vec_approx (Mat.mat_vec m [| 1.0; 1.0 |]) [| 3.0; 7.0 |]);
+  check "tmat_vec" true
+    (vec_approx (Mat.tmat_vec m [| 1.0; 1.0 |]) [| 4.0; 6.0 |])
+
+let test_matmul () =
+  let a = Mat.of_rows [ [| 1.0; 2.0 |]; [| 3.0; 4.0 |] ] in
+  let b = Mat.of_rows [ [| 0.0; 1.0 |]; [| 1.0; 0.0 |] ] in
+  let c = Mat.matmul a b in
+  check "swap columns" true
+    (vec_approx (Mat.row c 0) [| 2.0; 1.0 |] && vec_approx (Mat.row c 1) [| 4.0; 3.0 |])
+
+let test_select_cols () =
+  let m = Mat.of_rows [ [| 1.0; 2.0; 3.0 |]; [| 4.0; 5.0; 6.0 |] ] in
+  let s = Mat.select_cols m [ 2; 0 ] in
+  check "selected" true
+    (vec_approx (Mat.row s 0) [| 3.0; 1.0 |] && vec_approx (Mat.row s 1) [| 6.0; 4.0 |])
+
+let test_ragged_rejected () =
+  Alcotest.check_raises "ragged" (Invalid_argument "Mat.of_rows: ragged rows")
+    (fun () -> ignore (Mat.of_rows [ [| 1.0 |]; [| 1.0; 2.0 |] ]))
+
+(* --- QR ------------------------------------------------------------------ *)
+
+let test_lstsq_exact () =
+  (* 2x + y = 5, x + 3y = 10, exactly determined. *)
+  let a = Mat.of_rows [ [| 2.0; 1.0 |]; [| 1.0; 3.0 |] ] in
+  let x = Qr.lstsq a [| 5.0; 10.0 |] in
+  check "exact solve" true (vec_approx ~eps:1e-10 x [| 1.0; 3.0 |])
+
+let test_lstsq_overdetermined () =
+  (* y = 2x + 1 sampled with consistent points. *)
+  let xs = [ 0.0; 1.0; 2.0; 3.0; 4.0 ] in
+  let a = Mat.of_rows (List.map (fun x -> [| x; 1.0 |]) xs) in
+  let y = Array.of_list (List.map (fun x -> (2.0 *. x) +. 1.0) xs) in
+  let w = Qr.lstsq a y in
+  check "slope+intercept recovered" true (vec_approx ~eps:1e-10 w [| 2.0; 1.0 |])
+
+let test_lstsq_residual_minimal () =
+  (* Perturb one observation; the LS residual must be orthogonal to the
+     column space (normal equations). *)
+  let a = Mat.of_rows [ [| 1.0; 0.0 |]; [| 0.0; 1.0 |]; [| 1.0; 1.0 |] ] in
+  let y = [| 1.0; 2.0; 4.0 |] in
+  let w = Qr.lstsq a y in
+  let r =
+    let ax = Mat.mat_vec a w in
+    Array.mapi (fun i v -> y.(i) -. v) ax
+  in
+  let atr = Mat.tmat_vec a r in
+  check "A^T r = 0" true (vec_approx ~eps:1e-9 atr [| 0.0; 0.0 |])
+
+let test_lstsq_singular () =
+  let a = Mat.of_rows [ [| 1.0; 1.0 |]; [| 2.0; 2.0 |]; [| 3.0; 3.0 |] ] in
+  check "singular raises" true
+    (try
+       ignore (Qr.lstsq a [| 1.0; 2.0; 3.0 |]);
+       false
+     with Qr.Singular _ -> true)
+
+let test_lstsq_ridge_handles_singular () =
+  let a = Mat.of_rows [ [| 1.0; 1.0 |]; [| 2.0; 2.0 |]; [| 3.0; 3.0 |] ] in
+  let w = Qr.lstsq_ridge ~lambda:1e-6 a [| 2.0; 4.0; 6.0 |] in
+  (* Minimum-norm-ish solution: w0 + w1 ~ 2, split evenly. *)
+  check "ridge finite" true (Array.for_all Float.is_finite w);
+  checkf "ridge sum" 2.0 (w.(0) +. w.(1));
+  check "ridge symmetric" true (approx ~eps:1e-6 w.(0) w.(1))
+
+(* --- NNLS ----------------------------------------------------------------- *)
+
+let test_nnls_matches_ls_when_positive () =
+  let xs = [ 0.0; 1.0; 2.0; 3.0; 4.0 ] in
+  let a = Mat.of_rows (List.map (fun x -> [| x; 1.0 |]) xs) in
+  let y = Array.of_list (List.map (fun x -> (2.0 *. x) +. 1.0) xs) in
+  let w = Nnls.solve a y in
+  check "unconstrained optimum recovered" true
+    (vec_approx ~eps:1e-8 w [| 2.0; 1.0 |])
+
+let test_nnls_clamps_negative () =
+  (* Best unconstrained fit needs a negative coefficient; NNLS must clamp
+     it to zero. *)
+  let a = Mat.of_rows [ [| 1.0; 1.0 |]; [| 1.0; 2.0 |]; [| 1.0; 3.0 |] ] in
+  let y = [| 3.0; 2.0; 1.0 |] (* decreasing: slope -1 *) in
+  let w = Nnls.solve a y in
+  check "nonnegative" true (Array.for_all (fun v -> v >= 0.0) w);
+  checkf "slope clamped" 0.0 w.(1)
+
+let test_nnls_zero_rhs () =
+  let a = Mat.of_rows [ [| 1.0; 2.0 |]; [| 3.0; 4.0 |] ] in
+  let w = Nnls.solve a [| 0.0; 0.0 |] in
+  check "zero solution" true (vec_approx w [| 0.0; 0.0 |])
+
+(* KKT conditions: for x >= 0, gradient g = A^T(Ax - b) must satisfy
+   g_j >= 0, and g_j ~ 0 wherever x_j > 0. *)
+let nnls_kkt a y =
+  let w = Nnls.solve a y in
+  let r =
+    let ax = Mat.mat_vec a w in
+    Array.mapi (fun i _ -> ax.(i) -. y.(i)) ax
+  in
+  let g = Mat.tmat_vec a r in
+  Array.for_all (fun v -> v >= 0.0) w
+  && Array.for_all2
+       (fun wj gj -> gj >= -1e-6 && (wj <= 1e-9 || abs_float gj <= 1e-6))
+       w g
+
+let test_nnls_kkt_prop =
+  QCheck.Test.make ~count:50 ~name:"nnls satisfies KKT on random systems"
+    QCheck.(pair (int_bound 1000) (int_range 2 5))
+    (fun (seed, cols) ->
+      let rows = cols + 3 in
+      let st = Random.State.make [| seed |] in
+      let a =
+        Mat.init rows cols (fun _ _ -> Random.State.float st 2.0 -. 0.5)
+      in
+      let y = Array.init rows (fun _ -> Random.State.float st 3.0 -. 1.0) in
+      nnls_kkt a y)
+
+let test_lstsq_recovers_random_prop =
+  QCheck.Test.make ~count:50 ~name:"qr recovers planted weights"
+    QCheck.(pair (int_bound 1000) (int_range 2 6))
+    (fun (seed, cols) ->
+      let rows = (2 * cols) + 3 in
+      let st = Random.State.make [| seed + 7 |] in
+      let w0 = Array.init cols (fun _ -> Random.State.float st 4.0 -. 2.0) in
+      let a = Mat.init rows cols (fun _ _ -> Random.State.float st 2.0 -. 1.0) in
+      let y = Mat.mat_vec a w0 in
+      try
+        let w = Qr.lstsq a y in
+        vec_approx ~eps:1e-6 w w0
+      with Qr.Singular _ -> true (* degenerate draw *))
+
+(* --- SVR ------------------------------------------------------------------ *)
+
+let test_svr_linear_recovery () =
+  let st = Random.State.make [| 42 |] in
+  let rows = 60 in
+  let a = Mat.init rows 3 (fun _ _ -> Random.State.float st 2.0 -. 1.0) in
+  let w0 = [| 1.5; -0.5; 2.0 |] in
+  let y = Mat.mat_vec a w0 in
+  let w = Svr.fit a y in
+  check "svr close to planted weights" true (vec_approx ~eps:5e-2 w w0)
+
+let test_svr_epsilon_insensitive () =
+  (* Targets within the epsilon tube of zero need no support vectors. *)
+  let a = Mat.of_rows [ [| 1.0 |]; [| 2.0 |]; [| 3.0 |] ] in
+  let params = { Svr.default_params with epsilon = 10.0 } in
+  let w = Svr.fit ~params a [| 0.5; -0.5; 0.2 |] in
+  checkf "all inside tube" 0.0 w.(0)
+
+let test_svr_deterministic () =
+  let st = Random.State.make [| 9 |] in
+  let a = Mat.init 20 2 (fun _ _ -> Random.State.float st 1.0) in
+  let y = Array.init 20 (fun i -> float_of_int i /. 10.0) in
+  let w1 = Svr.fit a y and w2 = Svr.fit a y in
+  check "same result twice" true (vec_approx ~eps:0.0 w1 w2)
+
+let test_svr_predict () =
+  checkf "dot product" 8.0 (Svr.predict [| 2.0; 3.0 |] [| 1.0; 2.0 |])
+
+let tests =
+  [ Alcotest.test_case "mat basics" `Quick test_mat_basics;
+    Alcotest.test_case "mat bounds" `Quick test_mat_bounds;
+    Alcotest.test_case "mat transpose" `Quick test_mat_transpose;
+    Alcotest.test_case "mat vec" `Quick test_mat_vec;
+    Alcotest.test_case "matmul" `Quick test_matmul;
+    Alcotest.test_case "select cols" `Quick test_select_cols;
+    Alcotest.test_case "ragged rejected" `Quick test_ragged_rejected;
+    Alcotest.test_case "lstsq exact" `Quick test_lstsq_exact;
+    Alcotest.test_case "lstsq overdetermined" `Quick test_lstsq_overdetermined;
+    Alcotest.test_case "lstsq residual orthogonal" `Quick test_lstsq_residual_minimal;
+    Alcotest.test_case "lstsq singular" `Quick test_lstsq_singular;
+    Alcotest.test_case "ridge on singular" `Quick test_lstsq_ridge_handles_singular;
+    Alcotest.test_case "nnls = ls when positive" `Quick test_nnls_matches_ls_when_positive;
+    Alcotest.test_case "nnls clamps" `Quick test_nnls_clamps_negative;
+    Alcotest.test_case "nnls zero rhs" `Quick test_nnls_zero_rhs;
+    QCheck_alcotest.to_alcotest test_nnls_kkt_prop;
+    QCheck_alcotest.to_alcotest test_lstsq_recovers_random_prop;
+    Alcotest.test_case "svr recovery" `Quick test_svr_linear_recovery;
+    Alcotest.test_case "svr epsilon tube" `Quick test_svr_epsilon_insensitive;
+    Alcotest.test_case "svr deterministic" `Quick test_svr_deterministic;
+    Alcotest.test_case "svr predict" `Quick test_svr_predict ]

@@ -1,0 +1,23 @@
+(* Aggregated test runner for the whole reproduction. *)
+
+let () =
+  Alcotest.run "vecmodel"
+    [ ("vir", Test_vir.tests);
+      ("linalg", Test_linalg.tests);
+      ("stats", Test_stats.tests);
+      ("deps", Test_deps.tests);
+      ("interp", Test_interp.tests);
+      ("vect", Test_vect.tests);
+      ("machine", Test_machine.tests);
+      ("tsvc", Test_tsvc.tests);
+      ("costmodel", Test_costmodel.tests);
+      ("vexec", Test_vexec.tests);
+      ("cache", Test_cache.tests);
+      ("persist", Test_persist.tests);
+      ("select", Test_select.tests);
+      ("apps", Test_apps.tests);
+      ("golden", Test_golden.tests);
+      ("simplify", Test_simplify.tests);
+      ("scenarios", Test_scenarios.tests);
+      ("coverage", Test_coverage.tests);
+      ("extensions", Test_extensions.tests) ]

@@ -1,0 +1,153 @@
+(* Tests for model serialization and report rendering. *)
+
+open Costmodel
+
+let check = Alcotest.(check bool)
+let check_str = Alcotest.(check string)
+
+let small_config = { Experiment.default_config with n = 8000 }
+
+let samples =
+  lazy
+    (Experiment.samples ~config:small_config ~machine:Vmachine.Machines.neon_a57
+       ~transform:Dataset.Llv ())
+
+let fit features =
+  Linmodel.fit ~method_:Linmodel.Nnls ~features ~target:Linmodel.Speedup
+    (Lazy.force samples)
+
+let test_roundtrip_rated () =
+  let m = fit Linmodel.Rated in
+  match Linmodel.of_string (Linmodel.to_string m) with
+  | Error e -> Alcotest.fail e
+  | Ok m' ->
+      check "weights preserved" true (m.Linmodel.weights = m'.Linmodel.weights);
+      check "meta preserved" true
+        (m'.Linmodel.method_ = Linmodel.Nnls
+        && m'.Linmodel.features = Linmodel.Rated
+        && m'.Linmodel.target = Linmodel.Speedup)
+
+let test_roundtrip_extended () =
+  let m = fit Linmodel.Extended in
+  match Linmodel.of_string (Linmodel.to_string m) with
+  | Error e -> Alcotest.fail e
+  | Ok m' -> check "extended weights preserved" true (m.Linmodel.weights = m'.Linmodel.weights)
+
+let test_roundtrip_predictions_identical () =
+  let m = fit Linmodel.Rated in
+  let m' = Result.get_ok (Linmodel.of_string (Linmodel.to_string m)) in
+  List.iter
+    (fun s ->
+      check "same prediction" true (Linmodel.predict m s = Linmodel.predict m' s))
+    (Lazy.force samples)
+
+let test_reject_garbage () =
+  check "garbage rejected" true (Result.is_error (Linmodel.of_string "hello"));
+  check "empty rejected" true (Result.is_error (Linmodel.of_string ""));
+  check "bad header rejected" true
+    (Result.is_error (Linmodel.of_string "vecmodel-linmodel v2\nmethod L2\n"))
+
+let test_reject_missing_weight () =
+  let m = fit Linmodel.Rated in
+  let s = Linmodel.to_string m in
+  (* Drop the last weight line. *)
+  let lines = String.split_on_char '\n' (String.trim s) in
+  let truncated = String.concat "\n" (List.filteri (fun i _ -> i < List.length lines - 1) lines) in
+  check "missing weight rejected" true (Result.is_error (Linmodel.of_string truncated))
+
+let test_save_load_file () =
+  let m = fit Linmodel.Rated in
+  let path = Filename.temp_file "vecmodel" ".model" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Linmodel.save m path;
+      match Linmodel.load path with
+      | Error e -> Alcotest.fail e
+      | Ok m' -> check "file roundtrip" true (m.Linmodel.weights = m'.Linmodel.weights))
+
+let test_format_versioned () =
+  let m = fit Linmodel.Rated in
+  let s = Linmodel.to_string m in
+  check_str "header line" "vecmodel-linmodel v1"
+    (List.hd (String.split_on_char '\n' s))
+
+(* --- report rendering ------------------------------------------------------ *)
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+let test_report_to_string () =
+  let r = Experiment.f1 ~config:small_config () in
+  let s = Report.to_string r in
+  check "id present" true (contains s "F1");
+  check "machine present" true (contains s "neon-a57");
+  check "baseline row present" true (contains s "baseline (LLVM-style)");
+  check "oracle row present" true (contains s "(oracle)")
+
+let test_scatter_renders () =
+  let b = Buffer.create 256 in
+  let ppf = Format.formatter_of_buffer b in
+  Report.scatter ~ppf ~width:20 ~height:8 ~xlabel:"x" ~ylabel:"y"
+    [| 1.0; 2.0; 3.0 |] [| 1.0; 2.5; 2.0 |];
+  Format.pp_print_flush ppf ();
+  let s = Buffer.contents b in
+  check "points plotted" true (contains s "o");
+  check "diagonal plotted" true (contains s ".");
+  check "axes labelled" true (contains s "x:")
+
+let test_scatter_empty () =
+  let b = Buffer.create 64 in
+  let ppf = Format.formatter_of_buffer b in
+  Report.scatter ~ppf ~xlabel:"x" ~ylabel:"y" [||] [||];
+  Format.pp_print_flush ppf ();
+  check "no data message" true (contains (Buffer.contents b) "no data")
+
+let test_scatter_nonfinite_safe () =
+  let b = Buffer.create 64 in
+  let ppf = Format.formatter_of_buffer b in
+  Report.scatter ~ppf ~xlabel:"x" ~ylabel:"y" [| nan; infinity; 1.0 |]
+    [| 1.0; neg_infinity; 2.0 |];
+  Format.pp_print_flush ppf ();
+  check "renders despite non-finite input" true (String.length (Buffer.contents b) > 0)
+
+let tests =
+  [ Alcotest.test_case "roundtrip rated" `Quick test_roundtrip_rated;
+    Alcotest.test_case "roundtrip extended" `Quick test_roundtrip_extended;
+    Alcotest.test_case "roundtrip predictions" `Quick test_roundtrip_predictions_identical;
+    Alcotest.test_case "reject garbage" `Quick test_reject_garbage;
+    Alcotest.test_case "reject missing weight" `Quick test_reject_missing_weight;
+    Alcotest.test_case "save/load file" `Quick test_save_load_file;
+    Alcotest.test_case "format versioned" `Quick test_format_versioned;
+    Alcotest.test_case "report to_string" `Quick test_report_to_string;
+    Alcotest.test_case "scatter renders" `Quick test_scatter_renders;
+    Alcotest.test_case "scatter empty" `Quick test_scatter_empty;
+    Alcotest.test_case "scatter non-finite" `Quick test_scatter_nonfinite_safe ]
+
+(* --- CSV export -------------------------------------------------------------- *)
+
+let test_csv_summary () =
+  let r = Experiment.f1 ~config:small_config () in
+  let csv = Report.to_csv r in
+  let lines = String.split_on_char '\n' (String.trim csv) in
+  check "header + one row per model" true
+    (List.length lines = 1 + List.length r.Report.rows);
+  check "header names columns" true
+    (contains (List.hd lines) "pearson");
+  check "rows carry the experiment id" true (contains csv "F1")
+
+let test_csv_scatter () =
+  let csv =
+    Report.scatter_csv ~names:[| "k1"; "k2" |] ~measured:[| 1.0; 2.0 |]
+      ~predicted:[| 1.5; 2.5 |]
+  in
+  check "row per kernel" true (contains csv "k1,1.000000,1.500000");
+  check "second row" true (contains csv "k2,2.000000,2.500000")
+
+let csv_tests =
+  [ Alcotest.test_case "csv summary" `Slow test_csv_summary;
+    Alcotest.test_case "csv scatter" `Quick test_csv_scatter ]
+
+let tests = tests @ csv_tests

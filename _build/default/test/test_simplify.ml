@@ -1,0 +1,185 @@
+(* Tests for the IR cleanup passes: semantics preservation and the specific
+   rewrites each pass promises. *)
+
+open Vir
+module B = Builder
+module I = Vinterp.Interp
+module Env = Vinterp.Env
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let body_len (k : Kernel.t) = List.length k.Kernel.body
+
+let same_behaviour ?(n = 101) k k' =
+  let r1 = I.run ~n k and r2 = I.run ~n k' in
+  Env.snapshot r1.I.env = Env.snapshot r2.I.env
+  && List.for_all2
+       (fun (a, x) (b, y) ->
+         a = b && (x = y || abs_float (x -. y) < 1e-6 *. (abs_float x +. 1.0)))
+       r1.I.reductions r2.I.reductions
+
+(* --- DCE -------------------------------------------------------------------- *)
+
+let test_dce_removes_dead () =
+  let b = B.make "dead" in
+  let i = B.loop b "i" Kernel.Tn in
+  let x = B.load b "b" [ B.ix i ] in
+  let _dead = B.mulf b x x in
+  let _dead2 = B.addf b x (B.cf 3.0) in
+  B.store b "a" [ B.ix i ] x;
+  let k = B.finish b in
+  let k' = Simplify.dce k in
+  Validate.check_exn k';
+  check_int "two dead instructions removed" (body_len k - 2) (body_len k');
+  check "same behaviour" true (same_behaviour k k')
+
+let test_dce_keeps_stores_and_reductions () =
+  let k = (Tsvc.Registry.find_exn "s313").kernel in
+  let k' = Simplify.dce k in
+  check_int "nothing dead in a dot product" (body_len k) (body_len k')
+
+(* --- CSE -------------------------------------------------------------------- *)
+
+let test_cse_merges_duplicate_loads () =
+  (* s271 as written loads a[i] and b[i] multiple times. *)
+  let k = (Tsvc.Registry.find_exn "s271").kernel in
+  let k' = Simplify.cse k in
+  Validate.check_exn k';
+  check "loads merged" true (body_len k' < body_len k);
+  check "same behaviour" true (same_behaviour k k')
+
+let test_cse_respects_stores () =
+  (* Load / store / load of the same location must not merge the loads. *)
+  let b = B.make "ls" in
+  let i = B.loop b "i" Kernel.Tn in
+  let x1 = B.load b "a" [ B.ix i ] in
+  B.store b "a" [ B.ix i ] (B.addf b x1 (B.cf 1.0));
+  let x2 = B.load b "a" [ B.ix i ] in
+  B.store b "c" [ B.ix i ] x2;
+  let k = B.finish b in
+  let k' = Simplify.cse k in
+  Validate.check_exn k';
+  check_int "no merge across the store" (body_len k) (body_len k');
+  check "same behaviour" true (same_behaviour k k')
+
+let test_cse_merges_pure_ops () =
+  let b = B.make "pure" in
+  let i = B.loop b "i" Kernel.Tn in
+  let x = B.load b "b" [ B.ix i ] in
+  let s1 = B.mulf b x x in
+  let s2 = B.mulf b x x in
+  B.store b "a" [ B.ix i ] (B.addf b s1 s2);
+  let k = B.finish b in
+  let k' = Simplify.run k in
+  Validate.check_exn k';
+  check "duplicate multiply merged" true (body_len k' < body_len k);
+  check "same behaviour" true (same_behaviour k k')
+
+(* --- constant folding --------------------------------------------------------- *)
+
+let test_fold_immediates () =
+  let b = B.make "fold" in
+  let i = B.loop b "i" Kernel.Tn in
+  let c = B.mulf b (B.cf 2.0) (B.cf 3.0) in
+  (* 6.0 *)
+  B.store b "a" [ B.ix i ] (B.addf b (B.load b "b" [ B.ix i ]) c);
+  let k = B.finish b in
+  let k' = Simplify.constant_fold k in
+  Validate.check_exn k';
+  check_int "constant multiply folded away" (body_len k - 1) (body_len k');
+  check "same behaviour" true (same_behaviour k k')
+
+let test_fold_int_chain () =
+  let b = B.make "foldi" in
+  let i = B.loop b "i" Kernel.Tn in
+  let c1 = B.addi b (B.ci 3) (B.ci 4) in
+  let c2 = B.muli b c1 (B.ci 2) in
+  (* 14; used as a shift amount on loaded data *)
+  let x = B.load b ~ty:Types.I32 "b" [ B.ix i ] in
+  let v = B.bin b Types.I32 Op.And x c2 in
+  B.store b ~ty:Types.I32 "a" [ B.ix i ] v;
+  let k = B.finish b in
+  let k' = Simplify.constant_fold k in
+  Validate.check_exn k';
+  check_int "both constants folded" (body_len k - 2) (body_len k');
+  check "same behaviour" true (same_behaviour k k')
+
+let test_fold_preserves_division_by_zero () =
+  let b = B.make "divz" in
+  let i = B.loop b "i" Kernel.Tn in
+  (* Float division by immediate zero must not be folded into inf at one
+     site and left at another; we simply refuse to fold it. *)
+  let q = B.divf b (B.cf 1.0) (B.cf 0.0) in
+  let cond = B.cmp b Op.Gt (B.load b "b" [ B.ix i ]) (B.cf 2.0) in
+  B.store b "a" [ B.ix i ] (B.select b cond q (B.cf 0.0));
+  let k = B.finish b in
+  let k' = Simplify.constant_fold k in
+  check "same behaviour with div-by-zero" true (same_behaviour k k')
+
+(* --- pipeline over the suites --------------------------------------------------- *)
+
+let test_simplify_whole_tsvc () =
+  List.iter
+    (fun (e : Tsvc.Registry.entry) ->
+      let k' = Simplify.run e.kernel in
+      (match Validate.errors k' with
+      | [] -> ()
+      | errs ->
+          Alcotest.failf "%s: %s" e.kernel.Kernel.name (String.concat "; " errs));
+      check
+        (e.kernel.Kernel.name ^ " unchanged semantics")
+        true
+        (same_behaviour e.kernel k');
+      check (e.kernel.Kernel.name ^ " no growth") true (body_len k' <= body_len e.kernel))
+    Tsvc.Registry.all
+
+let test_simplify_idempotent () =
+  List.iter
+    (fun (e : Tsvc.Registry.entry) ->
+      let once = Simplify.run e.kernel in
+      let twice = Simplify.run once in
+      check_int (e.kernel.Kernel.name ^ " fixpoint") (body_len once) (body_len twice))
+    Tsvc.Registry.all
+
+let prop_simplify_random =
+  QCheck.Test.make ~count:120 ~name:"simplify preserves generated kernels"
+    QCheck.(int_bound 50_000)
+    (fun seed ->
+      let k = Vsynth.Generator.kernel seed in
+      let k' = Simplify.run k in
+      Validate.is_valid k' && same_behaviour k k')
+
+let prop_simplify_stress =
+  QCheck.Test.make ~count:120 ~name:"simplify preserves dependence-stress kernels"
+    QCheck.(int_bound 50_000)
+    (fun seed ->
+      let k = Vsynth.Generator.dep_kernel seed in
+      let k' = Simplify.run k in
+      Validate.is_valid k' && same_behaviour k k')
+
+(* Simplification must never turn a legal kernel illegal (it can only remove
+   memory operations). *)
+let test_simplify_preserves_legality () =
+  List.iter
+    (fun (e : Tsvc.Registry.entry) ->
+      let before = Vdeps.Dependence.vectorizable e.kernel in
+      let after = Vdeps.Dependence.vectorizable (Simplify.run e.kernel) in
+      check (e.kernel.Kernel.name ^ " legality monotone") true
+        ((not before) || after))
+    Tsvc.Registry.all
+
+let tests =
+  [ Alcotest.test_case "dce removes dead" `Quick test_dce_removes_dead;
+    Alcotest.test_case "dce keeps live" `Quick test_dce_keeps_stores_and_reductions;
+    Alcotest.test_case "cse merges loads" `Quick test_cse_merges_duplicate_loads;
+    Alcotest.test_case "cse respects stores" `Quick test_cse_respects_stores;
+    Alcotest.test_case "cse merges pure ops" `Quick test_cse_merges_pure_ops;
+    Alcotest.test_case "fold immediates" `Quick test_fold_immediates;
+    Alcotest.test_case "fold int chain" `Quick test_fold_int_chain;
+    Alcotest.test_case "fold div by zero" `Quick test_fold_preserves_division_by_zero;
+    Alcotest.test_case "whole suite" `Slow test_simplify_whole_tsvc;
+    Alcotest.test_case "idempotent" `Slow test_simplify_idempotent;
+    Alcotest.test_case "legality monotone" `Slow test_simplify_preserves_legality;
+    QCheck_alcotest.to_alcotest prop_simplify_random;
+    QCheck_alcotest.to_alcotest prop_simplify_stress ]

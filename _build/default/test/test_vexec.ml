@@ -1,0 +1,244 @@
+(* Unit tests for the vector executor: each wide-instruction form checked on
+   hand-built vkernels against hand-computed results. *)
+
+open Vir
+module B = Builder
+module I = Vinterp.Interp
+module Env = Vinterp.Env
+module V = Vvect.Vinstr
+
+let check = Alcotest.(check bool)
+let checkf = Alcotest.(check (float 1e-6))
+
+(* Base scalar kernel supplying loops/arrays; the vbody under test replaces
+   its body.  n is chosen divisible by vf so the epilogue stays empty. *)
+let base ~arrays ~params () =
+  let b = B.make "vx" in
+  let i = B.loop b "i" Kernel.Tn in
+  List.iter (fun (name, role) -> B.declare b ~role name) arrays;
+  List.iter (fun p -> ignore (B.param b p)) params;
+  (* A placeholder body so the kernel validates; the test vbody replaces it
+     semantically. *)
+  B.store b "out" [ B.ix i ] (B.cf 0.0);
+  (b, i)
+
+let mk_vk ?(vf = 4) ~vbody ?(vreductions = []) scalar =
+  { V.scalar; vf; ic = 1; vbody; vreductions; source = V.Src_llv }
+
+let dim_i = { Instr.terms = [ ("i", 1) ]; pterms = []; off = 0; rel_n = false }
+
+let run_vk vk =
+  let env = Env.create ~n:16 vk.V.scalar in
+  let reds = Vvect.Vexec.run_in env vk in
+  (env, reds)
+
+let read_out env idx = Env.read_float env "out" idx
+
+let test_vload_vstore_contig () =
+  let b, _ = base ~arrays:[ ("src", Kernel.Data) ] ~params:[] () in
+  let scalar = B.finish b in
+  let vbody =
+    [ V.Vload { ty = Types.F32; arr = "src"; dims = [ dim_i ]; access = V.Contig };
+      V.Vstore
+        { ty = Types.F32; arr = "out"; dims = [ dim_i ]; access = V.Contig;
+          src = V.V 0 } ]
+  in
+  let env, _ = run_vk (mk_vk ~vbody scalar) in
+  for i = 0 to 15 do
+    checkf (Printf.sprintf "copy at %d" i) (Env.read_float env "src" i)
+      (read_out env i)
+  done
+
+let test_vbin_splat () =
+  let b, _ = base ~arrays:[ ("src", Kernel.Data) ] ~params:[ "s" ] () in
+  let scalar = B.finish b in
+  let vbody =
+    [ V.Vload { ty = Types.F32; arr = "src"; dims = [ dim_i ]; access = V.Contig };
+      V.Vbin
+        { ty = Types.F32; op = Op.Mul; a = V.V 0; b = V.Splat (Instr.Param "s") };
+      V.Vstore
+        { ty = Types.F32; arr = "out"; dims = [ dim_i ]; access = V.Contig;
+          src = V.V 1 } ]
+  in
+  let env, _ = run_vk (mk_vk ~vbody scalar) in
+  let s = Env.param env "s" in
+  for i = 0 to 15 do
+    checkf "scaled" (Env.read_float env "src" i *. s) (read_out env i)
+  done
+
+let test_viota () =
+  let b, _ = base ~arrays:[] ~params:[] () in
+  let scalar = B.finish b in
+  let vbody =
+    [ V.Viota { ty = Types.I64 };
+      V.Vcast { src_ty = Types.I64; dst_ty = Types.F32; a = V.V 0 };
+      V.Vstore
+        { ty = Types.F32; arr = "out"; dims = [ dim_i ]; access = V.Contig;
+          src = V.V 1 } ]
+  in
+  let env, _ = run_vk (mk_vk ~vbody scalar) in
+  for i = 0 to 15 do
+    checkf "iota lane" (float_of_int i) (read_out env i)
+  done
+
+let test_vcmp_vselect () =
+  let b, _ = base ~arrays:[ ("src", Kernel.Data) ] ~params:[] () in
+  let scalar = B.finish b in
+  let vbody =
+    [ V.Vload { ty = Types.F32; arr = "src"; dims = [ dim_i ]; access = V.Contig };
+      V.Vcmp
+        { ty = Types.F32; op = Op.Gt; a = V.V 0; b = V.Splat (Instr.Imm_float 1.0) };
+      V.Vselect
+        { ty = Types.F32; cond = V.V 1; if_true = V.V 0;
+          if_false = V.Splat (Instr.Imm_float 0.0) };
+      V.Vstore
+        { ty = Types.F32; arr = "out"; dims = [ dim_i ]; access = V.Contig;
+          src = V.V 2 } ]
+  in
+  let env, _ = run_vk (mk_vk ~vbody scalar) in
+  for i = 0 to 15 do
+    let v = Env.read_float env "src" i in
+    checkf "thresholded" (if v > 1.0 then v else 0.0) (read_out env i)
+  done
+
+let test_vgather () =
+  let b, _ =
+    base ~arrays:[ ("src", Kernel.Data); ("ip", Kernel.Idx) ] ~params:[] ()
+  in
+  let scalar = B.finish b in
+  let vbody =
+    [ V.Vload { ty = Types.I32; arr = "ip"; dims = [ dim_i ]; access = V.Contig };
+      V.Vgather { ty = Types.F32; arr = "src"; idx = V.V 0 };
+      V.Vstore
+        { ty = Types.F32; arr = "out"; dims = [ dim_i ]; access = V.Contig;
+          src = V.V 1 } ]
+  in
+  let env, _ = run_vk (mk_vk ~vbody scalar) in
+  for i = 0 to 15 do
+    let idx = Env.read_int env "ip" i in
+    checkf "gathered" (Env.read_float env "src" idx) (read_out env i)
+  done
+
+let test_vscatter () =
+  let b, _ = base ~arrays:[ ("ip", Kernel.Idx) ] ~params:[] () in
+  let scalar = B.finish b in
+  let vbody =
+    [ V.Vload { ty = Types.I32; arr = "ip"; dims = [ dim_i ]; access = V.Contig };
+      V.Viota { ty = Types.I64 };
+      V.Vcast { src_ty = Types.I64; dst_ty = Types.F32; a = V.V 1 };
+      V.Vscatter { ty = Types.F32; arr = "out"; idx = V.V 0; src = V.V 2 } ]
+  in
+  let env, _ = run_vk (mk_vk ~vbody scalar) in
+  for i = 0 to 15 do
+    let idx = Env.read_int env "ip" i in
+    checkf "scattered i to ip[i]" (float_of_int i) (Env.read_float env "out" idx)
+  done
+
+let test_vpack_vextract () =
+  let b, _ = base ~arrays:[ ("src", Kernel.Data) ] ~params:[] () in
+  let scalar = B.finish b in
+  let vbody =
+    [ (* Lane 2 of a wide load, re-broadcast through a pack. *)
+      V.Vload { ty = Types.F32; arr = "src"; dims = [ dim_i ]; access = V.Contig };
+      V.Vextract { ty = Types.F32; src = V.V 0; lane = 2 };
+      V.Vpack
+        { ty = Types.F32;
+          srcs = [| Instr.Reg 1; Instr.Reg 1; Instr.Reg 1; Instr.Reg 1 |] };
+      V.Vstore
+        { ty = Types.F32; arr = "out"; dims = [ dim_i ]; access = V.Contig;
+          src = V.V 2 } ]
+  in
+  let env, _ = run_vk (mk_vk ~vbody scalar) in
+  (* Each block of 4 holds that block's lane-2 source value. *)
+  for blk = 0 to 3 do
+    let expect = Env.read_float env "src" ((blk * 4) + 2) in
+    for l = 0 to 3 do
+      checkf "broadcast lane 2" expect (read_out env ((blk * 4) + l))
+    done
+  done
+
+let test_sc_copy_binding () =
+  let b, _ = base ~arrays:[ ("src", Kernel.Data) ] ~params:[] () in
+  let scalar = B.finish b in
+  (* Four scalar copies, each storing its own lane's source value. *)
+  let sc copy =
+    V.Sc
+      { copy;
+        instr =
+          Instr.Load { ty = Types.F32; addr = Instr.Affine { arr = "src"; dims = [ dim_i ] } } }
+  in
+  let stc copy pos =
+    V.Sc
+      { copy;
+        instr =
+          Instr.Store
+            { ty = Types.F32; addr = Instr.Affine { arr = "out"; dims = [ dim_i ] };
+              src = Instr.Reg pos } }
+  in
+  let vbody = [ sc 0; sc 1; sc 2; sc 3; stc 0 0; stc 1 1; stc 2 2; stc 3 3 ] in
+  let env, _ = run_vk (mk_vk ~vbody scalar) in
+  for i = 0 to 15 do
+    checkf "per-copy binding" (Env.read_float env "src" i) (read_out env i)
+  done
+
+let test_vreduction_lanes () =
+  let b, _ = base ~arrays:[ ("src", Kernel.Data) ] ~params:[] () in
+  (* Give the scalar kernel the same reduction so run_in returns it. *)
+  let scalar =
+    let k = B.finish b in
+    { k with
+      Kernel.reductions =
+        [ { Kernel.red_name = "sum"; red_ty = Types.F32; red_op = Op.Rsum;
+            red_src = Instr.Imm_float 0.0; red_init = 0.0 } ] }
+  in
+  let vbody =
+    [ V.Vload { ty = Types.F32; arr = "src"; dims = [ dim_i ]; access = V.Contig };
+      V.Vstore
+        { ty = Types.F32; arr = "out"; dims = [ dim_i ]; access = V.Contig;
+          src = V.V 0 } ]
+  in
+  let vreductions =
+    [ { V.vr_name = "sum"; vr_ty = Types.F32; vr_op = Op.Rsum; vr_src = V.V 0;
+        vr_init = 0.0 } ]
+  in
+  let env, reds = run_vk (mk_vk ~vbody ~vreductions scalar) in
+  let expected = ref 0.0 in
+  for i = 0 to 15 do
+    expected := !expected +. Env.read_float env "src" i
+  done;
+  checkf "lane-wise sum" !expected (List.assoc "sum" reds)
+
+let test_scalar_position_error () =
+  (* Using a scalar-width value where a vector is required must fail fast. *)
+  let b, _ = base ~arrays:[ ("src", Kernel.Data) ] ~params:[] () in
+  let scalar = B.finish b in
+  let vbody =
+    [ V.Sc
+        { copy = 0;
+          instr =
+            Instr.Load
+              { ty = Types.F32; addr = Instr.Affine { arr = "src"; dims = [ dim_i ] } } };
+      V.Vstore
+        { ty = Types.F32; arr = "out"; dims = [ dim_i ]; access = V.Contig;
+          src = V.Splat (Instr.Reg 0) } ]
+  in
+  (* Splat of a scalar-width register is legal; verify it broadcasts. *)
+  let env, _ = run_vk (mk_vk ~vbody scalar) in
+  for blk = 0 to 3 do
+    let expect = Env.read_float env "src" (blk * 4) in
+    for l = 0 to 3 do
+      checkf "splat of Sc result" expect (read_out env ((blk * 4) + l))
+    done
+  done
+
+let tests =
+  [ Alcotest.test_case "vload/vstore contig" `Quick test_vload_vstore_contig;
+    Alcotest.test_case "vbin with splat" `Quick test_vbin_splat;
+    Alcotest.test_case "viota" `Quick test_viota;
+    Alcotest.test_case "vcmp/vselect" `Quick test_vcmp_vselect;
+    Alcotest.test_case "vgather" `Quick test_vgather;
+    Alcotest.test_case "vscatter" `Quick test_vscatter;
+    Alcotest.test_case "vpack/vextract" `Quick test_vpack_vextract;
+    Alcotest.test_case "sc copy binding" `Quick test_sc_copy_binding;
+    Alcotest.test_case "vreduction lanes" `Quick test_vreduction_lanes;
+    Alcotest.test_case "splat of scalar reg" `Quick test_scalar_position_error ]

@@ -1,0 +1,1 @@
+tools/gen_catalog.ml: List Printf String Tsvc Vapps Vdeps Vir

@@ -1,0 +1,1 @@
+tools/gen_catalog.mli:

@@ -1,0 +1,1 @@
+tools/inspect.ml: List Printf String Tsvc Vinterp Vir Vmachine Vvect

@@ -1,0 +1,51 @@
+(* Development inspection tool: per-kernel legality, transform status, and
+   measured speedups on each machine. *)
+let () =
+  Printf.printf "kernels: %d\n" Tsvc.Registry.count;
+  let n = 4000 in
+  let arm = Vmachine.Machines.neon_a57 in
+  let ok = ref 0 and illegal = ref 0 and slp_ok = ref 0 in
+  List.iter
+    (fun (e : Tsvc.Registry.entry) ->
+      let k = e.kernel in
+      let errs = Vir.Validate.errors k in
+      if errs <> [] then
+        Printf.printf "INVALID %s: %s\n" k.Vir.Kernel.name (String.concat "; " errs)
+      else begin
+        let vf = Vmachine.Descr.vf_for_kernel arm k in
+        (match Vvect.Llv.vectorize ~vf k with
+         | Error e ->
+             incr illegal;
+             Printf.printf "%-10s VF%d  --    %s\n" k.Vir.Kernel.name vf
+               (Vvect.Llv.error_to_string e)
+         | Ok vk ->
+             incr ok;
+             (* semantic check *)
+             let rs = Vinterp.Interp.run ~n:500 k in
+             let rv = Vvect.Vexec.run ~n:500 vk in
+             let mem_ok =
+               List.for_all2
+                 (fun (n1, a1) (n2, a2) -> n1 = n2 && a1 = a2)
+                 (Vinterp.Env.snapshot rs.env)
+                 (Vinterp.Env.snapshot rv.Vinterp.Interp.env)
+             in
+             let red_ok =
+               List.for_all2
+                 (fun (n1, v1) (n2, v2) ->
+                   n1 = n2
+                   && (v1 = v2
+                       || abs_float (v1 -. v2)
+                          <= 1e-3 *. (abs_float v1 +. abs_float v2 +. 1.0)))
+                 rs.reductions rv.Vinterp.Interp.reductions
+             in
+             let m = Vmachine.Measure.measure arm ~n vk in
+             Printf.printf "%-10s VF%d  %s%s  speedup %.2f\n" k.Vir.Kernel.name vf
+               (if mem_ok then "mem-ok " else "MEM-BAD")
+               (if red_ok then "red-ok " else "RED-BAD")
+               m.speedup);
+        match Vvect.Slp.vectorize ~vf k with
+        | Ok _ -> incr slp_ok
+        | Error _ -> ()
+      end)
+    Tsvc.Registry.all;
+  Printf.printf "LLV ok: %d, illegal: %d, SLP ok: %d\n" !ok !illegal !slp_ok
