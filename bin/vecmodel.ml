@@ -2,6 +2,7 @@
 
      vecmodel list [--category C]
      vecmodel show KERNEL
+     vecmodel lint [KERNEL | --all] [--transform T] [--vf N ...] [--json]
      vecmodel simulate KERNEL [--machine M] [--n N] [--transform T]
      vecmodel fit [--machine M] [--method m] [--features f] [--target t]
      vecmodel loocv [...]
@@ -195,6 +196,99 @@ let show_cmd =
   in
   Cmd.v (Cmd.info "show" ~doc:"Print a kernel's IR, dependences and features")
     Term.(const run $ kernel_arg $ asm_arg $ machine_arg)
+
+(* --- lint ----------------------------------------------------------------- *)
+
+let lint_cmd =
+  let kernel_opt =
+    Arg.(
+      value & pos 0 (some string) None
+      & info [] ~docv:"KERNEL" ~doc:"TSVC kernel to lint (omit with --all).")
+  in
+  let all_flag =
+    Arg.(
+      value & flag
+      & info [ "all"; "a" ] ~doc:"Lint every kernel in the TSVC registry.")
+  in
+  let lint_transform_conv =
+    let parse s =
+      match Vanalysis.Driver.transform_of_string s with
+      | Some t -> Ok t
+      | None ->
+          Error (`Msg (Printf.sprintf "unknown transform %s (llv|slp|unroll)" s))
+    in
+    Arg.conv
+      ( parse,
+        fun fmt t ->
+          Format.pp_print_string fmt (Vanalysis.Driver.transform_to_string t) )
+  in
+  let transforms_arg =
+    Arg.(
+      value
+      & opt_all lint_transform_conv []
+      & info [ "transform"; "t" ] ~docv:"T"
+          ~doc:
+            "Validate only this transform (llv, slp or unroll; repeatable). \
+             Default: all three.")
+  in
+  let vfs_arg =
+    Arg.(
+      value & opt_all int []
+      & info [ "vf" ] ~docv:"N"
+          ~doc:"Vectorization factor to validate at (repeatable). Default: 2 4 8.")
+  in
+  let json_flag =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"Emit the reports as a JSON array on stdout.")
+  in
+  let verbose_flag =
+    Arg.(
+      value & flag
+      & info [ "verbose"; "v" ]
+          ~doc:"Also print Info diagnostics and skipped configurations.")
+  in
+  let run kernel all transforms vfs json verbose =
+    (match List.find_opt (fun vf -> vf < 2) vfs with
+    | Some vf ->
+        Printf.eprintf "vecmodel: --vf %d: vector factor must be >= 2\n" vf;
+        exit 124
+    | None -> ());
+    let entries =
+      match (kernel, all) with
+      | Some name, false -> (
+          match Tsvc.Registry.find name with
+          | Some e -> [ e ]
+          | None ->
+              Printf.eprintf
+                "vecmodel: unknown kernel %s (try `vecmodel list`)\n" name;
+              exit 124)
+      | None, true | None, false -> Tsvc.Registry.all
+      | Some _, true ->
+          Printf.eprintf "vecmodel: pass either KERNEL or --all, not both\n";
+          exit 124
+    in
+    let transforms = if transforms = [] then None else Some transforms in
+    let vfs = if vfs = [] then None else Some vfs in
+    let reports =
+      Vanalysis.Driver.lint_kernels ?transforms ?vfs
+        (List.map (fun (e : Tsvc.Registry.entry) -> e.kernel) entries)
+    in
+    if json then print_endline (Vanalysis.Driver.reports_to_json reports)
+    else begin
+      List.iter (Vanalysis.Driver.print_report ~verbose stdout) reports;
+      Vanalysis.Driver.print_summary stdout reports
+    end;
+    if List.exists Vanalysis.Driver.has_errors reports then exit 1
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "Run the static-analysis lints and the vector-IR validator over \
+          kernels")
+    Term.(
+      const run $ kernel_opt $ all_flag $ transforms_arg $ vfs_arg $ json_flag
+      $ verbose_flag)
 
 (* --- simulate --------------------------------------------------------------- *)
 
@@ -415,5 +509,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ list_cmd; show_cmd; simulate_cmd; fit_cmd; predict_cmd; loocv_cmd;
-            report_cmd; export_machine_cmd ]))
+          [ list_cmd; show_cmd; lint_cmd; simulate_cmd; fit_cmd; predict_cmd;
+            loocv_cmd; report_cmd; export_machine_cmd ]))

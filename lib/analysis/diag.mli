@@ -1,0 +1,39 @@
+(** Structured diagnostics shared by every analysis pass. *)
+
+type severity = Error | Warning | Info
+
+val severity_to_string : severity -> string
+val severity_rank : severity -> int
+
+type t = {
+  pass : string;
+  severity : severity;
+  kernel : string;
+  pos : int option;
+  message : string;
+}
+
+val make :
+  pass:string -> severity:severity -> kernel:string -> ?pos:int ->
+  ('a, unit, string, t) format4 -> 'a
+
+val error :
+  pass:string -> kernel:string -> ?pos:int -> ('a, unit, string, t) format4 -> 'a
+
+val warning :
+  pass:string -> kernel:string -> ?pos:int -> ('a, unit, string, t) format4 -> 'a
+
+val info :
+  pass:string -> kernel:string -> ?pos:int -> ('a, unit, string, t) format4 -> 'a
+
+val is_error : t -> bool
+val count_errors : t list -> int
+
+(** Severity-major stable sort (errors first). *)
+val sort : t list -> t list
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+val json_escape : string -> string
+val to_json : t -> string
+val list_to_json : t list -> string

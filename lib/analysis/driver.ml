@@ -1,0 +1,147 @@
+(* Analysis driver: run the scalar lints plus the vector-IR validation
+   matrix (transform x VF) over one kernel or a whole registry, and render
+   the results for humans or as JSON.  This is what both the [vecmodel
+   lint] subcommand and the test-suite gate call. *)
+
+open Vir
+
+type transform = Tllv | Tslp | Tunroll
+
+let all_transforms = [ Tllv; Tslp; Tunroll ]
+
+let transform_to_string = function
+  | Tllv -> "llv"
+  | Tslp -> "slp"
+  | Tunroll -> "unroll"
+
+let transform_of_string = function
+  | "llv" -> Some Tllv
+  | "slp" -> Some Tslp
+  | "unroll" -> Some Tunroll
+  | _ -> None
+
+(* The acceptance matrix: every kernel is validated at these factors. *)
+let default_vfs = [ 2; 4; 8 ]
+
+type vec_outcome =
+  | Checked of Diag.t list  (* transform applied; validator diagnostics *)
+  | Skipped of string  (* transform not applicable to this kernel *)
+
+type vec_result = { vr_transform : transform; vr_vf : int; vr_outcome : vec_outcome }
+
+type report = {
+  r_kernel : string;
+  r_scalar : Diag.t list;  (* lint passes over the scalar body *)
+  r_vector : vec_result list;
+}
+
+let validate_transformed tr ~vf (k : Kernel.t) : vec_outcome =
+  match tr with
+  | Tllv -> (
+      match Vvect.Llv.vectorize ~vf k with
+      | Ok vk -> Checked (Vvalidate.errors vk)
+      | Error e -> Skipped (Vvect.Llv.error_to_string e))
+  | Tslp -> (
+      match Vvect.Slp.vectorize ~vf k with
+      | Ok vk -> Checked (Vvalidate.errors vk)
+      | Error e -> Skipped (Vvect.Slp.error_to_string e))
+  | Tunroll ->
+      let u = Vvect.Unroll.by vf k in
+      let structural =
+        List.map
+          (fun m ->
+            Diag.error ~pass:"unroll-validate" ~kernel:k.Kernel.name "%s" m)
+          (Validate.errors u)
+      in
+      Checked (structural @ Equiv.unrolled_diags ~orig:k ~uf:vf u)
+
+let lint_kernel ?(transforms = all_transforms) ?(vfs = default_vfs)
+    (k : Kernel.t) : report =
+  let scalar = Diag.sort (Pass.run_all k) in
+  let vector =
+    List.concat_map
+      (fun tr ->
+        List.map
+          (fun vf ->
+            { vr_transform = tr; vr_vf = vf;
+              vr_outcome = validate_transformed tr ~vf k })
+          vfs)
+      transforms
+  in
+  { r_kernel = k.Kernel.name; r_scalar = scalar; r_vector = vector }
+
+let lint_kernels ?transforms ?vfs ks =
+  List.map (lint_kernel ?transforms ?vfs) ks
+
+(* All diagnostics of a report, vector outcomes included. *)
+let report_diags r =
+  r.r_scalar
+  @ List.concat_map
+      (fun vr -> match vr.vr_outcome with Checked ds -> ds | Skipped _ -> [])
+      r.r_vector
+
+let error_count r = Diag.count_errors (report_diags r)
+let has_errors r = error_count r > 0
+
+(* --- human rendering -------------------------------------------------------- *)
+
+let print_report ?(verbose = false) oc r =
+  let diags = report_diags r in
+  let errors = Diag.count_errors diags in
+  let warnings =
+    List.length (List.filter (fun d -> d.Diag.severity = Diag.Warning) diags)
+  in
+  let checked, skipped =
+    List.partition
+      (fun vr -> match vr.vr_outcome with Checked _ -> true | Skipped _ -> false)
+      r.r_vector
+  in
+  Printf.fprintf oc "%-10s %d error(s), %d warning(s); vector IR checked %d/%d\n"
+    r.r_kernel errors warnings (List.length checked) (List.length r.r_vector);
+  List.iter
+    (fun d ->
+      if verbose || d.Diag.severity <> Diag.Info then
+        Printf.fprintf oc "  %s\n" (Diag.to_string d))
+    (Diag.sort diags);
+  if verbose then
+    List.iter
+      (fun vr ->
+        match vr.vr_outcome with
+        | Skipped reason ->
+            Printf.fprintf oc "  note: %s @ vf %d skipped: %s\n"
+              (transform_to_string vr.vr_transform)
+              vr.vr_vf reason
+        | Checked _ -> ())
+      skipped
+
+let print_summary oc reports =
+  let total_errors = List.fold_left (fun a r -> a + error_count r) 0 reports in
+  let dirty = List.length (List.filter has_errors reports) in
+  Printf.fprintf oc "%d kernel(s) linted, %d with errors, %d error(s) total\n"
+    (List.length reports) dirty total_errors
+
+(* --- JSON rendering ---------------------------------------------------------- *)
+
+let vec_result_to_json vr =
+  let status, extra =
+    match vr.vr_outcome with
+    | Checked ds ->
+        ( (if Diag.count_errors ds = 0 then "ok" else "failed"),
+          Printf.sprintf ",\"diagnostics\":%s" (Diag.list_to_json ds) )
+    | Skipped reason ->
+        ( "skipped",
+          Printf.sprintf ",\"reason\":\"%s\"" (Diag.json_escape reason) )
+  in
+  Printf.sprintf "{\"transform\":\"%s\",\"vf\":%d,\"status\":\"%s\"%s}"
+    (transform_to_string vr.vr_transform)
+    vr.vr_vf status extra
+
+let report_to_json r =
+  Printf.sprintf "{\"kernel\":\"%s\",\"errors\":%d,\"scalar\":%s,\"vector\":[%s]}"
+    (Diag.json_escape r.r_kernel)
+    (error_count r)
+    (Diag.list_to_json r.r_scalar)
+    (String.concat "," (List.map vec_result_to_json r.r_vector))
+
+let reports_to_json rs =
+  "[" ^ String.concat "," (List.map report_to_json rs) ^ "]"

@@ -1,0 +1,22 @@
+(** Translation validation: per-iteration-group memory-access multisets and
+    reduction sets of a transformed kernel must match the scalar original.
+
+    Loads tolerate the two legitimate deviations (invariant-load collapse,
+    demand-driven drops of dead code); stores and reductions must match
+    exactly. *)
+
+open Vir
+
+(** Memory-access multiset comparison for a vectorized kernel (one vector
+    iteration vs [vf] scalar iterations). *)
+val memory_diags : Vvect.Vinstr.vkernel -> Diag.t list
+
+(** Reduction-set preservation for a vectorized kernel. *)
+val reduction_diags : Vvect.Vinstr.vkernel -> Diag.t list
+
+(** Both checks. *)
+val vkernel_diags : Vvect.Vinstr.vkernel -> Diag.t list
+
+(** Exact multiset/reduction/step comparison of an unrolled kernel against
+    [uf] iterations of the original. *)
+val unrolled_diags : orig:Kernel.t -> uf:int -> Kernel.t -> Diag.t list

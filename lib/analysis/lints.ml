@@ -1,0 +1,204 @@
+(* Lint passes over the scalar IR.
+
+   Each pass takes the shared dataflow facts and returns diagnostics.  The
+   lints target exactly the defects that skew the paper's cost-model
+   features: a dead or redundant instruction changes the instruction-class
+   counts the models are fitted over, an out-of-bounds subscript makes the
+   simulated measurements meaningless, and an invariant store blocks
+   vectorization altogether.
+
+   Severity policy: anything that invalidates measurements or IR semantics
+   is an [Error]; shape defects that merely skew features are [Warning];
+   stylistic redundancy is [Info]. *)
+
+open Vir
+
+let kname (df : Dataflow.t) = df.kernel.Kernel.name
+
+(* --- dead instruction results ------------------------------------------- *)
+
+(* A non-store instruction whose value never reaches a store or a reduction
+   contributes to every instruction-count feature but not to the kernel's
+   observable effect. *)
+let dead_result (df : Dataflow.t) =
+  let out = ref [] in
+  Array.iteri
+    (fun pos instr ->
+      if (not (Instr.is_store instr)) && not df.live.(pos) then
+        out :=
+          Diag.warning ~pass:"dead-result" ~kernel:(kname df) ~pos
+            "result r%d is never used by a store or reduction" pos
+          :: !out)
+    df.body;
+  List.rev !out
+
+(* --- redundant loads ----------------------------------------------------- *)
+
+(* Two loads of the same address with no intervening store to that array
+   read the same value: a CSE opportunity that inflates the load counts the
+   rated features are built from.  Addresses compare syntactically after
+   canonicalizing operands through earlier merges, mirroring
+   [Simplify.cse]. *)
+let redundant_load (df : Dataflow.t) =
+  let n = Array.length df.body in
+  let seen : (Instr.t, int) Hashtbl.t = Hashtbl.create 8 in
+  let store_seen : (string, int) Hashtbl.t = Hashtbl.create 4 in
+  let merged = Array.make n None in
+  let out = ref [] in
+  for pos = 0 to n - 1 do
+    let instr =
+      Instr.map_operands
+        (function
+          | Instr.Reg r as op -> (
+              match merged.(r) with Some t -> Instr.Reg t | None -> op)
+          | op -> op)
+        df.body.(pos)
+    in
+    match instr with
+    | Instr.Store { addr; _ } ->
+        Hashtbl.replace store_seen (Instr.addr_array addr) pos
+    | Instr.Load { addr; _ } -> (
+        let arr = Instr.addr_array addr in
+        match Hashtbl.find_opt seen instr with
+        | Some prev
+          when (match Hashtbl.find_opt store_seen arr with
+               | Some s -> s < prev
+               | None -> true) ->
+            merged.(pos) <- Some prev;
+            out :=
+              Diag.warning ~pass:"redundant-load" ~kernel:(kname df) ~pos
+                "load of %s repeats instruction %d with no intervening store"
+                arr prev
+              :: !out
+        | _ -> Hashtbl.replace seen instr pos)
+    | _ -> ()
+  done;
+  List.rev !out
+
+(* --- lossy cast chains ---------------------------------------------------- *)
+
+let lossy_cast (df : Dataflow.t) =
+  let out = ref [] in
+  Array.iteri
+    (fun pos instr ->
+      match instr with
+      | Instr.Cast { src_ty; dst_ty; a } ->
+          if Types.equal_scalar src_ty dst_ty then
+            out :=
+              Diag.info ~pass:"lossy-cast" ~kernel:(kname df) ~pos
+                "no-op cast %s -> %s" (Types.to_string src_ty)
+                (Types.to_string dst_ty)
+              :: !out;
+          (match a with
+          | Instr.Reg r -> (
+              match df.body.(r) with
+              | Instr.Cast { src_ty = s0; dst_ty = s1; _ }
+                when Types.equal_scalar s1 src_ty ->
+                  (* Chain s0 -> s1 -> dst_ty: lossy when the middle type
+                     cannot represent every value of the origin type but the
+                     destination could. *)
+                  let narrows =
+                    Types.size_bytes s1 < Types.size_bytes s0
+                    || (Types.is_float s0 && Types.is_int s1)
+                  in
+                  let rewidens =
+                    Types.size_bytes dst_ty > Types.size_bytes s1
+                    || (Types.is_float dst_ty && Types.is_int s1)
+                  in
+                  if narrows && rewidens then
+                    out :=
+                      Diag.warning ~pass:"lossy-cast" ~kernel:(kname df) ~pos
+                        "cast chain %s -> %s -> %s loses precision in the \
+                         middle type"
+                        (Types.to_string s0) (Types.to_string s1)
+                        (Types.to_string dst_ty)
+                      :: !out
+              | _ -> ())
+          | _ -> ())
+      | _ -> ())
+    df.body;
+  List.rev !out
+
+(* --- out-of-bounds affine subscripts -------------------------------------- *)
+
+(* Delegates to the witness-size bounds analysis; a violation means the
+   simulated traces touch memory the kernel does not own, so it is an
+   error. *)
+let out_of_bounds (df : Dataflow.t) =
+  List.map
+    (fun (v : Bounds.violation) ->
+      Diag.error ~pass:"out-of-bounds" ~kernel:(kname df) ~pos:v.Bounds.v_pos
+        "%s" (Format.asprintf "%a" Bounds.pp_violation v))
+    (Bounds.check df.kernel)
+
+(* --- stores to loop-invariant addresses ------------------------------------ *)
+
+(* Writing the same location every iteration makes the loop body
+   order-dependent (last write wins) and is exactly what [Llv] rejects with
+   [Invariant_store]; flag it before the vectorizer does. *)
+let invariant_store (df : Dataflow.t) =
+  let out = ref [] in
+  Array.iteri
+    (fun pos instr ->
+      match instr with
+      | Instr.Store { addr; _ } when Dataflow.addr_invariant df addr ->
+          out :=
+            Diag.warning ~pass:"invariant-store" ~kernel:(kname df) ~pos
+              "store to %s writes a loop-invariant address (blocks \
+               vectorization)"
+              (Instr.addr_array addr)
+            :: !out
+      | _ -> ())
+    df.body;
+  List.rev !out
+
+(* --- unused declarations ---------------------------------------------------- *)
+
+let unused_array (df : Dataflow.t) =
+  let k = df.kernel in
+  let accessed = Hashtbl.create 8 in
+  Array.iter
+    (fun instr ->
+      match Instr.accessed_array instr with
+      | Some a -> Hashtbl.replace accessed a ()
+      | None -> ())
+    df.body;
+  List.filter_map
+    (fun (d : Kernel.array_decl) ->
+      if Hashtbl.mem accessed d.arr_name then None
+      else
+        Some
+          (Diag.warning ~pass:"unused-array" ~kernel:(kname df)
+             "array %s is declared but never accessed" d.arr_name))
+    k.Kernel.arrays
+
+let unused_param (df : Dataflow.t) =
+  let k = df.kernel in
+  let used = Hashtbl.create 4 in
+  let mark_op = function
+    | Instr.Param p -> Hashtbl.replace used p ()
+    | _ -> ()
+  in
+  let mark_dim (d : Instr.dim) =
+    List.iter (fun (p, _) -> Hashtbl.replace used p ()) d.Instr.pterms
+  in
+  let mark_addr = function
+    | Instr.Affine { dims; _ } -> List.iter mark_dim dims
+    | Instr.Indirect { idx; _ } -> mark_op idx
+  in
+  Array.iter
+    (fun instr ->
+      List.iter mark_op (Instr.operands instr);
+      match instr with
+      | Instr.Load { addr; _ } | Instr.Store { addr; _ } -> mark_addr addr
+      | _ -> ())
+    df.body;
+  List.iter (fun (r : Kernel.reduction) -> mark_op r.red_src) k.reductions;
+  List.filter_map
+    (fun p ->
+      if Hashtbl.mem used p then None
+      else
+        Some
+          (Diag.warning ~pass:"unused-param" ~kernel:(kname df)
+             "parameter %s is declared but never read" p))
+    k.Kernel.params

@@ -1,0 +1,27 @@
+(** Lint passes over the scalar IR.  Each consumes the shared dataflow
+    facts and returns diagnostics; see [Pass] for the registry. *)
+
+(** Non-store instructions whose value never reaches a store or
+    reduction. *)
+val dead_result : Dataflow.t -> Diag.t list
+
+(** Repeated loads of the same address with no intervening store to that
+    array (CSE opportunities that skew instruction-count features). *)
+val redundant_load : Dataflow.t -> Diag.t list
+
+(** Cast chains that narrow and then re-widen (losing precision) and no-op
+    casts. *)
+val lossy_cast : Dataflow.t -> Diag.t list
+
+(** Statically out-of-bounds affine subscripts, checked against declared
+    extents at witness problem sizes (wraps [Vir.Bounds]). *)
+val out_of_bounds : Dataflow.t -> Diag.t list
+
+(** Stores whose address is invariant in the innermost loop. *)
+val invariant_store : Dataflow.t -> Diag.t list
+
+(** Declared arrays never accessed by the body. *)
+val unused_array : Dataflow.t -> Diag.t list
+
+(** Declared scalar parameters never read. *)
+val unused_param : Dataflow.t -> Diag.t list

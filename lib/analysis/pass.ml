@@ -1,0 +1,56 @@
+(* Pass registry for the scalar lints.
+
+   Passes share one dataflow computation per kernel; [run_all] analyzes
+   once and folds every registered pass over the facts.  The registry is
+   open: extensions (and tests) can [register] additional passes, which the
+   CLI then picks up without changes. *)
+
+type t = {
+  name : string;
+  descr : string;
+  run : Dataflow.t -> Diag.t list;
+}
+
+let builtin : t list =
+  [
+    { name = "dead-result";
+      descr = "instruction results never used by a store or reduction";
+      run = Lints.dead_result };
+    { name = "redundant-load";
+      descr = "repeated loads of one address with no intervening store";
+      run = Lints.redundant_load };
+    { name = "lossy-cast";
+      descr = "cast chains that narrow then re-widen, and no-op casts";
+      run = Lints.lossy_cast };
+    { name = "out-of-bounds";
+      descr = "affine subscripts outside the declared array extents";
+      run = Lints.out_of_bounds };
+    { name = "invariant-store";
+      descr = "stores to innermost-loop-invariant addresses";
+      run = Lints.invariant_store };
+    { name = "unused-array";
+      descr = "declared arrays never accessed";
+      run = Lints.unused_array };
+    { name = "unused-param";
+      descr = "declared scalar parameters never read";
+      run = Lints.unused_param };
+  ]
+
+let registry = ref builtin
+
+let register p =
+  if List.exists (fun q -> String.equal q.name p.name) !registry then
+    invalid_arg (Printf.sprintf "Pass.register: duplicate pass %s" p.name);
+  registry := !registry @ [ p ]
+
+let all () = !registry
+
+let find name = List.find_opt (fun p -> String.equal p.name name) !registry
+
+(* Run one pass standalone (recomputes the facts). *)
+let run_pass p (k : Vir.Kernel.t) = p.run (Dataflow.analyze k)
+
+(* Run every registered pass over one shared dataflow analysis. *)
+let run_all (k : Vir.Kernel.t) : Diag.t list =
+  let df = Dataflow.analyze k in
+  List.concat_map (fun p -> p.run df) !registry

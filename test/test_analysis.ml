@@ -1,0 +1,514 @@
+(* Tests for the static-analysis framework: dataflow facts, each lint pass
+   (positive on seeded bugs, clean on the registry), the vector-IR
+   validator, translation validation, and the registry-wide gate the
+   acceptance criteria require: every TSVC kernel lints clean of errors and
+   validates under LLV, SLP and unrolling at VF 2, 4 and 8. *)
+
+open Vir
+module B = Builder
+module A = Vanalysis
+module V = Vvect.Vinstr
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* a[i] = b[i] + 1.0 *)
+let simple () =
+  let b = B.make "t" in
+  let i = B.loop b "i" Kernel.Tn in
+  let x = B.load b "b" [ B.ix i ] in
+  B.store b "a" [ B.ix i ] (B.addf b x (B.cf 1.0));
+  B.finish b
+
+let has_pass name ds = List.exists (fun d -> d.A.Diag.pass = name) ds
+
+let fired pass k =
+  match A.Pass.find pass with
+  | None -> Alcotest.failf "unknown pass %s" pass
+  | Some p -> A.Pass.run_pass p k <> []
+
+(* --- diag ----------------------------------------------------------------- *)
+
+let test_diag_sort () =
+  let d sev pos = A.Diag.make ~pass:"p" ~severity:sev ~kernel:"k" ?pos "m" in
+  let sorted = A.Diag.sort [ d A.Diag.Info None; d A.Diag.Error (Some 3);
+                             d A.Diag.Warning (Some 1); d A.Diag.Error (Some 1) ] in
+  check "errors first" true
+    ((List.hd sorted).A.Diag.severity = A.Diag.Error
+    && (List.hd sorted).A.Diag.pos = Some 1);
+  check "info last" true
+    ((List.nth sorted 3).A.Diag.severity = A.Diag.Info)
+
+let test_diag_json_escaping () =
+  Alcotest.(check string) "quote" "a\\\"b" (A.Diag.json_escape "a\"b");
+  Alcotest.(check string) "backslash" "a\\\\b" (A.Diag.json_escape "a\\b");
+  Alcotest.(check string) "newline" "a\\nb" (A.Diag.json_escape "a\nb");
+  let d = A.Diag.error ~pass:"p" ~kernel:"k" ~pos:2 "m \"x\"" in
+  check "to_json well-formed" true
+    (String.length (A.Diag.to_json d) > 0 && (A.Diag.to_json d).[0] = '{')
+
+(* --- dataflow ------------------------------------------------------------- *)
+
+let test_dataflow_liveness () =
+  (* load; dead add (unused); live mul feeding the store *)
+  let b = B.make "live" in
+  let i = B.loop b "i" Kernel.Tn in
+  let x = B.load b "b" [ B.ix i ] in
+  let _dead = B.addf b x (B.cf 2.0) in
+  let y = B.mulf b x (B.cf 3.0) in
+  B.store b "a" [ B.ix i ] y;
+  let df = A.Dataflow.analyze (B.finish b) in
+  check "load live" true df.A.Dataflow.live.(0);
+  check "dead add" false df.A.Dataflow.live.(1);
+  check "mul live" true df.A.Dataflow.live.(2);
+  check "store live" true df.A.Dataflow.live.(3)
+
+let test_dataflow_reduction_keeps_live () =
+  let b = B.make "red" in
+  let i = B.loop b "i" Kernel.Tn in
+  let x = B.load b "b" [ B.ix i ] in
+  B.reduce b "sum" Op.Rsum x;
+  let df = A.Dataflow.analyze (B.finish b) in
+  check "reduction source live" true df.A.Dataflow.live.(0);
+  check_int "reduction use counted" 1 df.A.Dataflow.reduction_uses.(0)
+
+let test_dataflow_consts () =
+  let b = B.make "const" in
+  let i = B.loop b "i" Kernel.Tn in
+  let c = B.addf b (B.cf 2.0) (B.cf 3.0) in
+  let x = B.load b "b" [ B.ix i ] in
+  B.store b "a" [ B.ix i ] (B.mulf b x c);
+  let df = A.Dataflow.analyze (B.finish b) in
+  check "2+3 folded" true (df.A.Dataflow.consts.(0) = Some (A.Dataflow.Cfloat 5.0));
+  check "load not const" true (df.A.Dataflow.consts.(1) = None)
+
+let test_dataflow_invariance () =
+  let b = B.make "inv" in
+  let j = B.loop b "j" Kernel.Tn2 in
+  let i = B.loop b "i" Kernel.Tn2 in
+  let row = B.load b "c" [ B.ix j ] in (* invariant in i *)
+  let x = B.load b "aa" [ B.ix j; B.ix i ] in (* varies with i *)
+  B.store b "bb" [ B.ix j; B.ix i ] (B.addf b row x);
+  let df = A.Dataflow.analyze (B.finish b) in
+  check "outer-indexed load invariant" true df.A.Dataflow.invariant.(0);
+  check "inner-indexed load varies" false df.A.Dataflow.invariant.(1);
+  check "sum varies" false df.A.Dataflow.invariant.(2)
+
+let test_dataflow_store_kills_invariance () =
+  (* b[0] is loop-invariant as an address, but the body stores to b. *)
+  let b = B.make "kill" in
+  let i = B.loop b "i" Kernel.Tn in
+  let x = B.load b "b" [ B.ix_const 0 ] in
+  B.store b "b" [ B.ix i ] x;
+  let df = A.Dataflow.analyze (B.finish b) in
+  check "written array not invariant" false df.A.Dataflow.invariant.(0)
+
+let test_dataflow_use_counts () =
+  let k = simple () in
+  let df = A.Dataflow.analyze k in
+  check_int "load used once" 1 (A.Dataflow.use_count df 0);
+  check_int "add used once" 1 (A.Dataflow.use_count df 1)
+
+(* --- lint passes: seeded bugs ---------------------------------------------- *)
+
+let test_lint_dead_result () =
+  let b = B.make "dead" in
+  let i = B.loop b "i" Kernel.Tn in
+  ignore (B.load b "c" [ B.ix i ]);
+  B.store b "a" [ B.ix i ] (B.cf 1.0);
+  let k = B.finish b in
+  check "dead result fires" true (fired "dead-result" k);
+  check "clean kernel quiet" false (fired "dead-result" (simple ()))
+
+let test_lint_redundant_load () =
+  let b = B.make "redload" in
+  let i = B.loop b "i" Kernel.Tn in
+  let x = B.load b "b" [ B.ix i ] in
+  let y = B.load b "b" [ B.ix i ] in
+  B.store b "a" [ B.ix i ] (B.addf b x y);
+  let k = B.finish b in
+  check "redundant load fires" true (fired "redundant-load" k);
+  check "clean kernel quiet" false (fired "redundant-load" (simple ()))
+
+let test_lint_redundant_load_respects_stores () =
+  (* A store to the array between the two loads makes the reload real. *)
+  let b = B.make "noredload" in
+  let i = B.loop b "i" Kernel.Tn in
+  let x = B.load b "a" [ B.ix i ] in
+  B.store b "a" [ B.ix i ] (B.addf b x (B.cf 1.0));
+  let y = B.load b "a" [ B.ix i ] in
+  B.store b "c" [ B.ix i ] y;
+  let k = B.finish b in
+  check "reload after store is not redundant" false (fired "redundant-load" k)
+
+let test_lint_lossy_cast () =
+  let b = B.make "lossy" in
+  let i = B.loop b "i" Kernel.Tn in
+  let x = B.load b ~ty:Types.F64 "b" [ B.ix i ] in
+  let narrow = B.cast b ~from_:Types.F64 ~to_:Types.F32 x in
+  let wide = B.cast b ~from_:Types.F32 ~to_:Types.F64 narrow in
+  B.store b ~ty:Types.F64 "a" [ B.ix i ] wide;
+  let k = B.finish b in
+  check "lossy chain fires" true (fired "lossy-cast" k);
+  check "clean kernel quiet" false (fired "lossy-cast" (simple ()))
+
+let test_lint_widening_chain_ok () =
+  (* f32 -> f64 -> f32 loses nothing on the way up; only the no-op style
+     Info must not be an error. *)
+  let b = B.make "widen" in
+  let i = B.loop b "i" Kernel.Tn in
+  let x = B.load b "b" [ B.ix i ] in
+  let w = B.cast b ~from_:Types.F32 ~to_:Types.F64 x in
+  let back = B.cast b ~from_:Types.F64 ~to_:Types.F32 w in
+  B.store b "a" [ B.ix i ] back;
+  let k = B.finish b in
+  let ds = A.Pass.run_all k in
+  check "no lossy warning" false
+    (List.exists
+       (fun d -> d.A.Diag.pass = "lossy-cast" && d.A.Diag.severity = A.Diag.Warning)
+       ds)
+
+let test_lint_out_of_bounds () =
+  let k = simple () in
+  let bad =
+    { k with
+      Kernel.body =
+        [ Instr.Load
+            { ty = Types.F32;
+              addr = Instr.Affine { arr = "b";
+                dims = [ { Instr.terms = [ ("i", 1) ]; pterms = []; off = 5; rel_n = false } ] } };
+          Instr.Store
+            { ty = Types.F32;
+              addr = Instr.Affine { arr = "a";
+                dims = [ { Instr.terms = [ ("i", 1) ]; pterms = []; off = 0; rel_n = false } ] };
+              src = Instr.Reg 0 } ] }
+  in
+  let ds = A.Pass.run_all bad in
+  check "out-of-bounds fires as Error" true
+    (List.exists
+       (fun d -> d.A.Diag.pass = "out-of-bounds" && A.Diag.is_error d)
+       ds);
+  check "clean kernel quiet" false (fired "out-of-bounds" k)
+
+let test_lint_invariant_store () =
+  let b = B.make "invstore" in
+  let i = B.loop b "i" Kernel.Tn in
+  let x = B.load b "b" [ B.ix i ] in
+  B.store b "a" [ B.ix_const 0 ] x;
+  let k = B.finish b in
+  check "invariant store fires" true (fired "invariant-store" k);
+  check "clean kernel quiet" false (fired "invariant-store" (simple ()))
+
+let test_lint_unused_array () =
+  let b = B.make "unusedarr" in
+  let i = B.loop b "i" Kernel.Tn in
+  B.declare b "ghost";
+  let x = B.load b "b" [ B.ix i ] in
+  B.store b "a" [ B.ix i ] x;
+  let k = B.finish b in
+  check "unused array fires" true (fired "unused-array" k);
+  check "clean kernel quiet" false (fired "unused-array" (simple ()))
+
+let test_lint_unused_param () =
+  let b = B.make "unusedpar" in
+  let i = B.loop b "i" Kernel.Tn in
+  ignore (B.param b "s");
+  let x = B.load b "b" [ B.ix i ] in
+  B.store b "a" [ B.ix i ] x;
+  let k = B.finish b in
+  check "unused param fires" true (fired "unused-param" k);
+  check "clean kernel quiet" false (fired "unused-param" (simple ()))
+
+(* --- pass registry --------------------------------------------------------- *)
+
+let test_pass_registry () =
+  check "7 builtin passes" true (List.length A.Pass.builtin = 7);
+  check "find works" true (A.Pass.find "dead-result" <> None);
+  check "unknown absent" true (A.Pass.find "no-such-pass" = None);
+  let names = List.map (fun p -> p.A.Pass.name) (A.Pass.all ()) in
+  check_int "names unique" (List.length names)
+    (List.length (List.sort_uniq compare names))
+
+(* --- vector-IR validator: structural seeded bugs ---------------------------- *)
+
+(* A hand-rolled vkernel around [simple ()]; [vbody] is the part under
+   test. *)
+let vk_of ?(vf = 4) ?(ic = 1) vbody =
+  { V.scalar = simple (); vf; ic; vbody; vreductions = []; source = V.Src_llv }
+
+let dims_i = [ { Instr.terms = [ ("i", 1) ]; pterms = []; off = 0; rel_n = false } ]
+
+let structural_fires vk = A.Vvalidate.check vk <> []
+
+let good_vbody =
+  [ V.Vload { ty = Types.F32; arr = "b"; dims = dims_i; access = V.Contig };
+    V.Vbin { ty = Types.F32; op = Op.Add; a = V.V 0; b = V.Splat (Instr.Imm_float 1.0) };
+    V.Vstore { ty = Types.F32; arr = "a"; dims = dims_i; access = V.Contig; src = V.V 1 } ]
+
+let test_vvalidate_good () =
+  check "well-formed vbody accepted" false (structural_fires (vk_of good_vbody))
+
+let test_vvalidate_undefined_register () =
+  let vk =
+    vk_of
+      [ V.Vstore { ty = Types.F32; arr = "a"; dims = dims_i; access = V.Contig; src = V.V 3 } ]
+  in
+  check "forward register rejected" true (structural_fires vk)
+
+let test_vvalidate_splat_of_inner_index () =
+  let vk =
+    vk_of
+      [ V.Vstore
+          { ty = Types.F32; arr = "a"; dims = dims_i; access = V.Contig;
+            src = V.Splat (Instr.Index "i") } ]
+  in
+  check "splat of induction variable rejected" true (structural_fires vk)
+
+let test_vvalidate_sc_copy_range () =
+  let sc_store copy =
+    [ V.Sc
+        { copy;
+          instr =
+            Instr.Store
+              { ty = Types.F32; addr = Instr.Affine { arr = "a"; dims = dims_i };
+                src = Instr.Imm_float 0.0 } } ]
+  in
+  check "copy 9 at vf*ic 4 rejected" true (structural_fires (vk_of (sc_store 9)));
+  check "copy 3 at vf*ic 4 accepted" false (structural_fires (vk_of (sc_store 3)))
+
+let test_vvalidate_extract_lane_range () =
+  let body lane =
+    [ V.Vload { ty = Types.F32; arr = "b"; dims = dims_i; access = V.Contig };
+      V.Vextract { ty = Types.F32; src = V.V 0; lane };
+      V.Sc
+        { copy = 0;
+          instr =
+            Instr.Store
+              { ty = Types.F32; addr = Instr.Affine { arr = "a"; dims = dims_i };
+                src = Instr.Reg 1 } } ]
+  in
+  check "lane 7 at vf 4 rejected" true (structural_fires (vk_of (body 7)));
+  check "lane 3 at vf 4 accepted" false (structural_fires (vk_of (body 3)))
+
+let test_vvalidate_gather_index_type () =
+  let body idx_ty =
+    [ V.Vload { ty = idx_ty; arr = "b"; dims = dims_i; access = V.Contig };
+      V.Vgather { ty = Types.F32; arr = "a"; idx = V.V 0 };
+      V.Vstore { ty = Types.F32; arr = "a"; dims = dims_i; access = V.Contig; src = V.V 1 } ]
+  in
+  (* The float-typed "b" load makes a float index vector: rejected.  An
+     integer index is fine structurally (the translation layer is separate). *)
+  check "float gather index rejected" true (structural_fires (vk_of (body Types.F32)))
+
+let test_vvalidate_pack_arity () =
+  let vk =
+    vk_of
+      [ V.Vpack { ty = Types.F32; srcs = [| Instr.Imm_float 1.0 |] };
+        V.Vstore { ty = Types.F32; arr = "a"; dims = dims_i; access = V.Contig; src = V.V 0 } ]
+  in
+  check "pack of 1 source at vf 4 rejected" true (structural_fires vk)
+
+let test_vvalidate_access_tag () =
+  let vk =
+    vk_of
+      [ V.Vload { ty = Types.F32; arr = "b"; dims = dims_i; access = V.Strided 3 };
+        V.Vstore { ty = Types.F32; arr = "a"; dims = dims_i; access = V.Contig; src = V.V 0 } ]
+  in
+  check "contiguous subscripts tagged strided rejected" true
+    (structural_fires vk)
+
+let test_vvalidate_type_clash () =
+  let vk =
+    vk_of
+      [ V.Vload { ty = Types.F32; arr = "b"; dims = dims_i; access = V.Contig };
+        V.Vbin { ty = Types.I32; op = Op.Add; a = V.V 0; b = V.V 0 };
+        V.Vstore { ty = Types.F32; arr = "a"; dims = dims_i; access = V.Contig; src = V.V 0 } ]
+  in
+  check "float vector in int add rejected" true (structural_fires vk)
+
+let test_vvalidate_scalar_in_vector_position () =
+  let vk =
+    vk_of
+      [ V.Sc
+          { copy = 0;
+            instr = Instr.Load { ty = Types.F32; addr = Instr.Affine { arr = "b"; dims = dims_i } } };
+        V.Vstore { ty = Types.F32; arr = "a"; dims = dims_i; access = V.Contig; src = V.V 0 } ]
+  in
+  check "scalar-width register in vector position rejected" true
+    (structural_fires vk)
+
+(* --- translation validation: seeded bugs ------------------------------------ *)
+
+let llv_exn ~vf k =
+  match Vvect.Llv.vectorize ~vf k with
+  | Ok vk -> vk
+  | Error e -> Alcotest.failf "LLV failed: %s" (Vvect.Llv.error_to_string e)
+
+let test_equiv_detects_dropped_store () =
+  let vk = llv_exn ~vf:4 (simple ()) in
+  let tampered =
+    { vk with V.vbody = List.filter (function V.Vstore _ -> false | _ -> true) vk.V.vbody }
+  in
+  check "intact body passes" true (A.Equiv.memory_diags vk = []);
+  check "dropped store detected" true (A.Equiv.memory_diags tampered <> [])
+
+let test_equiv_detects_wrong_offset () =
+  let vk = llv_exn ~vf:4 (simple ()) in
+  let shift_store = function
+    | V.Vstore { ty; arr; dims; access; src } ->
+        V.Vstore
+          { ty; arr; dims = List.map (Instr.shift_dim "i" 1) dims; access; src }
+    | vi -> vi
+  in
+  let tampered = { vk with V.vbody = List.map shift_store vk.V.vbody } in
+  check "shifted store address detected" true (A.Equiv.memory_diags tampered <> [])
+
+let test_equiv_detects_reduction_tamper () =
+  let b = B.make "red" in
+  let i = B.loop b "i" Kernel.Tn in
+  let x = B.load b "b" [ B.ix i ] in
+  B.reduce b "sum" Op.Rsum x;
+  let k = B.finish b in
+  let vk = llv_exn ~vf:4 k in
+  check "intact reductions pass" true (A.Equiv.reduction_diags vk = []);
+  let renamed =
+    { vk with
+      V.vreductions =
+        List.map (fun r -> { r with V.vr_name = "other" }) vk.V.vreductions }
+  in
+  check "renamed reduction detected" true (A.Equiv.reduction_diags renamed <> []);
+  let reinit =
+    { vk with
+      V.vreductions =
+        List.map (fun r -> { r with V.vr_init = 42.0 }) vk.V.vreductions }
+  in
+  check "changed init detected" true (A.Equiv.reduction_diags reinit <> [])
+
+let test_equiv_unroll_detects_step_tamper () =
+  let k = simple () in
+  let u = Vvect.Unroll.by 4 k in
+  check "honest unroll passes" true (A.Equiv.unrolled_diags ~orig:k ~uf:4 u = []);
+  let bad_step =
+    { u with
+      Kernel.loops =
+        List.map (fun (l : Kernel.loop) -> { l with Kernel.step = 2 }) u.Kernel.loops }
+  in
+  check "wrong step detected" true
+    (A.Equiv.unrolled_diags ~orig:k ~uf:4 bad_step <> [])
+
+let test_equiv_unroll_detects_dropped_copy () =
+  let k = simple () in
+  let u = Vvect.Unroll.by 2 k in
+  let dropped =
+    { u with
+      Kernel.body = List.filteri (fun pos _ -> pos < 2) u.Kernel.body }
+  in
+  check "dropped unroll copy detected" true
+    (A.Equiv.unrolled_diags ~orig:k ~uf:2 dropped <> [])
+
+(* --- the registry-wide gate ------------------------------------------------- *)
+
+(* Acceptance criterion: zero lint Errors over the whole TSVC registry
+   (typed extension included). *)
+let test_registry_lint_gate () =
+  List.iter
+    (fun (e : Tsvc.Registry.entry) ->
+      let errs = List.filter A.Diag.is_error (A.Pass.run_all e.kernel) in
+      match errs with
+      | [] -> ()
+      | d :: _ ->
+          Alcotest.failf "%s: %s" e.kernel.Kernel.name (A.Diag.to_string d))
+    (Tsvc.Registry.all @ Tsvc.Registry.typed_extension)
+
+(* Acceptance criterion: the vector-IR validator (structure + translation)
+   passes for every registry kernel under LLV, SLP and unrolling at VF 2,
+   4 and 8 — whenever the transform applies.  Also pin a floor on how many
+   configurations are actually exercised so skips cannot silently eat the
+   gate. *)
+let test_registry_vvalidate_gate () =
+  let checked = ref 0 and skipped = ref 0 in
+  List.iter
+    (fun (e : Tsvc.Registry.entry) ->
+      List.iter
+        (fun tr ->
+          List.iter
+            (fun vf ->
+              match A.Driver.validate_transformed tr ~vf e.kernel with
+              | A.Driver.Skipped _ -> incr skipped
+              | A.Driver.Checked ds -> (
+                  incr checked;
+                  match List.filter A.Diag.is_error ds with
+                  | [] -> ()
+                  | d :: _ ->
+                      Alcotest.failf "%s %s vf=%d: %s" e.kernel.Kernel.name
+                        (A.Driver.transform_to_string tr)
+                        vf (A.Diag.to_string d)))
+            A.Driver.default_vfs)
+        A.Driver.all_transforms)
+    Tsvc.Registry.all;
+  (* 151 kernels x 3 transforms x 3 VFs = 1359 configurations; unrolling
+     always applies (453), and most kernels vectorize. *)
+  check "at least 1000 configurations validated" true (!checked >= 1000);
+  check "every unroll configuration validated" true
+    (!checked + !skipped = 1359 && !skipped <= 906)
+
+(* The driver end-to-end: reports, JSON shape, error accounting. *)
+let test_driver_report () =
+  let r = A.Driver.lint_kernel (simple ()) in
+  check "clean kernel no errors" false (A.Driver.has_errors r);
+  check_int "9 vector configurations" 9 (List.length r.A.Driver.r_vector);
+  let j = A.Driver.report_to_json r in
+  check "json mentions kernel" true
+    (String.length j > 0 && j.[0] = '{');
+  let bad =
+    { (simple ()) with
+      Kernel.body =
+        [ Instr.Load
+            { ty = Types.F32;
+              addr = Instr.Affine { arr = "b";
+                dims = [ { Instr.terms = [ ("i", 1) ]; pterms = []; off = 7; rel_n = false } ] } };
+          Instr.Store
+            { ty = Types.F32;
+              addr = Instr.Affine { arr = "a"; dims = dims_i };
+              src = Instr.Reg 0 } ] }
+  in
+  check "seeded bug surfaces in report" true
+    (A.Driver.has_errors (A.Driver.lint_kernel bad))
+
+let tests =
+  [ Alcotest.test_case "diag sort" `Quick test_diag_sort;
+    Alcotest.test_case "diag json escaping" `Quick test_diag_json_escaping;
+    Alcotest.test_case "dataflow liveness" `Quick test_dataflow_liveness;
+    Alcotest.test_case "dataflow reduction live" `Quick test_dataflow_reduction_keeps_live;
+    Alcotest.test_case "dataflow consts" `Quick test_dataflow_consts;
+    Alcotest.test_case "dataflow invariance" `Quick test_dataflow_invariance;
+    Alcotest.test_case "dataflow store kills invariance" `Quick test_dataflow_store_kills_invariance;
+    Alcotest.test_case "dataflow use counts" `Quick test_dataflow_use_counts;
+    Alcotest.test_case "lint dead result" `Quick test_lint_dead_result;
+    Alcotest.test_case "lint redundant load" `Quick test_lint_redundant_load;
+    Alcotest.test_case "lint redundant load stores" `Quick test_lint_redundant_load_respects_stores;
+    Alcotest.test_case "lint lossy cast" `Quick test_lint_lossy_cast;
+    Alcotest.test_case "lint widening chain ok" `Quick test_lint_widening_chain_ok;
+    Alcotest.test_case "lint out of bounds" `Quick test_lint_out_of_bounds;
+    Alcotest.test_case "lint invariant store" `Quick test_lint_invariant_store;
+    Alcotest.test_case "lint unused array" `Quick test_lint_unused_array;
+    Alcotest.test_case "lint unused param" `Quick test_lint_unused_param;
+    Alcotest.test_case "pass registry" `Quick test_pass_registry;
+    Alcotest.test_case "vvalidate good body" `Quick test_vvalidate_good;
+    Alcotest.test_case "vvalidate undefined register" `Quick test_vvalidate_undefined_register;
+    Alcotest.test_case "vvalidate splat of index" `Quick test_vvalidate_splat_of_inner_index;
+    Alcotest.test_case "vvalidate sc copy range" `Quick test_vvalidate_sc_copy_range;
+    Alcotest.test_case "vvalidate extract lane" `Quick test_vvalidate_extract_lane_range;
+    Alcotest.test_case "vvalidate gather index type" `Quick test_vvalidate_gather_index_type;
+    Alcotest.test_case "vvalidate pack arity" `Quick test_vvalidate_pack_arity;
+    Alcotest.test_case "vvalidate access tag" `Quick test_vvalidate_access_tag;
+    Alcotest.test_case "vvalidate type clash" `Quick test_vvalidate_type_clash;
+    Alcotest.test_case "vvalidate width clash" `Quick test_vvalidate_scalar_in_vector_position;
+    Alcotest.test_case "equiv dropped store" `Quick test_equiv_detects_dropped_store;
+    Alcotest.test_case "equiv wrong offset" `Quick test_equiv_detects_wrong_offset;
+    Alcotest.test_case "equiv reduction tamper" `Quick test_equiv_detects_reduction_tamper;
+    Alcotest.test_case "equiv unroll step tamper" `Quick test_equiv_unroll_detects_step_tamper;
+    Alcotest.test_case "equiv unroll dropped copy" `Quick test_equiv_unroll_detects_dropped_copy;
+    Alcotest.test_case "registry lint gate" `Quick test_registry_lint_gate;
+    Alcotest.test_case "registry vvalidate gate" `Slow test_registry_vvalidate_gate;
+    Alcotest.test_case "driver report" `Quick test_driver_report ]

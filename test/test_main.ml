@@ -20,4 +20,5 @@ let () =
       ("simplify", Test_simplify.tests);
       ("scenarios", Test_scenarios.tests);
       ("coverage", Test_coverage.tests);
-      ("extensions", Test_extensions.tests) ]
+      ("extensions", Test_extensions.tests);
+      ("analysis", Test_analysis.tests) ]

@@ -315,6 +315,35 @@ let test_validate_2d_dim_mismatch () =
   in
   check "dim mismatch rejected" true (not (Validate.is_valid bad))
 
+let test_validate_duplicate_loop_var () =
+  let k = simple () in
+  let l = Kernel.innermost k in
+  let bad = { k with Kernel.loops = [ l; l ] } in
+  check "duplicate loop variable rejected" true (not (Validate.is_valid bad))
+
+let test_validate_bad_store_type () =
+  (* An I64 store of a F32 value into a F32-declared array. *)
+  let errs =
+    invalid_with (fun k ->
+        { k with
+          Kernel.body =
+            [ Instr.Load
+                { ty = Types.F32;
+                  addr = Instr.Affine { arr = "b"; dims = [ { Instr.terms = [ ("i", 1) ]; pterms = []; off = 0; rel_n = false } ] } };
+              Instr.Store
+                { ty = Types.I64;
+                  addr = Instr.Affine { arr = "a"; dims = [ { Instr.terms = [ ("i", 1) ]; pterms = []; off = 0; rel_n = false } ] };
+                  src = Instr.Reg 0 } ] })
+  in
+  check "store type mismatch rejected" true (errs <> []);
+  (* Storing a mask is also a type error. *)
+  let b = B.make "maskstore" in
+  let i = B.loop b "i" Kernel.Tn in
+  let x = B.load b "b" [ B.ix i ] in
+  let c = B.cmp b Op.Gt x (B.cf 0.0) in
+  B.store b "a" [ B.ix i ] c;
+  check "mask store rejected" true (not (Validate.is_valid (B.finish b)))
+
 (* --- pretty printer ------------------------------------------------------ *)
 
 let contains hay needle =
@@ -362,6 +391,8 @@ let tests =
     Alcotest.test_case "validate select mask" `Quick test_validate_select_needs_mask;
     Alcotest.test_case "validate unknown var" `Quick test_validate_unknown_loop_var;
     Alcotest.test_case "validate dim mismatch" `Quick test_validate_2d_dim_mismatch;
+    Alcotest.test_case "validate duplicate loop var" `Quick test_validate_duplicate_loop_var;
+    Alcotest.test_case "validate bad store type" `Quick test_validate_bad_store_type;
     Alcotest.test_case "pp smoke" `Quick test_pp_contains_name ]
 
 (* --- bounds analysis -------------------------------------------------------- *)

@@ -1,0 +1,25 @@
+(* Interface-completeness check: every .ml in the given directories must
+   have a matching .mli, so library APIs stay documented and sealed.
+   Wired into [dune runtest] for lib/analysis. *)
+
+let has_mli dir base = Sys.file_exists (Filename.concat dir (base ^ ".mli"))
+
+let check_dir dir =
+  if not (Sys.file_exists dir && Sys.is_directory dir) then (
+    Printf.eprintf "check_mli: no such directory: %s\n" dir;
+    exit 2);
+  Sys.readdir dir |> Array.to_list
+  |> List.filter (fun f -> Filename.check_suffix f ".ml")
+  |> List.filter_map (fun f ->
+         let base = Filename.chop_suffix f ".ml" in
+         if has_mli dir base then None else Some (Filename.concat dir f))
+
+let () =
+  let dirs =
+    match Array.to_list Sys.argv with [] | [ _ ] -> [ "." ] | _ :: ds -> ds
+  in
+  match List.concat_map check_dir dirs with
+  | [] -> ()
+  | missing ->
+      List.iter (Printf.eprintf "check_mli: %s has no .mli\n") missing;
+      exit 1
