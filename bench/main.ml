@@ -6,6 +6,7 @@
      dune exec bench/main.exe            # everything
      dune exec bench/main.exe f3 t2      # selected experiments
      dune exec bench/main.exe micro      # only the microbenchmarks
+     dune exec bench/main.exe json F.json  # pipeline timings as JSON
 *)
 
 open Costmodel
@@ -277,6 +278,101 @@ let microbenchmarks () =
       | Some _ | None -> Printf.printf "   %-42s %14s\n" name "n/a")
     (List.sort compare rows)
 
+(* json OUT: per-experiment wall-clock timings of the full pipeline.
+
+   Each experiment is timed twice: serial with a cold sample cache (the
+   pre-PR-2 behavior: no domain pool, every sample rebuilt), then parallel
+   with the cache warm — the steady state of a sweep that revisits a
+   (machine, transform, config) combination.  A final pass times the whole
+   suite sharing one cache across experiments.  The emitted file seeds the
+   perf trajectory (BENCH_pipeline.json shape: one record per measurement,
+   wall-clock seconds). *)
+
+let json_experiments : (string * (unit -> unit)) list =
+  [ ("F1", fun () -> ignore (Experiment.f1 ()));
+    ("F2", fun () -> ignore (Experiment.f2 ()));
+    ("F3", fun () -> ignore (Experiment.f3 ()));
+    ("F4", fun () -> ignore (Experiment.f4 ()));
+    ("F5", fun () -> ignore (Experiment.f5 ()));
+    ("F6", fun () -> ignore (Experiment.f6 ()));
+    ("F7", fun () -> ignore (Experiment.f7 ()));
+    ("F8", fun () -> ignore (Experiment.f8 ()));
+    ("T1", fun () -> ignore (Experiment.t1 ()));
+    ("T2", fun () -> ignore (Experiment.t2 ()));
+    ("A1", fun () -> ignore (Experiment.a1 ()));
+    ("A2", fun () -> ignore (Experiment.a2 ()));
+    ("A3", fun () -> ignore (Experiment.a3 ()));
+    ("A4", fun () -> ignore (Experiment.a4 ()));
+    ("A5", fun () -> ignore (Experiment.a5 ()));
+    ("A6", fun () -> ignore (Experiment.a6 ()));
+    ("A7", fun () -> ignore (Experiment.a7 ()));
+    ("A8", fun () -> ignore (Experiment.a8 ())) ]
+
+let wall f =
+  let t0 = Unix.gettimeofday () in
+  f ();
+  Unix.gettimeofday () -. t0
+
+let bench_json out =
+  let rows =
+    List.map
+      (fun (id, f) ->
+        (* Cold + serial: clear both caches and pin the pool off. *)
+        Dataset.cache_clear ();
+        Experiment.loocv_cache_clear ();
+        Vpar.Pool.set_sequential true;
+        let serial_cold = wall f in
+        (* Warm + parallel: same experiment again, cache still populated. *)
+        Vpar.Pool.set_sequential false;
+        let parallel_warm = wall f in
+        Printf.printf "   %-4s serial+cold %8.4fs   parallel+warm %8.4fs  (%.1fx)\n%!"
+          id serial_cold parallel_warm
+          (serial_cold /. Float.max 1e-9 parallel_warm);
+        (id, serial_cold, parallel_warm))
+      json_experiments
+  in
+  (* The whole suite over one shared cache: what a sweep actually pays. *)
+  Dataset.cache_clear ();
+  Experiment.loocv_cache_clear ();
+  let suite_shared =
+    wall (fun () -> List.iter (fun (_, f) -> f ()) json_experiments)
+  in
+  let stats = Dataset.cache_stats () in
+  let lstats = Experiment.loocv_cache_stats () in
+  let serial_total = List.fold_left (fun a (_, s, _) -> a +. s) 0.0 rows in
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "{\n  \"benchmark\": \"pipeline\",\n";
+  Buffer.add_string b
+    (Printf.sprintf "  \"pool_workers\": %d,\n" (Vpar.Pool.default_size ()));
+  Buffer.add_string b "  \"experiments\": [\n";
+  List.iteri
+    (fun i (id, serial_cold, parallel_warm) ->
+      Buffer.add_string b
+        (Printf.sprintf
+           "    {\"id\": \"%s\", \"serial_cold_s\": %.6f, \
+            \"parallel_warm_s\": %.6f, \"speedup\": %.2f}%s\n"
+           id serial_cold parallel_warm
+           (serial_cold /. Float.max 1e-9 parallel_warm)
+           (if i = List.length rows - 1 then "" else ",")))
+    rows;
+  Buffer.add_string b "  ],\n";
+  Buffer.add_string b
+    (Printf.sprintf
+       "  \"suite\": {\"serial_cold_total_s\": %.6f, \
+        \"parallel_shared_cache_s\": %.6f},\n"
+       serial_total suite_shared);
+  Buffer.add_string b
+    (Printf.sprintf
+       "  \"cache\": {\"hits\": %d, \"misses\": %d, \"entries\": %d},\n"
+       stats.Dataset.hits stats.Dataset.misses stats.Dataset.entries);
+  Buffer.add_string b
+    (Printf.sprintf
+       "  \"loocv_cache\": {\"hits\": %d, \"misses\": %d, \"entries\": %d}\n}\n"
+       lstats.Dataset.hits lstats.Dataset.misses lstats.Dataset.entries);
+  Report.write_file out (Buffer.contents b);
+  Printf.printf "pipeline timings written to %s\n" out;
+  Printf.printf "%s\n" (Report.cache_stats_string ())
+
 (* csv DIR: write per-experiment summary CSVs plus the F1/F3 scatters. *)
 let export_csv dir =
   if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
@@ -319,6 +415,9 @@ let () =
     | [] -> ()
     | "csv" :: dir :: rest ->
         export_csv dir;
+        run rest
+    | "json" :: out :: rest ->
+        bench_json out;
         run rest
     | "micro" :: rest ->
         microbenchmarks ();

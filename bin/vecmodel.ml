@@ -7,6 +7,7 @@
      vecmodel fit [--machine M] [--method m] [--features f] [--target t]
      vecmodel loocv [...]
      vecmodel report [EXPERIMENT ...]
+     vecmodel cachestats
 *)
 
 open Cmdliner
@@ -484,6 +485,48 @@ let report_cmd =
   Cmd.v (Cmd.info "report" ~doc:"Reproduce the paper's tables and figures")
     Term.(const run $ which)
 
+(* --- cachestats ------------------------------------------------------------ *)
+
+let cachestats_cmd =
+  let run () =
+    Dataset.cache_clear ();
+    Experiment.loocv_cache_clear ();
+    (* The paper's experiment grid: F1..F5, T2, A1 and A4 share the
+       (neon-a57, llv) sample set; F6..F8 share (xeon-avx2, slp).  Run
+       them all and report how much of the sample pipeline was shared. *)
+    let drivers =
+      [ ("f1", fun () -> ignore (Experiment.f1 ()));
+        ("f2", fun () -> ignore (Experiment.f2 ()));
+        ("f3", fun () -> ignore (Experiment.f3 ()));
+        ("f4", fun () -> ignore (Experiment.f4 ()));
+        ("f5", fun () -> ignore (Experiment.f5 ()));
+        ("f6", fun () -> ignore (Experiment.f6 ()));
+        ("f7", fun () -> ignore (Experiment.f7 ()));
+        ("f8", fun () -> ignore (Experiment.f8 ()));
+        ("t2", fun () -> ignore (Experiment.t2 ()));
+        ("a1", fun () -> ignore (Experiment.a1 ()));
+        ("a4", fun () -> ignore (Experiment.a4 ())) ]
+    in
+    List.iter
+      (fun (id, f) ->
+        f ();
+        let s = Dataset.cache_stats () in
+        Printf.printf "after %-3s  %6d hits %6d misses %6d entries\n" id
+          s.Dataset.hits s.Dataset.misses s.Dataset.entries)
+      drivers;
+    Printf.printf "domain pool: %d worker(s)\n" (Vpar.Pool.default_size ());
+    print_endline (Report.cache_stats_string ());
+    let l = Experiment.loocv_cache_stats () in
+    Printf.printf "loocv cache: %d hits, %d misses, %d prediction vectors\n"
+      l.Dataset.hits l.Dataset.misses l.Dataset.entries
+  in
+  Cmd.v
+    (Cmd.info "cachestats"
+       ~doc:
+         "Run the experiment grid against the shared sample cache and \
+          report hit/miss counters")
+    Term.(const run $ const ())
+
 (* --- export-machine -------------------------------------------------------- *)
 
 let export_machine_cmd =
@@ -510,4 +553,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ list_cmd; show_cmd; lint_cmd; simulate_cmd; fit_cmd; predict_cmd;
-            loocv_cmd; report_cmd; export_machine_cmd ]))
+            loocv_cmd; report_cmd; cachestats_cmd; export_machine_cmd ]))

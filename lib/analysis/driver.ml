@@ -70,8 +70,10 @@ let lint_kernel ?(transforms = all_transforms) ?(vfs = default_vfs)
   in
   { r_kernel = k.Kernel.name; r_scalar = scalar; r_vector = vector }
 
+(* Kernels are independent, so the registry-wide gate fans out over the
+   shared domain pool; parallel_map keeps the report order deterministic. *)
 let lint_kernels ?transforms ?vfs ks =
-  List.map (lint_kernel ?transforms ?vfs) ks
+  Vpar.Pool.parallel_map (lint_kernel ?transforms ?vfs) ks
 
 (* All diagnostics of a report, vector outcomes included. *)
 let report_diags r =

@@ -33,47 +33,133 @@ let apply_transform transform ~vf k =
   | Slp -> (
       match Vvect.Slp.vectorize ~vf k with Ok vk -> Some vk | Error _ -> None)
 
+let build_one ~noise_amp ~seed ~(machine : Vmachine.Descr.t) ~transform ~n
+    (e : Tsvc.Registry.entry) =
+  let k = e.kernel in
+  let vf = Vmachine.Descr.vf_for_kernel machine k in
+  if vf < 2 then None
+  else
+    match apply_transform transform ~vf k with
+    | None -> None
+    | Some vk ->
+        let m = Vmachine.Measure.measure ~noise_amp ~seed machine ~n vk in
+        let sest = Vmachine.Sched.scalar_estimate machine ~n k in
+        let vest = Vmachine.Sched.vector_estimate machine ~n vk in
+        (* Independent noise draws for the block-cost targets. *)
+        let nf salt =
+          Vmachine.Measure.noise_factor ~amp:noise_amp ~seed
+            (k.Kernel.name ^ salt) machine.name
+        in
+        Some
+          {
+            name = k.Kernel.name;
+            category = e.category;
+            kernel = k;
+            vk;
+            vf;
+            raw = Feature.counts k;
+            rated = Feature.rated k;
+            extended = Feature.extended k;
+            vraw = Feature.vcounts vk;
+            measured = m.speedup;
+            scalar_cycles_iter = sest.Vmachine.Sched.cycles *. nf "#s";
+            vector_cycles_block = vest.Vmachine.Sched.cycles *. nf "#v";
+            scalar_total = m.scalar_cycles;
+            vector_total = m.scalar_cycles /. m.speedup;
+            baseline = Baseline.predicted_speedup vk;
+          }
+
+(* --- memoized build ------------------------------------------------------
+   Building one sample is the pipeline's unit of repeated work: vectorize,
+   run the machine model, extract features.  The experiment drivers rebuild
+   the same (kernel, machine, transform, config) combinations up to ~20x
+   (F1..F5, T2 and most ablations share NEON/LLV alone), so built samples
+   are kept in a content-keyed cache.  Samples are immutable, which makes
+   sharing them safe.  The key digests the kernel *content* (not just its
+   name), the machine's plain-data fields, the transform, and the full
+   config (n, noise_amp, seed); the VF is derived from (machine, kernel)
+   and therefore implied by the key. *)
+
+type cache_stats = { hits : int; misses : int; entries : int }
+
+let cache : (string, sample option) Hashtbl.t = Hashtbl.create 1024
+let cache_mutex = Mutex.create ()
+let cache_enabled = Atomic.make true
+let cache_hits = Atomic.make 0
+let cache_misses = Atomic.make 0
+
+let set_cache_enabled b = Atomic.set cache_enabled b
+
+let cache_clear () =
+  Mutex.lock cache_mutex;
+  Hashtbl.reset cache;
+  Mutex.unlock cache_mutex;
+  Atomic.set cache_hits 0;
+  Atomic.set cache_misses 0
+
+let cache_stats () =
+  Mutex.lock cache_mutex;
+  let entries = Hashtbl.length cache in
+  Mutex.unlock cache_mutex;
+  { hits = Atomic.get cache_hits; misses = Atomic.get cache_misses; entries }
+
+(* The op tables of a machine are closures and cannot be digested; every
+   other field is plain data.  Builtin machines differ in name, and
+   machine files (Vmachine.Config) rebuild the op tables from the fields
+   digested here, so the fingerprint is faithful in both cases. *)
+let machine_fingerprint (d : Vmachine.Descr.t) =
+  Digest.string
+    (String.concat "|"
+       [ d.name;
+         string_of_int d.vector_bits;
+         string_of_int d.issue_width;
+         Marshal.to_string d.units [];
+         Marshal.to_string d.gather [];
+         Marshal.to_string d.mem [];
+         string_of_bool d.inorder;
+         string_of_int d.loop_uops;
+         string_of_float d.vec_setup_cycles ])
+
+let sample_key ~noise_amp ~seed ~machine ~transform ~n
+    (e : Tsvc.Registry.entry) =
+  Digest.string
+    (String.concat "|"
+       [ Digest.string (Marshal.to_string e.Tsvc.Registry.kernel []);
+         Tsvc.Category.to_string e.category;
+         machine_fingerprint machine;
+         transform_to_string transform;
+         string_of_int n;
+         string_of_float noise_amp;
+         string_of_int seed ])
+
+let build_one_cached ~noise_amp ~seed ~machine ~transform ~n e =
+  if not (Atomic.get cache_enabled) then
+    build_one ~noise_amp ~seed ~machine ~transform ~n e
+  else begin
+    let key = sample_key ~noise_amp ~seed ~machine ~transform ~n e in
+    Mutex.lock cache_mutex;
+    let found = Hashtbl.find_opt cache key in
+    Mutex.unlock cache_mutex;
+    match found with
+    | Some v ->
+        Atomic.incr cache_hits;
+        v
+    | None ->
+        Atomic.incr cache_misses;
+        let v = build_one ~noise_amp ~seed ~machine ~transform ~n e in
+        Mutex.lock cache_mutex;
+        Hashtbl.replace cache key v;
+        Mutex.unlock cache_mutex;
+        v
+  end
+
 let build ?(noise_amp = Vmachine.Measure.default_noise) ?(seed = 1)
     ~(machine : Vmachine.Descr.t) ~transform ~n
     (entries : Tsvc.Registry.entry list) =
-  List.filter_map
-    (fun (e : Tsvc.Registry.entry) ->
-      let k = e.kernel in
-      let vf = Vmachine.Descr.vf_for_kernel machine k in
-      if vf < 2 then None
-      else
-        match apply_transform transform ~vf k with
-        | None -> None
-        | Some vk ->
-            let m =
-              Vmachine.Measure.measure ~noise_amp ~seed machine ~n vk
-            in
-            let sest = Vmachine.Sched.scalar_estimate machine ~n k in
-            let vest = Vmachine.Sched.vector_estimate machine ~n vk in
-            (* Independent noise draws for the block-cost targets. *)
-            let nf salt =
-              Vmachine.Measure.noise_factor ~amp:noise_amp ~seed
-                (k.Kernel.name ^ salt) machine.name
-            in
-            Some
-              {
-                name = k.Kernel.name;
-                category = e.category;
-                kernel = k;
-                vk;
-                vf;
-                raw = Feature.counts k;
-                rated = Feature.rated k;
-                extended = Feature.extended k;
-                vraw = Feature.vcounts vk;
-                measured = m.speedup;
-                scalar_cycles_iter = sest.Vmachine.Sched.cycles *. nf "#s";
-                vector_cycles_block = vest.Vmachine.Sched.cycles *. nf "#v";
-                scalar_total = m.scalar_cycles;
-                vector_total = m.scalar_cycles /. m.speedup;
-                baseline = Baseline.predicted_speedup vk;
-              })
+  Vpar.Pool.parallel_map
+    (build_one_cached ~noise_amp ~seed ~machine ~transform ~n)
     entries
+  |> List.filter_map Fun.id
 
 let measured_array samples = Array.of_list (List.map (fun s -> s.measured) samples)
 let baseline_array samples = Array.of_list (List.map (fun s -> s.baseline) samples)

@@ -26,10 +26,30 @@ val apply_transform :
   transform -> vf:int -> Vir.Kernel.t -> Vvect.Vinstr.vkernel option
 
 (** Build samples for every entry the transform can vectorize at the
-    machine's natural VF. *)
+    machine's natural VF.  Entries are built on the shared domain pool and
+    memoized in a process-wide content-keyed cache (kernel content,
+    machine, transform, n, noise_amp, seed), so experiments sharing a
+    (machine, transform, config) combination pay for vectorization and
+    machine-model measurement once. *)
 val build :
   ?noise_amp:float -> ?seed:int -> machine:Vmachine.Descr.t ->
   transform:transform -> n:int -> Tsvc.Registry.entry list -> sample list
+
+(** {2 Sample cache introspection} *)
+
+type cache_stats = { hits : int; misses : int; entries : int }
+
+(** Hit/miss counters since the last {!cache_clear}, plus the live entry
+    count (one per cached (kernel, machine, transform, config) key,
+    including negative entries for non-vectorizable kernels). *)
+val cache_stats : unit -> cache_stats
+
+(** Drop every cached sample and reset the counters. *)
+val cache_clear : unit -> unit
+
+(** Disable or re-enable memoization (used to time cold baselines).
+    Enabled by default; when disabled the counters do not move. *)
+val set_cache_enabled : bool -> unit
 
 val measured_array : sample list -> float array
 val baseline_array : sample list -> float array

@@ -11,6 +11,20 @@ val samples :
   ?config:config -> machine:Vmachine.Descr.t -> transform:Dataset.transform ->
   unit -> Dataset.sample list
 
+(** LOOCV predictions for a (method, features, target) spec, memoized on a
+    content key of the spec and the samples' float payloads.  Experiments
+    repeating a validation row (F4, T2 and A4 all share the NNLS/rated
+    row) pay the n refits once. *)
+val loocv_predictions :
+  method_:Linmodel.fit_method -> features:Linmodel.feature_kind ->
+  target:Linmodel.target -> Dataset.sample list -> float array
+
+(** Counters for the LOOCV prediction cache, [Dataset.cache_stats]-shaped. *)
+val loocv_cache_stats : unit -> Dataset.cache_stats
+
+(** Drop every memoized prediction vector and reset the counters. *)
+val loocv_cache_clear : unit -> unit
+
 (** F1: state of the art, baseline model on ARM. *)
 val f1 : ?config:config -> unit -> Report.result
 

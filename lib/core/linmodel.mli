@@ -21,6 +21,9 @@ type t = {
   target : target;
 }
 
+(** The feature vector of a sample under a feature kind. *)
+val features_of : feature_kind -> Dataset.sample -> float array
+
 (** Fit a model on a sample set.  Cost-target fits use raw counts and two
     rows per kernel (scalar block at vf iterations, vector block). *)
 val fit :

@@ -169,3 +169,18 @@ let histogram ?(ppf = std) ?(bins = 12) ?(width = 40) ~label (xs : float array) 
       counts;
     Format.pp_print_flush ppf ()
   end
+
+(* --- sample-cache report ---------------------------------------------------
+   One line summarizing Dataset's memo cache, printed by the CLI's
+   [cachestats] subcommand and by the bench harness after a run. *)
+
+let cache_stats_string () =
+  let s = Dataset.cache_stats () in
+  let total = s.Dataset.hits + s.Dataset.misses in
+  let rate =
+    if total = 0 then 0.0
+    else 100.0 *. float_of_int s.Dataset.hits /. float_of_int total
+  in
+  Printf.sprintf
+    "sample cache: %d hits, %d misses (%.1f%% hit rate), %d live entries"
+    s.Dataset.hits s.Dataset.misses rate s.Dataset.entries

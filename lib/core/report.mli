@@ -38,3 +38,7 @@ val write_file : string -> string -> unit
 val histogram :
   ?ppf:Format.formatter -> ?bins:int -> ?width:int -> label:string ->
   float array -> unit
+
+(** One-line summary of the sample memo cache (hits, misses, hit rate,
+    live entries) since the last [Dataset.cache_clear]. *)
+val cache_stats_string : unit -> string

@@ -86,6 +86,49 @@ let lstsq a b =
   let r, qtb = factorize a b in
   back_substitute r qtb
 
+(* Leverage scores: the diagonal of the hat matrix
+     H = A (A^T A + lambda I)^-1 A^T.
+   From A = QR (or the sqrt(lambda)-augmented A for ridge), the normal
+   matrix is R^T R, so h_ii = a_i^T (R^T R)^-1 a_i = ||R^-T a_i||^2: one
+   forward substitution per row, O(m n^2) total after the factorization.
+   These are what make leave-one-out cross-validation of a least-squares
+   fit analytic: the held-out residual is e_i / (1 - h_ii). *)
+let leverages ?(lambda = 0.0) a =
+  if lambda < 0.0 then invalid_arg "Qr.leverages: negative lambda";
+  let m = Mat.rows a and n = Mat.cols a in
+  let r =
+    if lambda = 0.0 then fst (factorize a (Array.make m 0.0))
+    else begin
+      let sl = sqrt lambda in
+      let aug =
+        Mat.init (m + n) n (fun i j ->
+            if i < m then Mat.get a i j else if i - m = j then sl else 0.0)
+      in
+      fst (factorize aug (Array.make (m + n) 0.0))
+    end
+  in
+  let h = Array.make m 0.0 in
+  let z = Array.make n 0.0 in
+  for i = 0 to m - 1 do
+    (* Forward-solve R^T z = a_i (R^T is lower triangular). *)
+    for j = 0 to n - 1 do
+      let s = ref (Mat.get a i j) in
+      for t = 0 to j - 1 do
+        s := !s -. (Mat.get r t j *. z.(t))
+      done;
+      let d = Mat.get r j j in
+      if abs_float d < 1e-12 then
+        raise (Singular (Printf.sprintf "zero pivot at column %d" j));
+      z.(j) <- !s /. d
+    done;
+    let acc = ref 0.0 in
+    for j = 0 to n - 1 do
+      acc := !acc +. (z.(j) *. z.(j))
+    done;
+    h.(i) <- !acc
+  done;
+  h
+
 (* Ridge-regularized least squares: minimize ||Ax-b||^2 + lambda ||x||^2 by
    stacking sqrt(lambda) I below A.  Never singular for lambda > 0. *)
 let lstsq_ridge ~lambda a b =

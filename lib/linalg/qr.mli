@@ -13,3 +13,11 @@ val lstsq : Mat.t -> float array -> float array
 
 (** Ridge-regularized least squares; never singular for [lambda > 0]. *)
 val lstsq_ridge : lambda:float -> Mat.t -> float array -> float array
+
+(** [leverages ?lambda a] is the diagonal of the hat matrix
+    [H = A (AᵀA + λ I)⁻¹ Aᵀ] — the leverage score of each of the [m]
+    rows — from a single QR factorization in O(m·n²).  [lambda] defaults
+    to [0.0] (plain least squares).  These make leave-one-out
+    cross-validation of an L2 fit analytic: the held-out residual of row
+    [i] is [e_i / (1 - h_i)].  @raise Singular on rank deficiency. *)
+val leverages : ?lambda:float -> Mat.t -> float array

@@ -1,0 +1,201 @@
+(* A fixed-size pool of worker domains (OCaml 5 [Domain] + [Mutex] /
+   [Condition], no external dependencies) with deterministic fork-join
+   fan-out.  Jobs are index ranges over an array of slots, so results land
+   in submission order no matter which worker runs them.
+
+   The submitting domain *helps*: after enqueueing its chunks it drains the
+   shared queue alongside the workers, so a pool of [size] workers uses
+   [size + 1] cores during a [parallel_map] and a machine with one core
+   still makes progress.  Calls made from inside a worker (nested
+   parallelism) run sequentially instead of deadlocking on the fixed pool. *)
+
+type t = {
+  size : int;
+  jobs : (unit -> unit) Queue.t;
+  mutex : Mutex.t;
+  nonempty : Condition.t;  (* signalled when jobs are enqueued or stopping *)
+  mutable stopping : bool;
+  mutable workers : unit Domain.t list;
+}
+
+(* Set in every worker domain: parallel entry points called from a worker
+   fall back to sequential execution rather than blocking on a queue that
+   only this very worker could drain. *)
+let in_worker : bool Domain.DLS.key = Domain.DLS.new_key (fun () -> false)
+
+(* Global kill-switch used by the benchmarks to time the serial baseline. *)
+let sequential_flag = Atomic.make false
+
+let set_sequential b = Atomic.set sequential_flag b
+let sequential () = Atomic.get sequential_flag
+
+let take_job pool =
+  Mutex.lock pool.mutex;
+  let rec next () =
+    match Queue.take_opt pool.jobs with
+    | Some j -> Some j
+    | None ->
+        if pool.stopping then None
+        else begin
+          Condition.wait pool.nonempty pool.mutex;
+          next ()
+        end
+  in
+  let job = next () in
+  Mutex.unlock pool.mutex;
+  job
+
+let rec worker_loop pool =
+  match take_job pool with
+  | None -> ()
+  | Some job ->
+      job ();
+      worker_loop pool
+
+let create ~size =
+  if size < 1 then invalid_arg "Pool.create: size must be >= 1";
+  let pool =
+    { size; jobs = Queue.create (); mutex = Mutex.create ();
+      nonempty = Condition.create (); stopping = false; workers = [] }
+  in
+  pool.workers <-
+    List.init size (fun _ ->
+        Domain.spawn (fun () ->
+            Domain.DLS.set in_worker true;
+            worker_loop pool));
+  pool
+
+let size pool = pool.size
+
+let shutdown pool =
+  Mutex.lock pool.mutex;
+  pool.stopping <- true;
+  Condition.broadcast pool.nonempty;
+  Mutex.unlock pool.mutex;
+  List.iter Domain.join pool.workers;
+  pool.workers <- []
+
+(* --- the shared default pool -------------------------------------------- *)
+
+let default_pool = ref None
+let default_lock = Mutex.create ()
+
+let jobs_override () =
+  match Sys.getenv_opt "VECMODEL_JOBS" with
+  | Some s ->
+      (match int_of_string_opt (String.trim s) with
+       | Some n when n >= 1 -> Some n
+       | Some _ | None -> None)
+  | None -> None
+
+let default_size () =
+  match jobs_override () with
+  | Some n -> n
+  | None -> max 1 (Domain.recommended_domain_count () - 1)
+
+(* On a single-core host a worker domain adds cross-domain GC
+   synchronisation without adding any parallelism, so fan-outs that would
+   use the shared default pool run inline instead.  An explicit [?pool]
+   argument or a [VECMODEL_JOBS] override still goes through the queue. *)
+let inline_default () =
+  jobs_override () = None && Domain.recommended_domain_count () < 2
+
+let default () =
+  Mutex.lock default_lock;
+  let pool =
+    match !default_pool with
+    | Some p -> p
+    | None ->
+        let p = create ~size:(default_size ()) in
+        default_pool := Some p;
+        p
+  in
+  Mutex.unlock default_lock;
+  pool
+
+(* --- fork-join fan-out ---------------------------------------------------- *)
+
+(* Inclusive index ranges covering [0, n), [chunk] indices each. *)
+let ranges ~n ~chunk =
+  let rec go lo acc =
+    if lo >= n then List.rev acc
+    else go (lo + chunk) ((lo, min (lo + chunk) n - 1) :: acc)
+  in
+  go 0 []
+
+let run_indexed ?pool ?chunk ~n compute =
+  if n > 0 then
+    if sequential () || Domain.DLS.get in_worker
+       || (Option.is_none pool && inline_default ())
+    then
+      for i = 0 to n - 1 do
+        compute i
+      done
+    else begin
+      let pool = match pool with Some p -> p | None -> default () in
+      let chunk =
+        match chunk with
+        | Some c -> max 1 c
+        | None -> max 1 (n / ((pool.size + 1) * 4))
+      in
+      let ranges = ranges ~n ~chunk in
+      let m = Mutex.create () in
+      let finished = Condition.create () in
+      let remaining = ref (List.length ranges) in
+      let first_exn = ref None in
+      let job (lo, hi) () =
+        (try
+           for i = lo to hi do
+             compute i
+           done
+         with e ->
+           Mutex.lock m;
+           if !first_exn = None then first_exn := Some e;
+           Mutex.unlock m);
+        Mutex.lock m;
+        decr remaining;
+        if !remaining = 0 then Condition.broadcast finished;
+        Mutex.unlock m
+      in
+      Mutex.lock pool.mutex;
+      List.iter (fun r -> Queue.add (job r) pool.jobs) ranges;
+      Condition.broadcast pool.nonempty;
+      Mutex.unlock pool.mutex;
+      (* Help: drain the queue until empty, then wait for our last chunks
+         (which another worker may still be running). *)
+      let rec help () =
+        Mutex.lock pool.mutex;
+        let j = Queue.take_opt pool.jobs in
+        Mutex.unlock pool.mutex;
+        match j with
+        | Some j ->
+            j ();
+            help ()
+        | None -> ()
+      in
+      help ();
+      Mutex.lock m;
+      while !remaining > 0 do
+        Condition.wait finished m
+      done;
+      Mutex.unlock m;
+      match !first_exn with Some e -> raise e | None -> ()
+    end
+
+let parallel_mapi_array ?pool ?chunk f arr =
+  let n = Array.length arr in
+  if n = 0 then [||]
+  else begin
+    let out = Array.make n None in
+    run_indexed ?pool ?chunk ~n (fun i -> out.(i) <- Some (f i arr.(i)));
+    Array.map Option.get out
+  end
+
+let parallel_map_array ?pool ?chunk f arr =
+  parallel_mapi_array ?pool ?chunk (fun _ x -> f x) arr
+
+let parallel_map ?pool ?chunk f l =
+  match l with
+  | [] -> []
+  | [ x ] -> [ f x ]
+  | _ -> Array.to_list (parallel_map_array ?pool ?chunk f (Array.of_list l))

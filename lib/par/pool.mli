@@ -1,0 +1,51 @@
+(** A fixed-size pool of worker domains with deterministic fork-join
+    fan-out: results are returned in submission order regardless of which
+    worker computed them.  The submitting domain helps drain the queue, so
+    a pool of [size] workers uses [size + 1] cores during a map.  Parallel
+    calls made from inside a worker run sequentially (no deadlock on the
+    fixed pool), so nested [parallel_map] is safe for pure functions. *)
+
+type t
+
+(** [create ~size] spawns [size] worker domains ([size >= 1]). *)
+val create : size:int -> t
+
+val size : t -> int
+
+(** Stop the workers and join them.  Pending jobs are dropped; only call
+    once every submitted map has returned. *)
+val shutdown : t -> unit
+
+(** The process-wide shared pool, created on first use with
+    [default_size ()] workers. *)
+val default : unit -> t
+
+(** Worker count for the default pool: [$VECMODEL_JOBS] when set to a
+    positive integer, else [Domain.recommended_domain_count () - 1]
+    (at least 1). *)
+val default_size : unit -> int
+
+(** Force every parallel entry point to run sequentially in the calling
+    domain (used to time serial baselines).  Off by default. *)
+val set_sequential : bool -> unit
+
+val sequential : unit -> bool
+
+(** [parallel_map f l] = [List.map f l] for pure [f], computed on the pool
+    ([?pool] defaults to the shared pool) in chunks of [?chunk] elements
+    (default: a multiple of the pool size).  If any application raises, the
+    first exception observed is re-raised after all chunks finish.
+
+    On a single-core host ([Domain.recommended_domain_count () < 2] and no
+    [VECMODEL_JOBS] override) calls without an explicit [?pool] run inline
+    in the calling domain: a worker domain would add cross-domain GC
+    synchronisation without adding parallelism. *)
+val parallel_map : ?pool:t -> ?chunk:int -> ('a -> 'b) -> 'a list -> 'b list
+
+(** Array variant of {!parallel_map}. *)
+val parallel_map_array :
+  ?pool:t -> ?chunk:int -> ('a -> 'b) -> 'a array -> 'b array
+
+(** Array variant with the element index, [Array.mapi]-style. *)
+val parallel_mapi_array :
+  ?pool:t -> ?chunk:int -> (int -> 'a -> 'b) -> 'a array -> 'b array

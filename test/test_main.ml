@@ -21,4 +21,5 @@ let () =
       ("scenarios", Test_scenarios.tests);
       ("coverage", Test_coverage.tests);
       ("extensions", Test_extensions.tests);
-      ("analysis", Test_analysis.tests) ]
+      ("analysis", Test_analysis.tests);
+      ("par", Test_par.tests) ]

@@ -1,0 +1,305 @@
+(* PR 2's performance layer: the domain pool, the memoized sample
+   pipeline, and the analytic O(n·p²) L2 LOOCV fast path. *)
+
+open Costmodel
+
+let check_int = Alcotest.check Alcotest.int
+let check_bool = Alcotest.check Alcotest.bool
+
+(* --- domain pool ----------------------------------------------------------- *)
+
+let test_pool_map_identity () =
+  List.iter
+    (fun size ->
+      let pool = Vpar.Pool.create ~size in
+      Fun.protect
+        ~finally:(fun () -> Vpar.Pool.shutdown pool)
+        (fun () ->
+          List.iter
+            (fun chunk ->
+              List.iter
+                (fun n ->
+                  let l = List.init n (fun i -> i - 3) in
+                  let f x = (x * x) - (5 * x) + 1 in
+                  Alcotest.(check (list int))
+                    (Printf.sprintf "size %d chunk %d n %d" size chunk n)
+                    (List.map f l)
+                    (Vpar.Pool.parallel_map ~pool ~chunk f l))
+                [ 0; 1; 7; 137 ])
+            [ 1; 2; 3; 17; 200 ]))
+    [ 1; 2; 3; 4; 5; 6; 7; 8 ]
+
+let test_pool_nested () =
+  let pool = Vpar.Pool.create ~size:2 in
+  Fun.protect
+    ~finally:(fun () -> Vpar.Pool.shutdown pool)
+    (fun () ->
+      let outer = List.init 9 (fun i -> i) in
+      let expected =
+        List.map (fun i -> List.map (fun j -> i + j) [ 0; 1; 2 ]) outer
+      in
+      let got =
+        Vpar.Pool.parallel_map ~pool
+          (fun i -> Vpar.Pool.parallel_map ~pool (fun j -> i + j) [ 0; 1; 2 ])
+          outer
+      in
+      Alcotest.(check (list (list int))) "nested maps" expected got)
+
+let test_pool_exception () =
+  let pool = Vpar.Pool.create ~size:3 in
+  Fun.protect
+    ~finally:(fun () -> Vpar.Pool.shutdown pool)
+    (fun () ->
+      Alcotest.check_raises "exception propagates" (Failure "boom") (fun () ->
+          ignore
+            (Vpar.Pool.parallel_map ~pool ~chunk:4
+               (fun x -> if x = 50 then failwith "boom" else x)
+               (List.init 100 (fun i -> i)))))
+
+let test_pool_sequential_flag () =
+  Vpar.Pool.set_sequential true;
+  Fun.protect
+    ~finally:(fun () -> Vpar.Pool.set_sequential false)
+    (fun () ->
+      check_bool "flag reads back" true (Vpar.Pool.sequential ());
+      let l = List.init 25 (fun i -> i) in
+      Alcotest.(check (list int))
+        "sequential mode still maps" (List.map succ l)
+        (Vpar.Pool.parallel_map succ l))
+
+let test_pool_default () =
+  check_bool "default pool has >= 1 worker" true
+    (Vpar.Pool.size (Vpar.Pool.default ()) >= 1)
+
+(* qcheck: parallel_map f = List.map f for pure f, over random lists,
+   chunk sizes, and pool sizes 1..8 (pools are created once and reused so
+   the property does not spawn hundreds of domains). *)
+let prop_pools = lazy (Array.init 8 (fun i -> Vpar.Pool.create ~size:(i + 1)))
+
+let prop_parallel_map_identity =
+  QCheck.Test.make ~count:60 ~name:"parallel_map equals List.map"
+    QCheck.(triple (list int) (int_range 1 50) (int_range 1 8))
+    (fun (l, chunk, size) ->
+      let pool = (Lazy.force prop_pools).(size - 1) in
+      let f x = (3 * x) + 1 in
+      Vpar.Pool.parallel_map ~pool ~chunk f l = List.map f l)
+
+(* --- kfold edge cases ------------------------------------------------------- *)
+
+let arm_samples () =
+  Experiment.samples ~machine:Vmachine.Machines.neon_a57 ~transform:Dataset.Llv
+    ()
+
+let kfold_at k s =
+  Crossval.kfold ~k ~method_:Linmodel.L2 ~features:Linmodel.Rated
+    ~target:Linmodel.Speedup s
+
+let test_kfold_rejects_small_k () =
+  let s = arm_samples () in
+  List.iter
+    (fun k ->
+      check_bool
+        (Printf.sprintf "k = %d rejected" k)
+        true
+        (try
+           ignore (kfold_at k s);
+           false
+         with Invalid_argument _ -> true))
+    [ -1; 0; 1 ]
+
+let test_kfold_rejects_large_k () =
+  let s = arm_samples () in
+  let n = List.length s in
+  check_bool "k = n + 1 rejected" true
+    (try
+       ignore (kfold_at (n + 1) s);
+       false
+     with Invalid_argument _ -> true)
+
+let test_kfold_k_eq_n_is_loocv () =
+  (* With k = n every fold is one sample, so k-fold degenerates to
+     leave-one-out; both paths must agree (analytic vs per-fold refit). *)
+  let s = arm_samples () in
+  let n = List.length s in
+  let kf = kfold_at n s in
+  let loo =
+    Crossval.loocv ~method_:Linmodel.L2 ~features:Linmodel.Rated
+      ~target:Linmodel.Speedup s
+  in
+  check_int "lengths" n (Array.length kf);
+  Array.iteri
+    (fun i v ->
+      Alcotest.check (Alcotest.float 1e-9)
+        (Printf.sprintf "sample %d" i)
+        v loo.(i))
+    kf
+
+(* --- analytic LOOCV vs naive refits ------------------------------------------ *)
+
+(* The pre-PR-2 implementation, kept here as the reference oracle. *)
+let loocv_naive ~method_ ~features ~target samples =
+  let arr = Array.of_list samples in
+  Array.mapi
+    (fun i _ ->
+      let training = List.filteri (fun j _ -> j <> i) samples in
+      let m = Linmodel.fit ~method_ ~features ~target training in
+      Linmodel.predict m arr.(i))
+    arr
+
+let test_analytic_loocv_matches_naive_tsvc () =
+  (* Within 1e-9 (relative): raw counts are ill-scaled (column magnitudes
+     differ by orders), so both paths carry ~1e-9-relative roundoff. *)
+  let s = arm_samples () in
+  List.iter
+    (fun (label, features) ->
+      let fast =
+        Crossval.loocv ~method_:Linmodel.L2 ~features ~target:Linmodel.Speedup s
+      in
+      let slow =
+        loocv_naive ~method_:Linmodel.L2 ~features ~target:Linmodel.Speedup s
+      in
+      check_int (label ^ " length") (Array.length slow) (Array.length fast);
+      Array.iteri
+        (fun i v ->
+          check_bool
+            (Printf.sprintf "%s sample %d: |%.17g - %.17g| <= 1e-9" label i v
+               slow.(i))
+            true
+            (abs_float (v -. slow.(i)) <= 1e-9 *. (1.0 +. abs_float slow.(i))))
+        fast)
+    [ ("raw", Linmodel.Raw); ("rated", Linmodel.Rated);
+      ("extended", Linmodel.Extended) ]
+
+let test_nnls_loocv_unchanged () =
+  (* The parallel NNLS path must produce exactly the serial refits. *)
+  let s = arm_samples () in
+  let fast =
+    Crossval.loocv ~method_:Linmodel.Nnls ~features:Linmodel.Rated
+      ~target:Linmodel.Speedup s
+  in
+  Vpar.Pool.set_sequential true;
+  let slow =
+    Fun.protect
+      ~finally:(fun () -> Vpar.Pool.set_sequential false)
+      (fun () ->
+        loocv_naive ~method_:Linmodel.Nnls ~features:Linmodel.Rated
+          ~target:Linmodel.Speedup s)
+  in
+  Array.iteri
+    (fun i v ->
+      Alcotest.check (Alcotest.float 1e-12)
+        (Printf.sprintf "sample %d" i)
+        slow.(i) v)
+    fast
+
+(* qcheck: on random well-scaled datasets the analytic identity matches
+   the naive refits to 1e-9 (relative).  Random feature vectors are
+   spliced into real samples so the rest of the record stays well-typed. *)
+let prop_analytic_loocv_random =
+  QCheck.Test.make ~count:40 ~name:"analytic L2 LOOCV matches naive refits"
+    QCheck.(pair (int_bound 100_000) (int_range 25 60))
+    (fun (seed, m) ->
+      let base = Array.of_list (arm_samples ()) in
+      QCheck.assume (Array.length base >= 1);
+      let st = Random.State.make [| seed; m |] in
+      let p = Array.length base.(0).Dataset.raw in
+      QCheck.assume (m > p + 1);
+      let samples =
+        List.init m (fun i ->
+            let s = base.(i mod Array.length base) in
+            let raw =
+              Array.init p (fun _ -> 0.1 +. Random.State.float st 10.0)
+            in
+            { s with Dataset.raw; measured = 0.5 +. Random.State.float st 7.0 })
+      in
+      let fast =
+        Crossval.loocv ~method_:Linmodel.L2 ~features:Linmodel.Raw
+          ~target:Linmodel.Speedup samples
+      in
+      let slow =
+        loocv_naive ~method_:Linmodel.L2 ~features:Linmodel.Raw
+          ~target:Linmodel.Speedup samples
+      in
+      Array.for_all2
+        (fun a b -> abs_float (a -. b) <= 1e-9 *. (1.0 +. abs_float b))
+        fast slow)
+
+(* --- sample memo cache -------------------------------------------------------- *)
+
+let test_cache_shared_across_experiments () =
+  (* The runtest gate for the memo keys: two experiments over the same
+     (machine, transform, config) must share one sample build. *)
+  Dataset.cache_clear ();
+  ignore (Experiment.f4 ());
+  let s1 = Dataset.cache_stats () in
+  check_bool "f4 populated the cache" true (s1.Dataset.misses > 0);
+  ignore (Experiment.f5 ());
+  let s2 = Dataset.cache_stats () in
+  check_int "f5 recomputed nothing" s1.Dataset.misses s2.Dataset.misses;
+  check_bool "f5 hit every registry entry" true
+    (s2.Dataset.hits >= s1.Dataset.hits + Tsvc.Registry.count)
+
+let test_cache_returns_equal_samples () =
+  Dataset.cache_clear ();
+  let machine = Vmachine.Machines.neon_a57 in
+  let a = Experiment.samples ~machine ~transform:Dataset.Llv () in
+  let b = Experiment.samples ~machine ~transform:Dataset.Llv () in
+  check_int "same size" (List.length a) (List.length b);
+  List.iter2
+    (fun (x : Dataset.sample) (y : Dataset.sample) ->
+      Alcotest.check Alcotest.string "name" x.name y.name;
+      Alcotest.check (Alcotest.float 0.0) "measured" x.measured y.measured;
+      Alcotest.check (Alcotest.float 0.0) "baseline" x.baseline y.baseline)
+    a b
+
+let test_cache_key_includes_config () =
+  Dataset.cache_clear ();
+  let machine = Vmachine.Machines.neon_a57 in
+  let cfg seed = { Experiment.default_config with seed } in
+  let a = Experiment.samples ~config:(cfg 1) ~machine ~transform:Dataset.Llv () in
+  let s1 = Dataset.cache_stats () in
+  let b = Experiment.samples ~config:(cfg 2) ~machine ~transform:Dataset.Llv () in
+  let s2 = Dataset.cache_stats () in
+  check_int "different seed misses again" (2 * s1.Dataset.misses)
+    s2.Dataset.misses;
+  check_bool "different seed changes a measurement" true
+    (List.exists2
+       (fun (x : Dataset.sample) (y : Dataset.sample) ->
+         x.measured <> y.measured)
+       a b)
+
+let test_cache_disable () =
+  Dataset.cache_clear ();
+  Dataset.set_cache_enabled false;
+  Fun.protect
+    ~finally:(fun () -> Dataset.set_cache_enabled true)
+    (fun () ->
+      let machine = Vmachine.Machines.neon_a57 in
+      let s = Experiment.samples ~machine ~transform:Dataset.Llv () in
+      check_bool "still builds samples" true (List.length s > 0);
+      let st = Dataset.cache_stats () in
+      check_int "no hits recorded" 0 st.Dataset.hits;
+      check_int "no misses recorded" 0 st.Dataset.misses;
+      check_int "no entries stored" 0 st.Dataset.entries)
+
+let tests =
+  [ Alcotest.test_case "pool map identity" `Quick test_pool_map_identity;
+    Alcotest.test_case "pool nested" `Quick test_pool_nested;
+    Alcotest.test_case "pool exception" `Quick test_pool_exception;
+    Alcotest.test_case "pool sequential flag" `Quick test_pool_sequential_flag;
+    Alcotest.test_case "pool default" `Quick test_pool_default;
+    QCheck_alcotest.to_alcotest prop_parallel_map_identity;
+    Alcotest.test_case "kfold rejects k < 2" `Quick test_kfold_rejects_small_k;
+    Alcotest.test_case "kfold rejects k > n" `Quick test_kfold_rejects_large_k;
+    Alcotest.test_case "kfold k = n is loocv" `Quick test_kfold_k_eq_n_is_loocv;
+    Alcotest.test_case "analytic loocv matches naive (TSVC)" `Quick
+      test_analytic_loocv_matches_naive_tsvc;
+    Alcotest.test_case "nnls loocv unchanged" `Quick test_nnls_loocv_unchanged;
+    QCheck_alcotest.to_alcotest prop_analytic_loocv_random;
+    Alcotest.test_case "cache shared across experiments" `Quick
+      test_cache_shared_across_experiments;
+    Alcotest.test_case "cache returns equal samples" `Quick
+      test_cache_returns_equal_samples;
+    Alcotest.test_case "cache key includes config" `Quick
+      test_cache_key_includes_config;
+    Alcotest.test_case "cache disable" `Quick test_cache_disable ]
