@@ -306,7 +306,14 @@ let json_experiments : (string * (unit -> unit)) list =
     ("A5", fun () -> ignore (Experiment.a5 ()));
     ("A6", fun () -> ignore (Experiment.a6 ()));
     ("A7", fun () -> ignore (Experiment.a7 ()));
-    ("A8", fun () -> ignore (Experiment.a8 ())) ]
+    ("A8", fun () -> ignore (Experiment.a8 ()));
+    ("F9", fun () -> ignore (Experiment.f9 ()));
+    ( "ABSINT",
+      fun () ->
+        List.iter
+          (fun (e : Tsvc.Registry.entry) ->
+            ignore (Vanalysis.Absint.analyze ~vf:4 ~n:1024 e.kernel))
+          Tsvc.Registry.all ) ]
 
 let wall f =
   let t0 = Unix.gettimeofday () in

@@ -93,9 +93,12 @@ let features_conv =
     | "raw" -> Ok Linmodel.Raw
     | "rated" -> Ok Linmodel.Rated
     | "extended" -> Ok Linmodel.Extended
+    | "absint" -> Ok Linmodel.Absint
     | s ->
         Error
-          (`Msg (Printf.sprintf "unknown feature kind %s (raw|rated|extended)" s))
+          (`Msg
+            (Printf.sprintf "unknown feature kind %s (raw|rated|extended|absint)"
+               s))
   in
   Arg.conv
     (parse, fun fmt f -> Format.pp_print_string fmt (Linmodel.feature_kind_to_string f))
@@ -103,7 +106,8 @@ let features_conv =
 let features_arg =
   Arg.(
     value & opt features_conv Linmodel.Rated
-    & info [ "features" ] ~docv:"F" ~doc:"Feature kind: raw, rated or extended.")
+    & info [ "features" ] ~docv:"F"
+        ~doc:"Feature kind: raw, rated, extended or absint.")
 
 let target_conv =
   let parse = function
@@ -291,6 +295,52 @@ let lint_cmd =
       const run $ kernel_opt $ all_flag $ transforms_arg $ vfs_arg $ json_flag
       $ verbose_flag)
 
+(* --- absint ------------------------------------------------------------------ *)
+
+let absint_cmd =
+  let vf_arg =
+    Arg.(
+      value & opt (some int) None
+      & info [ "vf" ] ~docv:"N"
+          ~doc:
+            "Vector factor for the alignment classification (>= 2).  Without \
+             it no alignment is claimed and unit strides print as unaligned.")
+  in
+  let absint_n_arg =
+    Arg.(
+      value & opt int Vanalysis.Absint.default_n
+      & info [ "n" ] ~docv:"N" ~doc:"Problem size to analyze at.")
+  in
+  let json_flag =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"Emit the summary as JSON on stdout.")
+  in
+  let run name vf n json =
+    (match vf with
+    | Some v when v < 2 ->
+        Printf.eprintf "vecmodel: --vf %d: vector factor must be >= 2\n" v;
+        exit 124
+    | _ -> ());
+    let entry =
+      match Tsvc.Registry.find name with
+      | Some e -> e
+      | None ->
+          Printf.eprintf "vecmodel: unknown kernel %s (try `vecmodel list`)\n"
+            name;
+          exit 124
+    in
+    let summary = Vanalysis.Absint.analyze ?vf ~n entry.kernel in
+    if json then print_endline (Vanalysis.Absint.summary_to_json summary)
+    else Vanalysis.Absint.print_summary summary
+  in
+  Cmd.v
+    (Cmd.info "absint"
+       ~doc:
+         "Abstract interpretation of one kernel: register value ranges, \
+          per-access alignment congruences and trip-count facts")
+    Term.(const run $ kernel_arg $ vf_arg $ absint_n_arg $ json_flag)
+
 (* --- simulate --------------------------------------------------------------- *)
 
 let simulate_cmd =
@@ -357,6 +407,7 @@ let fit_cmd =
     print_endline "weights:";
     let weight_names =
       match features with
+      | Linmodel.Absint -> Feature.absint_names
       | Linmodel.Extended -> Feature.extended_names
       | Linmodel.Raw | Linmodel.Rated -> Feature.names
     in
@@ -416,12 +467,12 @@ let report_cmd =
   let which =
     Arg.(
       value & pos_all string []
-      & info [] ~docv:"EXPERIMENT" ~doc:"Experiment ids (f1..f8, t1, t2, a1..a10).")
+      & info [] ~docv:"EXPERIMENT" ~doc:"Experiment ids (f1..f9, t1, t2, a1..a10).")
   in
   let run which =
     let all =
-      [ "f1"; "f2"; "f3"; "f4"; "f5"; "f6"; "f7"; "f8"; "t1"; "t2"; "a1";
-        "a2"; "a3"; "a4"; "a5"; "a6"; "a7"; "a8"; "a9"; "a10" ]
+      [ "f1"; "f2"; "f3"; "f4"; "f5"; "f6"; "f7"; "f8"; "f9"; "t1"; "t2";
+        "a1"; "a2"; "a3"; "a4"; "a5"; "a6"; "a7"; "a8"; "a9"; "a10" ]
     in
     let wanted = if which = [] then all else which in
     List.iter
@@ -435,6 +486,7 @@ let report_cmd =
         | "f6" -> Report.print (Experiment.f6 ())
         | "f7" -> Report.print (Experiment.f7 ())
         | "f8" -> Report.print (Experiment.f8 ())
+        | "f9" -> Report.print (Experiment.f9 ())
         | "t2" -> Report.print (Experiment.t2 ())
         | "a1" -> Report.print (Experiment.a1 ())
         | "a2" ->
@@ -503,6 +555,7 @@ let cachestats_cmd =
         ("f6", fun () -> ignore (Experiment.f6 ()));
         ("f7", fun () -> ignore (Experiment.f7 ()));
         ("f8", fun () -> ignore (Experiment.f8 ()));
+        ("f9", fun () -> ignore (Experiment.f9 ()));
         ("t2", fun () -> ignore (Experiment.t2 ()));
         ("a1", fun () -> ignore (Experiment.a1 ()));
         ("a4", fun () -> ignore (Experiment.a4 ())) ]
@@ -552,5 +605,6 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ list_cmd; show_cmd; lint_cmd; simulate_cmd; fit_cmd; predict_cmd;
-            loocv_cmd; report_cmd; cachestats_cmd; export_machine_cmd ]))
+          [ list_cmd; show_cmd; lint_cmd; absint_cmd; simulate_cmd; fit_cmd;
+            predict_cmd; loocv_cmd; report_cmd; cachestats_cmd;
+            export_machine_cmd ]))

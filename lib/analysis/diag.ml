@@ -49,6 +49,19 @@ let sort ds =
         if c <> 0 then c else String.compare a.pass b.pass)
     ds
 
+(* Canonical order for rendered reports: keyed on every field, with
+   duplicates collapsed, so output is byte-identical however the producing
+   passes were scheduled. *)
+let canonical ds =
+  let key d =
+    ( d.kernel,
+      Option.value d.pos ~default:max_int,
+      d.pass,
+      severity_rank d.severity,
+      d.message )
+  in
+  List.sort_uniq (fun a b -> compare (key a) (key b)) ds
+
 let to_string d =
   Printf.sprintf "%s: %s: [%s]%s %s" d.kernel
     (severity_to_string d.severity)

@@ -32,6 +32,11 @@ val count_errors : t list -> int
 (** Severity-major stable sort (errors first). *)
 val sort : t list -> t list
 
+(** Canonical order keyed on every field (kernel, pos, pass, severity,
+    message) with exact duplicates collapsed; reports rendered from a
+    canonical list are byte-identical regardless of producer scheduling. *)
+val canonical : t list -> t list
+
 val to_string : t -> string
 val pp : Format.formatter -> t -> unit
 val json_escape : string -> string

@@ -55,16 +55,23 @@ let validate_transformed tr ~vf (k : Kernel.t) : vec_outcome =
       in
       Checked (structural @ Equiv.unrolled_diags ~orig:k ~uf:vf u)
 
+(* Scalar diagnostics are canonicalized (total order + dedup) so the
+   rendered report is byte-stable whatever the worker count; the vector
+   matrix likewise per configuration. *)
 let lint_kernel ?(transforms = all_transforms) ?(vfs = default_vfs)
     (k : Kernel.t) : report =
-  let scalar = Diag.sort (Pass.run_all k) in
+  let scalar = Diag.canonical (Pass.run_all k) in
   let vector =
     List.concat_map
       (fun tr ->
         List.map
           (fun vf ->
-            { vr_transform = tr; vr_vf = vf;
-              vr_outcome = validate_transformed tr ~vf k })
+            let outcome =
+              match validate_transformed tr ~vf k with
+              | Checked ds -> Checked (Diag.canonical ds)
+              | Skipped _ as s -> s
+            in
+            { vr_transform = tr; vr_vf = vf; vr_outcome = outcome })
           vfs)
       transforms
   in

@@ -1,0 +1,173 @@
+(* Interval domain over IEEE doubles.
+
+   One lattice serves both value classes of the interpreter: floats are
+   abstracted directly, integers through their (exact up to 2^53) float
+   embedding.  Soundness of the float transfer functions rests on the
+   monotonicity of IEEE round-to-nearest arithmetic: corner evaluation with
+   the *same* operation the interpreter uses bounds every concrete result.
+   Integer transfer functions additionally round outward by one ulp (the
+   float embedding of a large int may be inexact) and collapse to [top]
+   whenever a bound approaches the 63-bit overflow region, where OCaml's
+   native ints wrap. *)
+
+type t = { lo : float; hi : float }
+
+let top = { lo = neg_infinity; hi = infinity }
+let is_top iv = iv.lo = neg_infinity && iv.hi = infinity
+
+(* NaN bounds mean "the operation lost track of this side": widen it. *)
+let make lo hi =
+  let lo = if Float.is_nan lo then neg_infinity else lo in
+  let hi = if Float.is_nan hi then infinity else hi in
+  if lo > hi then top else { lo; hi }
+
+let const v = make v v
+let of_int v = const (float_of_int v)
+let of_ints a b = make (float_of_int a) (float_of_int b)
+let bool_range = { lo = 0.0; hi = 1.0 }
+
+let is_const iv = iv.lo = iv.hi
+let is_bounded iv = Float.is_finite iv.lo && Float.is_finite iv.hi
+
+(* NaN is only promised by ops that returned [top]. *)
+let contains iv v =
+  if Float.is_nan v then is_top iv else iv.lo <= v && v <= iv.hi
+
+let contains_int iv v = contains iv (float_of_int v)
+let equal a b = a.lo = b.lo && a.hi = b.hi
+let join a b = { lo = Float.min a.lo b.lo; hi = Float.max a.hi b.hi }
+
+(* Classic widening: any growing bound jumps to infinity. *)
+let widen ~prev ~next =
+  {
+    lo = (if next.lo < prev.lo then neg_infinity else prev.lo);
+    hi = (if next.hi > prev.hi then infinity else prev.hi);
+  }
+
+(* --- float transfer functions (exact corners, monotone rounding) ------- *)
+
+let add a b = make (a.lo +. b.lo) (a.hi +. b.hi)
+let sub a b = make (a.lo -. b.hi) (a.hi -. b.lo)
+let neg a = make (-.a.hi) (-.a.lo)
+
+let corners4 f a b =
+  let c1 = f a.lo b.lo and c2 = f a.lo b.hi in
+  let c3 = f a.hi b.lo and c4 = f a.hi b.hi in
+  if Float.is_nan c1 || Float.is_nan c2 || Float.is_nan c3 || Float.is_nan c4
+  then top
+  else
+    make
+      (Float.min (Float.min c1 c2) (Float.min c3 c4))
+      (Float.max (Float.max c1 c2) (Float.max c3 c4))
+
+let mul a b = corners4 ( *. ) a b
+
+let div a b =
+  if b.lo <= 0.0 && b.hi >= 0.0 then top (* divisor may be or straddle 0 *)
+  else corners4 ( /. ) a b
+
+let min_ a b = make (Float.min a.lo b.lo) (Float.min a.hi b.hi)
+let max_ a b = make (Float.max a.lo b.lo) (Float.max a.hi b.hi)
+
+let abs_ a =
+  if a.lo >= 0.0 then a
+  else if a.hi <= 0.0 then neg a
+  else make 0.0 (Float.max (-.a.lo) a.hi)
+
+(* sqrt of a possibly-negative value is NaN: only [top] covers that. *)
+let sqrt_ a = if a.lo < 0.0 then top else make (sqrt a.lo) (sqrt a.hi)
+let fma a b c = add (mul a b) c
+
+(* --- integer transfer functions ---------------------------------------- *)
+
+(* OCaml ints wrap at 2^62; floats this large carry rounding error, so any
+   bound past a safe margin degrades to [top]. *)
+let int_overflow_limit = 4.0e18
+
+(* Integers below 2^53 are exact in a double, so bounds that are already
+   integral need no widening; only inexact bounds step one ulp outward. *)
+let exact_int x = Float.is_integer x && Float.abs x < 9007199254740992.0
+
+let pred_safe x =
+  if (not (Float.is_finite x)) || exact_int x then x else Float.pred x
+
+let succ_safe x =
+  if (not (Float.is_finite x)) || exact_int x then x else Float.succ x
+
+let outward iv = { lo = pred_safe iv.lo; hi = succ_safe iv.hi }
+
+let int_guard iv =
+  if iv.lo < -.int_overflow_limit || iv.hi > int_overflow_limit then top
+  else iv
+
+let int_op iv = int_guard (outward iv)
+let add_int a b = int_op (add a b)
+let sub_int a b = int_op (sub a b)
+let mul_int a b = int_op (mul a b)
+
+(* Truncation toward zero: what [int_of_float] and OCaml's [/] do. *)
+let trunc a = make (Float.trunc a.lo) (Float.trunc a.hi)
+
+(* Truncated division; the extra +-1 absorbs the float quotient's rounding
+   near integer boundaries. *)
+let div_int a b =
+  if b.lo <= 0.0 && b.hi >= 0.0 then top
+  else
+    let q = div a b in
+    if is_top q then top
+    else int_guard (make (Float.trunc q.lo -. 1.0) (Float.trunc q.hi +. 1.0))
+
+(* [a mod b]: sign follows the dividend, magnitude below both |b| and |a|. *)
+let rem_int a b =
+  let bmax = Float.max (Float.abs b.lo) (Float.abs b.hi) in
+  if not (Float.is_finite bmax) then top
+  else
+    let amax = Float.max (Float.abs a.lo) (Float.abs a.hi) in
+    let m = Float.min (Float.max 0.0 (bmax -. 1.0)) amax in
+    let lo = if a.lo >= 0.0 then 0.0 else -.m in
+    let hi = if a.hi <= 0.0 then 0.0 else m in
+    make lo hi
+
+let lnot_int a = int_op (make (-.a.hi -. 1.0) (-.a.lo -. 1.0))
+
+let land_int a b =
+  if a.lo >= 0.0 && b.lo >= 0.0 then make 0.0 (Float.min a.hi b.hi) else top
+
+(* Smallest 2^k - 1 covering both arguments bounds or and xor. *)
+let lor_int a b =
+  if
+    a.lo >= 0.0 && b.lo >= 0.0 && Float.is_finite a.hi && Float.is_finite b.hi
+    && Float.max a.hi b.hi <= int_overflow_limit
+  then begin
+    let m = Float.max a.hi b.hi in
+    let cap = ref 0.0 in
+    while !cap < m do
+      cap := (2.0 *. !cap) +. 1.0
+    done;
+    make 0.0 !cap
+  end
+  else top
+
+let lxor_int = lor_int
+
+let shift_range_ok b = b.lo >= 0.0 && b.hi <= 62.0
+
+let shl_int a b =
+  if not (shift_range_ok b) then top
+  else
+    let scale_lo = Float.ldexp 1.0 (int_of_float b.lo) in
+    let scale_hi = Float.ldexp 1.0 (int_of_float b.hi) in
+    int_op (corners4 ( *. ) a (make scale_lo scale_hi))
+
+let shr_int a b =
+  if not (shift_range_ok b) then top
+  else
+    let scale_lo = Float.ldexp 1.0 (int_of_float b.lo) in
+    let scale_hi = Float.ldexp 1.0 (int_of_float b.hi) in
+    let q = corners4 (fun x s -> Float.floor (x /. s)) a (make scale_lo scale_hi) in
+    if is_top q then top else int_guard (make (q.lo -. 1.0) (q.hi +. 1.0))
+
+let to_string iv =
+  if is_top iv then "[-inf, +inf]"
+  else if is_const iv then Printf.sprintf "[%g]" iv.lo
+  else Printf.sprintf "[%g, %g]" iv.lo iv.hi

@@ -77,7 +77,35 @@ let redundant_load (df : Dataflow.t) =
 
 (* --- lossy cast chains ---------------------------------------------------- *)
 
+(* The value range of an operand at one body position, from the shared
+   abstract-interpretation summary; top when intervals say nothing. *)
+let operand_interval (summary : Absint.summary) = function
+  | Instr.Reg r -> summary.Absint.s_regs.(r)
+  | Instr.Imm_int i -> Interval.const (float_of_int i)
+  | Instr.Imm_float f -> Interval.const f
+  | Instr.Index _ | Instr.Param _ -> Interval.top
+
+(* Can every value in [iv] round-trip through the middle type [mid] without
+   loss?  For an integer-typed source the whole range just has to fit the
+   middle type; a float-typed source needs a provably integral (constant)
+   value, since truncation drops any fractional part. *)
+let fits_middle ~src mid (iv : Interval.t) =
+  let lo = iv.Interval.lo and hi = iv.Interval.hi in
+  let integral_const = lo = hi && Float.is_integer lo in
+  let int_source = Types.is_int src || integral_const in
+  match mid with
+  | Types.I64 -> int_source
+  | Types.I32 ->
+      int_source && lo >= -2147483648.0 && hi <= 2147483647.0
+  | Types.F32 ->
+      (* Integers of magnitude < 2^24 are exact in binary32. *)
+      int_source && lo > -16777216.0 && hi < 16777216.0
+  | Types.F64 -> Types.is_int src
+
 let lossy_cast (df : Dataflow.t) =
+  let summary =
+    lazy (Absint.analyze ~n:Absint.default_n df.Dataflow.kernel)
+  in
   let out = ref [] in
   Array.iteri
     (fun pos instr ->
@@ -105,7 +133,14 @@ let lossy_cast (df : Dataflow.t) =
                     Types.size_bytes dst_ty > Types.size_bytes s1
                     || (Types.is_float dst_ty && Types.is_int s1)
                   in
-                  if narrows && rewidens then
+                  let provably_exact =
+                    match df.body.(r) with
+                    | Instr.Cast { a = inner_src; _ } ->
+                        fits_middle ~src:s0 s1
+                          (operand_interval (Lazy.force summary) inner_src)
+                    | _ -> false
+                  in
+                  if narrows && rewidens && not provably_exact then
                     out :=
                       Diag.warning ~pass:"lossy-cast" ~kernel:(kname df) ~pos
                         "cast chain %s -> %s -> %s loses precision in the \
@@ -121,15 +156,37 @@ let lossy_cast (df : Dataflow.t) =
 
 (* --- out-of-bounds affine subscripts -------------------------------------- *)
 
-(* Delegates to the witness-size bounds analysis; a violation means the
-   simulated traces touch memory the kernel does not own, so it is an
-   error. *)
+(* Delegates to the witness-size bounds analysis.  The corner evaluation is
+   exact, so verdicts are sound: a [Proven] violation means running the
+   kernel traps at a real iteration under the interpreter's default
+   bindings (an error), while [Possible] only manifests for some parameter
+   values inside the environment contract (a warning).  One diagnostic per
+   access, preferring the proven witness. *)
 let out_of_bounds (df : Dataflow.t) =
-  List.map
-    (fun (v : Bounds.violation) ->
-      Diag.error ~pass:"out-of-bounds" ~kernel:(kname df) ~pos:v.Bounds.v_pos
-        "%s" (Format.asprintf "%a" Bounds.pp_violation v))
-    (Bounds.check df.kernel)
+  let classified = Bounds.classify df.kernel in
+  let by_pos : (int, Bounds.classified) Hashtbl.t = Hashtbl.create 4 in
+  List.iter
+    (fun (c : Bounds.classified) ->
+      let pos = c.Bounds.c_violation.Bounds.v_pos in
+      match Hashtbl.find_opt by_pos pos with
+      | Some prev when prev.Bounds.c_verdict = Bounds.Proven -> ()
+      | Some _ when c.Bounds.c_verdict = Bounds.Proven ->
+          Hashtbl.replace by_pos pos c
+      | Some _ -> ()
+      | None -> Hashtbl.add by_pos pos c)
+    classified;
+  Hashtbl.fold (fun pos c acc -> (pos, c) :: acc) by_pos []
+  |> List.sort compare
+  |> List.map (fun (pos, (c : Bounds.classified)) ->
+         let v = c.Bounds.c_violation in
+         let text = Format.asprintf "%a" Bounds.pp_violation v in
+         match c.Bounds.c_verdict with
+         | Bounds.Proven ->
+             Diag.error ~pass:"out-of-bounds" ~kernel:(kname df) ~pos
+               "proven: %s" text
+         | Bounds.Possible ->
+             Diag.warning ~pass:"out-of-bounds" ~kernel:(kname df) ~pos
+               "possible (parameter-dependent): %s" text)
 
 (* --- stores to loop-invariant addresses ------------------------------------ *)
 
@@ -202,3 +259,50 @@ let unused_param (df : Dataflow.t) =
           (Diag.warning ~pass:"unused-param" ~kernel:(kname df)
              "parameter %s is declared but never read" p))
     k.Kernel.params
+
+(* --- provably misaligned unit-stride accesses ------------------------------- *)
+
+(* A unit-stride access whose flat-index congruence pins a residue class mod
+   the reference vector factor that is not the aligned one: every vector
+   block the vectorizer would form starts off-lane, so the access pays the
+   unaligned path on every machine that distinguishes it.  Accesses whose
+   residue the congruences cannot pin are left alone — only *provable*
+   misalignment is reported. *)
+let misaligned_vf = 4
+
+let misaligned_access (df : Dataflow.t) =
+  let summary =
+    Absint.analyze ~vf:misaligned_vf ~n:Absint.default_n df.Dataflow.kernel
+  in
+  List.filter_map
+    (fun (ai : Absint.access_info) ->
+      match ai.Absint.ai_class with
+      | Absint.Unaligned -> (
+          match Congr.residue_mod ai.Absint.ai_congr ~k:misaligned_vf with
+          | Some r ->
+              Some
+                (Diag.warning ~pass:"misaligned-access" ~kernel:(kname df)
+                   ~pos:ai.Absint.ai_pos
+                   "%s of %s is provably misaligned at vf=%d (block starts \
+                    in residue class %d)"
+                   (if ai.Absint.ai_store then "store" else "load")
+                   ai.Absint.ai_arr misaligned_vf r)
+          | None -> None)
+      | _ -> None)
+    summary.Absint.s_accesses
+
+(* --- recurrences the intervals cannot bound ---------------------------------- *)
+
+(* A store position whose array interval only stabilized through widening
+   carries a loop-carried recurrence with an unbounded value range: sums
+   that grow every iteration, running products, prefix scans.  Flag it —
+   these kernels are exactly where fixed-width value-range reasoning (and
+   any optimization leaning on it) gives up. *)
+let unbounded_recurrence (df : Dataflow.t) =
+  let summary = Absint.analyze ~n:Absint.default_n df.Dataflow.kernel in
+  List.map
+    (fun pos ->
+      Diag.warning ~pass:"unbounded-recurrence" ~kernel:(kname df) ~pos
+        "store feeds a loop-carried recurrence whose value range required \
+         widening (unbounded across iterations)")
+    summary.Absint.s_widened

@@ -34,6 +34,12 @@ let builtin : t list =
     { name = "unused-param";
       descr = "declared scalar parameters never read";
       run = Lints.unused_param };
+    { name = "misaligned-access";
+      descr = "unit strides provably off-lane at the reference vector factor";
+      run = Lints.misaligned_access };
+    { name = "unbounded-recurrence";
+      descr = "stores whose value range needs widening (unbounded recurrence)";
+      run = Lints.unbounded_recurrence };
   ]
 
 let registry = ref builtin

@@ -17,6 +17,7 @@ type sample = {
   raw : float array;  (* scalar body instruction-class counts *)
   rated : float array;  (* block-composition features *)
   extended : float array;  (* rated + derived features (extension) *)
+  absint : float array;  (* extended + abstract-interpretation columns *)
   vraw : float array;  (* vector body counts (cost-target fits) *)
   measured : float;  (* noisy measured speedup: the ground truth *)
   scalar_cycles_iter : float;  (* noisy per-iteration scalar cycles *)
@@ -60,6 +61,7 @@ let build_one ~noise_amp ~seed ~(machine : Vmachine.Descr.t) ~transform ~n
             raw = Feature.counts k;
             rated = Feature.rated k;
             extended = Feature.extended k;
+            absint = Feature.absint ~n ~vf k;
             vraw = Feature.vcounts vk;
             measured = m.speedup;
             scalar_cycles_iter = sest.Vmachine.Sched.cycles *. nf "#s";

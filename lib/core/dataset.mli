@@ -13,6 +13,7 @@ type sample = {
   raw : float array;  (** scalar body instruction-class counts *)
   rated : float array;  (** block-composition features *)
   extended : float array;  (** rated + derived features (extension) *)
+  absint : float array;  (** extended + abstract-interpretation columns *)
   vraw : float array;  (** vector body counts (cost-target fits) *)
   measured : float;  (** noisy measured speedup: the ground truth *)
   scalar_cycles_iter : float;

@@ -45,7 +45,7 @@ let loocv_key ~method_ ~features ~target samples =
       Buffer.add_string b s.name;
       Buffer.add_string b
         (Marshal.to_string
-           ( s.raw, s.rated, s.extended, s.vraw, s.vf, s.measured,
+           ( s.raw, s.rated, s.extended, s.absint, s.vraw, s.vf, s.measured,
              s.scalar_cycles_iter, s.vector_cycles_block )
            []))
     samples;
@@ -216,6 +216,36 @@ let f8 ?(config = default_config) () =
         ~target:Linmodel.Speedup "SVR (speedup target)" s ]
     [ "paper: all three improve correlation; false negatives reduced (L2)";
       "       or eliminated (NNLS, SVR) at the price of a few more FPs" ]
+
+(* --- F9: abstract-interpretation features (alignment, trip counts) -------- *)
+
+(* The absint columns carry facts a pure instruction count cannot express:
+   the fraction of memory accesses provably lane-aligned at the machine's
+   VF, and whether the trip count is provably size-independent.  The row
+   pair prints the fit with and without them; the note reports the
+   correlation delta. *)
+let f9 ?(config = default_config) () =
+  let machine = Vmachine.Machines.neon_a57 in
+  let s = samples ~config ~machine ~transform:Dataset.Llv () in
+  let without =
+    fitted_row ~method_:Linmodel.Nnls ~features:Linmodel.Extended
+      ~target:Linmodel.Speedup "NNLS extended (no absint)" s
+  in
+  let with_ =
+    fitted_row ~method_:Linmodel.Nnls ~features:Linmodel.Absint
+      ~target:Linmodel.Speedup "NNLS absint (aligned-frac, const-trip)" s
+  in
+  let delta =
+    with_.Report.eval.Metrics.pearson -. without.Report.eval.Metrics.pearson
+  in
+  mk_result ~id:"F9"
+    ~title:"Absint features: aligned-access fraction + provable trip count"
+    ~machine:machine.name ~transform:Dataset.Llv ~samples:s
+    [ baseline_row s; without; with_ ]
+    [ Printf.sprintf
+        "ours: correlation delta from the absint columns: %+.4f" delta;
+      "      (alignment and trip-count facts come from the abstract";
+      "      interpretation; the superset fit must not regress)" ]
 
 (* --- T1: LLV vs SLP on one kernel ---------------------------------------- *)
 

@@ -49,6 +49,11 @@ val f7 : ?config:config -> unit -> Report.result
 (** F8: fitted for speedup on x86 (L2, NNLS, SVR). *)
 val f8 : ?config:config -> unit -> Report.result
 
+(** F9: extended features with vs without the abstract-interpretation
+    columns (aligned-access fraction, provable trip count); the note
+    reports the correlation delta. *)
+val f9 : ?config:config -> unit -> Report.result
+
 type t1_row = {
   t1_transform : string;
   t1_baseline : float;

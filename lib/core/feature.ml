@@ -79,8 +79,8 @@ let of_opclass (c : Vmachine.Opclass.t) =
   | Vmachine.Opclass.Cmp -> F_cmp
   | Vmachine.Opclass.Select -> F_select
   | Vmachine.Opclass.Cast -> F_cast
-  | Vmachine.Opclass.Load -> F_load_unit
-  | Vmachine.Opclass.Store -> F_store_unit
+  | Vmachine.Opclass.Load | Vmachine.Opclass.Load_unaligned -> F_load_unit
+  | Vmachine.Opclass.Store | Vmachine.Opclass.Store_unaligned -> F_store_unit
   | Vmachine.Opclass.Shuffle -> F_shuffle
 
 let load_cls (stride : Kernel.stride) =
@@ -207,6 +207,22 @@ let extended (k : Kernel.t) =
       (Vdeps.Dependence.analyze k)
   in
   Array.append r [| intensity; log_size; recurrence |]
+
+(* --- absint features: columns only the abstract interpretation can fill --- *)
+
+let absint_names = extended_names @ [ "x_aligned_frac"; "x_const_trip" ]
+let absint_dim = extended_dim + 2
+
+(* Extended features plus the provably-aligned fraction of the body's memory
+   accesses at [vf] and a provable-constant-trip-count flag.  Both are facts
+   about the *vectorized* execution a pure instruction count cannot see:
+   alignment decides which load/store path every block takes, and a constant
+   trip count means the epilogue's share never shrinks with n. *)
+let absint ~n ~vf (k : Kernel.t) =
+  let base = extended k in
+  let aligned = Vanalysis.Absint.aligned_fraction ~n ~vf k in
+  let const_trip = Vanalysis.Absint.const_trip_flag k in
+  Array.append base [| aligned; const_trip |]
 
 let pp fmt f =
   List.iteri

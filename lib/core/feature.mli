@@ -59,4 +59,12 @@ val extended_names : string list
 
 val extended_dim : int
 val extended : Vir.Kernel.t -> float array
+
+(** Absint feature set: extended features plus the provably-aligned fraction
+    of memory accesses at [vf] and a provable-constant-trip-count flag, both
+    supplied by [Vanalysis.Absint]. *)
+val absint_names : string list
+
+val absint_dim : int
+val absint : n:int -> vf:int -> Vir.Kernel.t -> float array
 val pp : Format.formatter -> float array -> unit

@@ -10,12 +10,13 @@ type fit_method = L2 | Nnls | Svr
 
 let fit_method_to_string = function L2 -> "L2" | Nnls -> "NNLS" | Svr -> "SVR"
 
-type feature_kind = Raw | Rated | Extended
+type feature_kind = Raw | Rated | Extended | Absint
 
 let feature_kind_to_string = function
   | Raw -> "raw"
   | Rated -> "rated"
   | Extended -> "extended"
+  | Absint -> "absint"
 
 type target = Speedup | Cost
 
@@ -29,7 +30,11 @@ type t = {
 }
 
 let features_of kind (s : Dataset.sample) =
-  match kind with Raw -> s.raw | Rated -> s.rated | Extended -> s.extended
+  match kind with
+  | Raw -> s.raw
+  | Rated -> s.rated
+  | Extended -> s.extended
+  | Absint -> s.absint
 
 let solve method_ rows ys =
   let x = Vlinalg.Mat.of_rows rows in
@@ -113,6 +118,7 @@ let to_string (m : t) =
   Buffer.add_string b (Printf.sprintf "target %s\n" (target_to_string m.target));
   let names =
     match m.features with
+    | Absint -> Feature.absint_names
     | Extended -> Feature.extended_names
     | Raw | Rated -> Feature.names
   in
@@ -161,6 +167,7 @@ let of_string s =
             | Some "raw" -> Some Raw
             | Some "rated" -> Some Rated
             | Some "extended" -> Some Extended
+            | Some "absint" -> Some Absint
             | _ -> None
           in
           let target =
@@ -173,6 +180,7 @@ let of_string s =
           | Some method_, Some features, Some target ->
               let names =
                 match features with
+                | Absint -> Feature.absint_names
                 | Extended -> Feature.extended_names
                 | Raw | Rated -> Feature.names
               in

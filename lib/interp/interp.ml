@@ -144,8 +144,10 @@ let eval_operand env idx regs = function
   | Instr.Imm_float f -> V_float f
 
 (* Execute the body once for the given loop-variable bindings, updating
-   memory and the reduction accumulators in place. *)
-let exec_iteration env (k : Kernel.t) ~idx ~accs =
+   memory and the reduction accumulators in place.  [observe] sees every
+   register result as it is defined (position, value) — the soundness
+   property tests hang abstract-interpretation containment checks off it. *)
+let exec_iteration ?observe env (k : Kernel.t) ~idx ~accs =
   let regs = Array.make (List.length k.body) (V_int 0) in
   List.iteri
     (fun pos instr ->
@@ -186,7 +188,8 @@ let exec_iteration env (k : Kernel.t) ~idx ~accs =
             if Types.is_float dst_ty then V_float (to_float (ev a))
             else V_int (to_int (ev a))
       in
-      regs.(pos) <- result)
+      regs.(pos) <- result;
+      match observe with Some f -> f pos result | None -> ())
     k.body;
   List.iteri
     (fun j (r : Kernel.reduction) ->
@@ -210,12 +213,12 @@ let rec drive env loops bound_idx f =
         v := !v + l.step
       done
 
-let run_in env (k : Kernel.t) =
+let run_in ?observe env (k : Kernel.t) =
   let accs = Array.of_list (List.map (fun r -> r.Kernel.red_init) k.reductions) in
-  drive env k.loops [] (fun idx -> exec_iteration env k ~idx ~accs);
+  drive env k.loops [] (fun idx -> exec_iteration ?observe env k ~idx ~accs);
   List.mapi (fun j (r : Kernel.reduction) -> (r.red_name, accs.(j))) k.reductions
 
-let run ?seed ~n (k : Kernel.t) =
+let run ?seed ?observe ~n (k : Kernel.t) =
   let env = Env.create ?seed ~n k in
-  let reductions = run_in env k in
+  let reductions = run_in ?observe env k in
   { env; reductions }

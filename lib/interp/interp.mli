@@ -27,14 +27,22 @@ val eval_operand :
   Env.t -> (string * int) list -> value array -> Vir.Instr.operand -> value
 
 (** Execute the body once for the given bindings; [accs] holds the reduction
-    accumulators (parallel to [k.reductions]) and is updated in place. *)
+    accumulators (parallel to [k.reductions]) and is updated in place.
+    [observe] is called with (position, value) for every register defined —
+    the hook the abstract-interpretation soundness tests attach to. *)
 val exec_iteration :
-  Env.t -> Vir.Kernel.t -> idx:(string * int) list -> accs:float array -> unit
+  ?observe:(int -> value -> unit) ->
+  Env.t ->
+  Vir.Kernel.t ->
+  idx:(string * int) list ->
+  accs:float array ->
+  unit
 
 type result = { env : Env.t; reductions : (string * float) list }
 
 (** Run the whole nest in an existing environment; returns reduction values. *)
-val run_in : Env.t -> Vir.Kernel.t -> (string * float) list
+val run_in :
+  ?observe:(int -> value -> unit) -> Env.t -> Vir.Kernel.t -> (string * float) list
 
 (** Allocate a fresh environment and run. *)
-val run : ?seed:int -> n:int -> Vir.Kernel.t -> result
+val run : ?seed:int -> ?observe:(int -> value -> unit) -> n:int -> Vir.Kernel.t -> result

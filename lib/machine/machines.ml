@@ -42,8 +42,11 @@ let a57_scalar (c : Opclass.t) ty =
   | Opclass.Cmp -> info ~lat:3.0 ~rtp:1.0 ~unit_kind:U_fpu ()
   | Opclass.Select -> info ~lat:2.0 ~rtp:1.0 ~unit_kind:U_alu ()
   | Opclass.Cast -> info ~lat:3.0 ~rtp:1.0 ~unit_kind:U_fpu ()
-  | Opclass.Load -> info ~lat:4.0 ~rtp:1.0 ~unit_kind:U_mem_load ()
-  | Opclass.Store -> info ~lat:1.0 ~rtp:1.0 ~unit_kind:U_mem_store ()
+  | Opclass.Load | Opclass.Load_unaligned ->
+      (* Scalar accesses are element-aligned; no split penalty. *)
+      info ~lat:4.0 ~rtp:1.0 ~unit_kind:U_mem_load ()
+  | Opclass.Store | Opclass.Store_unaligned ->
+      info ~lat:1.0 ~rtp:1.0 ~unit_kind:U_mem_store ()
   | Opclass.Shuffle -> info ~lat:3.0 ~rtp:1.0 ~unit_kind:U_fpu ()
 
 (* Full-width (128-bit) NEON ops keep the scalar latency but occupy a 64-bit
@@ -66,7 +69,11 @@ let a57_vector (c : Opclass.t) ty =
   | Opclass.Select -> info ~lat:3.0 ~rtp:2.0 ~unit_kind:U_fpu ~uops:2 ()
   | Opclass.Cast -> info ~lat:4.0 ~rtp:2.0 ~unit_kind:U_fpu ~uops:2 ()
   | Opclass.Load -> info ~lat:5.0 ~rtp:1.0 ~unit_kind:U_mem_load ()
+  | Opclass.Load_unaligned ->
+      (* Off-lane LDR Q: an extra cycle through the load pipe. *)
+      info ~lat:6.0 ~rtp:1.5 ~unit_kind:U_mem_load ()
   | Opclass.Store -> info ~lat:1.0 ~rtp:1.0 ~unit_kind:U_mem_store ()
+  | Opclass.Store_unaligned -> info ~lat:2.0 ~rtp:1.5 ~unit_kind:U_mem_store ()
   | Opclass.Shuffle -> info ~lat:3.0 ~rtp:2.0 ~unit_kind:U_fpu ~uops:2 ()
 
 let neon_a57 =
@@ -117,8 +124,10 @@ let hsw_scalar (c : Opclass.t) ty =
   | Opclass.Cmp -> info ~lat:3.0 ~rtp:1.0 ~unit_kind:U_fpu ()
   | Opclass.Select -> info ~lat:1.0 ~rtp:1.0 ~unit_kind:U_alu ()
   | Opclass.Cast -> info ~lat:3.0 ~rtp:1.0 ~unit_kind:U_fpu ()
-  | Opclass.Load -> info ~lat:4.0 ~rtp:1.0 ~unit_kind:U_mem_load ()
-  | Opclass.Store -> info ~lat:1.0 ~rtp:1.0 ~unit_kind:U_mem_store ()
+  | Opclass.Load | Opclass.Load_unaligned ->
+      info ~lat:4.0 ~rtp:1.0 ~unit_kind:U_mem_load ()
+  | Opclass.Store | Opclass.Store_unaligned ->
+      info ~lat:1.0 ~rtp:1.0 ~unit_kind:U_mem_store ()
   | Opclass.Shuffle -> info ~lat:1.0 ~rtp:1.0 ~unit_kind:U_fpu ()
 
 let hsw_vector (c : Opclass.t) ty =
@@ -139,7 +148,11 @@ let hsw_vector (c : Opclass.t) ty =
   | Opclass.Select -> info ~lat:1.0 ~rtp:1.0 ~unit_kind:U_fpu ()
   | Opclass.Cast -> info ~lat:3.0 ~rtp:1.0 ~unit_kind:U_fpu ()
   | Opclass.Load -> info ~lat:5.0 ~rtp:1.0 ~unit_kind:U_mem_load ()
+  | Opclass.Load_unaligned ->
+      (* Haswell's VMOVUPS is nearly free when it stays within a line. *)
+      info ~lat:6.0 ~rtp:1.0 ~unit_kind:U_mem_load ()
   | Opclass.Store -> info ~lat:1.0 ~rtp:1.0 ~unit_kind:U_mem_store ()
+  | Opclass.Store_unaligned -> info ~lat:1.0 ~rtp:1.0 ~unit_kind:U_mem_store ()
   | Opclass.Shuffle -> info ~lat:1.0 ~rtp:1.0 ~unit_kind:U_fpu ()
 
 let xeon_avx2 =

@@ -48,3 +48,14 @@ let effective_bytes (mem : Descr.mem) level (stride : Kernel.stride) elt_bytes =
       match level with
       | L1 -> float_of_int elt_bytes
       | L2 | L3 | Dram -> float_of_int mem.line_bytes)
+
+(* Probability that a [vector_bytes]-wide access at an unaligned (uniformly
+   placed) element offset straddles a cache-line boundary: of the
+   line_bytes/elt positions a w-byte access can start at, those in the last
+   w - elt bytes of a line cross into the next one. *)
+let split_fraction (mem : Descr.mem) ~vector_bytes ~elt_bytes =
+  if mem.line_bytes <= 0 || vector_bytes <= elt_bytes then 0.0
+  else
+    let starts = mem.line_bytes / max 1 elt_bytes in
+    let crossing = (vector_bytes - elt_bytes) / max 1 elt_bytes in
+    float_of_int (min crossing starts) /. float_of_int (max 1 starts)

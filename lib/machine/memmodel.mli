@@ -17,3 +17,8 @@ val latency : Descr.mem -> level -> float
     invariant accesses are free, sparse accesses pay whole lines beyond
     L1. *)
 val effective_bytes : Descr.mem -> level -> Vir.Kernel.stride -> int -> float
+
+(** Probability that a [vector_bytes]-wide access at an element-aligned but
+    vector-unaligned start crosses a cache-line boundary — the extra
+    occupancy an unaligned vector access pays on split-handling hardware. *)
+val split_fraction : Descr.mem -> vector_bytes:int -> elt_bytes:int -> float

@@ -18,11 +18,13 @@ type t =
   | Cast
   | Load
   | Store
+  | Load_unaligned  (* vector load whose block start is off-lane *)
+  | Store_unaligned
   | Shuffle  (* lane permutes, packs, extracts *)
 
 let all =
   [ Int_alu; Int_mul; Int_div; Fp_add; Fp_mul; Fp_fma; Fp_div; Fp_sqrt; Cmp;
-    Select; Cast; Load; Store; Shuffle ]
+    Select; Cast; Load; Store; Load_unaligned; Store_unaligned; Shuffle ]
 
 let to_string = function
   | Int_alu -> "int_alu"
@@ -38,6 +40,8 @@ let to_string = function
   | Cast -> "cast"
   | Load -> "load"
   | Store -> "store"
+  | Load_unaligned -> "load.u"
+  | Store_unaligned -> "store.u"
   | Shuffle -> "shuffle"
 
 let of_binop ty (op : Op.binop) =

@@ -14,6 +14,8 @@ type t =
   | Cast
   | Load
   | Store
+  | Load_unaligned  (** vector access whose block start is off-lane *)
+  | Store_unaligned
   | Shuffle
 
 val all : t list

@@ -219,7 +219,42 @@ let vector_estimate (d : Descr.t) ~n (vk : Vvect.Vinstr.vkernel) : estimate =
       acc.mem_bytes
       +. Memmodel.effective_bytes d.mem level stride (Types.size_bytes ty)
   in
-  let wide_access ~load ty (access : Vvect.Vinstr.access) =
+  (* Is the vector block provably lane-aligned at this VF?  Decided by the
+     congruence analysis over the access's affine subscript; anything not
+     provably aligned takes the machine's unaligned opclass and pays the
+     line-split fraction in extra port occupancy. *)
+  let full_width_aligned dims =
+    match
+      Vanalysis.Absint.classify_access ~vf ~n k
+        (Instr.Affine { arr = ""; dims })
+    with
+    | Vanalysis.Absint.Aligned | Vanalysis.Absint.Invariant -> true
+    | Vanalysis.Absint.Unaligned | Vanalysis.Absint.Strided _
+    | Vanalysis.Absint.Row | Vanalysis.Absint.Gather ->
+        false
+  in
+  let charge_wide cls ~dims ty =
+    if full_width_aligned dims then charge acc (d.vector_op cls ty)
+    else begin
+      let ucls =
+        match cls with
+        | Opclass.Load -> Opclass.Load_unaligned
+        | _ -> Opclass.Store_unaligned
+      in
+      charge acc (d.vector_op ucls ty);
+      (* A split access occupies its port once more, weighted by how often
+         the block actually straddles a line. *)
+      let elt = Types.size_bytes ty in
+      let split =
+        Memmodel.split_fraction d.mem ~vector_bytes:(vf * elt) ~elt_bytes:elt
+      in
+      if split > 0.0 then
+        let i = d.vector_op ucls ty in
+        acc.busy.(unit_slot i.unit_kind) <-
+          acc.busy.(unit_slot i.unit_kind) +. (i.rtp *. split)
+    end
+  in
+  let wide_access ~load ~dims ty (access : Vvect.Vinstr.access) =
     let cls = if load then Opclass.Load else Opclass.Store in
     let stride_of = function
       | Vvect.Vinstr.Contig -> Kernel.Sconst 1
@@ -228,9 +263,9 @@ let vector_estimate (d : Descr.t) ~n (vk : Vvect.Vinstr.vkernel) : estimate =
       | Vvect.Vinstr.Row -> Kernel.Srow 1
     in
     (match access with
-    | Vvect.Vinstr.Contig -> charge acc (d.vector_op cls ty)
+    | Vvect.Vinstr.Contig -> charge_wide cls ~dims ty
     | Vvect.Vinstr.Rev ->
-        charge acc (d.vector_op cls ty);
+        charge_wide cls ~dims ty;
         charge_shuffles d acc ty 1
     | Vvect.Vinstr.Strided s when abs s <= interleave_limit ->
         (* LDn/STn-style interleaved access. *)
@@ -277,8 +312,10 @@ let vector_estimate (d : Descr.t) ~n (vk : Vvect.Vinstr.vkernel) : estimate =
       | Vvect.Vinstr.Vselect { ty; _ } -> charge acc (d.vector_op Opclass.Select ty)
       | Vvect.Vinstr.Vcast { dst_ty; _ } -> charge acc (d.vector_op Opclass.Cast dst_ty)
       | Vvect.Vinstr.Viota { ty } -> charge acc (d.vector_op Opclass.Int_alu ty)
-      | Vvect.Vinstr.Vload { ty; access; _ } -> wide_access ~load:true ty access
-      | Vvect.Vinstr.Vstore { ty; access; _ } -> wide_access ~load:false ty access
+      | Vvect.Vinstr.Vload { ty; access; dims; _ } ->
+          wide_access ~load:true ~dims ty access
+      | Vvect.Vinstr.Vstore { ty; access; dims; _ } ->
+          wide_access ~load:false ~dims ty access
       | Vvect.Vinstr.Vgather { ty; _ } -> indirect_access ~load:true ty
       | Vvect.Vinstr.Vscatter { ty; _ } -> indirect_access ~load:false ty
       | Vvect.Vinstr.Vpack { ty; srcs } ->

@@ -1,6 +1,9 @@
 (** Static array-bounds analysis over witness problem sizes.  Subscripts and
     extents are linear in n, so in-bounds at the witnesses (including one
-    very large size) implies in-bounds at every practical size. *)
+    very large size) implies in-bounds at every practical size.  Flat
+    subscripts are affine over a rectangular iteration box, so extrema are
+    evaluated exactly at the box corners — every corner is a real iteration,
+    which makes [Proven] verdicts witness actual traps. *)
 
 type violation = {
   v_array : string;
@@ -10,9 +13,23 @@ type violation = {
   v_extent : int;
 }
 
+type verdict =
+  | Proven  (** violates under the interpreter's default parameter bindings *)
+  | Possible
+      (** clean at the defaults but violates for some parameter values
+          inside the environment contract [1, 4] *)
+
+type classified = { c_verdict : verdict; c_violation : violation }
+
 val pp_violation : Format.formatter -> violation -> unit
 
-(** Violations at one specific problem size. *)
+(** Classified violations at one specific problem size. *)
+val classify_at : n:int -> Kernel.t -> classified list
+
+(** Classified violations over all witness sizes. *)
+val classify : Kernel.t -> classified list
+
+(** Violations at one specific problem size, verdicts erased. *)
 val check_at : n:int -> Kernel.t -> violation list
 
 (** Violations over all witness sizes; empty means provably safe. *)

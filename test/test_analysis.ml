@@ -219,10 +219,70 @@ let test_lint_unused_param () =
   check "unused param fires" true (fired "unused-param" k);
   check "clean kernel quiet" false (fired "unused-param" (simple ()))
 
+(* --- lint passes backed by the abstract interpreter ------------------------- *)
+
+(* Proven out-of-bounds: b[i+5] over the full [0, n) trip violates at the
+   interpreter's default environment, so the diagnostic must be an Error,
+   anchored at the offending load, and say so. *)
+let test_lint_oob_proven_diag () =
+  let b = B.make "oobseed" in
+  let i = B.loop b "i" Kernel.Tn in
+  (* pin the extent to n: the builder would otherwise grow it to cover i+5 *)
+  B.declare b ~extent:(Kernel.Lin (1, 0)) "b";
+  let x = B.load b ~ty:Types.F32 "b" [ B.ix ~off:5 i ] in
+  B.store b "a" [ B.ix i ] x;
+  let k = B.finish b in
+  match
+    List.filter (fun d -> d.A.Diag.pass = "out-of-bounds") (A.Pass.run_all k)
+  with
+  | [] -> Alcotest.fail "seeded proven OOB not reported"
+  | d :: _ ->
+      check "severity Error" true (d.A.Diag.severity = A.Diag.Error);
+      check "anchored at the load" true (d.A.Diag.pos = Some 0);
+      check "message says proven" true
+        (String.length d.A.Diag.message >= 6
+        && String.sub d.A.Diag.message 0 6 = "proven")
+
+(* Misaligned unit-stride store: a[i+1] with trip n-1 stays in bounds but
+   every vf=4 block start lands in residue class 1. *)
+let test_lint_misaligned_store_diag () =
+  let b = B.make "misalseed" in
+  let i = B.loop b "i" (Kernel.Tn_minus 1) in
+  let x = B.load b "b" [ B.ix i ] in
+  B.store b "a" [ B.ix ~off:1 i ] x;
+  let k = B.finish b in
+  let ds = A.Pass.run_all k in
+  check "no out-of-bounds error" false
+    (List.exists (fun d -> d.A.Diag.pass = "out-of-bounds" && A.Diag.is_error d) ds);
+  match List.filter (fun d -> d.A.Diag.pass = "misaligned-access") ds with
+  | [] -> Alcotest.fail "seeded misaligned store not reported"
+  | d :: _ ->
+      check "severity Warning" true (d.A.Diag.severity = A.Diag.Warning);
+      check "anchored at the store" true (d.A.Diag.pos = Some 1);
+      check "clean kernel quiet" false (fired "misaligned-access" (simple ()))
+
+(* Loop-carried recurrence a[i] = a[i] + b[i]: the stored range grows every
+   fixpoint round, so bounding it requires widening. *)
+let test_lint_unbounded_recurrence_diag () =
+  let b = B.make "recseed" in
+  let i = B.loop b "i" Kernel.Tn in
+  let x = B.load b "a" [ B.ix i ] in
+  let y = B.load b "b" [ B.ix i ] in
+  B.store b "a" [ B.ix i ] (B.addf b x y);
+  let k = B.finish b in
+  match
+    List.filter (fun d -> d.A.Diag.pass = "unbounded-recurrence") (A.Pass.run_all k)
+  with
+  | [] -> Alcotest.fail "seeded recurrence not reported"
+  | d :: _ ->
+      check "severity Warning" true (d.A.Diag.severity = A.Diag.Warning);
+      check "anchored at the store" true (d.A.Diag.pos = Some 3);
+      check "clean kernel quiet" false (fired "unbounded-recurrence" (simple ()))
+
 (* --- pass registry --------------------------------------------------------- *)
 
 let test_pass_registry () =
-  check "7 builtin passes" true (List.length A.Pass.builtin = 7);
+  check "9 builtin passes" true (List.length A.Pass.builtin = 9);
   check "find works" true (A.Pass.find "dead-result" <> None);
   check "unknown absent" true (A.Pass.find "no-such-pass" = None);
   let names = List.map (fun p -> p.A.Pass.name) (A.Pass.all ()) in
@@ -493,6 +553,9 @@ let tests =
     Alcotest.test_case "lint invariant store" `Quick test_lint_invariant_store;
     Alcotest.test_case "lint unused array" `Quick test_lint_unused_array;
     Alcotest.test_case "lint unused param" `Quick test_lint_unused_param;
+    Alcotest.test_case "lint oob proven diag" `Quick test_lint_oob_proven_diag;
+    Alcotest.test_case "lint misaligned store diag" `Quick test_lint_misaligned_store_diag;
+    Alcotest.test_case "lint unbounded recurrence diag" `Quick test_lint_unbounded_recurrence_diag;
     Alcotest.test_case "pass registry" `Quick test_pass_registry;
     Alcotest.test_case "vvalidate good body" `Quick test_vvalidate_good;
     Alcotest.test_case "vvalidate undefined register" `Quick test_vvalidate_undefined_register;

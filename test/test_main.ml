@@ -22,4 +22,5 @@ let () =
       ("coverage", Test_coverage.tests);
       ("extensions", Test_extensions.tests);
       ("analysis", Test_analysis.tests);
+      ("absint", Test_absint.tests);
       ("par", Test_par.tests) ]
