@@ -184,6 +184,8 @@ let experiments : (string * (unit -> unit)) list =
     ("f6", fun () -> Report.print (Experiment.f6 ()));
     ("f7", fun () -> Report.print (Experiment.f7 ()));
     ("f8", fun () -> Report.print (Experiment.f8 ()));
+    ("f9", fun () -> Report.print (Experiment.f9 ()));
+    ("f10", fun () -> Report.print (Experiment.f10 ()));
     ("t1", run_t1);
     ("t2", fun () -> Report.print (Experiment.t2 ()));
     ("a1", fun () -> Report.print (Experiment.a1 ()));
@@ -308,12 +310,20 @@ let json_experiments : (string * (unit -> unit)) list =
     ("A7", fun () -> ignore (Experiment.a7 ()));
     ("A8", fun () -> ignore (Experiment.a8 ()));
     ("F9", fun () -> ignore (Experiment.f9 ()));
+    ("F10", fun () -> ignore (Experiment.f10 ()));
     ( "ABSINT",
       fun () ->
         List.iter
           (fun (e : Tsvc.Registry.entry) ->
             ignore (Vanalysis.Absint.analyze ~vf:4 ~n:1024 e.kernel))
-          Tsvc.Registry.all ) ]
+          Tsvc.Registry.all );
+    ( "OPT",
+      fun () ->
+        ignore
+          (Vanalysis.Opt.run_all
+             (List.map
+                (fun (e : Tsvc.Registry.entry) -> e.kernel)
+                (Tsvc.Registry.all @ Vapps.Registry.as_tsvc_entries))) ) ]
 
 let wall f =
   let t0 = Unix.gettimeofday () in
@@ -347,6 +357,32 @@ let bench_json out =
   let stats = Dataset.cache_stats () in
   let lstats = Experiment.loocv_cache_stats () in
   let serial_total = List.fold_left (fun a (_, s, _) -> a +. s) 0.0 rows in
+  (* The Opt pipeline over the full TSVC + apps registry: wall time plus
+     the mean per-class instruction-count reduction it achieves. *)
+  let opt_kernels =
+    List.map
+      (fun (e : Tsvc.Registry.entry) -> e.kernel)
+      (Tsvc.Registry.all @ Vapps.Registry.as_tsvc_entries)
+  in
+  let opt_reports = ref [] in
+  let opt_wall = wall (fun () -> opt_reports := Vanalysis.Opt.run_all opt_kernels) in
+  let opt_mean_reduction =
+    let n = float_of_int (List.length !opt_reports) in
+    List.map
+      (fun cls ->
+        let total =
+          List.fold_left
+            (fun acc (r : Vanalysis.Opt.report) ->
+              let count k = List.assoc cls (Vanalysis.Opt.class_mix k) in
+              acc + count r.Vanalysis.Opt.rp_original
+              - count r.Vanalysis.Opt.rp_normalized)
+            0 !opt_reports
+        in
+        (cls, float_of_int total /. Float.max 1.0 n))
+      Vanalysis.Opt.class_names
+  in
+  Printf.printf "   OPT  pipeline %8.4fs over %d kernels\n%!" opt_wall
+    (List.length opt_kernels);
   let b = Buffer.create 4096 in
   Buffer.add_string b "{\n  \"benchmark\": \"pipeline\",\n";
   Buffer.add_string b
@@ -368,6 +404,15 @@ let bench_json out =
        "  \"suite\": {\"serial_cold_total_s\": %.6f, \
         \"parallel_shared_cache_s\": %.6f},\n"
        serial_total suite_shared);
+  Buffer.add_string b
+    (Printf.sprintf
+       "  \"opt\": {\"wall_s\": %.6f, \"kernels\": %d, \
+        \"mean_class_reduction\": {%s}},\n"
+       opt_wall (List.length opt_kernels)
+       (String.concat ", "
+          (List.map
+             (fun (c, v) -> Printf.sprintf "\"%s\": %.4f" c v)
+             opt_mean_reduction)));
   Buffer.add_string b
     (Printf.sprintf
        "  \"cache\": {\"hits\": %d, \"misses\": %d, \"entries\": %d},\n"

@@ -3,6 +3,7 @@
      vecmodel list [--category C]
      vecmodel show KERNEL
      vecmodel lint [KERNEL | --all] [--transform T] [--vf N ...] [--json]
+     vecmodel opt [KERNEL | --all] [--json] [--validate]
      vecmodel simulate KERNEL [--machine M] [--n N] [--transform T]
      vecmodel fit [--machine M] [--method m] [--features f] [--target t]
      vecmodel loocv [...]
@@ -94,11 +95,12 @@ let features_conv =
     | "rated" -> Ok Linmodel.Rated
     | "extended" -> Ok Linmodel.Extended
     | "absint" -> Ok Linmodel.Absint
+    | "opt" -> Ok Linmodel.Opt
     | s ->
         Error
           (`Msg
-            (Printf.sprintf "unknown feature kind %s (raw|rated|extended|absint)"
-               s))
+            (Printf.sprintf
+               "unknown feature kind %s (raw|rated|extended|absint|opt)" s))
   in
   Arg.conv
     (parse, fun fmt f -> Format.pp_print_string fmt (Linmodel.feature_kind_to_string f))
@@ -107,7 +109,7 @@ let features_arg =
   Arg.(
     value & opt features_conv Linmodel.Rated
     & info [ "features" ] ~docv:"F"
-        ~doc:"Feature kind: raw, rated, extended or absint.")
+        ~doc:"Feature kind: raw, rated, extended, absint or opt.")
 
 let target_conv =
   let parse = function
@@ -341,6 +343,73 @@ let absint_cmd =
           per-access alignment congruences and trip-count facts")
     Term.(const run $ kernel_arg $ vf_arg $ absint_n_arg $ json_flag)
 
+(* --- opt -------------------------------------------------------------------- *)
+
+let opt_cmd =
+  let kernel_opt =
+    Arg.(
+      value & pos 0 (some string) None
+      & info [] ~docv:"KERNEL" ~doc:"Kernel to normalize (omit with --all).")
+  in
+  let all_flag =
+    Arg.(
+      value & flag
+      & info [ "all"; "a" ]
+          ~doc:"Normalize every kernel in the TSVC and application registries.")
+  in
+  let json_flag =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"Emit the reports as a JSON array on stdout.")
+  in
+  let validate_flag =
+    Arg.(
+      value & flag
+      & info [ "validate" ]
+          ~doc:
+            "Also check every pass against the reference interpreter and \
+             exit 1 on any semantic diff.")
+  in
+  let run kernel all json validate =
+    let registry = Tsvc.Registry.all @ Vapps.Registry.as_tsvc_entries in
+    let entries =
+      match (kernel, all) with
+      | Some name, false -> (
+          match
+            List.find_opt
+              (fun (e : Tsvc.Registry.entry) ->
+                String.equal e.kernel.Vir.Kernel.name name)
+              registry
+          with
+          | Some e -> [ e ]
+          | None ->
+              Printf.eprintf
+                "vecmodel: unknown kernel %s (try `vecmodel list`)\n" name;
+              exit 124)
+      | None, true | None, false -> registry
+      | Some _, true ->
+          Printf.eprintf "vecmodel: pass either KERNEL or --all, not both\n";
+          exit 124
+    in
+    let ks = List.map (fun (e : Tsvc.Registry.entry) -> e.kernel) entries in
+    let reports = Vanalysis.Opt.run_all ks in
+    if json then print_endline (Vanalysis.Opt.reports_to_json reports)
+    else List.iter (Vanalysis.Opt.print_report stdout) reports;
+    if validate then begin
+      let diags = List.concat (Vanalysis.Opt.validate_all ks) in
+      List.iter
+        (fun d -> Printf.eprintf "%s\n" (Vanalysis.Diag.to_string d))
+        diags;
+      if diags <> [] then exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "opt"
+       ~doc:
+         "Run the SSA optimization pipeline on kernels: per-pass instruction \
+          deltas and the before/after instruction-class mix")
+    Term.(const run $ kernel_opt $ all_flag $ json_flag $ validate_flag)
+
 (* --- simulate --------------------------------------------------------------- *)
 
 let simulate_cmd =
@@ -407,6 +476,7 @@ let fit_cmd =
     print_endline "weights:";
     let weight_names =
       match features with
+      | Linmodel.Opt -> Feature.opt_names
       | Linmodel.Absint -> Feature.absint_names
       | Linmodel.Extended -> Feature.extended_names
       | Linmodel.Raw | Linmodel.Rated -> Feature.names
@@ -467,12 +537,12 @@ let report_cmd =
   let which =
     Arg.(
       value & pos_all string []
-      & info [] ~docv:"EXPERIMENT" ~doc:"Experiment ids (f1..f9, t1, t2, a1..a10).")
+      & info [] ~docv:"EXPERIMENT" ~doc:"Experiment ids (f1..f10, t1, t2, a1..a10).")
   in
   let run which =
     let all =
-      [ "f1"; "f2"; "f3"; "f4"; "f5"; "f6"; "f7"; "f8"; "f9"; "t1"; "t2";
-        "a1"; "a2"; "a3"; "a4"; "a5"; "a6"; "a7"; "a8"; "a9"; "a10" ]
+      [ "f1"; "f2"; "f3"; "f4"; "f5"; "f6"; "f7"; "f8"; "f9"; "f10"; "t1";
+        "t2"; "a1"; "a2"; "a3"; "a4"; "a5"; "a6"; "a7"; "a8"; "a9"; "a10" ]
     in
     let wanted = if which = [] then all else which in
     List.iter
@@ -487,6 +557,7 @@ let report_cmd =
         | "f7" -> Report.print (Experiment.f7 ())
         | "f8" -> Report.print (Experiment.f8 ())
         | "f9" -> Report.print (Experiment.f9 ())
+        | "f10" -> Report.print (Experiment.f10 ())
         | "t2" -> Report.print (Experiment.t2 ())
         | "a1" -> Report.print (Experiment.a1 ())
         | "a2" ->
@@ -605,6 +676,6 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ list_cmd; show_cmd; lint_cmd; absint_cmd; simulate_cmd; fit_cmd;
+          [ list_cmd; show_cmd; lint_cmd; absint_cmd; opt_cmd; simulate_cmd; fit_cmd;
             predict_cmd; loocv_cmd; report_cmd; cachestats_cmd;
             export_machine_cmd ]))

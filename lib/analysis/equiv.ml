@@ -268,3 +268,74 @@ let unrolled_diags ~(orig : Kernel.t) ~uf (u : Kernel.t) : Diag.t list =
           then err "reduction %s altered by unrolling" r.red_name)
     orig.Kernel.reductions;
   List.rev !out
+
+(* --- semantic equivalence against the reference interpreter ----------------- *)
+
+(* The optimizer's passes claim *value* preservation, a stronger property
+   than the address-multiset check above, and one we can decide by running
+   both kernels under [Vinterp.Interp] in the deterministic default
+   environment and comparing every array and reduction.  Every pass in
+   [Opt] preserves each computed bit (only integer-exact rewrites, no float
+   reassociation), so the comparison is exact — NaN compares equal to NaN
+   so that an optimization moving an already-NaN value is not flagged. *)
+
+let float_eq x y = x = y || (Float.is_nan x && Float.is_nan y)
+
+let semantic_sizes = [ 17; 101 ]
+
+let semantic_diags ?(sizes = semantic_sizes) ~pass ~orig (k : Kernel.t) =
+  let err fmt = Diag.error ~pass ~kernel:k.Kernel.name fmt in
+  let run n kernel =
+    match Vinterp.Interp.run ~n kernel with
+    | r -> Ok (Vinterp.Env.snapshot r.Vinterp.Interp.env, r.Vinterp.Interp.reductions)
+    | exception e -> Error (Printexc.to_string e)
+  in
+  let check_size n =
+    match (run n orig, run n k) with
+    | Error _, _ ->
+        (* The original already traps under the default bindings; there is
+           no reference behaviour to preserve. *)
+        []
+    | Ok _, Error e ->
+        [ err "transformed kernel traps at n=%d where the original ran: %s" n e ]
+    | Ok (s1, r1), Ok (s2, r2) ->
+        let arr_diffs =
+          if List.length s1 <> List.length s2
+             || not
+                  (List.for_all2
+                     (fun (a, _) (b, _) -> String.equal a b)
+                     s1 s2)
+          then [ err "array set changed at n=%d" n ]
+          else
+            List.concat_map
+              (fun ((name, x), (_, y)) ->
+                if Array.length x <> Array.length y then
+                  [ err "array %s changed length at n=%d" name n ]
+                else
+                  match
+                    Array.to_seq (Array.mapi (fun i v -> (i, v)) x)
+                    |> Seq.filter (fun (i, v) -> not (float_eq v y.(i)))
+                    |> Seq.uncons
+                  with
+                  | Some ((i, v), _) ->
+                      [ err "array %s differs at [%d]: %.17g vs %.17g (n=%d)"
+                          name i v y.(i) n ]
+                  | None -> [])
+              (List.combine s1 s2)
+        in
+        let red_diffs =
+          if List.length r1 <> List.length r2 then
+            [ err "reduction set changed at n=%d" n ]
+          else
+            List.concat_map
+              (fun ((a, x), (b, y)) ->
+                if not (String.equal a b) then
+                  [ err "reduction %s renamed to %s at n=%d" a b n ]
+                else if not (float_eq x y) then
+                  [ err "reduction %s differs: %.17g vs %.17g (n=%d)" a x y n ]
+                else [])
+              (List.combine r1 r2)
+        in
+        arr_diffs @ red_diffs
+  in
+  List.concat_map check_size sizes

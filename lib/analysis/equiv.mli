@@ -20,3 +20,19 @@ val vkernel_diags : Vvect.Vinstr.vkernel -> Diag.t list
 (** Exact multiset/reduction/step comparison of an unrolled kernel against
     [uf] iterations of the original. *)
 val unrolled_diags : orig:Kernel.t -> uf:int -> Kernel.t -> Diag.t list
+
+(** Exact float equality with NaN equal to NaN (the comparison the semantic
+    check uses: the optimizer never reassociates, so values match bitwise
+    up to [=]'s 0/-0 identification). *)
+val float_eq : float -> float -> bool
+
+(** Problem sizes [semantic_diags] interprets at by default. *)
+val semantic_sizes : int list
+
+(** Run both kernels under the reference interpreter in the deterministic
+    default environment and compare every array element and reduction
+    value; an [Error] diagnostic per first mismatch.  A kernel that traps
+    in the original form is skipped (no reference behaviour); a transform
+    that *introduces* a trap is an error. *)
+val semantic_diags :
+  ?sizes:int list -> pass:string -> orig:Kernel.t -> Kernel.t -> Diag.t list

@@ -306,3 +306,40 @@ let unbounded_recurrence (df : Dataflow.t) =
         "store feeds a loop-carried recurrence whose value range required \
          widening (unbounded across iterations)")
     summary.Absint.s_widened
+
+(* --- dead stores -------------------------------------------------------------- *)
+
+(* A store overwritten by a later identical-address store before any load of
+   the array observes it contributes a store-class feature count (and a
+   simulated memory access) for work the compiled loop would never do.
+   Detection is shared with the optimizer's DSE pass. *)
+let dead_store (df : Dataflow.t) =
+  List.map
+    (fun pos ->
+      let arr =
+        match df.body.(pos) with
+        | Instr.Store { addr; _ } -> Instr.addr_array addr
+        | _ -> "?"
+      in
+      Diag.warning ~pass:"dead-store" ~kernel:(kname df) ~pos
+        "store to %s is overwritten before any load observes it" arr)
+    (List.sort compare (Opt.dead_stores df.kernel))
+
+(* --- loop-invariant computation left in the body ------------------------------- *)
+
+(* Live work whose value is the same on every innermost iteration: a real
+   compiler hoists it to the preheader, so leaving it in the body inflates
+   every per-iteration instruction count the cost model is fitted over.
+   Exactly the positions [Opt]'s LICM moves to the preheader prefix. *)
+let loop_invariant_compute (df : Dataflow.t) =
+  let out = ref [] in
+  Array.iteri
+    (fun pos instr ->
+      if df.invariant.(pos) && df.live.(pos) then
+        out :=
+          Diag.warning ~pass:"loop-invariant-compute" ~kernel:(kname df) ~pos
+            "%s is innermost-loop invariant (hoistable to the preheader)"
+            (if Instr.is_load instr then "load" else "computation")
+          :: !out)
+    df.body;
+  List.rev !out

@@ -36,3 +36,11 @@ val misaligned_access : Dataflow.t -> Diag.t list
 (** Stores whose abstract value range only stabilized through widening:
     loop-carried recurrences with unbounded ranges. *)
 val unbounded_recurrence : Dataflow.t -> Diag.t list
+
+(** Stores overwritten by a later identical-address store before any load
+    observes them (shares detection with [Opt.dead_stores]). *)
+val dead_store : Dataflow.t -> Diag.t list
+
+(** Live values identical on every innermost iteration: hoistable work left
+    in the body (what [Opt]'s LICM moves to the preheader prefix). *)
+val loop_invariant_compute : Dataflow.t -> Diag.t list

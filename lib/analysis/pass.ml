@@ -40,6 +40,12 @@ let builtin : t list =
     { name = "unbounded-recurrence";
       descr = "stores whose value range needs widening (unbounded recurrence)";
       run = Lints.unbounded_recurrence };
+    { name = "dead-store";
+      descr = "stores overwritten before any load observes them";
+      run = Lints.dead_store };
+    { name = "loop-invariant-compute";
+      descr = "hoistable loop-invariant work left in the body";
+      run = Lints.loop_invariant_compute };
   ]
 
 let registry = ref builtin

@@ -15,9 +15,11 @@ type sample = {
   vk : Vvect.Vinstr.vkernel;
   vf : int;
   raw : float array;  (* scalar body instruction-class counts *)
+  norm_raw : float array;  (* counts after the Opt normalization pipeline *)
   rated : float array;  (* block-composition features *)
   extended : float array;  (* rated + derived features (extension) *)
   absint : float array;  (* extended + abstract-interpretation columns *)
+  opt : float array;  (* absint of normalized body + ratio/hoist columns *)
   vraw : float array;  (* vector body counts (cost-target fits) *)
   measured : float;  (* noisy measured speedup: the ground truth *)
   scalar_cycles_iter : float;  (* noisy per-iteration scalar cycles *)
@@ -59,9 +61,11 @@ let build_one ~noise_amp ~seed ~(machine : Vmachine.Descr.t) ~transform ~n
             vk;
             vf;
             raw = Feature.counts k;
+            norm_raw = Feature.counts (Vanalysis.Opt.normalize k);
             rated = Feature.rated k;
             extended = Feature.extended k;
             absint = Feature.absint ~n ~vf k;
+            opt = Feature.opt ~n ~vf k;
             vraw = Feature.vcounts vk;
             measured = m.speedup;
             scalar_cycles_iter = sest.Vmachine.Sched.cycles *. nf "#s";

@@ -11,9 +11,13 @@ type sample = {
   vk : Vvect.Vinstr.vkernel;
   vf : int;
   raw : float array;  (** scalar body instruction-class counts *)
+  norm_raw : float array;
+      (** counts after the [Vanalysis.Opt] normalization pipeline *)
   rated : float array;  (** block-composition features *)
   extended : float array;  (** rated + derived features (extension) *)
   absint : float array;  (** extended + abstract-interpretation columns *)
+  opt : float array;
+      (** absint features of the normalized body + ratio/hoist columns *)
   vraw : float array;  (** vector body counts (cost-target fits) *)
   measured : float;  (** noisy measured speedup: the ground truth *)
   scalar_cycles_iter : float;

@@ -54,6 +54,11 @@ val f8 : ?config:config -> unit -> Report.result
     reports the correlation delta. *)
 val f9 : ?config:config -> unit -> Report.result
 
+(** F10: fitting on [Vanalysis.Opt]-normalized instruction counts vs raw
+    source-level counts (same measurements); the note reports the
+    correlation delta, and a third row exercises the [opt] feature kind. *)
+val f10 : ?config:config -> unit -> Report.result
+
 type t1_row = {
   t1_transform : string;
   t1_baseline : float;

@@ -224,6 +224,23 @@ let absint ~n ~vf (k : Kernel.t) =
   let const_trip = Vanalysis.Absint.const_trip_flag k in
   Array.append base [| aligned; const_trip |]
 
+(* --- opt features: counts taken after the SSA normalization pipeline --- *)
+
+let opt_names = absint_names @ [ "x_norm_ratio"; "x_hoist_frac" ]
+let opt_dim = absint_dim + 2
+
+(* Absint features of the *normalized* body (what the vectorizer actually
+   prices), plus two pipeline facts: how much of the source count survives
+   GVN/DCE/DSE/folding (source-level redundancy inflates raw counts without
+   costing cycles) and the loop-invariant fraction LICM pins to the
+   preheader prefix (work the loop does not pay per iteration). *)
+let opt ~n ~vf (k : Kernel.t) =
+  let nk = Vanalysis.Opt.normalize k in
+  let base = absint ~n ~vf nk in
+  let orig = total (counts k) in
+  let ratio = if orig = 0.0 then 1.0 else total (counts nk) /. orig in
+  Array.append base [| ratio; Vanalysis.Opt.hoisted_fraction nk |]
+
 let pp fmt f =
   List.iteri
     (fun i c ->

@@ -67,4 +67,12 @@ val absint_names : string list
 
 val absint_dim : int
 val absint : n:int -> vf:int -> Vir.Kernel.t -> float array
+
+(** Opt feature set: absint features of the [Vanalysis.Opt]-normalized body,
+    plus the normalized/source count ratio and the loop-invariant (hoisted)
+    fraction of the normalized body. *)
+val opt_names : string list
+
+val opt_dim : int
+val opt : n:int -> vf:int -> Vir.Kernel.t -> float array
 val pp : Format.formatter -> float array -> unit

@@ -10,13 +10,14 @@ type fit_method = L2 | Nnls | Svr
 
 let fit_method_to_string = function L2 -> "L2" | Nnls -> "NNLS" | Svr -> "SVR"
 
-type feature_kind = Raw | Rated | Extended | Absint
+type feature_kind = Raw | Rated | Extended | Absint | Opt
 
 let feature_kind_to_string = function
   | Raw -> "raw"
   | Rated -> "rated"
   | Extended -> "extended"
   | Absint -> "absint"
+  | Opt -> "opt"
 
 type target = Speedup | Cost
 
@@ -35,6 +36,7 @@ let features_of kind (s : Dataset.sample) =
   | Rated -> s.rated
   | Extended -> s.extended
   | Absint -> s.absint
+  | Opt -> s.opt
 
 let solve method_ rows ys =
   let x = Vlinalg.Mat.of_rows rows in
@@ -118,6 +120,7 @@ let to_string (m : t) =
   Buffer.add_string b (Printf.sprintf "target %s\n" (target_to_string m.target));
   let names =
     match m.features with
+    | Opt -> Feature.opt_names
     | Absint -> Feature.absint_names
     | Extended -> Feature.extended_names
     | Raw | Rated -> Feature.names
@@ -168,6 +171,7 @@ let of_string s =
             | Some "rated" -> Some Rated
             | Some "extended" -> Some Extended
             | Some "absint" -> Some Absint
+            | Some "opt" -> Some Opt
             | _ -> None
           in
           let target =
@@ -180,6 +184,7 @@ let of_string s =
           | Some method_, Some features, Some target ->
               let names =
                 match features with
+                | Opt -> Feature.opt_names
                 | Absint -> Feature.absint_names
                 | Extended -> Feature.extended_names
                 | Raw | Rated -> Feature.names

@@ -6,7 +6,7 @@ type fit_method = L2 | Nnls | Svr
 
 val fit_method_to_string : fit_method -> string
 
-type feature_kind = Raw | Rated | Extended | Absint
+type feature_kind = Raw | Rated | Extended | Absint | Opt
 
 val feature_kind_to_string : feature_kind -> string
 

@@ -102,6 +102,33 @@ let map_operands f instr =
   | Store r -> Store { r with addr = fa r.addr; src = f r.src }
   | Cast r -> Cast { r with a = f r.a }
 
+(* Canonical form of a subscript dimension: zero coefficients dropped, terms
+   sorted by variable name.  Two dims denote the same index function iff
+   their normal forms are structurally equal, which is what the dead-store
+   and value-numbering passes compare. *)
+let normalize_dim d =
+  let clean l = List.sort compare (List.filter (fun (_, c) -> c <> 0) l) in
+  { d with terms = clean d.terms; pterms = clean d.pterms }
+
+let equal_dim a b = normalize_dim a = normalize_dim b
+
+let normalize_addr = function
+  | Affine { arr; dims } -> Affine { arr; dims = List.map normalize_dim dims }
+  | Indirect _ as a -> a
+
+(* Syntactic address identity (same location on every iteration): affine
+   subscripts compare by normal form, indirect ones by array and index
+   operand.  [false] is always a safe answer. *)
+let equal_addr a b =
+  match (a, b) with
+  | Affine { arr = a1; dims = d1 }, Affine { arr = a2; dims = d2 } ->
+      String.equal a1 a2
+      && List.length d1 = List.length d2
+      && List.for_all2 equal_dim d1 d2
+  | Indirect { arr = a1; idx = i1 }, Indirect { arr = a2; idx = i2 } ->
+      String.equal a1 a2 && equal_operand i1 i2
+  | Affine _, Indirect _ | Indirect _, Affine _ -> false
+
 (* Shift the coefficient-weighted offset of [var] in an affine dimension by
    [delta] iterations worth of that variable; used by the loop unroller to
    produce the copies for var+1, var+2, ... *)

@@ -57,6 +57,18 @@ val accessed_array : t -> string option
 (** Rewrite every operand (including indirect-address indices). *)
 val map_operands : (operand -> operand) -> t -> t
 
+(** Canonical form of a dim: zero coefficients dropped, terms sorted. *)
+val normalize_dim : dim -> dim
+
+(** Equality of the denoted index function (by normal form). *)
+val equal_dim : dim -> dim -> bool
+
+val normalize_addr : addr -> addr
+
+(** Syntactic address identity: same location on every iteration.  [false]
+    is always a safe (conservative) answer. *)
+val equal_addr : addr -> addr -> bool
+
 (** Shift affine subscripts of [var] by [delta] iterations (unrolling). *)
 val shift_dim : string -> int -> dim -> dim
 val shift_addr : string -> int -> addr -> addr

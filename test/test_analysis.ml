@@ -279,10 +279,49 @@ let test_lint_unbounded_recurrence_diag () =
       check "anchored at the store" true (d.A.Diag.pos = Some 3);
       check "clean kernel quiet" false (fired "unbounded-recurrence" (simple ()))
 
+(* Store a[i] twice with nothing reading the first: the dead-store lint
+   must anchor at the overwritten store and stay quiet on clean kernels. *)
+let test_lint_dead_store_diag () =
+  let b = B.make "dseseed" in
+  let i = B.loop b "i" Kernel.Tn in
+  let x = B.load b "b" [ B.ix i ] in
+  B.store b "a" [ B.ix i ] x;
+  B.store b "a" [ B.ix i ] (B.addf b x x);
+  let k = B.finish b in
+  match
+    List.filter (fun d -> d.A.Diag.pass = "dead-store") (A.Pass.run_all k)
+  with
+  | [] -> Alcotest.fail "seeded dead store not reported"
+  | d :: _ ->
+      check "severity Warning" true (d.A.Diag.severity = A.Diag.Warning);
+      check "anchored at the dead store" true (d.A.Diag.pos = Some 1);
+      check "clean kernel quiet" false (fired "dead-store" (simple ()))
+
+(* s*s with s a parameter is innermost-loop-invariant work left in the
+   body: the loop-invariant-compute lint must flag it. *)
+let test_lint_loop_invariant_compute_diag () =
+  let b = B.make "licmseed" in
+  let i = B.loop b "i" Kernel.Tn in
+  let s = B.param b "s" in
+  let inv = B.mulf b s s in
+  B.store b "a" [ B.ix i ] (B.mulf b (B.load b "b" [ B.ix i ]) inv);
+  let k = B.finish b in
+  match
+    List.filter
+      (fun d -> d.A.Diag.pass = "loop-invariant-compute")
+      (A.Pass.run_all k)
+  with
+  | [] -> Alcotest.fail "seeded invariant compute not reported"
+  | d :: _ ->
+      check "severity Warning" true (d.A.Diag.severity = A.Diag.Warning);
+      check "anchored at the invariant multiply" true (d.A.Diag.pos = Some 0);
+      check "clean kernel quiet" false
+        (fired "loop-invariant-compute" (simple ()))
+
 (* --- pass registry --------------------------------------------------------- *)
 
 let test_pass_registry () =
-  check "9 builtin passes" true (List.length A.Pass.builtin = 9);
+  check "11 builtin passes" true (List.length A.Pass.builtin = 11);
   check "find works" true (A.Pass.find "dead-result" <> None);
   check "unknown absent" true (A.Pass.find "no-such-pass" = None);
   let names = List.map (fun p -> p.A.Pass.name) (A.Pass.all ()) in
@@ -556,6 +595,8 @@ let tests =
     Alcotest.test_case "lint oob proven diag" `Quick test_lint_oob_proven_diag;
     Alcotest.test_case "lint misaligned store diag" `Quick test_lint_misaligned_store_diag;
     Alcotest.test_case "lint unbounded recurrence diag" `Quick test_lint_unbounded_recurrence_diag;
+    Alcotest.test_case "lint dead store diag" `Quick test_lint_dead_store_diag;
+    Alcotest.test_case "lint loop invariant compute diag" `Quick test_lint_loop_invariant_compute_diag;
     Alcotest.test_case "pass registry" `Quick test_pass_registry;
     Alcotest.test_case "vvalidate good body" `Quick test_vvalidate_good;
     Alcotest.test_case "vvalidate undefined register" `Quick test_vvalidate_undefined_register;

@@ -17,7 +17,7 @@ let () =
       ("select", Test_select.tests);
       ("apps", Test_apps.tests);
       ("golden", Test_golden.tests);
-      ("simplify", Test_simplify.tests);
+      ("opt", Test_opt.tests);
       ("scenarios", Test_scenarios.tests);
       ("coverage", Test_coverage.tests);
       ("extensions", Test_extensions.tests);
