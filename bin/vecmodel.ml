@@ -79,7 +79,8 @@ let method_conv =
     | "l2" -> Ok Linmodel.L2
     | "nnls" -> Ok Linmodel.Nnls
     | "svr" -> Ok Linmodel.Svr
-    | s -> Error (`Msg (Printf.sprintf "unknown method %s (l2|nnls|svr)" s))
+    | "huber" -> Ok Linmodel.Huber
+    | s -> Error (`Msg (Printf.sprintf "unknown method %s (l2|nnls|svr|huber)" s))
   in
   Arg.conv
     (parse, fun fmt m -> Format.pp_print_string fmt (Linmodel.fit_method_to_string m))
@@ -87,7 +88,32 @@ let method_conv =
 let method_arg =
   Arg.(
     value & opt method_conv Linmodel.Nnls
-    & info [ "method" ] ~docv:"M" ~doc:"Fitting method: l2, nnls or svr.")
+    & info [ "method" ] ~docv:"M"
+        ~doc:"Fitting method: l2, nnls, svr or huber (robust IRLS).")
+
+(* --- fault plans ------------------------------------------------------------
+   [--faults SPEC] overrides the [VECMODEL_FAULTS] environment plan for
+   this invocation; an explicit empty spec ([--faults ""]) disables
+   injection entirely. *)
+
+let faults_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "faults" ] ~docv:"SPEC"
+        ~doc:
+          "Fault-injection plan, e.g. \
+           'seed=7;measure.nan=0.05;pool.crash=0.02'. Overrides \
+           $(b,VECMODEL_FAULTS). See docs/ROBUSTNESS.md for the grammar.")
+
+let apply_faults = function
+  | None -> ()
+  | Some spec -> (
+      match Vfault.Plan.parse spec with
+      | Ok p -> Vfault.Inject.set_active p
+      | Error e ->
+          Printf.eprintf "vecmodel: --faults: %s\n" e;
+          exit 124)
 
 let features_conv =
   let parse = function
@@ -413,7 +439,8 @@ let opt_cmd =
 (* --- simulate --------------------------------------------------------------- *)
 
 let simulate_cmd =
-  let run name machine n transform =
+  let run name machine n transform faults =
+    apply_faults faults;
     let e = Tsvc.Registry.find_exn name in
     let vf = Vmachine.Descr.vf_for_kernel machine e.kernel in
     let vk =
@@ -439,7 +466,8 @@ let simulate_cmd =
   in
   Cmd.v
     (Cmd.info "simulate" ~doc:"Measure one kernel on a machine model")
-    Term.(const run $ kernel_arg $ machine_arg $ n_arg $ transform_arg)
+    Term.(
+      const run $ kernel_arg $ machine_arg $ n_arg $ transform_arg $ faults_arg)
 
 (* --- fit / loocv --------------------------------------------------------------- *)
 
@@ -458,7 +486,8 @@ let save_arg =
     & info [ "save" ] ~docv:"FILE" ~doc:"Write the fitted model to FILE.")
 
 let fit_cmd =
-  let run machine n transform method_ features target save =
+  let run machine n transform method_ features target save faults =
+    apply_faults faults;
     let samples = build_samples machine transform n in
     let m = Linmodel.fit ~method_ ~features ~target samples in
     (match save with
@@ -492,7 +521,7 @@ let fit_cmd =
   Cmd.v (Cmd.info "fit" ~doc:"Fit a cost model and print weights and metrics")
     Term.(
       const run $ machine_arg $ n_arg $ transform_arg $ method_arg
-      $ features_arg $ target_arg $ save_arg)
+      $ features_arg $ target_arg $ save_arg $ faults_arg)
 
 (* --- predict ------------------------------------------------------------------- *)
 
@@ -519,7 +548,8 @@ let predict_cmd =
     Term.(const run $ kernel_arg $ model_arg $ machine_arg $ n_arg $ transform_arg)
 
 let loocv_cmd =
-  let run machine n transform method_ features target =
+  let run machine n transform method_ features target faults =
+    apply_faults faults;
     let samples = build_samples machine transform n in
     let predicted = Crossval.loocv ~method_ ~features ~target samples in
     print_eval "loocv    " (Metrics.evaluate ~predicted samples);
@@ -529,7 +559,7 @@ let loocv_cmd =
     (Cmd.info "loocv" ~doc:"Leave-one-out cross-validation of a cost model")
     Term.(
       const run $ machine_arg $ n_arg $ transform_arg $ method_arg
-      $ features_arg $ target_arg)
+      $ features_arg $ target_arg $ faults_arg)
 
 (* --- report ---------------------------------------------------------------------- *)
 
@@ -537,12 +567,14 @@ let report_cmd =
   let which =
     Arg.(
       value & pos_all string []
-      & info [] ~docv:"EXPERIMENT" ~doc:"Experiment ids (f1..f10, t1, t2, a1..a10).")
+      & info [] ~docv:"EXPERIMENT" ~doc:"Experiment ids (f1..f11, t1, t2, a1..a10).")
   in
-  let run which =
+  let run which faults =
+    apply_faults faults;
     let all =
-      [ "f1"; "f2"; "f3"; "f4"; "f5"; "f6"; "f7"; "f8"; "f9"; "f10"; "t1";
-        "t2"; "a1"; "a2"; "a3"; "a4"; "a5"; "a6"; "a7"; "a8"; "a9"; "a10" ]
+      [ "f1"; "f2"; "f3"; "f4"; "f5"; "f6"; "f7"; "f8"; "f9"; "f10"; "f11";
+        "t1"; "t2"; "a1"; "a2"; "a3"; "a4"; "a5"; "a6"; "a7"; "a8"; "a9";
+        "a10" ]
     in
     let wanted = if which = [] then all else which in
     List.iter
@@ -558,6 +590,7 @@ let report_cmd =
         | "f8" -> Report.print (Experiment.f8 ())
         | "f9" -> Report.print (Experiment.f9 ())
         | "f10" -> Report.print (Experiment.f10 ())
+        | "f11" -> Report.print (Experiment.f11 ())
         | "t2" -> Report.print (Experiment.t2 ())
         | "a1" -> Report.print (Experiment.a1 ())
         | "a2" ->
@@ -606,7 +639,7 @@ let report_cmd =
       wanted
   in
   Cmd.v (Cmd.info "report" ~doc:"Reproduce the paper's tables and figures")
-    Term.(const run $ which)
+    Term.(const run $ which $ faults_arg)
 
 (* --- cachestats ------------------------------------------------------------ *)
 
@@ -651,6 +684,189 @@ let cachestats_cmd =
           report hit/miss counters")
     Term.(const run $ const ())
 
+(* --- health ----------------------------------------------------------------- *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let health_cmd =
+  let repeats_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "repeats" ] ~docv:"K"
+          ~doc:
+            "Measure each kernel K times; repeats outside 3.5 normalized \
+             MADs of the median are rejected and counted.")
+  in
+  let json_flag =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit the report as JSON.")
+  in
+  let run machine n transform repeats faults json =
+    apply_faults faults;
+    Dataset.health_reset ();
+    Vpar.Pool.reset_stats ();
+    Vfault.Inject.reset_counts ();
+    let samples =
+      Dataset.build ~repeats ~machine ~transform ~n Tsvc.Registry.all
+    in
+    let h = Dataset.health () in
+    let st = Vpar.Pool.stats () in
+    let injected = Vfault.Inject.counts () in
+    let plan = Vfault.Inject.active () in
+    if json then begin
+      let b = Buffer.create 1024 in
+      Buffer.add_string b "{\n";
+      Buffer.add_string b
+        (Printf.sprintf "  \"plan\": \"%s\",\n"
+           (json_escape (Vfault.Plan.to_string plan)));
+      Buffer.add_string b
+        (Printf.sprintf "  \"samples\": %d,\n" (List.length samples));
+      Buffer.add_string b
+        (Printf.sprintf "  \"quarantined\": [%s],\n"
+           (String.concat ", "
+              (List.map
+                 (fun (q : Dataset.quarantine) ->
+                   Printf.sprintf
+                     "{\"kernel\": \"%s\", \"machine\": \"%s\", \
+                      \"transform\": \"%s\", \"reason\": \"%s\"}"
+                     (json_escape q.q_name) (json_escape q.q_machine)
+                     (json_escape q.q_transform) (json_escape q.q_reason))
+                 h.h_quarantined)));
+      Buffer.add_string b
+        (Printf.sprintf "  \"cache_corruptions\": %d,\n" h.h_cache_corruptions);
+      Buffer.add_string b
+        (Printf.sprintf "  \"repeats_rejected\": %d,\n" h.h_repeats_rejected);
+      Buffer.add_string b
+        (Printf.sprintf
+           "  \"pool\": {\"crashes\": %d, \"respawned\": %d, \"timeouts\": \
+            %d, \"retries\": %d, \"failures\": %d, \"degraded\": %d},\n"
+           st.st_crashes st.st_respawned st.st_timeouts st.st_retries
+           st.st_failures st.st_degraded);
+      Buffer.add_string b
+        (Printf.sprintf "  \"injected\": {%s}\n"
+           (String.concat ", "
+              (List.map
+                 (fun (k, v) -> Printf.sprintf "\"%s\": %d" (json_escape k) v)
+                 injected)));
+      Buffer.add_string b "}";
+      print_endline (Buffer.contents b)
+    end
+    else begin
+      Printf.printf "health: %s / %s, n = %d, repeats = %d\n"
+        machine.Vmachine.Descr.name
+        (Dataset.transform_to_string transform)
+        n repeats;
+      Printf.printf "  fault plan        %s\n"
+        (if Vfault.Plan.is_empty plan then "(none)"
+         else Vfault.Plan.to_string plan);
+      Printf.printf "  samples built     %d\n" (List.length samples);
+      Printf.printf "  quarantined       %d\n" (List.length h.h_quarantined);
+      List.iter
+        (fun (q : Dataset.quarantine) ->
+          Printf.printf "    %-10s %s/%s: %s\n" q.q_name q.q_machine
+            q.q_transform q.q_reason)
+        h.h_quarantined;
+      Printf.printf "  cache corruptions %d (detected and rebuilt)\n"
+        h.h_cache_corruptions;
+      Printf.printf "  repeats rejected  %d\n" h.h_repeats_rejected;
+      Printf.printf
+        "  pool: %d crash(es), %d respawned, %d timeout(s), %d retr%s, %d \
+         failure(s), %d degraded run(s)\n"
+        st.st_crashes st.st_respawned st.st_timeouts st.st_retries
+        (if st.st_retries = 1 then "y" else "ies")
+        st.st_failures st.st_degraded;
+      if injected <> [] then begin
+        print_endline "  injected faults:";
+        List.iter
+          (fun (k, v) -> Printf.printf "    %-16s %d\n" k v)
+          injected
+      end
+    end
+  in
+  Cmd.v
+    (Cmd.info "health"
+       ~doc:
+         "Build the registry-wide dataset under the active fault plan and \
+          print the quarantine ledger, pool supervision and injection \
+          counters")
+    Term.(
+      const run $ machine_arg $ n_arg $ transform_arg $ repeats_arg
+      $ faults_arg $ json_flag)
+
+(* --- faults ----------------------------------------------------------------- *)
+
+let faults_cmd =
+  let json_flag =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit the plan as JSON.")
+  in
+  let run faults json =
+    apply_faults faults;
+    let plan = Vfault.Inject.active () in
+    let source =
+      if faults <> None then "--faults"
+      else if Sys.getenv_opt Vfault.Inject.env_var <> None then
+        Vfault.Inject.env_var
+      else "(none)"
+    in
+    if json then begin
+      let clause (c : Vfault.Plan.clause) =
+        Printf.sprintf
+          "{\"site\": \"%s\", \"kind\": \"%s\", \"rate\": %g, \"magnitude\": \
+           %g}"
+          (Vfault.Plan.site_to_string c.site)
+          (Vfault.Plan.kind_to_string c.kind)
+          c.rate c.magnitude
+      in
+      Printf.printf
+        "{\n  \"source\": \"%s\",\n  \"spec\": \"%s\",\n  \"seed\": %d,\n  \
+         \"clauses\": [%s]\n}\n"
+        (json_escape source)
+        (json_escape (Vfault.Plan.to_string plan))
+        plan.Vfault.Plan.seed
+        (String.concat ", " (List.map clause plan.Vfault.Plan.clauses))
+    end
+    else if Vfault.Plan.is_empty plan then
+      Printf.printf
+        "no fault plan active (set %s or pass --faults SPEC; grammar in \
+         docs/ROBUSTNESS.md)\n"
+        Vfault.Inject.env_var
+    else begin
+      Printf.printf "fault plan (%s): %s\n" source (Vfault.Plan.to_string plan);
+      Printf.printf "  seed %d\n" plan.Vfault.Plan.seed;
+      List.iter
+        (fun (c : Vfault.Plan.clause) ->
+          let unit_ =
+            match c.kind with
+            | Vfault.Plan.Spike -> " (spike multiplier)"
+            | Vfault.Plan.Hang -> " (simulated seconds)"
+            | _ -> ""
+          in
+          Printf.printf "  %s.%s: rate %g, magnitude %g%s\n"
+            (Vfault.Plan.site_to_string c.site)
+            (Vfault.Plan.kind_to_string c.kind)
+            c.rate c.magnitude unit_)
+        plan.Vfault.Plan.clauses
+    end
+  in
+  Cmd.v
+    (Cmd.info "faults"
+       ~doc:
+         "Show the active fault-injection plan (from --faults or \
+          VECMODEL_FAULTS) in canonical form")
+    Term.(const run $ faults_arg $ json_flag)
+
 (* --- export-machine -------------------------------------------------------- *)
 
 let export_machine_cmd =
@@ -677,5 +893,5 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ list_cmd; show_cmd; lint_cmd; absint_cmd; opt_cmd; simulate_cmd; fit_cmd;
-            predict_cmd; loocv_cmd; report_cmd; cachestats_cmd;
-            export_machine_cmd ]))
+            predict_cmd; loocv_cmd; report_cmd; cachestats_cmd; health_cmd;
+            faults_cmd; export_machine_cmd ]))

@@ -1,6 +1,14 @@
 (* Experiment samples: one per TSVC kernel that the transform under study
    can vectorize, with features, baseline prediction and "measured" numbers
-   from the machine model. *)
+   from the machine model.
+
+   Robustness: measurements can be repeated ([?repeats]) with the repeat
+   median taken after MAD outlier rejection; samples whose measurement is
+   unusable (non-finite or non-positive after rejection, or whose build
+   task failed under the supervised pool) are *quarantined* into a
+   process-wide health ledger — never silently dropped — and the dataset
+   is built through [Vpar.Pool.supervised_map] so one poisoned kernel
+   cannot take down a registry-wide run. *)
 
 open Vir
 
@@ -36,44 +44,154 @@ let apply_transform transform ~vf k =
   | Slp -> (
       match Vvect.Slp.vectorize ~vf k with Ok vk -> Some vk | Error _ -> None)
 
-let build_one ~noise_amp ~seed ~(machine : Vmachine.Descr.t) ~transform ~n
-    (e : Tsvc.Registry.entry) =
+(* --- health ledger --------------------------------------------------------
+   Every sample that cannot enter the dataset leaves a trace here.  The
+   ledger is process-wide (like the sample cache) and deduplicated, so a
+   cache hit on a quarantined entry re-reports it without duplicating. *)
+
+type quarantine = {
+  q_name : string;  (* kernel *)
+  q_machine : string;
+  q_transform : string;
+  q_reason : string;
+}
+
+type health = {
+  h_quarantined : quarantine list;  (* oldest first *)
+  h_cache_corruptions : int;  (* corrupted cache entries detected + rebuilt *)
+  h_repeats_rejected : int;  (* repeat measurements discarded by MAD *)
+}
+
+let quarantined : quarantine list ref = ref []
+let quarantine_seen : (quarantine, unit) Hashtbl.t = Hashtbl.create 64
+let health_mutex = Mutex.create ()
+let cache_corruptions = Atomic.make 0
+let repeats_rejected = Atomic.make 0
+
+let quarantine q =
+  Mutex.lock health_mutex;
+  if not (Hashtbl.mem quarantine_seen q) then begin
+    Hashtbl.add quarantine_seen q ();
+    quarantined := q :: !quarantined
+  end;
+  Mutex.unlock health_mutex
+
+let health () =
+  Mutex.lock health_mutex;
+  let qs = List.rev !quarantined in
+  Mutex.unlock health_mutex;
+  { h_quarantined = qs;
+    h_cache_corruptions = Atomic.get cache_corruptions;
+    h_repeats_rejected = Atomic.get repeats_rejected }
+
+let health_reset () =
+  Mutex.lock health_mutex;
+  quarantined := [];
+  Hashtbl.reset quarantine_seen;
+  Mutex.unlock health_mutex;
+  Atomic.set cache_corruptions 0;
+  Atomic.set repeats_rejected 0
+
+(* --- robust measurement ---------------------------------------------------
+   [repeats <= 1] reproduces the single-shot behaviour bit-for-bit.  With
+   k >= 2 repeats the speedup is re-measured under derived seeds, repeats
+   outside 3.5 normalized MADs of the median are rejected (and counted),
+   and the median of the survivors is used.  Non-finite repeats (injected
+   NaN / Inf) are rejected the same way; if nothing survives, the sample
+   is quarantined. *)
+
+let usable x = Float.is_finite x && x > 0.0
+
+let mad_partition xs =
+  let arr = Array.of_list xs in
+  let med = Vstats.Descriptive.median arr in
+  let mad =
+    Vstats.Descriptive.median (Array.map (fun x -> Float.abs (x -. med)) arr)
+  in
+  let scale = 1.4826 *. mad in
+  if scale <= 1e-12 *. Float.max 1.0 (Float.abs med) then (xs, [])
+  else List.partition (fun x -> Float.abs (x -. med) <= 3.5 *. scale) xs
+
+let robust_speedup ~noise_amp ~seed ~repeats ~(machine : Vmachine.Descr.t) ~n
+    vk =
+  let measure s = Vmachine.Measure.measure ~noise_amp ~seed:s machine ~n vk in
+  if repeats <= 1 then
+    let m = measure seed in
+    if usable m.Vmachine.Measure.speedup then Ok m
+    else
+      Error
+        (Printf.sprintf "unusable measured speedup (%h)"
+           m.Vmachine.Measure.speedup)
+  else begin
+    (* Distinct derived seeds give independent noise (and independent
+       fault-injection keys) per repeat; the first repeat keeps the
+       original seed so k=1 and the first draw of k>1 agree. *)
+    let ms =
+      List.init repeats (fun r ->
+          measure (if r = 0 then seed else seed + (7919 * r)))
+    in
+    let speedups = List.map (fun m -> m.Vmachine.Measure.speedup) ms in
+    let finite, broken = List.partition usable speedups in
+    List.iter (fun _ -> Atomic.incr repeats_rejected) broken;
+    match finite with
+    | [] -> Error "all repeat measurements unusable (non-finite speedup)"
+    | _ ->
+        let kept, outliers = mad_partition finite in
+        List.iter (fun _ -> Atomic.incr repeats_rejected) outliers;
+        let med = Vstats.Descriptive.median (Array.of_list kept) in
+        let m0 = List.hd ms in
+        Ok { m0 with Vmachine.Measure.speedup = med }
+  end
+
+(* --- building one sample -------------------------------------------------- *)
+
+(* What building an entry produced; cached as-is so hits on quarantined
+   entries re-report instead of silently vanishing. *)
+type build_outcome =
+  | Built of sample
+  | Not_vectorizable
+  | Quarantined of string
+
+let build_one ~noise_amp ~seed ~repeats ~(machine : Vmachine.Descr.t)
+    ~transform ~n (e : Tsvc.Registry.entry) =
   let k = e.kernel in
   let vf = Vmachine.Descr.vf_for_kernel machine k in
-  if vf < 2 then None
+  if vf < 2 then Not_vectorizable
   else
     match apply_transform transform ~vf k with
-    | None -> None
-    | Some vk ->
-        let m = Vmachine.Measure.measure ~noise_amp ~seed machine ~n vk in
-        let sest = Vmachine.Sched.scalar_estimate machine ~n k in
-        let vest = Vmachine.Sched.vector_estimate machine ~n vk in
-        (* Independent noise draws for the block-cost targets. *)
-        let nf salt =
-          Vmachine.Measure.noise_factor ~amp:noise_amp ~seed
-            (k.Kernel.name ^ salt) machine.name
-        in
-        Some
-          {
-            name = k.Kernel.name;
-            category = e.category;
-            kernel = k;
-            vk;
-            vf;
-            raw = Feature.counts k;
-            norm_raw = Feature.counts (Vanalysis.Opt.normalize k);
-            rated = Feature.rated k;
-            extended = Feature.extended k;
-            absint = Feature.absint ~n ~vf k;
-            opt = Feature.opt ~n ~vf k;
-            vraw = Feature.vcounts vk;
-            measured = m.speedup;
-            scalar_cycles_iter = sest.Vmachine.Sched.cycles *. nf "#s";
-            vector_cycles_block = vest.Vmachine.Sched.cycles *. nf "#v";
-            scalar_total = m.scalar_cycles;
-            vector_total = m.scalar_cycles /. m.speedup;
-            baseline = Baseline.predicted_speedup vk;
-          }
+    | None -> Not_vectorizable
+    | Some vk -> (
+        match robust_speedup ~noise_amp ~seed ~repeats ~machine ~n vk with
+        | Error reason -> Quarantined reason
+        | Ok m ->
+            let sest = Vmachine.Sched.scalar_estimate machine ~n k in
+            let vest = Vmachine.Sched.vector_estimate machine ~n vk in
+            (* Independent noise draws for the block-cost targets. *)
+            let nf salt =
+              Vmachine.Measure.noise_factor ~amp:noise_amp ~seed
+                (k.Kernel.name ^ salt) machine.name
+            in
+            Built
+              {
+                name = k.Kernel.name;
+                category = e.category;
+                kernel = k;
+                vk;
+                vf;
+                raw = Feature.counts k;
+                norm_raw = Feature.counts (Vanalysis.Opt.normalize k);
+                rated = Feature.rated k;
+                extended = Feature.extended k;
+                absint = Feature.absint ~n ~vf k;
+                opt = Feature.opt ~n ~vf k;
+                vraw = Feature.vcounts vk;
+                measured = m.speedup;
+                scalar_cycles_iter = sest.Vmachine.Sched.cycles *. nf "#s";
+                vector_cycles_block = vest.Vmachine.Sched.cycles *. nf "#v";
+                scalar_total = m.scalar_cycles;
+                vector_total = m.scalar_cycles /. m.speedup;
+                baseline = Baseline.predicted_speedup vk;
+              })
 
 (* --- memoized build ------------------------------------------------------
    Building one sample is the pipeline's unit of repeated work: vectorize,
@@ -82,13 +200,14 @@ let build_one ~noise_amp ~seed ~(machine : Vmachine.Descr.t) ~transform ~n
    (F1..F5, T2 and most ablations share NEON/LLV alone), so built samples
    are kept in a content-keyed cache.  Samples are immutable, which makes
    sharing them safe.  The key digests the kernel *content* (not just its
-   name), the machine's plain-data fields, the transform, and the full
-   config (n, noise_amp, seed); the VF is derived from (machine, kernel)
-   and therefore implied by the key. *)
+   name), the machine's plain-data fields, the transform, the full config
+   (n, noise_amp, seed, repeats) and the active fault plan — a plan change
+   must never serve samples built under a different plan.  The VF is
+   derived from (machine, kernel) and therefore implied by the key. *)
 
 type cache_stats = { hits : int; misses : int; entries : int }
 
-let cache : (string, sample option) Hashtbl.t = Hashtbl.create 1024
+let cache : (string, build_outcome) Hashtbl.t = Hashtbl.create 1024
 let cache_mutex = Mutex.create ()
 let cache_enabled = Atomic.make true
 let cache_hits = Atomic.make 0
@@ -126,7 +245,7 @@ let machine_fingerprint (d : Vmachine.Descr.t) =
          string_of_int d.loop_uops;
          string_of_float d.vec_setup_cycles ])
 
-let sample_key ~noise_amp ~seed ~machine ~transform ~n
+let sample_key ~noise_amp ~seed ~repeats ~machine ~transform ~n
     (e : Tsvc.Registry.entry) =
   Digest.string
     (String.concat "|"
@@ -136,36 +255,94 @@ let sample_key ~noise_amp ~seed ~machine ~transform ~n
          transform_to_string transform;
          string_of_int n;
          string_of_float noise_amp;
-         string_of_int seed ])
+         string_of_int seed;
+         string_of_int repeats;
+         Vfault.Plan.to_string (Vfault.Inject.active ()) ])
 
-let build_one_cached ~noise_amp ~seed ~machine ~transform ~n e =
-  if not (Atomic.get cache_enabled) then
-    build_one ~noise_amp ~seed ~machine ~transform ~n e
-  else begin
-    let key = sample_key ~noise_amp ~seed ~machine ~transform ~n e in
-    Mutex.lock cache_mutex;
-    let found = Hashtbl.find_opt cache key in
-    Mutex.unlock cache_mutex;
-    match found with
-    | Some v ->
-        Atomic.incr cache_hits;
-        v
-    | None ->
-        Atomic.incr cache_misses;
-        let v = build_one ~noise_amp ~seed ~machine ~transform ~n e in
-        Mutex.lock cache_mutex;
-        Hashtbl.replace cache key v;
-        Mutex.unlock cache_mutex;
-        v
-  end
+let record_outcome ~machine ~transform name = function
+  | Quarantined reason ->
+      quarantine
+        { q_name = name;
+          q_machine = machine;
+          q_transform = transform_to_string transform;
+          q_reason = reason }
+  | Built _ | Not_vectorizable -> ()
+
+let build_one_cached ~noise_amp ~seed ~repeats
+    ~(machine : Vmachine.Descr.t) ~transform ~n (e : Tsvc.Registry.entry) =
+  let kname = e.Tsvc.Registry.kernel.Kernel.name in
+  let outcome =
+    if not (Atomic.get cache_enabled) then
+      build_one ~noise_amp ~seed ~repeats ~machine ~transform ~n e
+    else begin
+      let key = sample_key ~noise_amp ~seed ~repeats ~machine ~transform ~n e in
+      Mutex.lock cache_mutex;
+      let found = Hashtbl.find_opt cache key in
+      Mutex.unlock cache_mutex;
+      let found =
+        (* Simulated storage corruption: the entry fails its checksum, is
+           evicted, and the sample is rebuilt from scratch. *)
+        match found with
+        | Some _
+          when Vfault.Inject.cache_corrupt ~key:(Digest.to_hex key) ->
+            Atomic.incr cache_corruptions;
+            Mutex.lock cache_mutex;
+            Hashtbl.remove cache key;
+            Mutex.unlock cache_mutex;
+            None
+        | f -> f
+      in
+      match found with
+      | Some v ->
+          Atomic.incr cache_hits;
+          v
+      | None ->
+          Atomic.incr cache_misses;
+          let v = build_one ~noise_amp ~seed ~repeats ~machine ~transform ~n e in
+          Mutex.lock cache_mutex;
+          Hashtbl.replace cache key v;
+          Mutex.unlock cache_mutex;
+          v
+    end
+  in
+  record_outcome ~machine:machine.name ~transform kname outcome;
+  outcome
+
+let default_timeout = 0.5
 
 let build ?(noise_amp = Vmachine.Measure.default_noise) ?(seed = 1)
+    ?(repeats = 1) ?pool ?(timeout_s = default_timeout)
     ~(machine : Vmachine.Descr.t) ~transform ~n
     (entries : Tsvc.Registry.entry list) =
-  Vpar.Pool.parallel_map
-    (build_one_cached ~noise_amp ~seed ~machine ~transform ~n)
-    entries
-  |> List.filter_map Fun.id
+  let arr = Array.of_list entries in
+  (* Content-derived task keys: fault decisions follow the kernel, not the
+     position of the task in the queue or the worker running it. *)
+  let task_key i =
+    arr.(i).Tsvc.Registry.kernel.Kernel.name
+    ^ "@" ^ machine.name ^ "/" ^ transform_to_string transform
+  in
+  let results =
+    Vpar.Pool.supervised_map ?pool ~timeout_s ~task_key
+      (build_one_cached ~noise_amp ~seed ~repeats ~machine ~transform ~n)
+      entries
+  in
+  List.concat
+    (List.mapi
+       (fun i result ->
+         match result with
+         | Ok (Built s) -> [ s ]
+         | Ok Not_vectorizable -> []
+         | Ok (Quarantined _) -> [] (* recorded by build_one_cached *)
+         | Error (f : Vpar.Pool.failure) ->
+             quarantine
+               { q_name = arr.(i).Tsvc.Registry.kernel.Kernel.name;
+                 q_machine = machine.name;
+                 q_transform = transform_to_string transform;
+                 q_reason =
+                   Printf.sprintf "build task failed after %d attempt(s): %s"
+                     f.f_attempts f.f_error };
+             [])
+       results)
 
 let measured_array samples = Array.of_list (List.map (fun s -> s.measured) samples)
 let baseline_array samples = Array.of_list (List.map (fun s -> s.baseline) samples)

@@ -31,14 +31,48 @@ val apply_transform :
   transform -> vf:int -> Vir.Kernel.t -> Vvect.Vinstr.vkernel option
 
 (** Build samples for every entry the transform can vectorize at the
-    machine's natural VF.  Entries are built on the shared domain pool and
-    memoized in a process-wide content-keyed cache (kernel content,
-    machine, transform, n, noise_amp, seed), so experiments sharing a
-    (machine, transform, config) combination pay for vectorization and
-    machine-model measurement once. *)
+    machine's natural VF.  Entries are built on the shared domain pool
+    through {!Vpar.Pool.supervised_map} (task failures, injected worker
+    crashes and timeouts quarantine the sample instead of aborting the
+    run) and memoized in a process-wide content-keyed cache (kernel
+    content, machine, transform, n, noise_amp, seed, repeats, active
+    fault plan), so experiments sharing a (machine, transform, config)
+    combination pay for vectorization and machine-model measurement once.
+
+    [?repeats] (default 1) measures the speedup k times under derived
+    seeds, rejects repeats outside 3.5 normalized MADs of the median, and
+    keeps the median of the survivors; [repeats = 1] is the historical
+    single-shot behaviour.  Samples with no usable measurement are
+    quarantined into the {!health} ledger, never silently dropped.
+    [?timeout_s] (default 0.5) cancels a build task whose simulated hang
+    exceeds it. *)
 val build :
-  ?noise_amp:float -> ?seed:int -> machine:Vmachine.Descr.t ->
-  transform:transform -> n:int -> Tsvc.Registry.entry list -> sample list
+  ?noise_amp:float -> ?seed:int -> ?repeats:int -> ?pool:Vpar.Pool.t ->
+  ?timeout_s:float -> machine:Vmachine.Descr.t -> transform:transform ->
+  n:int -> Tsvc.Registry.entry list -> sample list
+
+(** {2 Health ledger} *)
+
+(** One sample that could not enter a dataset, and why. *)
+type quarantine = {
+  q_name : string;  (** kernel *)
+  q_machine : string;
+  q_transform : string;
+  q_reason : string;
+}
+
+type health = {
+  h_quarantined : quarantine list;  (** oldest first, deduplicated *)
+  h_cache_corruptions : int;
+      (** corrupted cache entries detected and rebuilt *)
+  h_repeats_rejected : int;  (** repeat measurements discarded (MAD or
+      non-finite) *)
+}
+
+(** The process-wide health ledger since the last {!health_reset}. *)
+val health : unit -> health
+
+val health_reset : unit -> unit
 
 (** {2 Sample cache introspection} *)
 

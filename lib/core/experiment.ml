@@ -294,6 +294,92 @@ let f10 ?(config = default_config) () =
       "      (counts taken after GVN/DCE/DSE/folding/LICM; redundancy the";
       "      source body carries but the machine never executes)" ]
 
+(* --- F11: contamination robustness --------------------------------------- *)
+
+(* Corrupt a fraction of the measured speedups with heavy-tailed two-sided
+   spikes (the same corruption [Vfault] injects at the Measure site, here
+   applied through a standalone plan so the sweep is independent of the
+   process-wide active plan), fit L2 and Huber on the contaminated
+   dataset, and score both against the *clean* measurements.  The paper's
+   fits assume well-behaved medians; this quantifies how quickly plain
+   least squares degrades when that assumption breaks, and how much of
+   the loss Huber-IRLS recovers. *)
+
+let f11_rates = [ 0.0; 0.05; 0.10; 0.15; 0.20 ]
+let f11_spike = 16.0
+
+let f11_contaminate ~seed ~rate samples =
+  let plan =
+    { Vfault.Plan.seed;
+      clauses =
+        [ { Vfault.Plan.site = Vfault.Plan.Measure; kind = Vfault.Plan.Spike;
+            rate; magnitude = f11_spike } ] }
+  in
+  List.map
+    (fun (s : Dataset.sample) ->
+      match
+        Vfault.Plan.draw plan ~site:Vfault.Plan.Measure ~kind:Vfault.Plan.Spike
+          ~key:s.name
+      with
+      | None -> s
+      | Some mag ->
+          let side =
+            Vfault.Plan.u01 ~seed ~site:Vfault.Plan.Measure
+              ~kind:Vfault.Plan.Spike ~key:(s.name ^ "#side")
+          in
+          let m = if side < 0.5 then s.measured *. mag else s.measured /. mag in
+          { s with Dataset.measured = m })
+    samples
+
+let f11 ?(config = default_config) () =
+  let machine = Vmachine.Machines.neon_a57 in
+  let clean = samples ~config ~machine ~transform:Dataset.Llv () in
+  let fit_on method_ contaminated =
+    let m =
+      Linmodel.fit ~method_ ~features:Linmodel.Rated ~target:Linmodel.Speedup
+        contaminated
+    in
+    (* Same features, clean ground truth: the eval isolates what the
+       contamination did to the learned weights. *)
+    Metrics.evaluate ~predicted:(Linmodel.predict_all m clean) clean
+  in
+  let per_rate =
+    List.map
+      (fun rate ->
+        let contaminated = f11_contaminate ~seed:(config.seed + 41) ~rate clean in
+        (rate, fit_on Linmodel.L2 contaminated, fit_on Linmodel.Huber contaminated))
+      f11_rates
+  in
+  let rows =
+    List.concat_map
+      (fun (rate, l2, huber) ->
+        [ { Report.label = Printf.sprintf "L2 @ %2.0f%% outliers" (100. *. rate);
+            eval = l2 };
+          { Report.label = Printf.sprintf "Huber @ %2.0f%% outliers" (100. *. rate);
+            eval = huber } ])
+      per_rate
+  in
+  let notes =
+    Printf.sprintf
+      "ours: measured speedups contaminated with two-sided %gx spikes;"
+      f11_spike
+    :: "      both fits scored against the clean measurements"
+    :: List.map
+         (fun (rate, (l2 : Metrics.eval), (huber : Metrics.eval)) ->
+           let fps (e : Metrics.eval) =
+             e.confusion.Vstats.Confusion.fp + e.confusion.Vstats.Confusion.fn
+           in
+           Printf.sprintf
+             "      %2.0f%%: pearson L2 %+.4f vs Huber %+.4f (delta %+.4f), \
+              false predictions %d vs %d"
+             (100. *. rate) l2.pearson huber.pearson
+             (huber.pearson -. l2.pearson) (fps l2) (fps huber))
+         per_rate
+  in
+  mk_result ~id:"F11"
+    ~title:"Contamination: L2 vs Huber-IRLS under injected outliers"
+    ~machine:machine.name ~transform:Dataset.Llv ~samples:clean rows notes
+
 (* --- T1: LLV vs SLP on one kernel ---------------------------------------- *)
 
 type t1_row = {

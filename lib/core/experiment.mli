@@ -59,6 +59,12 @@ val f9 : ?config:config -> unit -> Report.result
     correlation delta, and a third row exercises the [opt] feature kind. *)
 val f10 : ?config:config -> unit -> Report.result
 
+(** F11 (robustness): contaminate 0–20% of the measured speedups with
+    heavy-tailed two-sided spikes, fit L2 and Huber-IRLS on the
+    contaminated data and score both against the clean measurements; the
+    notes report the per-rate correlation and false-prediction gap. *)
+val f11 : ?config:config -> unit -> Report.result
+
 type t1_row = {
   t1_transform : string;
   t1_baseline : float;

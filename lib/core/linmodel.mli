@@ -1,8 +1,12 @@
 (** The refined linear cost models: fitted over instruction-class features
-    with L2, NNLS or SVR, targeting either the speedup directly or block
-    costs shared between scalar and vector code. *)
+    with L2, NNLS, SVR or robust Huber-IRLS, targeting either the speedup
+    directly or block costs shared between scalar and vector code. *)
 
-type fit_method = L2 | Nnls | Svr
+(** [Huber] is iteratively reweighted least squares under the Huber loss
+    (k = 1.345, scale re-estimated as 1.4826 * MAD each iteration): it
+    matches L2 on clean data and down-weights heavy-tailed measurement
+    outliers instead of letting them steer the fit. *)
+type fit_method = L2 | Nnls | Svr | Huber
 
 val fit_method_to_string : fit_method -> string
 
@@ -39,5 +43,8 @@ val predict_all : t -> Dataset.sample list -> float array
 val to_string : t -> string
 
 val of_string : string -> (t, string) result
+
+(** Atomic (temp file + rename): a crash mid-save never leaves a
+    truncated model file. *)
 val save : t -> string -> unit
 val load : string -> (t, string) result

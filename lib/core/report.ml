@@ -137,10 +137,9 @@ let scatter_csv ~names ~measured ~predicted =
     names;
   Buffer.contents b
 
-let write_file path contents =
-  let oc = open_out path in
-  Fun.protect ~finally:(fun () -> close_out oc) (fun () ->
-      output_string oc contents)
+(* Atomic (temp file + fsync + rename): a reader racing the writer, or a
+   crash mid-write, never observes a truncated report. *)
+let write_file path contents = Checkpoint.write_atomic path contents
 
 (* --- ASCII histogram ------------------------------------------------------- *)
 

@@ -32,6 +32,8 @@ val to_csv : result -> string
 val scatter_csv :
   names:string array -> measured:float array -> predicted:float array -> string
 
+(** Atomic (temp file + fsync + rename): a crash mid-write never leaves a
+    truncated file. *)
 val write_file : string -> string -> unit
 
 (** ASCII histogram of a sample. *)

@@ -55,4 +55,13 @@ let measure ?(noise_amp = default_noise) ?(seed = 1) (d : Descr.t) ~n
   let noisy =
     clean *. noise_factor ~amp:noise_amp ~seed vk.scalar.Kernel.name d.name
   in
+  (* Fault-injection hook: under the active plan the "hardware" speedup can
+     come back NaN, infinite, or spiked.  Keyed on content (kernel, machine,
+     seed) so injection is identical across worker counts. *)
+  let noisy =
+    Vfault.Inject.measurement
+      ~key:
+        (vk.scalar.Kernel.name ^ "@" ^ d.name ^ "#" ^ string_of_int seed)
+      noisy
+  in
   { scalar_cycles; vector_cycles; speedup = noisy; speedup_clean = clean }

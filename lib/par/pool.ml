@@ -7,7 +7,15 @@
    shared queue alongside the workers, so a pool of [size] workers uses
    [size + 1] cores during a [parallel_map] and a machine with one core
    still makes progress.  Calls made from inside a worker (nested
-   parallelism) run sequentially instead of deadlocking on the fixed pool. *)
+   parallelism) run sequentially instead of deadlocking on the fixed pool.
+
+   Supervision: [supervised_map] isolates per-task failures (index,
+   message, backtrace), retries with deterministic backoff, applies
+   cooperative per-task timeouts, survives injected worker-domain crashes
+   by respawning replacements, and degrades to sequential execution when
+   domains cannot spawn at all.  Simulated faults (hangs, crashes) come
+   from the active [Vfault] plan, keyed by task — never by worker — so
+   outcomes are byte-identical across worker counts. *)
 
 type t = {
   size : int;
@@ -16,7 +24,11 @@ type t = {
   nonempty : Condition.t;  (* signalled when jobs are enqueued or stopping *)
   mutable stopping : bool;
   mutable workers : unit Domain.t list;
+  mutable alive : int;  (* workers still draining the queue *)
+  mutable degraded : bool;  (* Domain.spawn failed: run inline instead *)
 }
+
+exception Task_failed of { index : int; exn : exn; backtrace : string }
 
 (* Set in every worker domain: parallel entry points called from a worker
    fall back to sequential execution rather than blocking on a queue that
@@ -28,6 +40,39 @@ let sequential_flag = Atomic.make false
 
 let set_sequential b = Atomic.set sequential_flag b
 let sequential () = Atomic.get sequential_flag
+
+(* --- supervision statistics (process-wide) ------------------------------- *)
+
+type stats = {
+  st_crashes : int;  (* injected worker-domain crashes observed *)
+  st_respawned : int;  (* replacement workers spawned *)
+  st_timeouts : int;  (* tasks cancelled at their deadline *)
+  st_retries : int;  (* task re-executions after a failure *)
+  st_failures : int;  (* tasks that exhausted their retry budget *)
+  st_degraded : int;  (* fan-outs that fell back to sequential *)
+}
+
+let crashes = Atomic.make 0
+let respawned = Atomic.make 0
+let timeouts = Atomic.make 0
+let retried = Atomic.make 0
+let failures = Atomic.make 0
+let degraded_runs = Atomic.make 0
+
+let stats () =
+  { st_crashes = Atomic.get crashes;
+    st_respawned = Atomic.get respawned;
+    st_timeouts = Atomic.get timeouts;
+    st_retries = Atomic.get retried;
+    st_failures = Atomic.get failures;
+    st_degraded = Atomic.get degraded_runs }
+
+let reset_stats () =
+  List.iter
+    (fun a -> Atomic.set a 0)
+    [ crashes; respawned; timeouts; retried; failures; degraded_runs ]
+
+(* --- worker lifecycle ----------------------------------------------------- *)
 
 let take_job pool =
   Mutex.lock pool.mutex;
@@ -45,27 +90,71 @@ let take_job pool =
   Mutex.unlock pool.mutex;
   job
 
+(* A job that raises [Vfault.Inject.Injected_crash] past its own
+   accounting kills the worker running it: the loop exits and the domain
+   terminates, exactly like a real crashed worker.  Any other escaped
+   exception is a bug in the job wrapper, but must not take the whole
+   process down, so it also just ends the worker. *)
 let rec worker_loop pool =
   match take_job pool with
   | None -> ()
-  | Some job ->
-      job ();
-      worker_loop pool
+  | Some job -> (
+      match job () with
+      | () -> worker_loop pool
+      | exception _ ->
+          Mutex.lock pool.mutex;
+          pool.alive <- pool.alive - 1;
+          Mutex.unlock pool.mutex)
+
+let spawn_worker pool =
+  Domain.spawn (fun () ->
+      Domain.DLS.set in_worker true;
+      worker_loop pool)
 
 let create ~size =
   if size < 1 then invalid_arg "Pool.create: size must be >= 1";
   let pool =
     { size; jobs = Queue.create (); mutex = Mutex.create ();
-      nonempty = Condition.create (); stopping = false; workers = [] }
+      nonempty = Condition.create (); stopping = false; workers = [];
+      alive = 0; degraded = false }
   in
-  pool.workers <-
-    List.init size (fun _ ->
-        Domain.spawn (fun () ->
-            Domain.DLS.set in_worker true;
-            worker_loop pool));
+  (try
+     for _ = 1 to size do
+       let w = spawn_worker pool in
+       pool.workers <- w :: pool.workers;
+       pool.alive <- pool.alive + 1
+     done
+   with _ ->
+     (* The runtime refused to spawn (more) domains.  Whatever workers did
+        start still serve; with zero the pool runs everything inline. *)
+     if pool.alive = 0 then pool.degraded <- true);
   pool
 
+(* Replace workers lost to (injected) crashes before a fan-out.  If the
+   runtime cannot spawn replacements the pool keeps whatever is alive and,
+   at zero, degrades to inline execution. *)
+let ensure_workers pool =
+  Mutex.lock pool.mutex;
+  let missing = pool.size - pool.alive in
+  if missing > 0 && not pool.stopping then begin
+    (try
+       for _ = 1 to missing do
+         let w = spawn_worker pool in
+         pool.workers <- w :: pool.workers;
+         pool.alive <- pool.alive + 1;
+         Atomic.incr respawned
+       done
+     with _ -> if pool.alive = 0 then pool.degraded <- true)
+  end;
+  Mutex.unlock pool.mutex
+
 let size pool = pool.size
+
+let alive_workers pool =
+  Mutex.lock pool.mutex;
+  let n = pool.alive in
+  Mutex.unlock pool.mutex;
+  n
 
 let shutdown pool =
   Mutex.lock pool.mutex;
@@ -73,20 +162,38 @@ let shutdown pool =
   Condition.broadcast pool.nonempty;
   Mutex.unlock pool.mutex;
   List.iter Domain.join pool.workers;
-  pool.workers <- []
+  pool.workers <- [];
+  pool.alive <- 0
 
 (* --- the shared default pool -------------------------------------------- *)
 
 let default_pool = ref None
 let default_lock = Mutex.create ()
 
+let parse_jobs s =
+  let s = String.trim s in
+  match int_of_string_opt s with
+  | Some n when n >= 1 -> Ok n
+  | Some n -> Error (Printf.sprintf "must be a positive integer, got %d" n)
+  | None -> Error (Printf.sprintf "malformed integer %S" s)
+
+let jobs_warned = ref false
+
 let jobs_override () =
   match Sys.getenv_opt "VECMODEL_JOBS" with
-  | Some s ->
-      (match int_of_string_opt (String.trim s) with
-       | Some n when n >= 1 -> Some n
-       | Some _ | None -> None)
   | None -> None
+  | Some s -> (
+      match parse_jobs s with
+      | Ok n -> Some n
+      | Error e ->
+          if not !jobs_warned then begin
+            jobs_warned := true;
+            Printf.eprintf
+              "vecmodel: ignoring VECMODEL_JOBS (%s); using the default \
+               worker count\n%!"
+              e
+          end;
+          None)
 
 let default_size () =
   match jobs_override () with
@@ -123,64 +230,98 @@ let ranges ~n ~chunk =
   in
   go 0 []
 
+(* Record the failure with the smallest task index: first-by-index is
+   stable across worker counts and chunkings, first-observed is not. *)
+let record_failure slot i e bt =
+  match !slot with
+  | Some (j, _, _) when j <= i -> ()
+  | _ -> slot := Some (i, e, bt)
+
 let run_indexed ?pool ?chunk ~n compute =
-  if n > 0 then
+  if n > 0 then begin
+    let first_exn = ref None in
+    let finish () =
+      match !first_exn with
+      | Some (index, exn, backtrace) ->
+          raise (Task_failed { index; exn; backtrace })
+      | None -> ()
+    in
+    let inline_pool_degraded =
+      match pool with Some p -> p.degraded | None -> false
+    in
     if sequential () || Domain.DLS.get in_worker
        || (Option.is_none pool && inline_default ())
-    then
+       || inline_pool_degraded
+    then begin
       for i = 0 to n - 1 do
-        compute i
-      done
+        try compute i
+        with e -> record_failure first_exn i e (Printexc.get_backtrace ())
+      done;
+      finish ()
+    end
     else begin
       let pool = match pool with Some p -> p | None -> default () in
-      let chunk =
-        match chunk with
-        | Some c -> max 1 c
-        | None -> max 1 (n / ((pool.size + 1) * 4))
-      in
-      let ranges = ranges ~n ~chunk in
-      let m = Mutex.create () in
-      let finished = Condition.create () in
-      let remaining = ref (List.length ranges) in
-      let first_exn = ref None in
-      let job (lo, hi) () =
-        (try
-           for i = lo to hi do
-             compute i
-           done
-         with e ->
-           Mutex.lock m;
-           if !first_exn = None then first_exn := Some e;
-           Mutex.unlock m);
-        Mutex.lock m;
-        decr remaining;
-        if !remaining = 0 then Condition.broadcast finished;
-        Mutex.unlock m
-      in
-      Mutex.lock pool.mutex;
-      List.iter (fun r -> Queue.add (job r) pool.jobs) ranges;
-      Condition.broadcast pool.nonempty;
-      Mutex.unlock pool.mutex;
-      (* Help: drain the queue until empty, then wait for our last chunks
-         (which another worker may still be running). *)
-      let rec help () =
+      if pool.degraded then begin
+        for i = 0 to n - 1 do
+          try compute i
+          with e -> record_failure first_exn i e (Printexc.get_backtrace ())
+        done;
+        finish ()
+      end
+      else begin
+        ensure_workers pool;
+        let chunk =
+          match chunk with
+          | Some c -> max 1 c
+          | None -> max 1 (n / ((pool.size + 1) * 4))
+        in
+        let ranges = ranges ~n ~chunk in
+        let m = Mutex.create () in
+        let finished = Condition.create () in
+        let remaining = ref (List.length ranges) in
+        let job (lo, hi) () =
+          Fun.protect
+            ~finally:(fun () ->
+              Mutex.lock m;
+              decr remaining;
+              if !remaining = 0 then Condition.broadcast finished;
+              Mutex.unlock m)
+            (fun () ->
+              for i = lo to hi do
+                try compute i
+                with e ->
+                  let bt = Printexc.get_backtrace () in
+                  Mutex.lock m;
+                  record_failure first_exn i e bt;
+                  Mutex.unlock m
+              done)
+        in
         Mutex.lock pool.mutex;
-        let j = Queue.take_opt pool.jobs in
+        List.iter (fun r -> Queue.add (job r) pool.jobs) ranges;
+        Condition.broadcast pool.nonempty;
         Mutex.unlock pool.mutex;
-        match j with
-        | Some j ->
-            j ();
-            help ()
-        | None -> ()
-      in
-      help ();
-      Mutex.lock m;
-      while !remaining > 0 do
-        Condition.wait finished m
-      done;
-      Mutex.unlock m;
-      match !first_exn with Some e -> raise e | None -> ()
+        (* Help: drain the queue until empty, then wait for our last chunks
+           (which another worker may still be running). *)
+        let rec help () =
+          Mutex.lock pool.mutex;
+          let j = Queue.take_opt pool.jobs in
+          Mutex.unlock pool.mutex;
+          match j with
+          | Some j ->
+              j ();
+              help ()
+          | None -> ()
+        in
+        help ();
+        Mutex.lock m;
+        while !remaining > 0 do
+          Condition.wait finished m
+        done;
+        Mutex.unlock m;
+        finish ()
+      end
     end
+  end
 
 let parallel_mapi_array ?pool ?chunk f arr =
   let n = Array.length arr in
@@ -197,5 +338,223 @@ let parallel_map_array ?pool ?chunk f arr =
 let parallel_map ?pool ?chunk f l =
   match l with
   | [] -> []
-  | [ x ] -> [ f x ]
+  | [ x ] -> (
+      try [ f x ]
+      with e ->
+        let backtrace = Printexc.get_backtrace () in
+        raise (Task_failed { index = 0; exn = e; backtrace }))
   | _ -> Array.to_list (parallel_map_array ?pool ?chunk f (Array.of_list l))
+
+(* --- supervised fan-out ---------------------------------------------------
+
+   One job per task (tasks on this path are heavyweight: a full sample
+   build), retried for up to [retries] extra attempts.  Between rounds the
+   submitter sleeps a deterministic exponential backoff and replaces any
+   worker domain lost to a crash.  Timeouts are cooperative: genuine
+   compute in this simulated system cannot hang, so the only blocking
+   primitive — the injected hang — sleeps in slices and honours the
+   task's deadline by raising [Task_timeout], which cancels the task
+   without abandoning the worker. *)
+
+type failure = {
+  f_index : int;
+  f_attempts : int;
+  f_error : string;
+  f_backtrace : string;
+}
+
+exception Task_timeout of float
+
+(* Cap on *real* seconds slept per simulated hang, so fault-heavy test
+   runs stay fast while nominal durations still drive the timeout logic. *)
+let hang_real_cap = 0.02
+
+type 'b slot =
+  | Pending
+  | Done of 'b
+  | Crashed of int (* attempts so far *)
+  | Failed of failure
+
+let supervised_map ?pool ?(retries = 2) ?timeout_s ?(backoff_s = 0.0)
+    ?(task_key = string_of_int) f inputs =
+  let arr = Array.of_list inputs in
+  let n = Array.length arr in
+  if n = 0 then []
+  else begin
+    let slots = Array.make n Pending in
+    let slot_mutex = Mutex.create () in
+    let set i v =
+      Mutex.lock slot_mutex;
+      slots.(i) <- v;
+      Mutex.unlock slot_mutex
+    in
+    (* Runs task [i] for the given attempt and stores the outcome.
+       Returns [true] when a simulated crash must also kill the calling
+       worker domain (the side effect is applied by the caller, which
+       knows whether it is a worker). *)
+    let run_one ~attempt i =
+      let key = Printf.sprintf "%s#%d" (task_key i) attempt in
+      try
+        (* Hang before crash: an execution can stall and *then* take its
+           worker down, which is also what keeps crashing executions on
+           worker domains long enough for supervision to be observable. *)
+        (match Vfault.Inject.pool_hang ~key with
+         | Some dur -> (
+             match timeout_s with
+             | Some deadline when dur > deadline ->
+                 (* The task would still be hung at its deadline: the
+                    supervisor cancels it.  Sleep the (capped) deadline
+                    to keep the wall-clock shape honest. *)
+                 Unix.sleepf (Float.min deadline hang_real_cap);
+                 raise (Task_timeout dur)
+             | _ -> Unix.sleepf (Float.min dur hang_real_cap))
+         | None -> ());
+        if Vfault.Inject.pool_crash ~key then begin
+          Atomic.incr crashes;
+          set i (Crashed attempt);
+          true
+        end
+        else begin
+          set i (Done (f arr.(i)));
+          false
+        end
+      with
+        | Task_timeout dur ->
+            Atomic.incr timeouts;
+            set i
+              (Failed
+                 { f_index = i; f_attempts = attempt + 1;
+                   f_error =
+                     Printf.sprintf
+                       "timed out after %gs (simulated hang of %gs)"
+                       (Option.value ~default:0.0 timeout_s) dur;
+                   f_backtrace = "" });
+            false
+        | Vfault.Inject.Injected_crash _ ->
+            Atomic.incr crashes;
+            set i (Crashed attempt);
+            true
+        | e ->
+            let bt = Printexc.get_backtrace () in
+            set i
+              (Failed
+                 { f_index = i; f_attempts = attempt + 1;
+                   f_error = Printexc.to_string e; f_backtrace = bt });
+            false
+    in
+    let pending () =
+      let l = ref [] in
+      Mutex.lock slot_mutex;
+      for i = n - 1 downto 0 do
+        match slots.(i) with
+        | Pending -> l := (i, 0) :: !l
+        | Crashed a -> l := (i, a + 1) :: !l
+        | Failed fl -> l := (i, fl.f_attempts) :: !l
+        | Done _ -> ()
+      done;
+      Mutex.unlock slot_mutex;
+      !l
+    in
+    let run_round_inline tasks =
+      List.iter (fun (i, attempt) -> ignore (run_one ~attempt i)) tasks
+    in
+    let run_round_pool pool tasks =
+      ensure_workers pool;
+      if alive_workers pool = 0 then begin
+        Atomic.incr degraded_runs;
+        run_round_inline tasks
+      end
+      else begin
+        let m = Mutex.create () in
+        let finished = Condition.create () in
+        let remaining = ref (List.length tasks) in
+        let job (i, attempt) () =
+          let kill_worker = ref false in
+          Fun.protect
+            ~finally:(fun () ->
+              Mutex.lock m;
+              decr remaining;
+              if !remaining = 0 then Condition.broadcast finished;
+              Mutex.unlock m;
+              if !kill_worker && Domain.DLS.get in_worker then
+                raise (Vfault.Inject.Injected_crash (task_key i)))
+            (fun () -> kill_worker := run_one ~attempt i)
+        in
+        Mutex.lock pool.mutex;
+        List.iter (fun t -> Queue.add (job t) pool.jobs) tasks;
+        Condition.broadcast pool.nonempty;
+        Mutex.unlock pool.mutex;
+        let rec help () =
+          Mutex.lock pool.mutex;
+          let j = Queue.take_opt pool.jobs in
+          Mutex.unlock pool.mutex;
+          match j with
+          | Some j ->
+              (try j ()
+               with Vfault.Inject.Injected_crash _ ->
+                 (* The submitting domain is not a worker: the crash was
+                    already recorded, only the domain-death side effect is
+                    dropped. *)
+                 ());
+              help ()
+          | None -> ()
+        in
+        help ();
+        Mutex.lock m;
+        while !remaining > 0 do
+          Condition.wait finished m
+        done;
+        Mutex.unlock m
+      end
+    in
+    let inline_only =
+      sequential () || Domain.DLS.get in_worker
+      || (Option.is_none pool && inline_default ())
+    in
+    let pool =
+      if inline_only then None
+      else
+        let p = match pool with Some p -> p | None -> default () in
+        if p.degraded then begin
+          Atomic.incr degraded_runs;
+          None
+        end
+        else Some p
+    in
+    let rec rounds attempt =
+      let tasks = pending () in
+      if tasks <> [] && attempt <= retries then begin
+        if attempt > 0 then begin
+          List.iter (fun _ -> Atomic.incr retried) tasks;
+          if backoff_s > 0.0 then
+            Unix.sleepf (backoff_s *. (2.0 ** float_of_int (attempt - 1)))
+        end;
+        (match pool with
+        | Some p -> run_round_pool p tasks
+        | None -> run_round_inline tasks);
+        rounds (attempt + 1)
+      end
+    in
+    rounds 0;
+    Array.to_list
+      (Array.mapi
+         (fun i slot ->
+           match slot with
+           | Done v -> Ok v
+           | Failed fl ->
+               Atomic.incr failures;
+               Error fl
+           | Crashed a ->
+               Atomic.incr failures;
+               Error
+                 { f_index = i; f_attempts = a + 1;
+                   f_error = "worker domain crashed (injected)";
+                   f_backtrace = "" }
+           | Pending ->
+               (* Unreachable: every round attempts all pending tasks. *)
+               Atomic.incr failures;
+               Error
+                 { f_index = i; f_attempts = 0; f_error = "task never ran";
+                   f_backtrace = "" })
+         slots)
+  end

@@ -3,14 +3,31 @@
     worker computed them.  The submitting domain helps drain the queue, so
     a pool of [size] workers uses [size + 1] cores during a map.  Parallel
     calls made from inside a worker run sequentially (no deadlock on the
-    fixed pool), so nested [parallel_map] is safe for pure functions. *)
+    fixed pool), so nested [parallel_map] is safe for pure functions.
+
+    The pool is supervised: task failures are isolated with their index
+    and backtrace, worker domains lost to (injected) crashes are replaced
+    before the next fan-out, and {!supervised_map} adds bounded retry,
+    deterministic backoff and cooperative per-task timeouts on top. *)
 
 type t
 
-(** [create ~size] spawns [size] worker domains ([size >= 1]). *)
+(** Raised by the map entry points when one or more task applications
+    raised: the failure with the {e smallest} task index (stable across
+    worker counts and chunkings), with the original exception and its
+    captured backtrace. *)
+exception Task_failed of { index : int; exn : exn; backtrace : string }
+
+(** [create ~size] spawns [size] worker domains ([size >= 1]).  If the
+    runtime refuses to spawn any domain the pool degrades to inline
+    execution instead of failing. *)
 val create : size:int -> t
 
 val size : t -> int
+
+(** Worker domains currently serving the queue (crashed workers are
+    replaced lazily, before the next fan-out). *)
+val alive_workers : t -> int
 
 (** Stop the workers and join them.  Pending jobs are dropped; only call
     once every submitted map has returned. *)
@@ -22,8 +39,14 @@ val default : unit -> t
 
 (** Worker count for the default pool: [$VECMODEL_JOBS] when set to a
     positive integer, else [Domain.recommended_domain_count () - 1]
-    (at least 1). *)
+    (at least 1).  A malformed or non-positive [$VECMODEL_JOBS] is
+    rejected with a one-line warning on stderr (once per process) and
+    ignored. *)
 val default_size : unit -> int
+
+(** Validate a [$VECMODEL_JOBS] value: [Ok n] for a positive integer,
+    [Error reason] otherwise. *)
+val parse_jobs : string -> (int, string) result
 
 (** Force every parallel entry point to run sequentially in the calling
     domain (used to time serial baselines).  Off by default. *)
@@ -33,8 +56,9 @@ val sequential : unit -> bool
 
 (** [parallel_map f l] = [List.map f l] for pure [f], computed on the pool
     ([?pool] defaults to the shared pool) in chunks of [?chunk] elements
-    (default: a multiple of the pool size).  If any application raises, the
-    first exception observed is re-raised after all chunks finish.
+    (default: a multiple of the pool size).  If any application raises,
+    {!Task_failed} carrying the smallest failing index, the original
+    exception and its backtrace is raised after all chunks finish.
 
     On a single-core host ([Domain.recommended_domain_count () < 2] and no
     [VECMODEL_JOBS] override) calls without an explicit [?pool] run inline
@@ -49,3 +73,50 @@ val parallel_map_array :
 (** Array variant with the element index, [Array.mapi]-style. *)
 val parallel_mapi_array :
   ?pool:t -> ?chunk:int -> (int -> 'a -> 'b) -> 'a array -> 'b array
+
+(** {2 Supervised fan-out} *)
+
+(** Why a task ended without a result after its retry budget. *)
+type failure = {
+  f_index : int;  (** task index in the input list *)
+  f_attempts : int;  (** executions consumed, including retries *)
+  f_error : string;  (** printed exception, timeout or crash reason *)
+  f_backtrace : string;  (** backtrace of the last failure, possibly [""] *)
+}
+
+(** [supervised_map f l] maps [f] over [l] on the pool with per-task
+    fault isolation: each task yields [Ok (f x)] or, after [?retries]
+    (default 2) additional attempts, [Error failure] — in input order,
+    never an exception from [f].
+
+    Failed tasks are retried in rounds; between rounds the submitter
+    sleeps [?backoff_s] doubling per round (default 0, no sleep) and
+    replaces worker domains lost to injected crashes.  [?timeout_s]
+    cancels a task whose simulated hang exceeds it (cooperative: real
+    compute in this model cannot block).  [?task_key] names tasks for
+    fault-plan decisions (default: the index as a string) — pass a
+    content-derived key to keep injection byte-identical across runs
+    with different worker counts and input orders. *)
+val supervised_map :
+  ?pool:t ->
+  ?retries:int ->
+  ?timeout_s:float ->
+  ?backoff_s:float ->
+  ?task_key:(int -> string) ->
+  ('a -> 'b) ->
+  'a list ->
+  ('b, failure) result list
+
+(** {2 Supervision statistics (process-wide)} *)
+
+type stats = {
+  st_crashes : int;  (** injected worker-domain crashes observed *)
+  st_respawned : int;  (** replacement worker domains spawned *)
+  st_timeouts : int;  (** tasks cancelled at their deadline *)
+  st_retries : int;  (** task re-executions after a failure *)
+  st_failures : int;  (** tasks that exhausted their retry budget *)
+  st_degraded : int;  (** fan-outs that fell back to sequential *)
+}
+
+val stats : unit -> stats
+val reset_stats : unit -> unit

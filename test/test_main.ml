@@ -1,4 +1,13 @@
-(* Aggregated test runner for the whole reproduction. *)
+(* Aggregated test runner for the whole reproduction.
+
+   The environment's fault plan (VECMODEL_FAULTS) is captured and then
+   pinned to empty for the run: the golden/numeric suites assert exact
+   values and must stay green under a fault-injection CI job.  The fault
+   suite itself exercises injection through explicit plans (including the
+   captured environment plan). *)
+
+let () = Test_fault.captured_env_plan := Vfault.Inject.env_plan ()
+let () = Vfault.Inject.set_active Vfault.Plan.empty
 
 let () =
   Alcotest.run "vecmodel"
@@ -23,4 +32,5 @@ let () =
       ("extensions", Test_extensions.tests);
       ("analysis", Test_analysis.tests);
       ("absint", Test_absint.tests);
-      ("par", Test_par.tests) ]
+      ("par", Test_par.tests);
+      ("fault", Test_fault.tests) ]

@@ -50,11 +50,19 @@ let test_pool_exception () =
   Fun.protect
     ~finally:(fun () -> Vpar.Pool.shutdown pool)
     (fun () ->
-      Alcotest.check_raises "exception propagates" (Failure "boom") (fun () ->
-          ignore
-            (Vpar.Pool.parallel_map ~pool ~chunk:4
-               (fun x -> if x = 50 then failwith "boom" else x)
-               (List.init 100 (fun i -> i)))))
+      (* Failures surface as Task_failed carrying the *smallest* failing
+         index (stable across worker counts), the original exception and
+         its backtrace. *)
+      match
+        Vpar.Pool.parallel_map ~pool ~chunk:4
+          (fun x -> if x >= 50 then failwith (Printf.sprintf "boom%d" x) else x)
+          (List.init 100 (fun i -> i))
+      with
+      | _ -> Alcotest.fail "expected Task_failed"
+      | exception Vpar.Pool.Task_failed { index; exn; backtrace } ->
+          check_int "smallest failing index" 50 index;
+          check_bool "original exception" true (exn = Failure "boom50");
+          check_bool "backtrace captured" true (String.length backtrace > 0))
 
 let test_pool_sequential_flag () =
   Vpar.Pool.set_sequential true;
