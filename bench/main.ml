@@ -187,6 +187,7 @@ let experiments : (string * (unit -> unit)) list =
     ("f9", fun () -> Report.print (Experiment.f9 ()));
     ("f10", fun () -> Report.print (Experiment.f10 ()));
     ("f11", fun () -> Report.print (Experiment.f11 ()));
+    ("f12", fun () -> Report.print (Experiment.f12 ()));
     ("t1", run_t1);
     ("t2", fun () -> Report.print (Experiment.t2 ()));
     ("a1", fun () -> Report.print (Experiment.a1 ()));
@@ -313,6 +314,7 @@ let json_experiments : (string * (unit -> unit)) list =
     ("F9", fun () -> ignore (Experiment.f9 ()));
     ("F10", fun () -> ignore (Experiment.f10 ()));
     ("F11", fun () -> ignore (Experiment.f11 ()));
+    ("F12", fun () -> ignore (Experiment.f12 ()));
     ( "ABSINT",
       fun () ->
         List.iter
@@ -431,6 +433,23 @@ let bench_json out =
   in
   Printf.printf "   OPT  pipeline %8.4fs over %d kernels\n%!" opt_wall
     (List.length opt_kernels);
+  (* The dependence engine over the same registry: graph-build wall time
+     plus the legality oracle cross-checked against the validator —
+     precision is the empirical soundness witness preserved in the
+     artifact. *)
+  let deps_configs = ref [] in
+  let deps_wall =
+    wall (fun () ->
+        deps_configs := Vanalysis.Depsreport.crosscheck opt_kernels)
+  in
+  let deps_stats = Vanalysis.Depsreport.stats !deps_configs in
+  Printf.printf
+    "   DEPS crosscheck %8.4fs over %d configs (precision %.4f, recall \
+     %.4f)\n%!"
+    deps_wall
+    (List.length !deps_configs)
+    (Vanalysis.Depsreport.precision deps_stats)
+    (Vanalysis.Depsreport.recall deps_stats);
   let b = Buffer.create 4096 in
   Buffer.add_string b "{\n  \"benchmark\": \"pipeline\",\n";
   Buffer.add_string b
@@ -461,6 +480,17 @@ let bench_json out =
           (List.map
              (fun (c, v) -> Printf.sprintf "\"%s\": %.4f" c v)
              opt_mean_reduction)));
+  Buffer.add_string b
+    (Printf.sprintf
+       "  \"deps\": {\"wall_s\": %.6f, \"configs\": %d, \"tp\": %d, \
+        \"fp\": %d, \"fn\": %d, \"tn\": %d, \"inapplicable\": %d, \
+        \"precision\": %.6f, \"recall\": %.6f},\n"
+       deps_wall
+       (List.length !deps_configs)
+       deps_stats.Vanalysis.Depsreport.st_tp deps_stats.st_fp deps_stats.st_fn
+       deps_stats.st_tn deps_stats.st_inapplicable
+       (Vanalysis.Depsreport.precision deps_stats)
+       (Vanalysis.Depsreport.recall deps_stats));
   Buffer.add_string b
     (Printf.sprintf
        "  \"cache\": {\"hits\": %d, \"misses\": %d, \"entries\": %d},\n"

@@ -3,6 +3,7 @@
      vecmodel list [--category C]
      vecmodel show KERNEL
      vecmodel lint [KERNEL | --all] [--transform T] [--vf N ...] [--json]
+     vecmodel deps [KERNEL | --all] [--json] [--crosscheck] [--vf N ...]
      vecmodel opt [KERNEL | --all] [--json] [--validate]
      vecmodel simulate KERNEL [--machine M] [--n N] [--transform T]
      vecmodel fit [--machine M] [--method m] [--features f] [--target t]
@@ -122,11 +123,12 @@ let features_conv =
     | "extended" -> Ok Linmodel.Extended
     | "absint" -> Ok Linmodel.Absint
     | "opt" -> Ok Linmodel.Opt
+    | "deps" -> Ok Linmodel.Deps
     | s ->
         Error
           (`Msg
             (Printf.sprintf
-               "unknown feature kind %s (raw|rated|extended|absint|opt)" s))
+               "unknown feature kind %s (raw|rated|extended|absint|opt|deps)" s))
   in
   Arg.conv
     (parse, fun fmt f -> Format.pp_print_string fmt (Linmodel.feature_kind_to_string f))
@@ -135,7 +137,7 @@ let features_arg =
   Arg.(
     value & opt features_conv Linmodel.Rated
     & info [ "features" ] ~docv:"F"
-        ~doc:"Feature kind: raw, rated, extended, absint or opt.")
+        ~doc:"Feature kind: raw, rated, extended, absint, opt or deps.")
 
 let target_conv =
   let parse = function
@@ -323,6 +325,111 @@ let lint_cmd =
       const run $ kernel_opt $ all_flag $ transforms_arg $ vfs_arg $ json_flag
       $ verbose_flag)
 
+(* --- deps ----------------------------------------------------------------- *)
+
+let deps_cmd =
+  let kernel_opt =
+    Arg.(
+      value & pos 0 (some string) None
+      & info [] ~docv:"KERNEL"
+          ~doc:"TSVC kernel to analyze (omit with --all).")
+  in
+  let all_flag =
+    Arg.(
+      value & flag
+      & info [ "all"; "a" ] ~doc:"Analyze every kernel in the TSVC registry.")
+  in
+  let json_flag =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"Emit the summaries as a JSON array on stdout.")
+  in
+  let crosscheck_flag =
+    Arg.(
+      value & flag
+      & info [ "crosscheck" ]
+          ~doc:
+            "Force LLV and SLP at every factor, bypassing the legality \
+             oracle, and cross-check each verdict against the translation \
+             validator plus the reference interpreter.  Exits 1 on any \
+             oracle-legal configuration the validator refutes.")
+  in
+  let vfs_arg =
+    Arg.(
+      value & opt_all int []
+      & info [ "vf" ] ~docv:"N"
+          ~doc:
+            "Vectorization factor for the cross-check (repeatable). \
+             Default: 2 4 8.")
+  in
+  let run kernel all json crosscheck vfs =
+    (match List.find_opt (fun vf -> vf < 2) vfs with
+    | Some vf ->
+        Printf.eprintf "vecmodel: --vf %d: vector factor must be >= 2\n" vf;
+        exit 124
+    | None -> ());
+    let entries =
+      match (kernel, all) with
+      | Some name, false -> (
+          match Tsvc.Registry.find name with
+          | Some e -> [ e ]
+          | None ->
+              Printf.eprintf
+                "vecmodel: unknown kernel %s (try `vecmodel list`)\n" name;
+              exit 124)
+      | None, true | None, false -> Tsvc.Registry.all
+      | Some _, true ->
+          Printf.eprintf "vecmodel: pass either KERNEL or --all, not both\n";
+          exit 124
+    in
+    let kernels =
+      List.map (fun (e : Tsvc.Registry.entry) -> e.kernel) entries
+    in
+    let vfs = if vfs = [] then None else Some vfs in
+    if crosscheck then begin
+      let configs = Vanalysis.Depsreport.crosscheck ?vfs kernels in
+      let st = Vanalysis.Depsreport.stats configs in
+      if json then
+        print_endline
+          (Printf.sprintf
+             "{\"configs\":%d,\"tp\":%d,\"fp\":%d,\"fn\":%d,\"tn\":%d,\
+              \"inapplicable\":%d,\"precision\":%.4f,\"recall\":%.4f}"
+             (List.length configs) st.Vanalysis.Depsreport.st_tp st.st_fp
+             st.st_fn st.st_tn st.st_inapplicable
+             (Vanalysis.Depsreport.precision st)
+             (Vanalysis.Depsreport.recall st))
+      else begin
+        List.iter
+          (fun c ->
+            print_endline (Vanalysis.Depsreport.config_to_string c))
+          (Vanalysis.Depsreport.failures configs);
+        Printf.printf
+          "%d configuration(s): %d legal+validated, %d SOUNDNESS FAILURE(S), \
+           %d conservative, %d refuted, %d inapplicable\n"
+          (List.length configs) st.Vanalysis.Depsreport.st_tp st.st_fp
+          st.st_fn st.st_tn st.st_inapplicable;
+        Printf.printf "oracle precision %.4f, recall %.4f\n"
+          (Vanalysis.Depsreport.precision st)
+          (Vanalysis.Depsreport.recall st)
+      end;
+      if not (Vanalysis.Depsreport.sound configs) then exit 1
+    end
+    else begin
+      let summaries = Vanalysis.Depsreport.summarize_kernels kernels in
+      if json then
+        print_endline (Vanalysis.Depsreport.summaries_to_json summaries)
+      else
+        List.iter (Vanalysis.Depsreport.print_summary stdout) summaries
+    end
+  in
+  Cmd.v
+    (Cmd.info "deps"
+       ~doc:
+         "Nest-wide dependence graph, idiom tags and the legality verdict \
+          space; optionally cross-check the oracle against the validator")
+    Term.(
+      const run $ kernel_opt $ all_flag $ json_flag $ crosscheck_flag $ vfs_arg)
+
 (* --- absint ------------------------------------------------------------------ *)
 
 let absint_cmd =
@@ -505,6 +612,7 @@ let fit_cmd =
     print_endline "weights:";
     let weight_names =
       match features with
+      | Linmodel.Deps -> Feature.deps_names
       | Linmodel.Opt -> Feature.opt_names
       | Linmodel.Absint -> Feature.absint_names
       | Linmodel.Extended -> Feature.extended_names
@@ -567,13 +675,13 @@ let report_cmd =
   let which =
     Arg.(
       value & pos_all string []
-      & info [] ~docv:"EXPERIMENT" ~doc:"Experiment ids (f1..f11, t1, t2, a1..a10).")
+      & info [] ~docv:"EXPERIMENT" ~doc:"Experiment ids (f1..f12, t1, t2, a1..a10).")
   in
   let run which faults =
     apply_faults faults;
     let all =
       [ "f1"; "f2"; "f3"; "f4"; "f5"; "f6"; "f7"; "f8"; "f9"; "f10"; "f11";
-        "t1"; "t2"; "a1"; "a2"; "a3"; "a4"; "a5"; "a6"; "a7"; "a8"; "a9";
+        "f12"; "t1"; "t2"; "a1"; "a2"; "a3"; "a4"; "a5"; "a6"; "a7"; "a8"; "a9";
         "a10" ]
     in
     let wanted = if which = [] then all else which in
@@ -591,6 +699,7 @@ let report_cmd =
         | "f9" -> Report.print (Experiment.f9 ())
         | "f10" -> Report.print (Experiment.f10 ())
         | "f11" -> Report.print (Experiment.f11 ())
+        | "f12" -> Report.print (Experiment.f12 ())
         | "t2" -> Report.print (Experiment.t2 ())
         | "a1" -> Report.print (Experiment.a1 ())
         | "a2" ->
@@ -892,6 +1001,6 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ list_cmd; show_cmd; lint_cmd; absint_cmd; opt_cmd; simulate_cmd; fit_cmd;
+          [ list_cmd; show_cmd; lint_cmd; deps_cmd; absint_cmd; opt_cmd; simulate_cmd; fit_cmd;
             predict_cmd; loocv_cmd; report_cmd; cachestats_cmd; health_cmd;
             faults_cmd; export_machine_cmd ]))

@@ -343,3 +343,44 @@ let loop_invariant_compute (df : Dataflow.t) =
           :: !out)
     df.body;
   List.rev !out
+
+(* --- dependence-limited vectorization ------------------------------------------ *)
+
+(* The legality oracle caps the vectorization factor below the widest machine
+   width: every dependence that constrains the verdict is named, at its sink,
+   with the exact iteration distance.  This makes a silent [Max_vf] cap (the
+   single most common reason a loop "mysteriously" fails to vectorize at the
+   profitable width) visible in the lint report. *)
+let loop_carried_at_vf (df : Dataflow.t) =
+  match Vdeps.Dependence.vf_limit df.Dataflow.kernel with
+  | Vdeps.Dependence.Unlimited -> []
+  | Vdeps.Dependence.Max_vf m ->
+      Vdeps.Dependence.analyze df.Dataflow.kernel
+      |> List.filter Vdeps.Dependence.constrains
+      |> List.map (fun (d : Vdeps.Dependence.dep) ->
+             Diag.warning ~pass:"loop-carried-at-vf" ~kernel:(kname df)
+               ~pos:d.snk_pos
+               "%s dependence on %s (distance %s) caps the legal \
+                vectorization factor at %d"
+               (Vdeps.Dependence.kind_to_string d.kind)
+               d.array
+               (Vdeps.Dependence.distance_to_string d.distance)
+               m)
+
+(* --- legality resting on unproven aliasing ------------------------------------- *)
+
+(* Indirect (gather/scatter) subscripts are assumed conflict-free by the
+   oracle — the same contract a compiler discharges with a runtime alias
+   check.  Surface the assumption so it is never silent: a dataset built
+   from such a kernel embeds the assumption in every derived feature. *)
+let assumed_conflict_free (df : Dataflow.t) =
+  if not (Vdeps.Dependence.needs_runtime_assumption df.Dataflow.kernel) then []
+  else
+    Vdeps.Dependence.analyze df.Dataflow.kernel
+    |> List.filter (fun (d : Vdeps.Dependence.dep) -> d.assumed)
+    |> List.map (fun (d : Vdeps.Dependence.dep) ->
+           Diag.warning ~pass:"assumed-conflict-free" ~kernel:(kname df)
+             ~pos:d.snk_pos
+             "legality assumes index expressions on %s never conflict \
+              (would need a runtime alias check)"
+             d.array)

@@ -44,3 +44,11 @@ val dead_store : Dataflow.t -> Diag.t list
 (** Live values identical on every innermost iteration: hoistable work left
     in the body (what [Opt]'s LICM moves to the preheader prefix). *)
 val loop_invariant_compute : Dataflow.t -> Diag.t list
+
+(** Warn, at each constraining dependence's sink, when loop-carried
+    dependences cap the legal vectorization factor below the widest width. *)
+val loop_carried_at_vf : Dataflow.t -> Diag.t list
+
+(** Warn when the legality verdict rests on the conflict-free-subscripts
+    assumption for indirect accesses ([Vdeps.Dependence.needs_runtime_assumption]). *)
+val assumed_conflict_free : Dataflow.t -> Diag.t list

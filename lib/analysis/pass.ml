@@ -46,6 +46,12 @@ let builtin : t list =
     { name = "loop-invariant-compute";
       descr = "hoistable loop-invariant work left in the body";
       run = Lints.loop_invariant_compute };
+    { name = "loop-carried-at-vf";
+      descr = "dependences capping the legal vectorization factor";
+      run = Lints.loop_carried_at_vf };
+    { name = "assumed-conflict-free";
+      descr = "legality resting on assumed conflict-free index arrays";
+      run = Lints.assumed_conflict_free };
   ]
 
 let registry = ref builtin

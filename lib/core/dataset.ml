@@ -28,6 +28,7 @@ type sample = {
   extended : float array;  (* rated + derived features (extension) *)
   absint : float array;  (* extended + abstract-interpretation columns *)
   opt : float array;  (* absint of normalized body + ratio/hoist columns *)
+  deps : float array;  (* opt + dependence-graph and idiom columns *)
   vraw : float array;  (* vector body counts (cost-target fits) *)
   measured : float;  (* noisy measured speedup: the ground truth *)
   scalar_cycles_iter : float;  (* noisy per-iteration scalar cycles *)
@@ -184,6 +185,7 @@ let build_one ~noise_amp ~seed ~repeats ~(machine : Vmachine.Descr.t)
                 extended = Feature.extended k;
                 absint = Feature.absint ~n ~vf k;
                 opt = Feature.opt ~n ~vf k;
+                deps = Feature.deps ~n ~vf k;
                 vraw = Feature.vcounts vk;
                 measured = m.speedup;
                 scalar_cycles_iter = sest.Vmachine.Sched.cycles *. nf "#s";

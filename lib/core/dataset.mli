@@ -18,6 +18,8 @@ type sample = {
   absint : float array;  (** extended + abstract-interpretation columns *)
   opt : float array;
       (** absint features of the normalized body + ratio/hoist columns *)
+  deps : float array;
+      (** opt features + nest-wide dependence-graph and idiom columns *)
   vraw : float array;  (** vector body counts (cost-target fits) *)
   measured : float;  (** noisy measured speedup: the ground truth *)
   scalar_cycles_iter : float;

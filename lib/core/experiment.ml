@@ -45,8 +45,9 @@ let loocv_key ~method_ ~features ~target samples =
       Buffer.add_string b s.name;
       Buffer.add_string b
         (Marshal.to_string
-           ( s.raw, s.norm_raw, s.rated, s.extended, s.absint, s.opt, s.vraw,
-             s.vf, s.measured, s.scalar_cycles_iter, s.vector_cycles_block )
+           ( s.raw, s.norm_raw, s.rated, s.extended, s.absint, s.opt, s.deps,
+             s.vraw, s.vf, s.measured, s.scalar_cycles_iter,
+             s.vector_cycles_block )
            []))
     samples;
   Digest.string (Buffer.contents b)
@@ -379,6 +380,48 @@ let f11 ?(config = default_config) () =
   mk_result ~id:"F11"
     ~title:"Contamination: L2 vs Huber-IRLS under injected outliers"
     ~machine:machine.name ~transform:Dataset.Llv ~samples:clean rows notes
+
+(* --- F12: dependence-graph features --------------------------------------- *)
+
+(* The deps columns carry what the nest-wide dependence engine knows and no
+   instruction count can express: the tightest loop-carried distance (the
+   serialization pressure a legal-but-narrow width pays), carried-edge
+   counts split outer/innermost, and the recognized idiom flags.  The row
+   pair prints the fit with and without them; the note reports the
+   correlation delta and the oracle's registry-wide precision/recall
+   against the translation validator. *)
+let f12 ?(config = default_config) () =
+  let machine = Vmachine.Machines.neon_a57 in
+  let s = samples ~config ~machine ~transform:Dataset.Llv () in
+  let without =
+    fitted_row ~method_:Linmodel.Nnls ~features:Linmodel.Opt
+      ~target:Linmodel.Speedup "NNLS opt (no deps)" s
+  in
+  let with_ =
+    fitted_row ~method_:Linmodel.Nnls ~features:Linmodel.Deps
+      ~target:Linmodel.Speedup "NNLS deps (carried-dep, idiom columns)" s
+  in
+  let delta =
+    with_.Report.eval.Metrics.pearson -. without.Report.eval.Metrics.pearson
+  in
+  let configs =
+    Vanalysis.Depsreport.crosscheck
+      (List.map (fun (e : Tsvc.Registry.entry) -> e.kernel) Tsvc.Registry.all)
+  in
+  let st = Vanalysis.Depsreport.stats configs in
+  mk_result ~id:"F12"
+    ~title:"Dependence features: carried distances, depths and idiom tags"
+    ~machine:machine.name ~transform:Dataset.Llv ~samples:s
+    [ baseline_row s; without; with_ ]
+    [ Printf.sprintf
+        "ours: correlation delta from the deps columns: %+.4f" delta;
+      Printf.sprintf
+        "      legality oracle vs validator: precision %.4f, recall %.4f \
+         over %d configs (%d inapplicable)"
+        (Vanalysis.Depsreport.precision st)
+        (Vanalysis.Depsreport.recall st)
+        (List.length configs) st.Vanalysis.Depsreport.st_inapplicable;
+      "      (the oracle must be sound: precision < 1 fails the CI gate)" ]
 
 (* --- T1: LLV vs SLP on one kernel ---------------------------------------- *)
 

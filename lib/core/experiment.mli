@@ -65,6 +65,12 @@ val f10 : ?config:config -> unit -> Report.result
     notes report the per-rate correlation and false-prediction gap. *)
 val f11 : ?config:config -> unit -> Report.result
 
+(** F12 (dependence features): fit with and without the nest-wide
+    dependence-graph columns (tightest carried distance, carried counts
+    per depth, idiom flags); the notes report the correlation delta and
+    the legality oracle's precision/recall against the validator. *)
+val f12 : ?config:config -> unit -> Report.result
+
 type t1_row = {
   t1_transform : string;
   t1_baseline : float;

@@ -246,3 +246,43 @@ let pp fmt f =
     (fun i c ->
       if f.(i) <> 0.0 then Format.fprintf fmt "%s=%g " (name c) f.(i))
     all
+
+(* --- deps features: columns only the dependence engine can fill --- *)
+
+let deps_names =
+  opt_names
+  @ [ "x_min_carried"; "x_carried_outer"; "x_carried_inner";
+      "x_idiom_reduction"; "x_idiom_recurrence" ]
+
+let deps_dim = opt_dim + 5
+
+(* Opt features plus what the nest-wide dependence graph knows: the
+   tightest loop-carried distance anywhere in the nest (1/distance, the
+   serialization pressure a legal-but-narrow width pays), carried-edge
+   counts split outer vs innermost (an outer-carried dependence is free for
+   the vectorizer, an inner-carried one is exactly what caps the width),
+   and the recognized idiom flags (a reduction vectorizes through a
+   horizontal combine with its own cost shape; a first-order recurrence
+   serializes). *)
+let deps ~n ~vf (k : Kernel.t) =
+  let base = opt ~n ~vf k in
+  let g = Vdeps.Depgraph.build k in
+  let per_depth = Vdeps.Depgraph.carried_counts g in
+  let depth = Array.length per_depth in
+  let inner = if depth = 0 then 0 else per_depth.(depth - 1) in
+  let outer = Array.fold_left ( + ) 0 per_depth - inner in
+  let min_carried =
+    match Vdeps.Depgraph.min_carried_distance g with
+    | Some d when d > 0 -> 1.0 /. float_of_int d
+    | Some _ -> 1.0
+    | None -> 0.0
+  in
+  let idioms = Vdeps.Idiom.recognize k in
+  Array.append base
+    [|
+      min_carried;
+      float_of_int outer;
+      float_of_int inner;
+      (if Vdeps.Idiom.has_reduction idioms then 1.0 else 0.0);
+      (if Vdeps.Idiom.has_recurrence idioms then 1.0 else 0.0);
+    |]

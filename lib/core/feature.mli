@@ -75,4 +75,12 @@ val opt_names : string list
 
 val opt_dim : int
 val opt : n:int -> vf:int -> Vir.Kernel.t -> float array
+
+(** Deps feature set: opt features plus nest-wide dependence-graph columns
+    (tightest carried distance, carried-edge counts split outer/innermost)
+    and recognized-idiom flags from [Vdeps]. *)
+val deps_names : string list
+
+val deps_dim : int
+val deps : n:int -> vf:int -> Vir.Kernel.t -> float array
 val pp : Format.formatter -> float array -> unit

@@ -14,7 +14,7 @@ let fit_method_to_string = function
   | Svr -> "SVR"
   | Huber -> "Huber"
 
-type feature_kind = Raw | Rated | Extended | Absint | Opt
+type feature_kind = Raw | Rated | Extended | Absint | Opt | Deps
 
 let feature_kind_to_string = function
   | Raw -> "raw"
@@ -22,6 +22,7 @@ let feature_kind_to_string = function
   | Extended -> "extended"
   | Absint -> "absint"
   | Opt -> "opt"
+  | Deps -> "deps"
 
 type target = Speedup | Cost
 
@@ -41,6 +42,7 @@ let features_of kind (s : Dataset.sample) =
   | Extended -> s.extended
   | Absint -> s.absint
   | Opt -> s.opt
+  | Deps -> s.deps
 
 let dot w f =
   let acc = ref 0.0 in
@@ -179,6 +181,7 @@ let to_string (m : t) =
   Buffer.add_string b (Printf.sprintf "target %s\n" (target_to_string m.target));
   let names =
     match m.features with
+    | Deps -> Feature.deps_names
     | Opt -> Feature.opt_names
     | Absint -> Feature.absint_names
     | Extended -> Feature.extended_names
@@ -232,6 +235,7 @@ let of_string s =
             | Some "extended" -> Some Extended
             | Some "absint" -> Some Absint
             | Some "opt" -> Some Opt
+            | Some "deps" -> Some Deps
             | _ -> None
           in
           let target =
@@ -244,6 +248,7 @@ let of_string s =
           | Some method_, Some features, Some target ->
               let names =
                 match features with
+                | Deps -> Feature.deps_names
                 | Opt -> Feature.opt_names
                 | Absint -> Feature.absint_names
                 | Extended -> Feature.extended_names

@@ -1,0 +1,103 @@
+(* Idiom recognition over the scalar IR.
+
+   Three families matter to the vectorizers:
+
+   - reductions: the IR's [Kernel.reduction] accumulators.  Every redop
+     (sum, prod, min, max) is order-insensitive, so lanes may be combined
+     in any order and both LLV and SLP can admit the loop with an explicit
+     idiom tag instead of refusing;
+   - first-order recurrences: a flow dependence of an array onto itself at
+     a small constant carried distance (a[i] = f(a[i-d])).  These bound the
+     legal VF by the distance but are otherwise well-understood;
+   - scans: the distance-1 recurrence whose update is a single binary
+     operation on the previous element (a[i] = a[i-1] op x), the prefix-sum
+     shape that needs a dedicated (log-depth) vector schedule. *)
+
+open Vir
+
+type t =
+  | Reduction of { name : string; op : Op.redop }
+  | Recurrence of { array : string; distance : int }
+  | Scan of { array : string; op : Op.binop }
+
+let to_string = function
+  | Reduction { name; op } ->
+      Printf.sprintf "reduction:%s:%s" (Op.redop_to_string op) name
+  | Recurrence { array; distance } ->
+      Printf.sprintf "recurrence:%s:%d" array distance
+  | Scan { array; op } ->
+      Printf.sprintf "scan:%s:%s" array (Op.binop_to_string op)
+
+(* Constraining self-recurrences of the innermost loop: flow edges at a
+   known constant distance whose sink (the load) sits at or before the
+   source (the store), per array, keeping the smallest distance. *)
+let recurrences (k : Kernel.t) =
+  let deps = Dependence.analyze k in
+  let best : (string, int) Hashtbl.t = Hashtbl.create 4 in
+  List.iter
+    (fun (d : Dependence.dep) ->
+      match (d.kind, d.distance) with
+      | Dependence.Flow, Dependence.Dconst dist
+        when d.snk_pos <= d.src_pos && not d.assumed -> (
+          match Hashtbl.find_opt best d.array with
+          | Some prev when prev <= dist -> ()
+          | _ -> Hashtbl.replace best d.array dist)
+      | _ -> ())
+    deps;
+  Hashtbl.fold (fun array distance acc -> (array, distance) :: acc) best []
+  |> List.sort compare
+
+(* A distance-1 recurrence is a scan when the stored value is one binary
+   operation away from the previous element's load: find a flow edge
+   store[src_pos] <- Bin(op, load[snk_pos], _) with distance 1. *)
+let scan_op (k : Kernel.t) array =
+  let body = Array.of_list k.body in
+  let deps = Dependence.analyze k in
+  List.find_map
+    (fun (d : Dependence.dep) ->
+      match (d.kind, d.distance) with
+      | Dependence.Flow, Dependence.Dconst 1
+        when String.equal d.array array && d.snk_pos <= d.src_pos
+             && not d.assumed -> (
+          match body.(d.src_pos) with
+          | Instr.Store { src = Instr.Reg r; _ } -> (
+              match body.(r) with
+              | Instr.Bin { op; a; b; _ }
+                when a = Instr.Reg d.snk_pos || b = Instr.Reg d.snk_pos ->
+                  Some op
+              | _ -> None)
+          | _ -> None)
+      | _ -> None)
+    deps
+
+let recognize (k : Kernel.t) =
+  let reds =
+    List.map
+      (fun (r : Kernel.reduction) ->
+        Reduction { name = r.red_name; op = r.red_op })
+      k.reductions
+  in
+  let recs =
+    List.map
+      (fun (array, distance) ->
+        match (distance, scan_op k array) with
+        | 1, Some op -> Scan { array; op }
+        | _ -> Recurrence { array; distance })
+      (recurrences k)
+  in
+  reds @ recs
+
+(* Every redop in the IR is an order-insensitive accumulation, so any
+   reduction loop may be admitted by the vectorizers under the idiom tag;
+   the guard documents the contract and keeps a seam for non-associative
+   accumulators. *)
+let reductions_vectorizable (k : Kernel.t) =
+  List.for_all
+    (fun (r : Kernel.reduction) -> List.mem r.red_op Op.all_redops)
+    k.reductions
+
+let has_reduction idioms =
+  List.exists (function Reduction _ -> true | _ -> false) idioms
+
+let has_recurrence idioms =
+  List.exists (function Recurrence _ | Scan _ -> true | _ -> false) idioms

@@ -1,0 +1,29 @@
+(** Idiom recognition: reductions, first-order recurrences, and scans.
+
+    The tags let the vectorizers admit reduction loops explicitly instead
+    of blanket-refusing, and give the cost model / lints a name for the
+    recurrence shapes that bound the legal VF. *)
+
+open Vir
+
+type t =
+  | Reduction of { name : string; op : Op.redop }
+      (** order-insensitive accumulator [name <- name op src] *)
+  | Recurrence of { array : string; distance : int }
+      (** a[i] = f(a[i - distance]): first-order self-recurrence *)
+  | Scan of { array : string; op : Op.binop }
+      (** a[i] = a[i-1] op x: prefix-accumulation shape *)
+
+val to_string : t -> string
+
+(** All idioms of the kernel, reductions first, then per-array recurrence/
+    scan tags sorted by array name. *)
+val recognize : Kernel.t -> t list
+
+(** True when every reduction accumulator uses an order-insensitive op
+    (always the case in this IR; the guard is the admission contract the
+    vectorizers check). *)
+val reductions_vectorizable : Kernel.t -> bool
+
+val has_reduction : t list -> bool
+val has_recurrence : t list -> bool

@@ -1,0 +1,282 @@
+(* Per-depth subscript tests for the nest-wide dependence graph.
+
+   Given two affine references in the same loop nest, decide which
+   direction vectors (one of <, =, > per loop depth, outermost first) can
+   carry a dependence between them, and attach exact per-depth iteration
+   distances where the strong-SIV test pins them.
+
+   The machinery is the classic hierarchy: ZIV and strong-SIV dimensions
+   are decided exactly; weak-SIV and MIV dimensions fall back to a GCD
+   integrality test plus Banerjee-style interval bounds evaluated under
+   each direction hypothesis.  Iteration counts are symbolic in the
+   problem size n (Tn, Tn_div, Tn_minus, Tn2, ...), so the bounds use
+   extended integers with +/- infinity for the n-dependent ends: a
+   direction is only pruned when it is infeasible for EVERY problem size,
+   which keeps the oracle sound at all the sizes the translation
+   validator interprets. *)
+
+open Vir
+
+type direction = Lt | Eq | Gt
+
+let direction_to_string = function Lt -> "<" | Eq -> "=" | Gt -> ">"
+
+let dirs_to_string dirs =
+  String.concat "" (Array.to_list (Array.map direction_to_string dirs))
+
+(* --- extended integers ------------------------------------------------- *)
+
+type ebound = Ninf | Fin of int | Pinf
+
+let eb_add a b =
+  match (a, b) with
+  | Ninf, Pinf | Pinf, Ninf -> invalid_arg "eb_add: opposite infinities"
+  | Ninf, _ | _, Ninf -> Ninf
+  | Pinf, _ | _, Pinf -> Pinf
+  | Fin x, Fin y -> Fin (x + y)
+
+let eb_scale c = function
+  | Fin x -> Fin (c * x)
+  | Ninf -> if c > 0 then Ninf else if c < 0 then Pinf else Fin 0
+  | Pinf -> if c > 0 then Pinf else if c < 0 then Ninf else Fin 0
+
+let eb_le a b =
+  match (a, b) with
+  | Ninf, _ | _, Pinf -> true
+  | Pinf, _ | _, Ninf -> false
+  | Fin x, Fin y -> x <= y
+
+(* Closed interval over extended integers; [None] is the empty interval. *)
+type ival = (ebound * ebound) option
+
+let ival_make lo hi : ival = if eb_le lo hi then Some (lo, hi) else None
+
+let ival_add (a : ival) (b : ival) : ival =
+  match (a, b) with
+  | None, _ | _, None -> None
+  | Some (l1, h1), Some (l2, h2) -> Some (eb_add l1 l2, eb_add h1 h2)
+
+(* Interval of c*t for t in [lo, hi]. *)
+let ival_coeff c lo hi : ival =
+  if eb_le lo hi then
+    if c >= 0 then Some (eb_scale c lo, eb_scale c hi)
+    else Some (eb_scale c hi, eb_scale c lo)
+  else None
+
+let ival_contains_zero : ival -> bool = function
+  | None -> false
+  | Some (lo, hi) -> eb_le lo (Fin 0) && eb_le (Fin 0) hi
+
+(* --- the iteration space ----------------------------------------------- *)
+
+(* One loop of the nest, in index-value space: the index variable ranges
+   over [ax_vlo, ax_vhi] stepping by ax_step.  Trip counts other than
+   [Tconst] are unbounded in n, so the far end is infinite. *)
+type axis = { ax_var : string; ax_step : int; ax_vlo : ebound; ax_vhi : ebound }
+
+let axes (k : Kernel.t) =
+  List.map
+    (fun (l : Kernel.loop) ->
+      let far =
+        match l.trip with
+        | Kernel.Tconst c -> Fin (l.start + (l.step * (c - 1)))
+        | Kernel.Tn | Kernel.Tn_div _ | Kernel.Tn_minus _ | Kernel.Tn2
+        | Kernel.Tn2_minus _ ->
+            if l.step >= 0 then Pinf else Ninf
+      in
+      if l.step >= 0 then
+        { ax_var = l.var; ax_step = l.step; ax_vlo = Fin l.start; ax_vhi = far }
+      else
+        { ax_var = l.var; ax_step = l.step; ax_vlo = far; ax_vhi = Fin l.start })
+    k.loops
+
+(* --- per-axis Banerjee contribution ------------------------------------ *)
+
+(* Interval of a*v1 + b*v2 where v1, v2 are the axis values of the two
+   instances and the direction hypothesis relates their ITERATION order.
+   With a positive step, an earlier iteration has a smaller value (by at
+   least |step|); a negative step reverses the value order.  The coupled
+   term is decoupled by the substitution v_later = v_earlier + delta with
+   delta >= |step|, which over-approximates (soundly). *)
+let axis_contrib ~(ax : axis) ~(dir : direction) a b : ival =
+  let lo = ax.ax_vlo and hi = ax.ax_vhi in
+  let s = abs ax.ax_step in
+  let s = if s = 0 then 1 else s in
+  let span =
+    (* upper bound on delta = |v1 - v2| *)
+    match (lo, hi) with Fin l, Fin h -> Fin (h - l) | _ -> Pinf
+  in
+  let delta_iv = ival_make (Fin s) span in
+  let sub_s = function Fin x -> Fin (x - s) | e -> e in
+  let with_delta c =
+    match delta_iv with None -> None | Some (dl, dh) -> ival_coeff c dl dh
+  in
+  let v1_smaller () =
+    (* v2 = v1 + delta: (a+b)*v1 + b*delta, v1 in [lo, hi - s]. *)
+    ival_add (ival_coeff (a + b) lo (sub_s hi)) (with_delta b)
+  in
+  let v2_smaller () =
+    (* v1 = v2 + delta: (a+b)*v2 + a*delta, v2 in [lo, hi - s]. *)
+    ival_add (ival_coeff (a + b) lo (sub_s hi)) (with_delta a)
+  in
+  match dir with
+  | Eq -> ival_coeff (a + b) lo hi
+  | Lt ->
+      (* instance 1 iterates earlier *)
+      if ax.ax_step >= 0 then v1_smaller () else v2_smaller ()
+  | Gt -> if ax.ax_step >= 0 then v2_smaller () else v1_smaller ()
+
+(* --- per-dimension tests ------------------------------------------------ *)
+
+let sorted_assoc l = List.sort compare l
+
+(* The symbolic (parameter and n-relative) parts of the two dims must
+   coincide for any classic test to apply; they then cancel in the
+   difference. *)
+let symbolic_match (d1 : Instr.dim) (d2 : Instr.dim) =
+  sorted_assoc d1.pterms = sorted_assoc d2.pterms && d1.rel_n = d2.rel_n
+
+type dim_shape =
+  | Ziv of bool  (* feasible at all? (offsets equal) *)
+  | Strong_siv of { var : string; delta_t : int option }
+      (* exact iteration distance t1 - t2; None = non-integral, no dep *)
+  | General  (* weak-SIV / MIV: GCD + Banerjee decide per direction *)
+
+let dim_shape ~(axes : axis list) (d1 : Instr.dim) (d2 : Instr.dim) =
+  let involved =
+    List.filter
+      (fun ax -> Kernel.coeff_of ax.ax_var d1 <> 0 || Kernel.coeff_of ax.ax_var d2 <> 0)
+      axes
+  in
+  match involved with
+  | [] -> Ziv (d1.off = d2.off)
+  | [ ax ] ->
+      let c1 = Kernel.coeff_of ax.ax_var d1 and c2 = Kernel.coeff_of ax.ax_var d2 in
+      if c1 = c2 then begin
+        let stride = c1 * ax.ax_step in
+        let stride = if stride = 0 then 1 else stride in
+        let diff = d2.off - d1.off in
+        if diff mod stride <> 0 then Strong_siv { var = ax.ax_var; delta_t = None }
+        else Strong_siv { var = ax.ax_var; delta_t = Some (diff / stride) }
+      end
+      else General
+  | _ -> General
+
+(* GCD integrality over the iteration-space form of the dim difference:
+   sum c1_v*step_v*t_v - sum c2_v*step_v*t'_v + K = 0 with
+   K = sum (c1_v - c2_v)*start_v + o1 - o2 (starts are the low value ends;
+   for negative steps the start is still the first value).  Unsolvable in
+   integers when gcd of the coefficients does not divide K. *)
+let gcd_infeasible ~(k : Kernel.t) (d1 : Instr.dim) (d2 : Instr.dim) =
+  let rec gcd a b = if b = 0 then abs a else gcd b (a mod b) in
+  let g, konst =
+    List.fold_left
+      (fun (g, konst) (l : Kernel.loop) ->
+        let c1 = Kernel.coeff_of l.var d1 and c2 = Kernel.coeff_of l.var d2 in
+        let g = gcd (gcd g (c1 * l.step)) (c2 * l.step) in
+        (g, konst + ((c1 - c2) * l.start)))
+      (0, d1.off - d2.off)
+      k.loops
+  in
+  g <> 0 && konst mod g <> 0
+
+(* Banerjee feasibility of one dim under a full direction hypothesis. *)
+let banerjee_feasible ~(axes : axis list) ~(dirs : direction array)
+    (d1 : Instr.dim) (d2 : Instr.dim) =
+  let iv =
+    List.fold_left
+      (fun acc (depth, ax) ->
+        let a = Kernel.coeff_of ax.ax_var d1
+        and b = -Kernel.coeff_of ax.ax_var d2 in
+        if a = 0 && b = 0 then acc
+        else ival_add acc (axis_contrib ~ax ~dir:dirs.(depth) a b))
+      (Some (Fin (d1.off - d2.off), Fin (d1.off - d2.off)))
+      (List.mapi (fun i ax -> (i, ax)) axes)
+  in
+  ival_contains_zero iv
+
+(* --- direction-vector enumeration --------------------------------------- *)
+
+let all_direction_vectors depth =
+  let rec go d =
+    if d = 0 then [ [] ]
+    else
+      let rest = go (d - 1) in
+      List.concat_map (fun dir -> List.map (fun v -> dir :: v) rest) [ Lt; Eq; Gt ]
+  in
+  List.map Array.of_list (go depth)
+
+(* Feasible direction vectors between one instance of each reference,
+   with exact per-depth iteration distances (t1 - t2) where known.
+   [None] = the pair is not analyzable (symbolic mismatch); the caller
+   must assume every direction.  [Some []] = proven independent. *)
+let directions ~(k : Kernel.t) (dims1 : Instr.dim list) (dims2 : Instr.dim list) :
+    (direction array * int option array) list option =
+  if List.length dims1 <> List.length dims2 then None
+  else if not (List.for_all2 symbolic_match dims1 dims2) then None
+  else begin
+    let axs = axes k in
+    let depth = List.length axs in
+    let shapes = List.map2 (fun d1 d2 -> (dim_shape ~axes:axs d1 d2, d1, d2)) dims1 dims2 in
+    (* Exact per-var deltas from strong-SIV dims; conflicting deltas or a
+       non-integral delta prove independence outright. *)
+    let exception Indep in
+    try
+      let exact : (string, int) Hashtbl.t = Hashtbl.create 4 in
+      List.iter
+        (fun (shape, _, _) ->
+          match shape with
+          | Ziv false -> raise Indep
+          | Strong_siv { delta_t = None; _ } -> raise Indep
+          | Strong_siv { var; delta_t = Some d } -> (
+              match Hashtbl.find_opt exact var with
+              | Some d' when d' <> d -> raise Indep
+              | _ -> Hashtbl.replace exact var d)
+          | Ziv true | General -> ())
+        shapes;
+      let general_dims =
+        List.filter_map
+          (fun (shape, d1, d2) -> match shape with General -> Some (d1, d2) | _ -> None)
+          shapes
+      in
+      (* GCD infeasibility of any general dim is direction-independent. *)
+      if List.exists (fun (d1, d2) -> gcd_infeasible ~k d1 d2) general_dims then
+        Some []
+      else begin
+        let feasible =
+          List.filter
+            (fun dirs ->
+              (* Exact deltas constrain their axis' direction. *)
+              let exact_ok =
+                List.for_all
+                  (fun (i, ax) ->
+                    match Hashtbl.find_opt exact ax.ax_var with
+                    | None -> true
+                    | Some d ->
+                        let want = if d < 0 then Lt else if d = 0 then Eq else Gt in
+                        dirs.(i) = want)
+                  (List.mapi (fun i ax -> (i, ax)) axs)
+              in
+              exact_ok
+              && List.for_all
+                   (fun (d1, d2) -> banerjee_feasible ~axes:axs ~dirs d1 d2)
+                   general_dims)
+            (all_direction_vectors depth)
+        in
+        Some
+          (List.map
+             (fun dirs ->
+               let dist =
+                 Array.of_list
+                   (List.mapi
+                      (fun i ax ->
+                        match Hashtbl.find_opt exact ax.ax_var with
+                        | Some d -> Some d
+                        | None -> if dirs.(i) = Eq then Some 0 else None)
+                      axs)
+               in
+               (dirs, dist))
+             feasible)
+      end
+    with Indep -> Some []
+  end

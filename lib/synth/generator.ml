@@ -118,3 +118,47 @@ let dep_kernel seed =
   (* Guarantee an observable effect and at least one write to [a]. *)
   Builder.store b "a" [ Builder.ix ~off:(off ()) i ] !last;
   Builder.finish b
+
+(* Two-level nests over one matrix with random small offsets in both
+   subscripts: the direction-vector stress for the nest-wide graph.  The
+   inner loop is what LLV/SLP widen, so these also feed the legality
+   cross-check; offsets are clamped to the [start=2 / Tn2_minus 4] margin
+   so every subscript stays in bounds at any problem size. *)
+let nest_kernel seed =
+  let r = rng (seed + 131) in
+  let b =
+    Builder.make
+      (Printf.sprintf "nest%04d" seed)
+      ~descr:"generated (2-level dependence stress)"
+  in
+  let j = Builder.loop b ~start:2 "j" (Kernel.Tn2_minus 4) in
+  let i = Builder.loop b ~start:2 "i" (Kernel.Tn2_minus 4) in
+  let off () = range r (-2) 2 in
+  let load_aa () =
+    Builder.load b "aa" [ Builder.ix ~off:(off ()) j; Builder.ix ~off:(off ()) i ]
+  in
+  let load_other name = Builder.load b name [ Builder.ix i ] in
+  let nstmt = range r 1 3 in
+  let last = ref (load_other "b") in
+  for _ = 1 to nstmt do
+    let v =
+      match range r 0 3 with
+      | 0 -> Builder.addf b (load_aa ()) !last
+      | 1 -> Builder.mulf b (load_other "c") !last
+      | 2 -> Builder.fma b (load_aa ()) (load_other "b") !last
+      | _ -> Builder.subf b !last (load_aa ())
+    in
+    last := v;
+    match range r 0 2 with
+    | 0 ->
+        Builder.store b "aa"
+          [ Builder.ix ~off:(off ()) j; Builder.ix ~off:(off ()) i ]
+          v
+    | 1 -> Builder.store b "d" [ Builder.ix i ] v
+    | _ -> ()
+  done;
+  (* Guarantee an observable effect and at least one write to [aa]. *)
+  Builder.store b "aa"
+    [ Builder.ix ~off:(off ()) j; Builder.ix ~off:(off ()) i ]
+    !last;
+  Builder.finish b

@@ -10,3 +10,9 @@ val batch : ?max_ops:int -> count:int -> int -> Vir.Kernel.t list
     small offsets; frequently illegal to vectorize.  Used to check that a
     "legal" verdict always implies a semantics-preserving transform. *)
 val dep_kernel : int -> Vir.Kernel.t
+
+(** Two-level dependence-stress nests over one matrix with random small
+    offsets in both subscripts (direction-vector coverage: carried at
+    either depth, (<,>) shapes, interchange legality).  Bounds-safe at any
+    problem size. *)
+val nest_kernel : int -> Vir.Kernel.t

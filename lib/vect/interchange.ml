@@ -9,15 +9,16 @@
    Legality is the textbook direction-vector condition: interchange is
    illegal iff some dependence has direction (<, >) — carried forward by
    the outer loop and backward by the inner one — because swapping would
-   reverse its execution order.  We compute conservative distance vectors
-   with a separable strong-SIV test per subscript dimension; anything the
-   test cannot prove becomes a refusal. *)
+   reverse its execution order.  Direction vectors come from the
+   nest-wide dependence graph ([Vdeps.Depgraph] via [Vdeps.Legality]),
+   which decides coupled subscripts through the Banerjee-bound direction
+   tests; anything whose direction stays unknown is a refusal. *)
 
 open Vir
 
 type error =
   | Not_two_level
-  | Imperfect of string  (* why the distance vectors could not be computed *)
+  | Imperfect of string  (* why the direction vectors could not be computed *)
   | Illegal_direction of string  (* array with a (<, >) dependence *)
 
 let error_to_string = function
@@ -26,114 +27,33 @@ let error_to_string = function
   | Illegal_direction arr ->
       Printf.sprintf "dependence on %s has direction (<, >)" arr
 
-(* Distance of one subscript dimension in iterations of [var]; the dimension
-   must depend on [var] alone (separability) with equal coefficients on both
-   references. *)
-let dim_distance ~var ~step (d1 : Instr.dim) (d2 : Instr.dim) =
-  let coeff d = Kernel.coeff_of var d in
-  let others (d : Instr.dim) =
-    List.sort compare (List.filter (fun (v, _) -> v <> var) d.Instr.terms)
-  in
-  if others d1 <> [] || others d2 <> [] then Error "dimension not separable"
-  else if d1.Instr.pterms <> d2.Instr.pterms then Error "symbolic offsets differ"
-  else if d1.Instr.rel_n <> d2.Instr.rel_n then Error "mixed reversed subscripts"
-  else
-    let c1 = coeff d1 and c2 = coeff d2 in
-    if c1 <> c2 then Error "coefficients differ"
-    else if c1 = 0 then
-      if d1.Instr.off = d2.Instr.off then Ok (Some 0) else Ok None
-      (* Ok None = never equal in this dim: no dependence at all *)
-    else
-      let stride = c1 * step in
-      let diff = d2.Instr.off - d1.Instr.off in
-      if diff mod stride <> 0 then Ok None else Ok (Some (diff / stride))
-
-(* Distance vectors (outer, inner) of every dependence pair, or an error
-   when the subscripts defeat the separable test. *)
+(* Exact distance vectors [(array, d_outer, d_inner)] of every loop-carried
+   dependence, from the nest-wide graph; an error when any edge lacks an
+   exact vector (unknown direction, indirect access, symbolic offsets). *)
 let distance_vectors (k : Kernel.t) =
-  match k.loops with
-  | [ outer; inner ] ->
-      let refs =
-        List.filter_map
-          (fun instr ->
-            match instr with
-            | Instr.Load { addr; _ } -> Some (false, addr)
-            | Instr.Store { addr; _ } -> Some (true, addr)
-            | _ -> None)
-          k.body
-      in
-      let exception Bail of error in
-      (try
-         let out = ref [] in
-         let rec pairs = function
-           | [] -> ()
-           | (st1, a1) :: rest ->
-               List.iter
-                 (fun (st2, a2) ->
-                   if st1 || st2 then
-                     match (a1, a2) with
-                     | Instr.Indirect _, _ | _, Instr.Indirect _ ->
-                         raise (Bail (Imperfect "indirect access"))
-                     | Instr.Affine { arr = x1; dims = [ d1o; d1i ] },
-                       Instr.Affine { arr = x2; dims = [ d2o; d2i ] }
-                       when String.equal x1 x2 -> (
-                         (* Each var must live in "its" dimension on both
-                            refs for separability; we accept either layout
-                            as long as both refs agree. *)
-                         let dist var step da db =
-                           match dim_distance ~var ~step da db with
-                           | Ok v -> v
-                           | Error why -> raise (Bail (Imperfect why))
-                         in
-                         let douter =
-                           dist outer.Kernel.var outer.Kernel.step d1o d2o
-                         in
-                         let dinner =
-                           dist inner.Kernel.var inner.Kernel.step d1i d2i
-                         in
-                         (* A var appearing in the "wrong" dimension breaks
-                            separability. *)
-                         let wrong =
-                           Kernel.coeff_of inner.Kernel.var d1o <> 0
-                           || Kernel.coeff_of inner.Kernel.var d2o <> 0
-                           || Kernel.coeff_of outer.Kernel.var d1i <> 0
-                           || Kernel.coeff_of outer.Kernel.var d2i <> 0
-                         in
-                         if wrong then raise (Bail (Imperfect "coupled subscripts"));
-                         match (douter, dinner) with
-                         | Some do_, Some di when do_ <> 0 || di <> 0 ->
-                             out := (x1, do_, di) :: !out
-                         | _ -> ())
-                     | Instr.Affine { arr = x1; dims = _ },
-                       Instr.Affine { arr = x2; dims = _ }
-                       when String.equal x1 x2 ->
-                         raise (Bail (Imperfect "mixed dimensionality"))
-                     | Instr.Affine _, Instr.Affine _ -> ())
-                 ((st1, a1) :: rest);
-               pairs rest
-         in
-         pairs refs;
-         Ok !out
-       with Bail e -> Error e)
-  | _ -> Error Not_two_level
+  if List.length k.loops <> 2 then Error Not_two_level
+  else
+    let g = Vdeps.Depgraph.build k in
+    if Vdeps.Depgraph.unknown_carried g <> [] then
+      Error (Imperfect "dependence direction unknown")
+    else
+      match Vdeps.Depgraph.distance_vectors g with
+      | None -> Error (Imperfect "no exact distance vector")
+      | Some vecs ->
+          Ok
+            (List.filter_map
+               (function
+                 | arr, [ dout; din ] -> Some (arr, dout, din)
+                 | _ -> None)
+               vecs)
 
-(* Interchange is legal iff no dependence has direction (<, >): carried
-   forward outer, backward inner (after normalizing so the first nonzero
-   component is positive). *)
 let legal (k : Kernel.t) =
-  match distance_vectors k with
-  | Error e -> Error e
-  | Ok vecs -> (
-      let offending =
-        List.find_opt
-          (fun (_, dout, din) ->
-            let dout, din = if dout < 0 || (dout = 0 && din < 0) then (-dout, -din) else (dout, din) in
-            dout > 0 && din < 0)
-          vecs
-      in
-      match offending with
-      | Some (arr, _, _) -> Error (Illegal_direction arr)
-      | None -> Ok ())
+  match Vdeps.Legality.interchange_verdict k with
+  | Vdeps.Legality.Ix_legal -> Ok ()
+  | Vdeps.Legality.Ix_illegal arr -> Error (Illegal_direction arr)
+  | Vdeps.Legality.Ix_inapplicable why ->
+      if List.length k.loops <> 2 then Error Not_two_level
+      else Error (Imperfect why)
 
 let apply (k : Kernel.t) =
   match legal k with

@@ -1,6 +1,6 @@
 (** Loop interchange for 2-level perfect nests, with direction-vector
-    legality (refuses anything the separable strong-SIV test cannot
-    prove). *)
+    legality from the nest-wide dependence graph (refuses anything whose
+    direction vectors stay unknown). *)
 
 type error =
   | Not_two_level
@@ -9,8 +9,8 @@ type error =
 
 val error_to_string : error -> string
 
-(** Conservative distance vectors [(array, d_outer, d_inner)] of every
-    loop-carried dependence. *)
+(** Exact distance vectors [(array, d_outer, d_inner)] of every
+    loop-carried dependence, from the nest-wide graph. *)
 val distance_vectors :
   Vir.Kernel.t -> ((string * int * int) list, error) result
 

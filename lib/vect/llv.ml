@@ -31,11 +31,13 @@ let error_to_string = function
 
 type width = Wvec | Wscalar
 
-let vectorize ~vf ?(ic = 1) (k : Kernel.t) : (Vinstr.vkernel, error) result =
+let vectorize ~vf ?(ic = 1) ?(force = false) (k : Kernel.t) :
+    (Vinstr.vkernel, error) result =
   if vf < 2 || ic < 1 then Error (Bad_vf vf)
-  else if not (Vdeps.Dependence.legal_for_vf k (vf * ic)) then
+  else if (not force) && not (Vdeps.Legality.llv_ok k ~vf:(vf * ic)) then
     (* Interleaving groups statements across ic sub-blocks, so legality is
-       checked at the full vf*ic span. *)
+       checked at the full vf*ic span.  [force] skips the oracle so the
+       validator cross-check can measure its precision and recall. *)
     Error (Not_legal (Vdeps.Dependence.vf_limit k))
   else begin
     let inner = Kernel.innermost k in

@@ -10,7 +10,9 @@ val error_to_string : error -> string
 
 (** Vectorize a kernel at the given factor; [ic] interleaves that many
     sub-blocks (independent accumulators) per iteration, checked for
-    legality at the full [vf*ic] span.  Fails when the dependence analysis
-    forbids the width or the body stores to a loop-invariant address. *)
+    legality at the full [vf*ic] span.  Fails when the legality oracle
+    forbids the width or the body stores to a loop-invariant address.
+    [force] skips the oracle (validator cross-checks only). *)
 val vectorize :
-  vf:int -> ?ic:int -> Vir.Kernel.t -> (Vinstr.vkernel, error) result
+  vf:int -> ?ic:int -> ?force:bool -> Vir.Kernel.t ->
+  (Vinstr.vkernel, error) result

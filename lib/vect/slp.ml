@@ -6,6 +6,11 @@
    This is the configuration of the paper's x86 study ("SLP vectorization
    applied after loop unrolling").
 
+   Reduction loops are admitted under the explicit idiom tag (every redop
+   in the IR is order-insensitive — [Vdeps.Idiom.reductions_vectorizable]):
+   each accumulator's source is demanded as a pack seed and the horizontal
+   combine is emitted as a [vreduction], exactly the shape LLV produces.
+
    Emission walks the body strictly in original statement order, so the
    legality criterion shared with LLV applies unchanged. *)
 
@@ -15,16 +20,17 @@ type error = Not_legal | No_seed | Has_reductions | Bad_vf of int
 
 let error_to_string = function
   | Not_legal -> "loop-carried dependence forbids packing"
-  | No_seed -> "no contiguous store to seed a pack tree"
-  | Has_reductions -> "loop-carried reductions are not SLP seeds"
+  | No_seed -> "no contiguous store or reduction to seed a pack tree"
+  | Has_reductions -> "reduction accumulator is not an order-insensitive idiom"
   | Bad_vf vf -> Printf.sprintf "invalid pack width %d" vf
 
 type mode = Packed | Scalarized | Invariant
 
-let vectorize ~vf (k : Kernel.t) : (Vinstr.vkernel, error) result =
+let vectorize ~vf ?(force = false) (k : Kernel.t) :
+    (Vinstr.vkernel, error) result =
   if vf < 2 then Error (Bad_vf vf)
-  else if k.reductions <> [] then Error Has_reductions
-  else if not (Vdeps.Dependence.legal_for_vf k vf) then Error Not_legal
+  else if not (Vdeps.Idiom.reductions_vectorizable k) then Error Has_reductions
+  else if (not force) && not (Vdeps.Legality.slp_ok k ~vf) then Error Not_legal
   else begin
     let body = Array.of_list k.body in
     let nbody = Array.length body in
@@ -57,7 +63,12 @@ let vectorize ~vf (k : Kernel.t) : (Vinstr.vkernel, error) result =
                   (Instr.operands instr))
         | _ -> ())
       body;
-    if not !any_packed_store then Error No_seed
+    (* Reduction idiom: each accumulator's source is a pack seed too. *)
+    List.iter
+      (fun (r : Kernel.reduction) ->
+        match r.red_src with Instr.Reg p -> dv.(p) <- true | _ -> ())
+      k.reductions;
+    if (not !any_packed_store) && k.reductions = [] then Error No_seed
     else begin
       (* Backwards propagation decides each position's mode. *)
       for pos = nbody - 1 downto 0 do
@@ -221,13 +232,27 @@ let vectorize ~vf (k : Kernel.t) : (Vinstr.vkernel, error) result =
                     (* Indirect accesses are never marked Packed. *)
                     emit_scalarized pos instr))
         body;
+      (* Horizontal reduction combines, one per accumulator; packing the
+         source may still emit a trailing [Vpack] of scalarized lanes. *)
+      let vreductions =
+        List.map
+          (fun (r : Kernel.reduction) ->
+            {
+              Vinstr.vr_name = r.red_name;
+              vr_ty = r.red_ty;
+              vr_op = r.red_op;
+              vr_src = vector_operand r.red_src;
+              vr_init = r.red_init;
+            })
+          k.reductions
+      in
       Ok
         {
           Vinstr.scalar = k;
           vf;
           ic = 1;
           vbody = List.rev !vbody;
-          vreductions = [];
+          vreductions;
           source = Vinstr.Src_slp;
         }
     end

@@ -1,9 +1,12 @@
 (** Superword-level parallelism: pack the body as if unrolled VF times,
-    seeding from contiguous stores; non-contiguous accesses are scalarized
-    and joined through explicit pack/extract instructions. *)
+    seeding from contiguous stores and reduction-idiom accumulators;
+    non-contiguous accesses are scalarized and joined through explicit
+    pack/extract instructions.  [force] skips the legality oracle
+    (validator cross-checks only). *)
 
 type error = Not_legal | No_seed | Has_reductions | Bad_vf of int
 
 val error_to_string : error -> string
 
-val vectorize : vf:int -> Vir.Kernel.t -> (Vinstr.vkernel, error) result
+val vectorize :
+  vf:int -> ?force:bool -> Vir.Kernel.t -> (Vinstr.vkernel, error) result

@@ -22,6 +22,11 @@ let simple () =
 
 let has_pass name ds = List.exists (fun d -> d.A.Diag.pass = name) ds
 
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
 let fired pass k =
   match A.Pass.find pass with
   | None -> Alcotest.failf "unknown pass %s" pass
@@ -318,10 +323,50 @@ let test_lint_loop_invariant_compute_diag () =
       check "clean kernel quiet" false
         (fired "loop-invariant-compute" (simple ()))
 
+(* a[i] = a[i-2] + 1.0 carries a distance-2 flow dependence: the lint must
+   name the capped factor and anchor at the dependence's sink (the load). *)
+let test_lint_loop_carried_at_vf_diag () =
+  let b = B.make "carriedseed" in
+  let i = B.loop b ~start:2 "i" Kernel.Tn in
+  let x = B.load b "a" [ B.ix ~off:(-2) i ] in
+  B.store b "a" [ B.ix i ] (B.addf b x (B.cf 1.0));
+  let k = B.finish b in
+  match
+    List.filter
+      (fun d -> d.A.Diag.pass = "loop-carried-at-vf")
+      (A.Pass.run_all k)
+  with
+  | [] -> Alcotest.fail "seeded carried dependence not reported"
+  | d :: _ ->
+      check "severity Warning" true (d.A.Diag.severity = A.Diag.Warning);
+      check "names the cap" true
+        (contains d.A.Diag.message "factor at 2");
+      check "clean kernel quiet" false (fired "loop-carried-at-vf" (simple ()))
+
+(* a[ix[i]] = b[i]: legality rests on conflict-free index arrays; the
+   assumption must surface as a Warning. *)
+let test_lint_assumed_conflict_free_diag () =
+  let b = B.make "gatherseed" in
+  let i = B.loop b "i" Kernel.Tn in
+  let ix = B.load_index b "ix" [ B.ix i ] in
+  B.store_ix b "a" ix (B.load b "b" [ B.ix i ]);
+  let k = B.finish b in
+  match
+    List.filter
+      (fun d -> d.A.Diag.pass = "assumed-conflict-free")
+      (A.Pass.run_all k)
+  with
+  | [] -> Alcotest.fail "assumed legality not reported"
+  | d :: _ ->
+      check "severity Warning" true (d.A.Diag.severity = A.Diag.Warning);
+      check "names the array" true (contains d.A.Diag.message "a");
+      check "clean kernel quiet" false
+        (fired "assumed-conflict-free" (simple ()))
+
 (* --- pass registry --------------------------------------------------------- *)
 
 let test_pass_registry () =
-  check "11 builtin passes" true (List.length A.Pass.builtin = 11);
+  check "13 builtin passes" true (List.length A.Pass.builtin = 13);
   check "find works" true (A.Pass.find "dead-result" <> None);
   check "unknown absent" true (A.Pass.find "no-such-pass" = None);
   let names = List.map (fun p -> p.A.Pass.name) (A.Pass.all ()) in
@@ -597,6 +642,8 @@ let tests =
     Alcotest.test_case "lint unbounded recurrence diag" `Quick test_lint_unbounded_recurrence_diag;
     Alcotest.test_case "lint dead store diag" `Quick test_lint_dead_store_diag;
     Alcotest.test_case "lint loop invariant compute diag" `Quick test_lint_loop_invariant_compute_diag;
+    Alcotest.test_case "lint loop carried at vf diag" `Quick test_lint_loop_carried_at_vf_diag;
+    Alcotest.test_case "lint assumed conflict free diag" `Quick test_lint_assumed_conflict_free_diag;
     Alcotest.test_case "pass registry" `Quick test_pass_registry;
     Alcotest.test_case "vvalidate good body" `Quick test_vvalidate_good;
     Alcotest.test_case "vvalidate undefined register" `Quick test_vvalidate_undefined_register;

@@ -185,6 +185,131 @@ let test_distance_limits () =
   check_int "s423 distance 2" 2
     (limit_of (Tsvc.Registry.find_exn "s423").kernel)
 
+(* --- seeded-bug negatives: exact distances, no off-by-one ----------------- *)
+
+(* A planted carried dependence at distance d must yield exactly [Max_vf d]:
+   a verdict of d-1 would be needlessly conservative, d+1 or Unlimited
+   unsound. *)
+let test_seeded_distance_exact () =
+  List.iter
+    (fun d ->
+      let k = offset_kernel ~load_off:(-d) ~store_off:0 in
+      check_int (Printf.sprintf "distance %d exact" d) d (limit_of k);
+      check (Printf.sprintf "legal at %d" d) true (Dep.legal_for_vf k d);
+      check
+        (Printf.sprintf "illegal at %d" (d + 1))
+        false
+        (Dep.legal_for_vf k (d + 1)))
+    [ 1; 2; 3; 4; 5; 6 ]
+
+(* --- the nest-wide graph -------------------------------------------------- *)
+
+module G = Vdeps.Depgraph
+module S = Vdeps.Subscript
+module L = Vdeps.Legality
+
+(* aa[j][i] = aa[j-1][i+1]: flow dependence with distance vector (1,-1),
+   direction (<,>) — the canonical interchange-illegal shape. *)
+let lt_gt_kernel () =
+  let b = B.make "ltgt" in
+  let j = B.loop b ~start:1 "j" Kernel.Tn2 in
+  let i = B.loop b "i" (Kernel.Tn2_minus 1) in
+  let x = B.load b "aa" [ B.ix ~off:(-1) j; B.ix ~off:1 i ] in
+  B.store b "aa" [ B.ix j; B.ix i ] x;
+  B.finish b
+
+let test_graph_lt_gt_edge () =
+  let g = G.build (lt_gt_kernel ()) in
+  let e =
+    match
+      List.find_opt (fun (e : G.edge) -> e.e_kind = Dep.Flow) g.G.g_edges
+    with
+    | Some e -> e
+    | None -> Alcotest.fail "flow edge missing"
+  in
+  check "direction (<,>)" true
+    (e.G.e_dirs = [| S.Lt; S.Gt |]);
+  check "distance (1,-1)" true (e.G.e_dist = [| Some 1; Some (-1) |]);
+  check "carried by the outer loop" true (e.G.e_carried = G.Carried 0)
+
+(* An interchange made illegal by a (<,>) direction vector must be refused. *)
+let test_interchange_lt_gt_refused () =
+  let k = lt_gt_kernel () in
+  check "legality verdict illegal" true
+    (match L.interchange_verdict k with L.Ix_illegal "aa" -> true | _ -> false);
+  check "inner loop itself is fine" true (Dep.vf_limit k = Dep.Unlimited)
+
+let test_graph_outer_carried () =
+  (* aa[j][i] = aa[j-1][i]: carried at depth 0, inner loop free. *)
+  let b = B.make "rows2" in
+  let j = B.loop b ~start:1 "j" Kernel.Tn2 in
+  let i = B.loop b "i" Kernel.Tn2 in
+  let x = B.load b "aa" [ B.ix ~off:(-1) j; B.ix i ] in
+  B.store b "aa" [ B.ix j; B.ix i ] x;
+  let k = B.finish b in
+  let g = G.build k in
+  let counts = G.carried_counts g in
+  check_int "one dep carried at the outer depth" 1 counts.(0);
+  check_int "inner depth free" 0 counts.(1);
+  check "min carried distance 1" true (G.min_carried_distance g = Some 1)
+
+let test_graph_loop_independent () =
+  (* a[i] written then read in the same iteration: a loop-independent edge
+     the innermost verdict drops but the graph records. *)
+  let b = B.make "li" in
+  let i = B.loop b "i" Kernel.Tn in
+  B.store b "a" [ B.ix i ] (B.load b "b" [ B.ix i ]);
+  B.store b "c" [ B.ix i ] (B.load b "a" [ B.ix i ]);
+  let k = B.finish b in
+  let g = G.build k in
+  check "one loop-independent edge" true
+    (List.length (G.loop_independent g) = 1);
+  check "nothing carried" true (G.min_carried_distance g = None);
+  check "unlimited" true (Dep.vf_limit k = Dep.Unlimited)
+
+(* --- idioms ---------------------------------------------------------------- *)
+
+module I = Vdeps.Idiom
+
+let test_idiom_reduction () =
+  let k = (Tsvc.Registry.find_exn "s311").kernel in
+  let idioms = I.recognize k in
+  check "reduction tagged" true (I.has_reduction idioms);
+  check "admissible" true (I.reductions_vectorizable k)
+
+let test_idiom_scan () =
+  (* a[i] = a[i-1] + b[i]: the prefix-sum shape. *)
+  let b = B.make "scan" in
+  let i = B.loop b ~start:1 "i" (Kernel.Tn_minus 1) in
+  let prev = B.load b "a" [ B.ix ~off:(-1) i ] in
+  B.store b "a" [ B.ix i ] (B.addf b prev (B.load b "b" [ B.ix i ]));
+  let k = B.finish b in
+  check "scan tagged" true
+    (List.exists
+       (function I.Scan { array = "a"; op = Op.Add } -> true | _ -> false)
+       (I.recognize k))
+
+let test_idiom_recurrence_distance () =
+  let k = offset_kernel ~load_off:(-4) ~store_off:0 in
+  check "distance-4 recurrence tagged" true
+    (List.exists
+       (function
+         | I.Recurrence { array = "a"; distance = 4 } -> true | _ -> false)
+       (I.recognize k))
+
+(* --- legality summary ------------------------------------------------------- *)
+
+let test_legality_summary () =
+  let s = L.summarize (Tsvc.Registry.find_exn "s1221").kernel in
+  check "llv legal exactly up to 4" true (L.legal_vfs s.L.l_llv = [ 2; 4 ]);
+  check "slp matches" true (L.legal_vfs s.L.l_slp = [ 2; 4 ]);
+  check "unroll always legal" true
+    (L.legal_vfs s.L.l_unroll = [ 2; 4; 8; 16 ]);
+  let sr = L.summarize (Tsvc.Registry.find_exn "s311").kernel in
+  check "reduction loop slp-legal under the idiom tag" true
+    (L.legal_vfs sr.L.l_slp = [ 2; 4; 8; 16 ]);
+  check "idiom tag present" true (I.has_reduction sr.L.l_idioms)
+
 let tests =
   [ Alcotest.test_case "no dep" `Quick test_no_dep;
     Alcotest.test_case "backward flow d=1" `Quick test_backward_flow_distance_1;
@@ -203,4 +328,16 @@ let tests =
     Alcotest.test_case "rel_n cancels" `Quick test_rel_n_cancels;
     Alcotest.test_case "param offset" `Quick test_param_offset_unknown;
     Alcotest.test_case "golden verdicts" `Quick test_golden_verdicts;
-    Alcotest.test_case "distance limits" `Quick test_distance_limits ]
+    Alcotest.test_case "distance limits" `Quick test_distance_limits;
+    Alcotest.test_case "seeded distances exact" `Quick test_seeded_distance_exact;
+    Alcotest.test_case "graph (<,>) edge" `Quick test_graph_lt_gt_edge;
+    Alcotest.test_case "interchange (<,>) refused" `Quick
+      test_interchange_lt_gt_refused;
+    Alcotest.test_case "graph outer carried" `Quick test_graph_outer_carried;
+    Alcotest.test_case "graph loop independent" `Quick
+      test_graph_loop_independent;
+    Alcotest.test_case "idiom reduction" `Quick test_idiom_reduction;
+    Alcotest.test_case "idiom scan" `Quick test_idiom_scan;
+    Alcotest.test_case "idiom recurrence distance" `Quick
+      test_idiom_recurrence_distance;
+    Alcotest.test_case "legality summary" `Quick test_legality_summary ]

@@ -31,6 +31,7 @@ let () =
       ("coverage", Test_coverage.tests);
       ("extensions", Test_extensions.tests);
       ("analysis", Test_analysis.tests);
+      ("crosscheck", Test_crosscheck.tests);
       ("absint", Test_absint.tests);
       ("par", Test_par.tests);
       ("fault", Test_fault.tests) ]

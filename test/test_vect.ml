@@ -126,12 +126,17 @@ let test_llv_epilogue_sizes () =
 
 (* --- SLP -------------------------------------------------------------------- *)
 
-let test_slp_rejects_reductions () =
+(* Reduction loops used to be a blanket [Has_reductions] refusal; the
+   idiom tag now admits them, the accumulator source seeds the pack tree,
+   and the horizontal combine survives as a [vreduction]. *)
+let test_slp_vectorizes_reductions () =
   let k = (Tsvc.Registry.find_exn "s311").kernel in
-  check "reduction loop not an SLP seed" true
-    (match Vvect.Slp.vectorize ~vf:4 k with
-    | Error Vvect.Slp.Has_reductions -> true
-    | Error _ | Ok _ -> false)
+  let vk = slp k in
+  check_int "one vector reduction" 1 (List.length vk.Vvect.Vinstr.vreductions);
+  assert_equiv "s311 slp" k vk;
+  (* A reduction alongside a packed store keeps both sinks. *)
+  let k2 = (Tsvc.Registry.find_exn "s312").kernel in
+  assert_equiv "s312 slp" k2 (slp k2)
 
 let test_slp_needs_contiguous_seed () =
   (* Only store is a scatter: no seed. *)
@@ -265,7 +270,8 @@ let tests =
     Alcotest.test_case "llv equiv vf2" `Slow test_llv_equiv_vf2;
     Alcotest.test_case "llv equiv vf8" `Slow test_llv_equiv_vf8;
     Alcotest.test_case "llv epilogue sizes" `Quick test_llv_epilogue_sizes;
-    Alcotest.test_case "slp rejects reductions" `Quick test_slp_rejects_reductions;
+    Alcotest.test_case "slp vectorizes reductions" `Quick
+      test_slp_vectorizes_reductions;
     Alcotest.test_case "slp needs seed" `Quick test_slp_needs_contiguous_seed;
     Alcotest.test_case "slp scalarizes gather" `Quick test_slp_scalarizes_gather;
     Alcotest.test_case "slp packs contiguous" `Quick test_slp_packs_contiguous;
@@ -492,10 +498,14 @@ let test_interchange_direction_vectors () =
       check "column dep present" true (List.mem ("aa", 0, 1) vecs)
 
 let test_interchange_refuses_coupled () =
-  (* s114 transposes subscripts: the separable test must refuse. *)
+  (* s114 transposes subscripts (aa[i][j] vs aa[j][i]): the old separable
+     test bailed out; the Banerjee direction enumeration now proves the
+     (<,>) vector feasible, so the refusal names the real reason. *)
   let k = (Tsvc.Registry.find_exn "s114").kernel in
-  check "coupled subscripts refused" true
-    (match Ix.legal k with Error (Ix.Imperfect _) -> true | _ -> false)
+  check "coupled subscripts carry a (<,>) vector" true
+    (match Ix.legal k with
+    | Error (Ix.Illegal_direction _) -> true
+    | _ -> false)
 
 let test_interchange_semantics_all_2d () =
   (* Wherever interchange claims legality, interpretation must agree. *)

@@ -1,24 +1,35 @@
-(* Interface-completeness check: every .ml in the given directories must
-   have a matching .mli, so library APIs stay documented and sealed.
-   Wired into [dune runtest] for lib/analysis. *)
+(* Interface-completeness check: every .ml under the given roots must have
+   a matching .mli, so library APIs stay documented and sealed.  Roots are
+   walked recursively (dot- and underscore-prefixed directories skipped),
+   so a newly added library directory is covered the moment it exists —
+   no per-directory registration.  Wired into [dune runtest] over lib/. *)
 
 let has_mli dir base = Sys.file_exists (Filename.concat dir (base ^ ".mli"))
 
-let check_dir dir =
+let skip_dir name =
+  String.length name = 0 || name.[0] = '.' || name.[0] = '_'
+
+let rec walk dir =
+  Sys.readdir dir |> Array.to_list |> List.sort compare
+  |> List.concat_map (fun f ->
+         let path = Filename.concat dir f in
+         if Sys.is_directory path then if skip_dir f then [] else walk path
+         else if Filename.check_suffix f ".ml" then
+           let base = Filename.chop_suffix f ".ml" in
+           if has_mli dir base then [] else [ path ]
+         else [])
+
+let check_root dir =
   if not (Sys.file_exists dir && Sys.is_directory dir) then (
     Printf.eprintf "check_mli: no such directory: %s\n" dir;
     exit 2);
-  Sys.readdir dir |> Array.to_list
-  |> List.filter (fun f -> Filename.check_suffix f ".ml")
-  |> List.filter_map (fun f ->
-         let base = Filename.chop_suffix f ".ml" in
-         if has_mli dir base then None else Some (Filename.concat dir f))
+  walk dir
 
 let () =
   let dirs =
     match Array.to_list Sys.argv with [] | [ _ ] -> [ "." ] | _ :: ds -> ds
   in
-  match List.concat_map check_dir dirs with
+  match List.concat_map check_root dirs with
   | [] -> ()
   | missing ->
       List.iter (Printf.eprintf "check_mli: %s has no .mli\n") missing;
