@@ -7,6 +7,7 @@
      dune exec bench/main.exe f3 t2      # selected experiments
      dune exec bench/main.exe micro      # only the microbenchmarks
      dune exec bench/main.exe json F.json  # pipeline timings as JSON
+     dune exec bench/main.exe exec-smoke # CI gate: closure >= 3x interp
 *)
 
 open Costmodel
@@ -260,6 +261,16 @@ let microbenchmarks () =
         (Staged.stage (fun () ->
              ignore
                (Vinterp.Interp.run ~n:4096
+                  (Tsvc.Registry.find_exn "s000").kernel)));
+      Test.make ~name:"exec-flat-s000-n4096"
+        (Staged.stage (fun () ->
+             ignore
+               (Vexec.Backend.run ~n:4096 Vexec.Backend.Flat
+                  (Tsvc.Registry.find_exn "s000").kernel)));
+      Test.make ~name:"exec-closure-s000-n4096"
+        (Staged.stage (fun () ->
+             ignore
+               (Vexec.Backend.run ~n:4096 Vexec.Backend.Closure
                   (Tsvc.Registry.find_exn "s000").kernel)))
     ]
   in
@@ -450,6 +461,77 @@ let bench_json out =
     (List.length !deps_configs)
     (Vanalysis.Depsreport.precision deps_stats)
     (Vanalysis.Depsreport.recall deps_stats);
+  (* EXEC: the execution-engine tiers.  Raw kernel throughput over the
+     full registry, then cold and warm registry-wide Dataset.build wall
+     time per backend; the closure/interp cold-build ratio is the
+     headline number the engine exists for. *)
+  let exec_machine = Vmachine.Machines.neon_a57 in
+  let exec_n = Tsvc.Registry.default_n in
+  let parse_triple payload =
+    match String.split_on_char ' ' payload with
+    | [ a; b; c ] -> (
+        match
+          (float_of_string_opt a, float_of_string_opt b, float_of_string_opt c)
+        with
+        | Some a, Some b, Some c -> Some (a, b, c)
+        | _ -> None)
+    | _ -> None
+  in
+  let exec_rows =
+    List.map
+      (fun backend ->
+        let name = Vexec.Backend.to_string backend in
+        let id = "EXEC-" ^ name in
+        match Option.bind (Checkpoint.Journal.find journal id) parse_triple with
+        | Some (kps, cold, warm) ->
+            Printf.printf
+              "   EXEC %-8s %10.1f kernels/s   cold build %8.4fs   warm \
+               %8.4fs  (resumed)\n%!"
+              name kps cold warm;
+            (name, kps, cold, warm)
+        | None ->
+            let kernels = Tsvc.Registry.kernels in
+            let twall =
+              wall (fun () ->
+                  List.iter
+                    (fun k ->
+                      ignore (Vmachine.Measure.execute ~backend ~n:exec_n k))
+                    kernels)
+            in
+            let kps =
+              float_of_int (List.length kernels) /. Float.max 1e-9 twall
+            in
+            Vpar.Pool.set_sequential true;
+            Dataset.cache_clear ();
+            let build () =
+              ignore
+                (Dataset.build ~backend ~machine:exec_machine
+                   ~transform:Dataset.Llv ~n:exec_n Tsvc.Registry.all)
+            in
+            let cold = wall build in
+            let warm = wall build in
+            Vpar.Pool.set_sequential false;
+            Printf.printf
+              "   EXEC %-8s %10.1f kernels/s   cold build %8.4fs   warm \
+               %8.4fs\n%!"
+              name kps cold warm;
+            Checkpoint.Journal.record journal id
+              (Printf.sprintf "%.6f %.6f %.6f" kps cold warm);
+            (name, kps, cold, warm))
+      Vexec.Backend.all
+  in
+  let exec_cold which =
+    match
+      List.find_opt (fun (name, _, _, _) -> String.equal name which) exec_rows
+    with
+    | Some (_, _, cold, _) -> cold
+    | None -> Float.nan
+  in
+  let exec_speedup =
+    exec_cold "interp" /. Float.max 1e-9 (exec_cold "closure")
+  in
+  Printf.printf "   EXEC cold-build speedup, closure over interp: %.1fx\n%!"
+    exec_speedup;
   let b = Buffer.create 4096 in
   Buffer.add_string b "{\n  \"benchmark\": \"pipeline\",\n";
   Buffer.add_string b
@@ -491,6 +573,20 @@ let bench_json out =
        deps_stats.st_tn deps_stats.st_inapplicable
        (Vanalysis.Depsreport.precision deps_stats)
        (Vanalysis.Depsreport.recall deps_stats));
+  Buffer.add_string b "  \"exec\": [\n";
+  List.iteri
+    (fun i (name, kps, cold, warm) ->
+      Buffer.add_string b
+        (Printf.sprintf
+           "    {\"backend\": \"%s\", \"kernels_per_s\": %.1f, \
+            \"build_cold_s\": %.6f, \"build_warm_s\": %.6f}%s\n"
+           name kps cold warm
+           (if i = List.length exec_rows - 1 then "" else ",")))
+    exec_rows;
+  Buffer.add_string b "  ],\n";
+  Buffer.add_string b
+    (Printf.sprintf
+       "  \"exec_build_speedup_closure_vs_interp\": %.2f,\n" exec_speedup);
   Buffer.add_string b
     (Printf.sprintf
        "  \"cache\": {\"hits\": %d, \"misses\": %d, \"entries\": %d},\n"
@@ -505,6 +601,40 @@ let bench_json out =
   Checkpoint.Journal.clear journal;
   Printf.printf "pipeline timings written to %s\n" out;
   Printf.printf "%s\n" (Report.cache_stats_string ())
+
+(* exec-smoke: CI perf gate.  On a small registry slice the closure tier
+   must beat the tree-walking interpreter by at least 3x on cold
+   Dataset.build, or the execution engine has regressed into
+   interpretation.  The threshold is deliberately far below the steady
+   10x+ so scheduler noise on shared CI runners cannot flake it. *)
+let exec_smoke () =
+  let machine = Vmachine.Machines.neon_a57 in
+  let entries = List.filteri (fun i _ -> i < 24) Tsvc.Registry.all in
+  let n = Tsvc.Registry.default_n in
+  Vpar.Pool.set_sequential true;
+  Dataset.set_cache_enabled false;
+  let build backend =
+    wall (fun () ->
+        ignore
+          (Dataset.build ~backend ~machine ~transform:Dataset.Llv ~n entries))
+  in
+  (* One throwaway closure build first so allocation and code paths are
+     warm for both timed runs. *)
+  ignore (build Vexec.Backend.Closure);
+  let interp = build Vexec.Backend.Interp in
+  let closure = build Vexec.Backend.Closure in
+  Dataset.set_cache_enabled true;
+  Vpar.Pool.set_sequential false;
+  let speedup = interp /. Float.max 1e-9 closure in
+  Printf.printf
+    "exec-smoke: %d kernels at n = %d: interp %.4fs, closure %.4fs (%.1fx)\n"
+    (List.length entries) n interp closure speedup;
+  if speedup < 3.0 then begin
+    Printf.printf
+      "exec-smoke: FAIL: closure tier under 3x over the interpreter\n";
+    exit 1
+  end
+  else Printf.printf "exec-smoke: ok (threshold 3x)\n"
 
 (* csv DIR: write per-experiment summary CSVs plus the F1/F3 scatters. *)
 let export_csv dir =
@@ -554,6 +684,9 @@ let () =
         run rest
     | "micro" :: rest ->
         microbenchmarks ();
+        run rest
+    | "exec-smoke" :: rest ->
+        exec_smoke ();
         run rest
     | w :: rest ->
         (match List.assoc_opt w experiments with

@@ -116,6 +116,37 @@ let apply_faults = function
           Printf.eprintf "vecmodel: --faults: %s\n" e;
           exit 124)
 
+(* --- execution backend ------------------------------------------------------
+   [--backend B] pins the kernel execution engine for this invocation,
+   overriding [VECMODEL_BACKEND]; without either the closure tier runs. *)
+
+let backend_conv =
+  let parse s =
+    match Vexec.Backend.of_string s with
+    | Some b -> Ok b
+    | None ->
+        Error
+          (`Msg
+             (Printf.sprintf "unknown backend %s (expected one of: %s)" s
+                (String.concat ", "
+                   (List.map Vexec.Backend.to_string Vexec.Backend.all))))
+  in
+  Arg.conv (parse, fun fmt b -> Format.pp_print_string fmt (Vexec.Backend.to_string b))
+
+let backend_arg =
+  Arg.(
+    value
+    & opt (some backend_conv) None
+    & info [ "backend" ] ~docv:"B"
+        ~doc:
+          "Execution engine for kernel runs: interp (tree-walking reference), \
+           flat (bytecode) or closure (compiled, default).  Overrides \
+           $(b,VECMODEL_BACKEND).")
+
+let apply_backend = function
+  | None -> ()
+  | Some b -> Vexec.Backend.set_default b
+
 let features_conv =
   let parse = function
     | "raw" -> Ok Linmodel.Raw
@@ -503,7 +534,8 @@ let opt_cmd =
             "Also check every pass against the reference interpreter and \
              exit 1 on any semantic diff.")
   in
-  let run kernel all json validate =
+  let run kernel all json validate backend =
+    apply_backend backend;
     let registry = Tsvc.Registry.all @ Vapps.Registry.as_tsvc_entries in
     let entries =
       match (kernel, all) with
@@ -541,7 +573,7 @@ let opt_cmd =
        ~doc:
          "Run the SSA optimization pipeline on kernels: per-pass instruction \
           deltas and the before/after instruction-class mix")
-    Term.(const run $ kernel_opt $ all_flag $ json_flag $ validate_flag)
+    Term.(const run $ kernel_opt $ all_flag $ json_flag $ validate_flag $ backend_arg)
 
 (* --- simulate --------------------------------------------------------------- *)
 
@@ -593,8 +625,9 @@ let save_arg =
     & info [ "save" ] ~docv:"FILE" ~doc:"Write the fitted model to FILE.")
 
 let fit_cmd =
-  let run machine n transform method_ features target save faults =
+  let run machine n transform method_ features target save faults backend =
     apply_faults faults;
+    apply_backend backend;
     let samples = build_samples machine transform n in
     let m = Linmodel.fit ~method_ ~features ~target samples in
     (match save with
@@ -629,7 +662,7 @@ let fit_cmd =
   Cmd.v (Cmd.info "fit" ~doc:"Fit a cost model and print weights and metrics")
     Term.(
       const run $ machine_arg $ n_arg $ transform_arg $ method_arg
-      $ features_arg $ target_arg $ save_arg $ faults_arg)
+      $ features_arg $ target_arg $ save_arg $ faults_arg $ backend_arg)
 
 (* --- predict ------------------------------------------------------------------- *)
 
@@ -640,7 +673,8 @@ let predict_cmd =
       & opt (some string) None
       & info [ "model" ] ~docv:"FILE" ~doc:"Model file written by fit --save.")
   in
-  let run name model_path machine n transform =
+  let run name model_path machine n transform backend =
+    apply_backend backend;
     match Linmodel.load model_path with
     | Error e -> failwith e
     | Ok m -> (
@@ -653,11 +687,14 @@ let predict_cmd =
   in
   Cmd.v
     (Cmd.info "predict" ~doc:"Predict one kernel's speedup with a saved model")
-    Term.(const run $ kernel_arg $ model_arg $ machine_arg $ n_arg $ transform_arg)
+    Term.(
+      const run $ kernel_arg $ model_arg $ machine_arg $ n_arg $ transform_arg
+      $ backend_arg)
 
 let loocv_cmd =
-  let run machine n transform method_ features target faults =
+  let run machine n transform method_ features target faults backend =
     apply_faults faults;
+    apply_backend backend;
     let samples = build_samples machine transform n in
     let predicted = Crossval.loocv ~method_ ~features ~target samples in
     print_eval "loocv    " (Metrics.evaluate ~predicted samples);
@@ -667,7 +704,7 @@ let loocv_cmd =
     (Cmd.info "loocv" ~doc:"Leave-one-out cross-validation of a cost model")
     Term.(
       const run $ machine_arg $ n_arg $ transform_arg $ method_arg
-      $ features_arg $ target_arg $ faults_arg)
+      $ features_arg $ target_arg $ faults_arg $ backend_arg)
 
 (* --- report ---------------------------------------------------------------------- *)
 
@@ -677,8 +714,9 @@ let report_cmd =
       value & pos_all string []
       & info [] ~docv:"EXPERIMENT" ~doc:"Experiment ids (f1..f12, t1, t2, a1..a10).")
   in
-  let run which faults =
+  let run which faults backend =
     apply_faults faults;
+    apply_backend backend;
     let all =
       [ "f1"; "f2"; "f3"; "f4"; "f5"; "f6"; "f7"; "f8"; "f9"; "f10"; "f11";
         "f12"; "t1"; "t2"; "a1"; "a2"; "a3"; "a4"; "a5"; "a6"; "a7"; "a8"; "a9";
@@ -748,12 +786,13 @@ let report_cmd =
       wanted
   in
   Cmd.v (Cmd.info "report" ~doc:"Reproduce the paper's tables and figures")
-    Term.(const run $ which $ faults_arg)
+    Term.(const run $ which $ faults_arg $ backend_arg)
 
 (* --- cachestats ------------------------------------------------------------ *)
 
 let cachestats_cmd =
-  let run () =
+  let run backend =
+    apply_backend backend;
     Dataset.cache_clear ();
     Experiment.loocv_cache_clear ();
     (* The paper's experiment grid: F1..F5, T2, A1 and A4 share the
@@ -782,6 +821,13 @@ let cachestats_cmd =
       drivers;
     Printf.printf "domain pool: %d worker(s)\n" (Vpar.Pool.default_size ());
     print_endline (Report.cache_stats_string ());
+    (match Dataset.cache_backends () with
+    | [] -> ()
+    | per_backend ->
+        print_endline "samples by execution backend:";
+        List.iter
+          (fun (b, count) -> Printf.printf "  %-8s %6d sample(s)\n" b count)
+          per_backend);
     let l = Experiment.loocv_cache_stats () in
     Printf.printf "loocv cache: %d hits, %d misses, %d prediction vectors\n"
       l.Dataset.hits l.Dataset.misses l.Dataset.entries
@@ -790,8 +836,8 @@ let cachestats_cmd =
     (Cmd.info "cachestats"
        ~doc:
          "Run the experiment grid against the shared sample cache and \
-          report hit/miss counters")
-    Term.(const run $ const ())
+          report hit/miss counters and the per-backend sample breakdown")
+    Term.(const run $ backend_arg)
 
 (* --- health ----------------------------------------------------------------- *)
 
@@ -822,8 +868,9 @@ let health_cmd =
   let json_flag =
     Arg.(value & flag & info [ "json" ] ~doc:"Emit the report as JSON.")
   in
-  let run machine n transform repeats faults json =
+  let run machine n transform repeats faults backend json =
     apply_faults faults;
+    apply_backend backend;
     Dataset.health_reset ();
     Vpar.Pool.reset_stats ();
     Vfault.Inject.reset_counts ();
@@ -912,7 +959,7 @@ let health_cmd =
           counters")
     Term.(
       const run $ machine_arg $ n_arg $ transform_arg $ repeats_arg
-      $ faults_arg $ json_flag)
+      $ faults_arg $ backend_arg $ json_flag)
 
 (* --- faults ----------------------------------------------------------------- *)
 

@@ -29,10 +29,12 @@ val float_eq : float -> float -> bool
 (** Problem sizes [semantic_diags] interprets at by default. *)
 val semantic_sizes : int list
 
-(** Run both kernels under the reference interpreter in the deterministic
-    default environment and compare every array element and reduction
-    value; an [Error] diagnostic per first mismatch.  A kernel that traps
-    in the original form is skipped (no reference behaviour); a transform
-    that *introduces* a trap is an error. *)
+(** Run both kernels in the deterministic default environment and compare
+    every array element and reduction value; an [Error] diagnostic per
+    first mismatch.  A kernel that traps in the original form is skipped
+    (no reference behaviour); a transform that *introduces* a trap is an
+    error.  Runs execute on [backend] (default [Vexec.Backend.default ()]);
+    all backends share reference semantics. *)
 val semantic_diags :
-  ?sizes:int list -> pass:string -> orig:Kernel.t -> Kernel.t -> Diag.t list
+  ?backend:Vexec.Backend.t -> ?sizes:int list -> pass:string ->
+  orig:Kernel.t -> Kernel.t -> Diag.t list

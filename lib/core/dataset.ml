@@ -30,6 +30,8 @@ type sample = {
   opt : float array;  (* absint of normalized body + ratio/hoist columns *)
   deps : float array;  (* opt + dependence-graph and idiom columns *)
   vraw : float array;  (* vector body counts (cost-target fits) *)
+  exec_backend : string;  (* execution backend that ran the kernel *)
+  exec_digest : string;  (* fingerprint of the backend run (Measure.execute) *)
   measured : float;  (* noisy measured speedup: the ground truth *)
   scalar_cycles_iter : float;  (* noisy per-iteration scalar cycles *)
   vector_cycles_block : float;  (* noisy per-block vector cycles *)
@@ -153,7 +155,7 @@ type build_outcome =
   | Not_vectorizable
   | Quarantined of string
 
-let build_one ~noise_amp ~seed ~repeats ~(machine : Vmachine.Descr.t)
+let build_one ~noise_amp ~seed ~repeats ~backend ~(machine : Vmachine.Descr.t)
     ~transform ~n (e : Tsvc.Registry.entry) =
   let k = e.kernel in
   let vf = Vmachine.Descr.vf_for_kernel machine k in
@@ -165,6 +167,12 @@ let build_one ~noise_amp ~seed ~repeats ~(machine : Vmachine.Descr.t)
         match robust_speedup ~noise_amp ~seed ~repeats ~machine ~n vk with
         | Error reason -> Quarantined reason
         | Ok m ->
+            (* Actually execute the scalar kernel on the selected backend;
+               the repeats reuse one environment via [Env.reset] and the
+               digest is checked for stability across them. *)
+            let ex =
+              Vmachine.Measure.execute ~backend ~seed ~repeats ~n k
+            in
             let sest = Vmachine.Sched.scalar_estimate machine ~n k in
             let vest = Vmachine.Sched.vector_estimate machine ~n vk in
             (* Independent noise draws for the block-cost targets. *)
@@ -187,6 +195,8 @@ let build_one ~noise_amp ~seed ~repeats ~(machine : Vmachine.Descr.t)
                 opt = Feature.opt ~n ~vf k;
                 deps = Feature.deps ~n ~vf k;
                 vraw = Feature.vcounts vk;
+                exec_backend = Vexec.Backend.to_string backend;
+                exec_digest = ex.Vmachine.Measure.exec_digest;
                 measured = m.speedup;
                 scalar_cycles_iter = sest.Vmachine.Sched.cycles *. nf "#s";
                 vector_cycles_block = vest.Vmachine.Sched.cycles *. nf "#v";
@@ -247,7 +257,7 @@ let machine_fingerprint (d : Vmachine.Descr.t) =
          string_of_int d.loop_uops;
          string_of_float d.vec_setup_cycles ])
 
-let sample_key ~noise_amp ~seed ~repeats ~machine ~transform ~n
+let sample_key ~noise_amp ~seed ~repeats ~backend ~machine ~transform ~n
     (e : Tsvc.Registry.entry) =
   Digest.string
     (String.concat "|"
@@ -259,6 +269,9 @@ let sample_key ~noise_amp ~seed ~repeats ~machine ~transform ~n
          string_of_float noise_amp;
          string_of_int seed;
          string_of_int repeats;
+         (* Backend id: switching backends must never serve samples whose
+            execution digest another backend produced. *)
+         "exec:" ^ Vexec.Backend.to_string backend;
          Vfault.Plan.to_string (Vfault.Inject.active ()) ])
 
 let record_outcome ~machine ~transform name = function
@@ -270,14 +283,16 @@ let record_outcome ~machine ~transform name = function
           q_reason = reason }
   | Built _ | Not_vectorizable -> ()
 
-let build_one_cached ~noise_amp ~seed ~repeats
+let build_one_cached ~noise_amp ~seed ~repeats ~backend
     ~(machine : Vmachine.Descr.t) ~transform ~n (e : Tsvc.Registry.entry) =
   let kname = e.Tsvc.Registry.kernel.Kernel.name in
   let outcome =
     if not (Atomic.get cache_enabled) then
-      build_one ~noise_amp ~seed ~repeats ~machine ~transform ~n e
+      build_one ~noise_amp ~seed ~repeats ~backend ~machine ~transform ~n e
     else begin
-      let key = sample_key ~noise_amp ~seed ~repeats ~machine ~transform ~n e in
+      let key =
+        sample_key ~noise_amp ~seed ~repeats ~backend ~machine ~transform ~n e
+      in
       Mutex.lock cache_mutex;
       let found = Hashtbl.find_opt cache key in
       Mutex.unlock cache_mutex;
@@ -300,7 +315,10 @@ let build_one_cached ~noise_amp ~seed ~repeats
           v
       | None ->
           Atomic.incr cache_misses;
-          let v = build_one ~noise_amp ~seed ~repeats ~machine ~transform ~n e in
+          let v =
+            build_one ~noise_amp ~seed ~repeats ~backend ~machine ~transform ~n
+              e
+          in
           Mutex.lock cache_mutex;
           Hashtbl.replace cache key v;
           Mutex.unlock cache_mutex;
@@ -313,9 +331,12 @@ let build_one_cached ~noise_amp ~seed ~repeats
 let default_timeout = 0.5
 
 let build ?(noise_amp = Vmachine.Measure.default_noise) ?(seed = 1)
-    ?(repeats = 1) ?pool ?(timeout_s = default_timeout)
+    ?(repeats = 1) ?backend ?pool ?(timeout_s = default_timeout)
     ~(machine : Vmachine.Descr.t) ~transform ~n
     (entries : Tsvc.Registry.entry list) =
+  let backend =
+    match backend with Some b -> b | None -> Vexec.Backend.default ()
+  in
   let arr = Array.of_list entries in
   (* Content-derived task keys: fault decisions follow the kernel, not the
      position of the task in the queue or the worker running it. *)
@@ -325,7 +346,8 @@ let build ?(noise_amp = Vmachine.Measure.default_noise) ?(seed = 1)
   in
   let results =
     Vpar.Pool.supervised_map ?pool ~timeout_s ~task_key
-      (build_one_cached ~noise_amp ~seed ~repeats ~machine ~transform ~n)
+      (build_one_cached ~noise_amp ~seed ~repeats ~backend ~machine ~transform
+         ~n)
       entries
   in
   List.concat
@@ -345,6 +367,28 @@ let build ?(noise_amp = Vmachine.Measure.default_noise) ?(seed = 1)
                      f.f_attempts f.f_error };
              [])
        results)
+
+(* Which backend produced the cached samples currently live in the cache:
+   [(backend, count)] sorted by backend name.  Negative entries
+   (non-vectorizable, quarantined) carry no execution and are not counted. *)
+let cache_backends () =
+  Mutex.lock cache_mutex;
+  let counts = Hashtbl.create 4 in
+  Hashtbl.iter
+    (fun _ outcome ->
+      match outcome with
+      | Built s ->
+          let c =
+            match Hashtbl.find_opt counts s.exec_backend with
+            | Some c -> c
+            | None -> 0
+          in
+          Hashtbl.replace counts s.exec_backend (c + 1)
+      | Not_vectorizable | Quarantined _ -> ())
+    cache;
+  Mutex.unlock cache_mutex;
+  Hashtbl.fold (fun b c acc -> (b, c) :: acc) counts []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
 let measured_array samples = Array.of_list (List.map (fun s -> s.measured) samples)
 let baseline_array samples = Array.of_list (List.map (fun s -> s.baseline) samples)

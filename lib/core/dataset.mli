@@ -21,6 +21,9 @@ type sample = {
   deps : float array;
       (** opt features + nest-wide dependence-graph and idiom columns *)
   vraw : float array;  (** vector body counts (cost-target fits) *)
+  exec_backend : string;  (** execution backend that ran the kernel *)
+  exec_digest : string;
+      (** fingerprint of the backend execution ({!Vmachine.Measure.execute}) *)
   measured : float;  (** noisy measured speedup: the ground truth *)
   scalar_cycles_iter : float;
   vector_cycles_block : float;
@@ -47,11 +50,17 @@ val apply_transform :
     single-shot behaviour.  Samples with no usable measurement are
     quarantined into the {!health} ledger, never silently dropped.
     [?timeout_s] (default 0.5) cancels a build task whose simulated hang
-    exceeds it. *)
+    exceeds it.
+
+    [?backend] (default {!Vexec.Backend.default}) selects the execution
+    engine that actually runs each kernel; the backend id is folded into
+    the cache key, so switching backends never serves samples another
+    backend built. *)
 val build :
-  ?noise_amp:float -> ?seed:int -> ?repeats:int -> ?pool:Vpar.Pool.t ->
-  ?timeout_s:float -> machine:Vmachine.Descr.t -> transform:transform ->
-  n:int -> Tsvc.Registry.entry list -> sample list
+  ?noise_amp:float -> ?seed:int -> ?repeats:int ->
+  ?backend:Vexec.Backend.t -> ?pool:Vpar.Pool.t -> ?timeout_s:float ->
+  machine:Vmachine.Descr.t -> transform:transform -> n:int ->
+  Tsvc.Registry.entry list -> sample list
 
 (** {2 Health ledger} *)
 
@@ -91,6 +100,11 @@ val cache_clear : unit -> unit
 (** Disable or re-enable memoization (used to time cold baselines).
     Enabled by default; when disabled the counters do not move. *)
 val set_cache_enabled : bool -> unit
+
+(** Which execution backend produced the cached samples currently live in
+    the cache: [(backend, count)] sorted by backend name.  Entries with no
+    execution (non-vectorizable, quarantined) are not counted. *)
+val cache_backends : unit -> (string * int) list
 
 val measured_array : sample list -> float array
 val baseline_array : sample list -> float array

@@ -180,6 +180,14 @@ let cache_stats_string () =
     if total = 0 then 0.0
     else 100.0 *. float_of_int s.Dataset.hits /. float_of_int total
   in
+  let backends =
+    match Dataset.cache_backends () with
+    | [] -> ""
+    | per_backend ->
+        "; by backend: "
+        ^ String.concat ", "
+            (List.map (fun (b, n) -> Printf.sprintf "%s %d" b n) per_backend)
+  in
   Printf.sprintf
-    "sample cache: %d hits, %d misses (%.1f%% hit rate), %d live entries"
-    s.Dataset.hits s.Dataset.misses rate s.Dataset.entries
+    "sample cache: %d hits, %d misses (%.1f%% hit rate), %d live entries%s"
+    s.Dataset.hits s.Dataset.misses rate s.Dataset.entries backends

@@ -1,0 +1,174 @@
+(* Execution-backend selection and a uniform run interface.
+
+   Three tiers share one reference semantics:
+
+     - [Interp]: the tree-walking [Vinterp.Interp] — slowest, but carries
+       the [?observe] hook and access tracing, so it stays the oracle;
+     - [Flat]: bytecode dispatch over a [Program.t] ([Flat.exec_body]);
+     - [Closure]: the bytecode compiled to OCaml closures.
+
+   Selection order for the process default: [set_default] (CLI [--backend])
+   beats the [VECMODEL_BACKEND] environment variable beats [Closure]. *)
+
+module Env = Vinterp.Env
+
+type t = Interp | Flat | Closure
+
+let all = [ Interp; Flat; Closure ]
+
+let to_string = function
+  | Interp -> "interp"
+  | Flat -> "flat"
+  | Closure -> "closure"
+
+let of_string = function
+  | "interp" -> Some Interp
+  | "flat" -> Some Flat
+  | "closure" -> Some Closure
+  | _ -> None
+
+let forced : t option ref = ref None
+let set_default b = forced := Some b
+let clear_default () = forced := None
+let warned = ref false
+
+let default () =
+  match !forced with
+  | Some b -> b
+  | None -> (
+      match Sys.getenv_opt "VECMODEL_BACKEND" with
+      | None | Some "" -> Closure
+      | Some s -> (
+          match of_string s with
+          | Some b -> b
+          | None ->
+              if not !warned then begin
+                warned := true;
+                Printf.eprintf
+                  "vecmodel: ignoring invalid VECMODEL_BACKEND=%s (expected \
+                   interp|flat|closure)\n%!"
+                  s
+              end;
+              Closure))
+
+(* A kernel prepared for repeated execution: lowering and (for the closure
+   tier) compilation happen once here, then [run_in] only rebinds. *)
+type prepared =
+  | P_interp of Vir.Kernel.t
+  | P_flat of Flat.state
+  | P_closure of Flat.state * Closure.t
+
+let prepare backend k =
+  match backend with
+  | Interp -> P_interp k
+  | Flat -> P_flat (Flat.create (Program.lower k))
+  | Closure ->
+      let st = Flat.create (Program.lower k) in
+      P_closure (st, Closure.compile st)
+
+let backend_of = function
+  | P_interp _ -> Interp
+  | P_flat _ -> Flat
+  | P_closure _ -> Closure
+
+let kernel_of = function
+  | P_interp k -> k
+  | P_flat st | P_closure (st, _) -> st.Flat.prog.Program.kernel
+
+let run_in prepared env =
+  match prepared with
+  | P_interp k -> Vinterp.Interp.run_in env k
+  | P_flat st -> Flat.run_in st env
+  | P_closure (st, c) -> Closure.run_in st c env
+
+let run ?seed ~n backend k =
+  let env = Env.create ?seed ~n k in
+  let prepared = prepare backend k in
+  let reductions = run_in prepared env in
+  { Vinterp.Interp.env; reductions }
+
+(* --- execution digest ----------------------------------------------------
+
+   A deterministic fingerprint of the final memory image and reduction
+   values.  Folding the digest into cached samples is what lets [vecmodel
+   cachestats] attribute entries to the backend that produced them, and
+   lets the tests assert that backends (and worker counts) agree without
+   shipping whole snapshots.
+
+   This sits on the Dataset.build hot path (once per sample, over arrays of
+   n = 32000 floats), so it mixes one native-int step per element rather
+   than running byte-wise FNV, and arrays longer than [sample_cap] are
+   fingerprinted on an evenly strided slice (first and last elements always
+   included) plus their length.  A strided slice still witnesses any
+   systematic mis-addressing; the equivalence tests run at small n where
+   coverage is total, and compare full snapshots besides. *)
+
+let sample_cap = 4096
+
+(* splitmix-style mixing over OCaml's 63-bit ints; [h] stays non-negative. *)
+let mix h v =
+  let h = (h lxor v) * 0x9E3779B1 land max_int in
+  let h = h lxor (h lsr 29) in
+  h * 0x2545F4914F6CDD1D land max_int
+
+let mix_float h v =
+  let bits = Int64.bits_of_float v in
+  (* low 62 bits, then the top 32 (sign and exponent) so that values
+     differing only in the bits [Int64.to_int] drops still separate *)
+  let h = mix h (Int64.to_int bits) in
+  mix h (Int64.to_int (Int64.shift_right_logical bits 32))
+
+let mix_string h s =
+  let h = ref (mix h (String.length s)) in
+  String.iter (fun c -> h := mix !h (Char.code c)) s;
+  !h
+
+let digest (env : Env.t) reductions =
+  let names =
+    Hashtbl.fold (fun name _ acc -> name :: acc) env.Env.arrays []
+    |> List.sort String.compare
+  in
+  let h = ref 0x1505 in
+  List.iter
+    (fun name ->
+      h := mix_string !h name;
+      match Env.store env name with
+      | Env.F_arr a ->
+          let len = Array.length a in
+          h := mix !h len;
+          if len <= sample_cap then
+            for i = 0 to len - 1 do
+              h := mix_float !h (Array.unsafe_get a i)
+            done
+          else begin
+            let stride = len / sample_cap in
+            let i = ref 0 in
+            while !i < len do
+              h := mix_float !h (Array.unsafe_get a !i);
+              i := !i + stride
+            done;
+            h := mix_float !h a.(len - 1)
+          end
+      | Env.I_arr a ->
+          let len = Array.length a in
+          h := mix !h len;
+          if len <= sample_cap then
+            for i = 0 to len - 1 do
+              h := mix !h (Array.unsafe_get a i)
+            done
+          else begin
+            let stride = len / sample_cap in
+            let i = ref 0 in
+            while !i < len do
+              h := mix !h (Array.unsafe_get a !i);
+              i := !i + stride
+            done;
+            h := mix !h a.(len - 1)
+          end)
+    names;
+  List.iter
+    (fun (name, v) ->
+      h := mix_string !h name;
+      h := mix_float !h v)
+    reductions;
+  Printf.sprintf "%016x" !h

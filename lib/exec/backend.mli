@@ -1,0 +1,38 @@
+(* Execution-backend selection and a uniform run interface over the three
+   tiers: reference interpreter, flat bytecode dispatch, and
+   closure-compiled.  All three produce bit-identical results (the exec
+   test suite enforces it); they differ only in speed and hooks. *)
+
+type t = Interp | Flat | Closure
+
+val all : t list
+val to_string : t -> string
+val of_string : string -> t option
+
+val set_default : t -> unit
+(** Force the process-wide default (what [--backend] sets). *)
+
+val clear_default : unit -> unit
+
+val default : unit -> t
+(** [set_default] value if any, else [VECMODEL_BACKEND] (invalid values warn
+    once and fall through), else [Closure]. *)
+
+type prepared
+(** A kernel lowered (and for [Closure], compiled) once for repeated
+    execution; [run_in] only rebinds to the environment. *)
+
+val prepare : t -> Vir.Kernel.t -> prepared
+val backend_of : prepared -> t
+val kernel_of : prepared -> Vir.Kernel.t
+
+val run_in : prepared -> Vinterp.Env.t -> (string * float) list
+(** Execute over [env] in place; returns final reduction values.  Traps
+    exactly like [Vinterp.Interp.run_in]. *)
+
+val run : ?seed:int -> n:int -> t -> Vir.Kernel.t -> Vinterp.Interp.result
+(** Fresh environment, prepare, run — drop-in for [Vinterp.Interp.run]. *)
+
+val digest : Vinterp.Env.t -> (string * float) list -> string
+(** FNV-1a fingerprint of the final memory image plus reduction values;
+    deterministic across backends and worker counts. *)

@@ -1,0 +1,818 @@
+(* Closure tier: compile a lowered program into nested OCaml closures.
+
+   Each bytecode instruction becomes a [unit -> unit] closure over the
+   [Flat.state] register files, with register slots, array slots and trap
+   messages baked in as captured immediates; the body is a flat sequence of
+   those closures wrapped in per-loop driver closures.  All
+   bind-dependent quantities (loop bounds, array storage, access constants
+   and coefficients) are read *through* the state's stable arrays at run
+   time, so a program is compiled exactly once and the same compiled nest
+   serves every subsequent [Flat.bind].
+
+   Semantics is identical to [Flat.exec_body] (and hence to
+   [Vinterp.Interp]); the equivalence suite runs all three on the same
+   kernels and compares snapshots, reductions and traps. *)
+
+open Vir
+module Env = Vinterp.Env
+
+(* Two compilations of the same nest: [checked] guards every memory access,
+   [unchecked] elides the guard on affine accesses.  [run_bound] selects
+   [unchecked] only when [affine_safe] proves, from the bound loop ranges
+   and access coefficients, that every affine index stays inside its array
+   for the whole iteration space; indirect (gather/scatter) accesses keep
+   their guards in both variants. *)
+type t = { checked : unit -> unit; unchecked : unit -> unit }
+
+let nop () = ()
+
+(* Sequence an instruction array: small bodies are unrolled into a single
+   closure, larger ones dispatch through a flat loop — one indirect call per
+   instruction per iteration, versus ~2x for a composed chain. *)
+let seq fs =
+  match Array.length fs with
+  | 0 -> nop
+  | 1 -> fs.(0)
+  | 2 ->
+      let a = fs.(0) and b = fs.(1) in
+      fun () ->
+        a ();
+        b ()
+  | 3 ->
+      let a = fs.(0) and b = fs.(1) and c = fs.(2) in
+      fun () ->
+        a ();
+        b ();
+        c ()
+  | 4 ->
+      let a = fs.(0) and b = fs.(1) and c = fs.(2) and d = fs.(3) in
+      fun () ->
+        a ();
+        b ();
+        c ();
+        d ()
+  | 5 ->
+      let a = fs.(0)
+      and b = fs.(1)
+      and c = fs.(2)
+      and d = fs.(3)
+      and e = fs.(4) in
+      fun () ->
+        a ();
+        b ();
+        c ();
+        d ();
+        e ()
+  | 6 ->
+      let a = fs.(0)
+      and b = fs.(1)
+      and c = fs.(2)
+      and d = fs.(3)
+      and e = fs.(4)
+      and g = fs.(5) in
+      fun () ->
+        a ();
+        b ();
+        c ();
+        d ();
+        e ();
+        g ()
+  | m ->
+      fun () ->
+        for k = 0 to m - 1 do
+          (Array.unsafe_get fs k) ()
+        done
+
+let compile_body ?(check = true) (st : Flat.state) =
+  let prog = st.prog in
+  let f = st.fregs and i = st.iregs in
+  let ivs = st.ivs in
+  let cst = st.acc_const and arr_len = st.arr_len in
+  let arr_f = st.arr_f and arr_i = st.arr_i in
+  let traps = prog.traps in
+  (* Index function of access [a], specialized on the (static) term count;
+     coefficients and constants are read from the state so rebinding for a
+     new n/env needs no recompilation. *)
+  let compile_addr a =
+    let acc = prog.accesses.(a) in
+    if acc.acc_ind >= 0 then begin
+      let r = acc.acc_ind in
+      fun () -> Array.unsafe_get i r
+    end
+    else begin
+      let coeff = st.acc_coeff.(a) and depth = st.acc_depth.(a) in
+      match Array.length coeff with
+      | 0 -> fun () -> Array.unsafe_get cst a
+      | 1 ->
+          let d0 = depth.(0) in
+          fun () ->
+            Array.unsafe_get cst a
+            + (Array.unsafe_get coeff 0 * Array.unsafe_get ivs d0)
+      | 2 ->
+          let d0 = depth.(0) and d1 = depth.(1) in
+          fun () ->
+            Array.unsafe_get cst a
+            + (Array.unsafe_get coeff 0 * Array.unsafe_get ivs d0)
+            + (Array.unsafe_get coeff 1 * Array.unsafe_get ivs d1)
+      | nt ->
+          fun () ->
+            let s = ref (Array.unsafe_get cst a) in
+            for j = 0 to nt - 1 do
+              s :=
+                !s
+                + (Array.unsafe_get coeff j
+                  * Array.unsafe_get ivs (Array.unsafe_get depth j))
+            done;
+            !s
+    end
+  in
+  (* The two hot address shapes — indirect and single-term affine — are
+     inlined into the load/store closures below, saving one indirect call
+     per access per iteration; everything else goes through [compile_addr]. *)
+  let shape a =
+    let acc = prog.accesses.(a) in
+    if acc.acc_ind >= 0 then `Ind acc.acc_ind
+    else if Array.length st.acc_coeff.(a) = 1 then
+      `Aff1 (st.acc_coeff.(a), st.acc_depth.(a).(0))
+    else `Other
+  in
+  let code = prog.code in
+  let n_insns = Array.length code / Program.stride in
+  let closures =
+    Array.init n_insns (fun k ->
+        let base = k * Program.stride in
+        let op = code.(base) in
+        let d = code.(base + 1) in
+        let a = code.(base + 2) in
+        let b = code.(base + 3) in
+        let c = code.(base + 4) in
+        match op with
+        | 0 (* fadd *) ->
+            fun () ->
+              Array.unsafe_set f d (Array.unsafe_get f a +. Array.unsafe_get f b)
+        | 1 (* fsub *) ->
+            fun () ->
+              Array.unsafe_set f d (Array.unsafe_get f a -. Array.unsafe_get f b)
+        | 2 (* fmul *) ->
+            fun () ->
+              Array.unsafe_set f d (Array.unsafe_get f a *. Array.unsafe_get f b)
+        | 3 (* fdiv *) ->
+            fun () ->
+              Array.unsafe_set f d (Array.unsafe_get f a /. Array.unsafe_get f b)
+        | 4 (* fmin *) ->
+            fun () ->
+              Array.unsafe_set f d
+                (Float.min (Array.unsafe_get f a) (Array.unsafe_get f b))
+        | 5 (* fmax *) ->
+            fun () ->
+              Array.unsafe_set f d
+                (Float.max (Array.unsafe_get f a) (Array.unsafe_get f b))
+        | 6 (* fneg *) -> fun () -> Array.unsafe_set f d (-.Array.unsafe_get f a)
+        | 7 (* fabs *) ->
+            fun () -> Array.unsafe_set f d (abs_float (Array.unsafe_get f a))
+        | 8 (* fsqrt *) ->
+            fun () -> Array.unsafe_set f d (sqrt (Array.unsafe_get f a))
+        | 9 (* fma: unfused, like the interpreter *) ->
+            fun () ->
+              Array.unsafe_set f d
+                ((Array.unsafe_get f a *. Array.unsafe_get f b)
+                +. Array.unsafe_get f c)
+        | 10 (* fceq *) ->
+            fun () ->
+              Array.unsafe_set i d
+                (if Array.unsafe_get f a = Array.unsafe_get f b then 1 else 0)
+        | 11 (* fcne *) ->
+            fun () ->
+              Array.unsafe_set i d
+                (if Array.unsafe_get f a <> Array.unsafe_get f b then 1 else 0)
+        | 12 (* fclt *) ->
+            fun () ->
+              Array.unsafe_set i d
+                (if Array.unsafe_get f a < Array.unsafe_get f b then 1 else 0)
+        | 13 (* fcle *) ->
+            fun () ->
+              Array.unsafe_set i d
+                (if Array.unsafe_get f a <= Array.unsafe_get f b then 1 else 0)
+        | 14 (* fcgt *) ->
+            fun () ->
+              Array.unsafe_set i d
+                (if Array.unsafe_get f a > Array.unsafe_get f b then 1 else 0)
+        | 15 (* fcge *) ->
+            fun () ->
+              Array.unsafe_set i d
+                (if Array.unsafe_get f a >= Array.unsafe_get f b then 1 else 0)
+        | 16 (* fsel *) ->
+            fun () ->
+              Array.unsafe_set f d
+                (if Array.unsafe_get i c <> 0 then Array.unsafe_get f a
+                 else Array.unsafe_get f b)
+        | 17 (* isel *) ->
+            fun () ->
+              Array.unsafe_set i d
+                (if Array.unsafe_get i c <> 0 then Array.unsafe_get i a
+                 else Array.unsafe_get i b)
+        | 18 (* fsel_t *) ->
+            let msg = traps.(b) in
+            fun () ->
+              if Array.unsafe_get i c <> 0 then invalid_arg msg
+              else Array.unsafe_set f d (Array.unsafe_get f a)
+        | 19 (* fsel_f *) ->
+            let msg = traps.(b) in
+            fun () ->
+              if Array.unsafe_get i c = 0 then invalid_arg msg
+              else Array.unsafe_set f d (Array.unsafe_get f a)
+        | 20 (* isel_t *) ->
+            let msg = traps.(b) in
+            fun () ->
+              if Array.unsafe_get i c <> 0 then invalid_arg msg
+              else Array.unsafe_set i d (Array.unsafe_get i a)
+        | 21 (* isel_f *) ->
+            let msg = traps.(b) in
+            fun () ->
+              if Array.unsafe_get i c = 0 then invalid_arg msg
+              else Array.unsafe_set i d (Array.unsafe_get i a)
+        | 22 (* f_of_i *) ->
+            fun () -> Array.unsafe_set f d (float_of_int (Array.unsafe_get i a))
+        | 23 (* i_of_f *) ->
+            fun () -> Array.unsafe_set i d (int_of_float (Array.unsafe_get f a))
+        | 24 (* fmov *) -> fun () -> Array.unsafe_set f d (Array.unsafe_get f a)
+        | 25 (* imov *) -> fun () -> Array.unsafe_set i d (Array.unsafe_get i a)
+        | 26 (* iadd *) ->
+            fun () ->
+              Array.unsafe_set i d (Array.unsafe_get i a + Array.unsafe_get i b)
+        | 27 (* isub *) ->
+            fun () ->
+              Array.unsafe_set i d (Array.unsafe_get i a - Array.unsafe_get i b)
+        | 28 (* imul *) ->
+            fun () ->
+              Array.unsafe_set i d (Array.unsafe_get i a * Array.unsafe_get i b)
+        | 29 (* idiv *) ->
+            fun () ->
+              let bv = Array.unsafe_get i b in
+              if bv = 0 then invalid_arg "Interp: division by zero"
+              else Array.unsafe_set i d (Array.unsafe_get i a / bv)
+        | 30 (* irem *) ->
+            fun () ->
+              let bv = Array.unsafe_get i b in
+              if bv = 0 then invalid_arg "Interp: rem by zero"
+              else Array.unsafe_set i d (Array.unsafe_get i a mod bv)
+        | 31 (* imin *) ->
+            fun () ->
+              Array.unsafe_set i d
+                (min (Array.unsafe_get i a) (Array.unsafe_get i b))
+        | 32 (* imax *) ->
+            fun () ->
+              Array.unsafe_set i d
+                (max (Array.unsafe_get i a) (Array.unsafe_get i b))
+        | 33 (* iand *) ->
+            fun () ->
+              Array.unsafe_set i d (Array.unsafe_get i a land Array.unsafe_get i b)
+        | 34 (* ior *) ->
+            fun () ->
+              Array.unsafe_set i d (Array.unsafe_get i a lor Array.unsafe_get i b)
+        | 35 (* ixor *) ->
+            fun () ->
+              Array.unsafe_set i d (Array.unsafe_get i a lxor Array.unsafe_get i b)
+        | 36 (* ishl *) ->
+            fun () ->
+              Array.unsafe_set i d
+                (Array.unsafe_get i a lsl (Array.unsafe_get i b land 63))
+        | 37 (* ishr *) ->
+            fun () ->
+              Array.unsafe_set i d
+                (Array.unsafe_get i a asr (Array.unsafe_get i b land 63))
+        | 38 (* ineg *) -> fun () -> Array.unsafe_set i d (-Array.unsafe_get i a)
+        | 39 (* iabs *) ->
+            fun () -> Array.unsafe_set i d (abs (Array.unsafe_get i a))
+        | 40 (* inot *) ->
+            fun () -> Array.unsafe_set i d (lnot (Array.unsafe_get i a))
+        | 41 (* ld_ff *) -> (
+            let acc = prog.accesses.(a) in
+            let slot = acc.acc_arr and name = acc.acc_name in
+            match shape a with
+            | `Ind r ->
+                fun () ->
+                  let idx = Array.unsafe_get i r in
+                  if idx < 0 || idx >= Array.unsafe_get arr_len slot then
+                    raise (Env.Out_of_bounds (name, idx));
+                  Array.unsafe_set f d
+                    (Array.unsafe_get (Array.unsafe_get arr_f slot) idx)
+            | `Aff1 (coeff, d0) when not check ->
+                fun () ->
+                  let idx =
+                    Array.unsafe_get cst a
+                    + (Array.unsafe_get coeff 0 * Array.unsafe_get ivs d0)
+                  in
+                  Array.unsafe_set f d
+                    (Array.unsafe_get (Array.unsafe_get arr_f slot) idx)
+            | `Aff1 (coeff, d0) ->
+                fun () ->
+                  let idx =
+                    Array.unsafe_get cst a
+                    + (Array.unsafe_get coeff 0 * Array.unsafe_get ivs d0)
+                  in
+                  if idx < 0 || idx >= Array.unsafe_get arr_len slot then
+                    raise (Env.Out_of_bounds (name, idx));
+                  Array.unsafe_set f d
+                    (Array.unsafe_get (Array.unsafe_get arr_f slot) idx)
+            | `Other when not check ->
+                let addr = compile_addr a in
+                fun () ->
+                  Array.unsafe_set f d
+                    (Array.unsafe_get (Array.unsafe_get arr_f slot) (addr ()))
+            | `Other ->
+                let addr = compile_addr a in
+                fun () ->
+                  let idx = addr () in
+                  if idx < 0 || idx >= Array.unsafe_get arr_len slot then
+                    raise (Env.Out_of_bounds (name, idx));
+                  Array.unsafe_set f d
+                    (Array.unsafe_get (Array.unsafe_get arr_f slot) idx))
+        | 42 (* ld_fi *) -> (
+            let acc = prog.accesses.(a) in
+            let slot = acc.acc_arr and name = acc.acc_name in
+            match shape a with
+            | `Ind r ->
+                fun () ->
+                  let idx = Array.unsafe_get i r in
+                  if idx < 0 || idx >= Array.unsafe_get arr_len slot then
+                    raise (Env.Out_of_bounds (name, idx));
+                  Array.unsafe_set f d
+                    (float_of_int
+                       (Array.unsafe_get (Array.unsafe_get arr_i slot) idx))
+            | `Aff1 (coeff, d0) when not check ->
+                fun () ->
+                  let idx =
+                    Array.unsafe_get cst a
+                    + (Array.unsafe_get coeff 0 * Array.unsafe_get ivs d0)
+                  in
+                  Array.unsafe_set f d
+                    (float_of_int
+                       (Array.unsafe_get (Array.unsafe_get arr_i slot) idx))
+            | `Aff1 (coeff, d0) ->
+                fun () ->
+                  let idx =
+                    Array.unsafe_get cst a
+                    + (Array.unsafe_get coeff 0 * Array.unsafe_get ivs d0)
+                  in
+                  if idx < 0 || idx >= Array.unsafe_get arr_len slot then
+                    raise (Env.Out_of_bounds (name, idx));
+                  Array.unsafe_set f d
+                    (float_of_int
+                       (Array.unsafe_get (Array.unsafe_get arr_i slot) idx))
+            | `Other when not check ->
+                let addr = compile_addr a in
+                fun () ->
+                  Array.unsafe_set f d
+                    (float_of_int
+                       (Array.unsafe_get (Array.unsafe_get arr_i slot) (addr ())))
+            | `Other ->
+                let addr = compile_addr a in
+                fun () ->
+                  let idx = addr () in
+                  if idx < 0 || idx >= Array.unsafe_get arr_len slot then
+                    raise (Env.Out_of_bounds (name, idx));
+                  Array.unsafe_set f d
+                    (float_of_int
+                       (Array.unsafe_get (Array.unsafe_get arr_i slot) idx)))
+        | 43 (* ld_if *) -> (
+            let acc = prog.accesses.(a) in
+            let slot = acc.acc_arr and name = acc.acc_name in
+            match shape a with
+            | `Ind r ->
+                fun () ->
+                  let idx = Array.unsafe_get i r in
+                  if idx < 0 || idx >= Array.unsafe_get arr_len slot then
+                    raise (Env.Out_of_bounds (name, idx));
+                  Array.unsafe_set i d
+                    (int_of_float
+                       (Array.unsafe_get (Array.unsafe_get arr_f slot) idx))
+            | `Aff1 (coeff, d0) when not check ->
+                fun () ->
+                  let idx =
+                    Array.unsafe_get cst a
+                    + (Array.unsafe_get coeff 0 * Array.unsafe_get ivs d0)
+                  in
+                  Array.unsafe_set i d
+                    (int_of_float
+                       (Array.unsafe_get (Array.unsafe_get arr_f slot) idx))
+            | `Aff1 (coeff, d0) ->
+                fun () ->
+                  let idx =
+                    Array.unsafe_get cst a
+                    + (Array.unsafe_get coeff 0 * Array.unsafe_get ivs d0)
+                  in
+                  if idx < 0 || idx >= Array.unsafe_get arr_len slot then
+                    raise (Env.Out_of_bounds (name, idx));
+                  Array.unsafe_set i d
+                    (int_of_float
+                       (Array.unsafe_get (Array.unsafe_get arr_f slot) idx))
+            | `Other when not check ->
+                let addr = compile_addr a in
+                fun () ->
+                  Array.unsafe_set i d
+                    (int_of_float
+                       (Array.unsafe_get (Array.unsafe_get arr_f slot) (addr ())))
+            | `Other ->
+                let addr = compile_addr a in
+                fun () ->
+                  let idx = addr () in
+                  if idx < 0 || idx >= Array.unsafe_get arr_len slot then
+                    raise (Env.Out_of_bounds (name, idx));
+                  Array.unsafe_set i d
+                    (int_of_float
+                       (Array.unsafe_get (Array.unsafe_get arr_f slot) idx)))
+        | 44 (* ld_ii *) -> (
+            let acc = prog.accesses.(a) in
+            let slot = acc.acc_arr and name = acc.acc_name in
+            match shape a with
+            | `Ind r ->
+                fun () ->
+                  let idx = Array.unsafe_get i r in
+                  if idx < 0 || idx >= Array.unsafe_get arr_len slot then
+                    raise (Env.Out_of_bounds (name, idx));
+                  Array.unsafe_set i d
+                    (Array.unsafe_get (Array.unsafe_get arr_i slot) idx)
+            | `Aff1 (coeff, d0) when not check ->
+                fun () ->
+                  let idx =
+                    Array.unsafe_get cst a
+                    + (Array.unsafe_get coeff 0 * Array.unsafe_get ivs d0)
+                  in
+                  Array.unsafe_set i d
+                    (Array.unsafe_get (Array.unsafe_get arr_i slot) idx)
+            | `Aff1 (coeff, d0) ->
+                fun () ->
+                  let idx =
+                    Array.unsafe_get cst a
+                    + (Array.unsafe_get coeff 0 * Array.unsafe_get ivs d0)
+                  in
+                  if idx < 0 || idx >= Array.unsafe_get arr_len slot then
+                    raise (Env.Out_of_bounds (name, idx));
+                  Array.unsafe_set i d
+                    (Array.unsafe_get (Array.unsafe_get arr_i slot) idx)
+            | `Other when not check ->
+                let addr = compile_addr a in
+                fun () ->
+                  Array.unsafe_set i d
+                    (Array.unsafe_get (Array.unsafe_get arr_i slot) (addr ()))
+            | `Other ->
+                let addr = compile_addr a in
+                fun () ->
+                  let idx = addr () in
+                  if idx < 0 || idx >= Array.unsafe_get arr_len slot then
+                    raise (Env.Out_of_bounds (name, idx));
+                  Array.unsafe_set i d
+                    (Array.unsafe_get (Array.unsafe_get arr_i slot) idx))
+        | 45 (* st_ff *) -> (
+            let acc = prog.accesses.(a) in
+            let slot = acc.acc_arr and name = acc.acc_name in
+            match shape a with
+            | `Ind r ->
+                fun () ->
+                  let idx = Array.unsafe_get i r in
+                  if idx < 0 || idx >= Array.unsafe_get arr_len slot then
+                    raise (Env.Out_of_bounds (name, idx));
+                  Array.unsafe_set
+                    (Array.unsafe_get arr_f slot)
+                    idx (Array.unsafe_get f b)
+            | `Aff1 (coeff, d0) when not check ->
+                fun () ->
+                  let idx =
+                    Array.unsafe_get cst a
+                    + (Array.unsafe_get coeff 0 * Array.unsafe_get ivs d0)
+                  in
+                  Array.unsafe_set
+                    (Array.unsafe_get arr_f slot)
+                    idx (Array.unsafe_get f b)
+            | `Aff1 (coeff, d0) ->
+                fun () ->
+                  let idx =
+                    Array.unsafe_get cst a
+                    + (Array.unsafe_get coeff 0 * Array.unsafe_get ivs d0)
+                  in
+                  if idx < 0 || idx >= Array.unsafe_get arr_len slot then
+                    raise (Env.Out_of_bounds (name, idx));
+                  Array.unsafe_set
+                    (Array.unsafe_get arr_f slot)
+                    idx (Array.unsafe_get f b)
+            | `Other when not check ->
+                let addr = compile_addr a in
+                fun () ->
+                  Array.unsafe_set
+                    (Array.unsafe_get arr_f slot)
+                    (addr ()) (Array.unsafe_get f b)
+            | `Other ->
+                let addr = compile_addr a in
+                fun () ->
+                  let idx = addr () in
+                  if idx < 0 || idx >= Array.unsafe_get arr_len slot then
+                    raise (Env.Out_of_bounds (name, idx));
+                  Array.unsafe_set
+                    (Array.unsafe_get arr_f slot)
+                    idx (Array.unsafe_get f b))
+        | 46 (* st_fi *) -> (
+            let acc = prog.accesses.(a) in
+            let slot = acc.acc_arr and name = acc.acc_name in
+            match shape a with
+            | `Ind r ->
+                fun () ->
+                  let idx = Array.unsafe_get i r in
+                  if idx < 0 || idx >= Array.unsafe_get arr_len slot then
+                    raise (Env.Out_of_bounds (name, idx));
+                  Array.unsafe_set
+                    (Array.unsafe_get arr_i slot)
+                    idx
+                    (int_of_float (Array.unsafe_get f b))
+            | `Aff1 (coeff, d0) when not check ->
+                fun () ->
+                  let idx =
+                    Array.unsafe_get cst a
+                    + (Array.unsafe_get coeff 0 * Array.unsafe_get ivs d0)
+                  in
+                  Array.unsafe_set
+                    (Array.unsafe_get arr_i slot)
+                    idx
+                    (int_of_float (Array.unsafe_get f b))
+            | `Aff1 (coeff, d0) ->
+                fun () ->
+                  let idx =
+                    Array.unsafe_get cst a
+                    + (Array.unsafe_get coeff 0 * Array.unsafe_get ivs d0)
+                  in
+                  if idx < 0 || idx >= Array.unsafe_get arr_len slot then
+                    raise (Env.Out_of_bounds (name, idx));
+                  Array.unsafe_set
+                    (Array.unsafe_get arr_i slot)
+                    idx
+                    (int_of_float (Array.unsafe_get f b))
+            | `Other when not check ->
+                let addr = compile_addr a in
+                fun () ->
+                  Array.unsafe_set
+                    (Array.unsafe_get arr_i slot)
+                    (addr ())
+                    (int_of_float (Array.unsafe_get f b))
+            | `Other ->
+                let addr = compile_addr a in
+                fun () ->
+                  let idx = addr () in
+                  if idx < 0 || idx >= Array.unsafe_get arr_len slot then
+                    raise (Env.Out_of_bounds (name, idx));
+                  Array.unsafe_set
+                    (Array.unsafe_get arr_i slot)
+                    idx
+                    (int_of_float (Array.unsafe_get f b)))
+        | 47 (* st_if *) -> (
+            let acc = prog.accesses.(a) in
+            let slot = acc.acc_arr and name = acc.acc_name in
+            match shape a with
+            | `Ind r ->
+                fun () ->
+                  let idx = Array.unsafe_get i r in
+                  if idx < 0 || idx >= Array.unsafe_get arr_len slot then
+                    raise (Env.Out_of_bounds (name, idx));
+                  Array.unsafe_set
+                    (Array.unsafe_get arr_f slot)
+                    idx
+                    (float_of_int (Array.unsafe_get i b))
+            | `Aff1 (coeff, d0) when not check ->
+                fun () ->
+                  let idx =
+                    Array.unsafe_get cst a
+                    + (Array.unsafe_get coeff 0 * Array.unsafe_get ivs d0)
+                  in
+                  Array.unsafe_set
+                    (Array.unsafe_get arr_f slot)
+                    idx
+                    (float_of_int (Array.unsafe_get i b))
+            | `Aff1 (coeff, d0) ->
+                fun () ->
+                  let idx =
+                    Array.unsafe_get cst a
+                    + (Array.unsafe_get coeff 0 * Array.unsafe_get ivs d0)
+                  in
+                  if idx < 0 || idx >= Array.unsafe_get arr_len slot then
+                    raise (Env.Out_of_bounds (name, idx));
+                  Array.unsafe_set
+                    (Array.unsafe_get arr_f slot)
+                    idx
+                    (float_of_int (Array.unsafe_get i b))
+            | `Other when not check ->
+                let addr = compile_addr a in
+                fun () ->
+                  Array.unsafe_set
+                    (Array.unsafe_get arr_f slot)
+                    (addr ())
+                    (float_of_int (Array.unsafe_get i b))
+            | `Other ->
+                let addr = compile_addr a in
+                fun () ->
+                  let idx = addr () in
+                  if idx < 0 || idx >= Array.unsafe_get arr_len slot then
+                    raise (Env.Out_of_bounds (name, idx));
+                  Array.unsafe_set
+                    (Array.unsafe_get arr_f slot)
+                    idx
+                    (float_of_int (Array.unsafe_get i b)))
+        | 48 (* st_ii *) -> (
+            let acc = prog.accesses.(a) in
+            let slot = acc.acc_arr and name = acc.acc_name in
+            match shape a with
+            | `Ind r ->
+                fun () ->
+                  let idx = Array.unsafe_get i r in
+                  if idx < 0 || idx >= Array.unsafe_get arr_len slot then
+                    raise (Env.Out_of_bounds (name, idx));
+                  Array.unsafe_set
+                    (Array.unsafe_get arr_i slot)
+                    idx (Array.unsafe_get i b)
+            | `Aff1 (coeff, d0) when not check ->
+                fun () ->
+                  let idx =
+                    Array.unsafe_get cst a
+                    + (Array.unsafe_get coeff 0 * Array.unsafe_get ivs d0)
+                  in
+                  Array.unsafe_set
+                    (Array.unsafe_get arr_i slot)
+                    idx (Array.unsafe_get i b)
+            | `Aff1 (coeff, d0) ->
+                fun () ->
+                  let idx =
+                    Array.unsafe_get cst a
+                    + (Array.unsafe_get coeff 0 * Array.unsafe_get ivs d0)
+                  in
+                  if idx < 0 || idx >= Array.unsafe_get arr_len slot then
+                    raise (Env.Out_of_bounds (name, idx));
+                  Array.unsafe_set
+                    (Array.unsafe_get arr_i slot)
+                    idx (Array.unsafe_get i b)
+            | `Other when not check ->
+                let addr = compile_addr a in
+                fun () ->
+                  Array.unsafe_set
+                    (Array.unsafe_get arr_i slot)
+                    (addr ()) (Array.unsafe_get i b)
+            | `Other ->
+                let addr = compile_addr a in
+                fun () ->
+                  let idx = addr () in
+                  if idx < 0 || idx >= Array.unsafe_get arr_len slot then
+                    raise (Env.Out_of_bounds (name, idx));
+                  Array.unsafe_set
+                    (Array.unsafe_get arr_i slot)
+                    idx (Array.unsafe_get i b))
+        | 49 (* trap *) ->
+            let msg = traps.(a) in
+            fun () -> invalid_arg msg
+        | _ -> invalid_arg "Vexec.Closure: corrupt opcode")
+  in
+  (* Reduction folds run after the body on every innermost iteration. *)
+  let accs = st.accs in
+  let red_closures =
+    Array.mapi
+      (fun j (r : Program.red) ->
+        let s = r.rd_slot in
+        match r.rd_op with
+        | Op.Rsum ->
+            fun () ->
+              Array.unsafe_set accs j
+                (Array.unsafe_get accs j +. Array.unsafe_get f s)
+        | Op.Rprod ->
+            fun () ->
+              Array.unsafe_set accs j
+                (Array.unsafe_get accs j *. Array.unsafe_get f s)
+        | Op.Rmin ->
+            fun () ->
+              Array.unsafe_set accs j
+                (Float.min (Array.unsafe_get accs j) (Array.unsafe_get f s))
+        | Op.Rmax ->
+            fun () ->
+              Array.unsafe_set accs j
+                (Float.max (Array.unsafe_get accs j) (Array.unsafe_get f s)))
+      prog.reds
+  in
+  seq (Array.append closures red_closures)
+
+(* Wrap the body in loop drivers, innermost outward, specializing on which
+   mirror slots the body actually reads. *)
+let compile (st : Flat.state) =
+  let prog = st.prog in
+  let bounds = st.bounds and ivs = st.ivs in
+  let f = st.fregs and i = st.iregs in
+  let wrap depth body =
+    let l = prog.loops.(depth) in
+    let start = l.l_start and step = l.l_step in
+    let islot = l.l_islot and fslot = l.l_fslot in
+    if islot < 0 && fslot < 0 then
+      fun () ->
+        let b = Array.unsafe_get bounds depth in
+        let v = ref start in
+        while !v < b do
+          Array.unsafe_set ivs depth !v;
+          body ();
+          v := !v + step
+        done
+    else if fslot < 0 then
+      fun () ->
+        let b = Array.unsafe_get bounds depth in
+        let v = ref start in
+        while !v < b do
+          let cur = !v in
+          Array.unsafe_set ivs depth cur;
+          Array.unsafe_set i islot cur;
+          body ();
+          v := cur + step
+        done
+    else if islot < 0 then
+      fun () ->
+        let b = Array.unsafe_get bounds depth in
+        let v = ref start in
+        while !v < b do
+          let cur = !v in
+          Array.unsafe_set ivs depth cur;
+          Array.unsafe_set f fslot (float_of_int cur);
+          body ();
+          v := cur + step
+        done
+    else
+      fun () ->
+        let b = Array.unsafe_get bounds depth in
+        let v = ref start in
+        while !v < b do
+          let cur = !v in
+          Array.unsafe_set ivs depth cur;
+          Array.unsafe_set i islot cur;
+          Array.unsafe_set f fslot (float_of_int cur);
+          body ();
+          v := cur + step
+        done
+  in
+  let rec build check depth =
+    if depth = Array.length prog.loops then compile_body ~check st
+    else wrap depth (build check (depth + 1))
+  in
+  { checked = build true 0; unchecked = build false 0 }
+
+(* Can the unchecked body run?  True when every affine access provably stays
+   inside [0, len) over the bound iteration space: the index is monotone in
+   each loop variable, so its extrema are attained at the per-loop extreme
+   values, which [Flat.bind] has just fixed.  Indirect accesses are checked
+   in both body variants, so they place no obligation here.  Conservative
+   fallbacks (non-positive step) answer [false] and cost only the guards. *)
+let affine_safe (st : Flat.state) =
+  let prog = st.prog in
+  let nloops = Array.length prog.loops in
+  let ivmin = Array.make (max 1 nloops) 0 in
+  let ivmax = Array.make (max 1 nloops) 0 in
+  let ok = ref true in
+  let empty = ref false in
+  for d = 0 to nloops - 1 do
+    let l = prog.loops.(d) in
+    let b = st.bounds.(d) in
+    if l.l_step <= 0 then ok := false
+    else if l.l_start >= b then empty := true
+    else begin
+      ivmin.(d) <- l.l_start;
+      ivmax.(d) <- l.l_start + (b - 1 - l.l_start) / l.l_step * l.l_step
+    end
+  done;
+  (* An empty loop at any depth means the body never executes at all. *)
+  !empty
+  || (!ok
+     && begin
+          let safe = ref true in
+          Array.iteri
+            (fun a (acc : Program.access) ->
+              if !safe && acc.acc_ind < 0 then begin
+                let coeff = st.acc_coeff.(a) and depth = st.acc_depth.(a) in
+                let lo = ref st.acc_const.(a) and hi = ref st.acc_const.(a) in
+                for j = 0 to Array.length coeff - 1 do
+                  let c = coeff.(j) and d = depth.(j) in
+                  if c >= 0 then begin
+                    lo := !lo + (c * ivmin.(d));
+                    hi := !hi + (c * ivmax.(d))
+                  end
+                  else begin
+                    lo := !lo + (c * ivmax.(d));
+                    hi := !hi + (c * ivmin.(d))
+                  end
+                done;
+                if !lo < 0 || !hi >= st.arr_len.(acc.acc_arr) then safe := false
+              end)
+            prog.accesses;
+          !safe
+        end)
+
+let run_bound (st : Flat.state) (compiled : t) =
+  let reds = st.prog.reds in
+  for j = 0 to Array.length reds - 1 do
+    st.accs.(j) <- reds.(j).rd_init
+  done;
+  (if affine_safe st then compiled.unchecked else compiled.checked) ();
+  Array.to_list
+    (Array.mapi (fun j (r : Program.red) -> (r.rd_name, st.accs.(j))) reds)
+
+let run_in st compiled env =
+  Flat.bind st env;
+  run_bound st compiled

@@ -20,11 +20,16 @@ type t = {
 }
 
 (* SplitMix64-style hash, reduced to OCaml's 63-bit ints; good enough to
-   decorrelate (seed, name, index) triples. *)
-let hash3 seed name idx =
+   decorrelate (seed, name, index) triples.  The (seed, name) prefix is
+   independent of the index, so bulk initialization hashes the name once
+   per array instead of once per element. *)
+let hash_name seed name =
   let h = ref (seed * 0x9E3779B1) in
   String.iter (fun c -> h := ((!h lxor Char.code c) * 0x01000193) land max_int) name;
-  h := !h lxor idx;
+  !h
+
+let hash_idx h0 idx =
+  let h = ref (h0 lxor idx) in
   h := (!h * 0xff51afd7) land max_int;
   h := !h lxor (!h lsr 23);
   h := (!h * 0xc4ceb9fe) land max_int;
@@ -32,42 +37,113 @@ let hash3 seed name idx =
   !h land max_int
 
 (* Data floats in [0.5, 1.5): safe for division and stable under long
-   product reductions. *)
-let float_at seed name idx =
-  0.5 +. (float_of_int (hash3 seed name idx mod 10000) /. 10000.0)
-
-(* Small positive ints for integer data arrays. *)
-let int_at seed name idx = 1 + (hash3 seed name idx mod 4)
+   product reductions; integer data arrays get small positive ints. *)
+let float_of_hash h = 0.5 +. (float_of_int (h mod 10000) /. 10000.0)
 
 (* A deterministic permutation of [0, n), extended periodically when the
    array extent exceeds n.  Conflict-freedom inside any vector window is what
    the forced-vectorization experiments assume of index arrays. *)
 let permutation seed name n =
+  let h0 = hash_name seed name in
   let p = Array.init n Fun.id in
   for i = n - 1 downto 1 do
-    let j = hash3 seed name i mod (i + 1) in
+    let j = hash_idx h0 i mod (i + 1) in
     let t = p.(i) in
     p.(i) <- p.(j);
     p.(j) <- t
   done;
   p
 
-let create ?(seed = 42) ~n (k : Kernel.t) =
+let fill_floats h0 a len =
+  for i = 0 to len - 1 do
+    Array.unsafe_set a i (float_of_hash (hash_idx h0 i))
+  done
+
+let fill_ints h0 a len =
+  for i = 0 to len - 1 do
+    Array.unsafe_set a i (1 + (hash_idx h0 i mod 4))
+  done
+
+(* Master copies of freshly initialized buffers, memoized per
+   (seed, kind, name, len, n).  TSVC kernels overwhelmingly share array
+   names and extents, so a registry-wide dataset build hashes each
+   distinct buffer once and every subsequent environment starts from a
+   memcpy of its master.  Masters are private to this table — callers
+   only ever receive copies or blits.  The mutex makes the table safe
+   under the domain pool; the cap bounds growth if a sweep runs many
+   distinct (seed, n) combinations. *)
+type master = M_f of float array | M_i of int array
+
+let memo : (int * int * string * int * int, master) Hashtbl.t =
+  Hashtbl.create 64
+
+let memo_lock = Mutex.create ()
+let memo_cap = 512
+
+let master_for key make =
+  Mutex.lock memo_lock;
+  let m =
+    match Hashtbl.find_opt memo key with
+    | Some m -> m
+    | None ->
+        if Hashtbl.length memo >= memo_cap then Hashtbl.reset memo;
+        let m = make () in
+        Hashtbl.replace memo key m;
+        m
+  in
+  Mutex.unlock memo_lock;
+  m
+
+let float_master seed name len =
+  match
+    master_for (seed, 0, name, len, 0) (fun () ->
+        let a = Array.make len 0.0 in
+        fill_floats (hash_name seed name) a len;
+        M_f a)
+  with
+  | M_f a -> a
+  | M_i _ -> assert false
+
+let int_master seed name len =
+  match
+    master_for (seed, 1, name, len, 0) (fun () ->
+        let a = Array.make len 0 in
+        fill_ints (hash_name seed name) a len;
+        M_i a)
+  with
+  | M_i a -> a
+  | M_f _ -> assert false
+
+let idx_master seed name len n =
+  match
+    master_for (seed, 2, name, len, n) (fun () ->
+        let perm = permutation seed name n in
+        M_i (Array.init len (fun i -> perm.(i mod n))))
+  with
+  | M_i a -> a
+  | M_f _ -> assert false
+
+(* [readonly name = true] promises the caller will never write [name]
+   through this environment; the array then aliases the shared master
+   instead of copying it.  [Measure.execute] derives the predicate from
+   the kernel's static store set, which is exactly what every execution
+   backend writes through. *)
+let create ?(seed = 42) ?(readonly = fun _ -> false) ~n (k : Kernel.t) =
   if n < 4 then invalid_arg "Env.create: n must be at least 4";
   let n2 = Kernel.isqrt n in
   let arrays = Hashtbl.create 8 in
   List.iter
     (fun (d : Kernel.array_decl) ->
       let len = max 1 (Kernel.extent_elems ~n d.arr_extent) in
+      let share = readonly d.arr_name in
+      let of_master a = if share then a else Array.copy a in
       let store =
         match (d.arr_role, d.arr_ty) with
-        | Kernel.Idx, _ ->
-            let perm = permutation seed d.arr_name n in
-            I_arr (Array.init len (fun i -> perm.(i mod n)))
+        | Kernel.Idx, _ -> I_arr (of_master (idx_master seed d.arr_name len n))
         | Kernel.Data, (Types.F32 | Types.F64) ->
-            F_arr (Array.init len (float_at seed d.arr_name))
+            F_arr (of_master (float_master seed d.arr_name len))
         | Kernel.Data, (Types.I32 | Types.I64) ->
-            I_arr (Array.init len (int_at seed d.arr_name))
+            I_arr (of_master (int_master seed d.arr_name len))
       in
       Hashtbl.replace arrays d.arr_name store)
     k.arrays;
@@ -78,6 +154,54 @@ let create ?(seed = 42) ~n (k : Kernel.t) =
       Hashtbl.replace params p (1.0 +. (0.5 *. float_of_int (i + 1))))
     k.params;
   { n; n2; arrays; params; on_access = None }
+
+(* Re-initialize in place for a fresh run of [k]: contents identical to
+   [create ?seed ~n:t.n k], but existing buffers of the right kind and
+   length are refilled rather than reallocated.  Median-of-k repeat
+   measurements call this between repeats so the working set is allocated
+   once per sample instead of once per repeat. *)
+let reset ?(seed = 42) t (k : Kernel.t) =
+  let keep = Hashtbl.create 8 in
+  List.iter
+    (fun (d : Kernel.array_decl) ->
+      Hashtbl.replace keep d.arr_name ();
+      let len = max 1 (Kernel.extent_elems ~n:t.n d.arr_extent) in
+      let fresh () =
+        match (d.arr_role, d.arr_ty) with
+        | Kernel.Idx, _ ->
+            I_arr (Array.copy (idx_master seed d.arr_name len t.n))
+        | Kernel.Data, (Types.F32 | Types.F64) ->
+            F_arr (Array.copy (float_master seed d.arr_name len))
+        | Kernel.Data, (Types.I32 | Types.I64) ->
+            I_arr (Array.copy (int_master seed d.arr_name len))
+      in
+      (* An array that aliases its master was never written (the [create]
+         contract), so the refill would be an identity blit: skip it. *)
+      match (Hashtbl.find_opt t.arrays d.arr_name, d.arr_role, d.arr_ty) with
+      | Some (F_arr a), Kernel.Data, (Types.F32 | Types.F64)
+        when Array.length a = len ->
+          let m = float_master seed d.arr_name len in
+          if a != m then Array.blit m 0 a 0 len
+      | Some (I_arr a), Kernel.Data, (Types.I32 | Types.I64)
+        when Array.length a = len ->
+          let m = int_master seed d.arr_name len in
+          if a != m then Array.blit m 0 a 0 len
+      | Some (I_arr a), Kernel.Idx, _ when Array.length a = len ->
+          let m = idx_master seed d.arr_name len t.n in
+          if a != m then Array.blit m 0 a 0 len
+      | _ -> Hashtbl.replace t.arrays d.arr_name (fresh ()))
+    k.arrays;
+  (* Drop arrays a previous kernel left behind so [snapshot] stays exact. *)
+  let stale =
+    Hashtbl.fold
+      (fun name _ acc -> if Hashtbl.mem keep name then acc else name :: acc)
+      t.arrays []
+  in
+  List.iter (fun name -> Hashtbl.remove t.arrays name) stale;
+  Hashtbl.reset t.params;
+  List.iteri
+    (fun i p -> Hashtbl.replace t.params p (1.0 +. (0.5 *. float_of_int (i + 1))))
+    k.params
 
 let set_param t name v = Hashtbl.replace t.params name v
 

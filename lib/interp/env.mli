@@ -13,8 +13,21 @@ type t = {
 exception Out_of_bounds of string * int
 
 (** Allocate and deterministically initialize state for a kernel at problem
-    size [n] (>= 4).  Same seed => bit-identical state. *)
-val create : ?seed:int -> n:int -> Vir.Kernel.t -> t
+    size [n] (>= 4).  Same seed => bit-identical state.  Distinct buffers
+    are initialized once per process (memoized masters) and copied in.
+
+    [readonly name = true] is a caller promise that [name] is never written
+    through this environment; the array then aliases the shared master
+    instead of copying it.  Pass it only when the set of writes is
+    statically known (e.g. the kernel's store set). *)
+val create :
+  ?seed:int -> ?readonly:(string -> bool) -> n:int -> Vir.Kernel.t -> t
+
+(** Re-initialize in place for a fresh run of the kernel: contents identical
+    to [create ?seed ~n:t.n k], reusing existing buffers of matching kind
+    and length instead of reallocating (repeat measurements call this
+    between repeats).  Parameters are restored to their defaults. *)
+val reset : ?seed:int -> t -> Vir.Kernel.t -> unit
 
 val set_param : t -> string -> float -> unit
 

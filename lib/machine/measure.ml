@@ -47,6 +47,61 @@ type measurement = {
   speedup_clean : float;  (* noise-free model output *)
 }
 
+(* --- backend execution ----------------------------------------------------
+   Actually *run* the scalar kernel on the selected execution backend and
+   fingerprint what it computed.  The digest goes into the sample (and its
+   cache key), so cached samples are attributable to the backend that built
+   them, and repeat runs over reused buffers are checked for determinism. *)
+
+type execution = {
+  exec_backend : Vexec.Backend.t;
+  exec_digest : string;  (* "trap:..." when the kernel traps *)
+  exec_reductions : (string * float) list;
+}
+
+let execute ?backend ?(seed = 42) ?(repeats = 1) ~n (k : Kernel.t) =
+  let backend =
+    match backend with Some b -> b | None -> Vexec.Backend.default ()
+  in
+  let prepared = Vexec.Backend.prepare backend k in
+  (* Arrays outside the kernel's static store set are never written by any
+     backend, so their buffers can alias the shared initialization masters
+     instead of being copied per sample. *)
+  let written = Hashtbl.create 4 in
+  List.iter
+    (fun (i : Vir.Instr.t) ->
+      match i with
+      | Vir.Instr.Store { addr; _ } ->
+          Hashtbl.replace written (Vir.Instr.addr_array addr) ()
+      | _ -> ())
+    k.Kernel.body;
+  let readonly name = not (Hashtbl.mem written name) in
+  let env = Vinterp.Env.create ~seed ~readonly ~n k in
+  let digest = ref "" in
+  let reds = ref [] in
+  for r = 0 to max 1 repeats - 1 do
+    (* Repeats reuse the environment's buffers: [Env.reset] refills them in
+       place instead of reallocating the working set per repeat. *)
+    if r > 0 then Vinterp.Env.reset ~seed env k;
+    let d, rs =
+      match Vexec.Backend.run_in prepared env with
+      | reductions -> (Vexec.Backend.digest env reductions, reductions)
+      | exception ((Vinterp.Env.Out_of_bounds _ | Invalid_argument _) as e) ->
+          ("trap:" ^ Printexc.to_string e, [])
+    in
+    if r = 0 then begin
+      digest := d;
+      reds := rs
+    end
+    else if not (String.equal !digest d) then
+      invalid_arg
+        (Printf.sprintf
+           "Measure.execute: nondeterministic digest for %s on %s backend"
+           k.Kernel.name
+           (Vexec.Backend.to_string backend))
+  done;
+  { exec_backend = backend; exec_digest = !digest; exec_reductions = !reds }
+
 let measure ?(noise_amp = default_noise) ?(seed = 1) (d : Descr.t) ~n
     (vk : Vvect.Vinstr.vkernel) =
   let scalar_cycles = total_scalar_cycles d ~n vk.scalar in

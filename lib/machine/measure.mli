@@ -20,3 +20,18 @@ type measurement = {
 val measure :
   ?noise_amp:float -> ?seed:int -> Descr.t -> n:int -> Vvect.Vinstr.vkernel ->
   measurement
+
+type execution = {
+  exec_backend : Vexec.Backend.t;
+  exec_digest : string;  (** FNV fingerprint; ["trap:..."] if the run trapped *)
+  exec_reductions : (string * float) list;
+}
+
+(** Run the scalar kernel on the selected execution backend ([default ()]
+    when omitted) and fingerprint the final memory image and reductions.
+    [repeats] re-runs over the same buffers via [Env.reset] and requires the
+    digest to be bit-identical each time (raises [Invalid_argument]
+    otherwise). *)
+val execute :
+  ?backend:Vexec.Backend.t -> ?seed:int -> ?repeats:int -> n:int ->
+  Vir.Kernel.t -> execution

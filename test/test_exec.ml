@@ -1,0 +1,417 @@
+(* Three-backend equivalence for the execution engine (lib/exec).
+
+   The flat bytecode tier and the closure tier must reproduce the
+   reference interpreter bit-for-bit — final memory image, reduction
+   values, execution digest, and trap behaviour — on the full TSVC
+   registry (plus normalized and unrolled variants) and on 550 generated
+   kernels per run.  Seeded mis-lowerings (corrupted access stride, wrong
+   reduction init) must be caught by the same comparison, and samples
+   built through [Dataset] must be deterministic in backend, digest and
+   worker count. *)
+
+open Vir
+open Costmodel
+module Backend = Vexec.Backend
+module Program = Vexec.Program
+module Flat = Vexec.Flat
+module Closure = Vexec.Closure
+module Env = Vinterp.Env
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+
+(* NaN-tolerant elementwise equality: every op is replicated exactly, so
+   values agree bitwise up to 0/-0 (which the digest check below pins). *)
+let float_eq x y = x = y || (Float.is_nan x && Float.is_nan y)
+
+type outcome =
+  | Ran of (string * float array) list * (string * float) list * string
+      (* snapshot, reductions, digest *)
+  | Trapped of string
+
+(* Traps must agree across backends: out-of-bounds exactly (same array,
+   same index), other [Invalid_argument] traps by class (operand
+   evaluation order inside one instruction is unspecified in the
+   interpreter, so messages may legitimately differ). *)
+let classify = function
+  | Env.Out_of_bounds (name, idx) -> Printf.sprintf "oob:%s:%d" name idx
+  | Invalid_argument _ -> "invalid_arg"
+  | e -> raise e
+
+let run_on backend ~n k =
+  match Backend.run ~n backend k with
+  | r ->
+      Ran
+        ( Env.snapshot r.Vinterp.Interp.env,
+          r.Vinterp.Interp.reductions,
+          Backend.digest r.Vinterp.Interp.env r.Vinterp.Interp.reductions )
+  | exception e -> Trapped (classify e)
+
+let outcome_mismatch ref_out out =
+  match (ref_out, out) with
+  | Trapped a, Trapped b ->
+      if String.equal a b then None
+      else Some (Printf.sprintf "trap %s vs %s" a b)
+  | Trapped a, Ran _ -> Some (Printf.sprintf "ref trapped (%s), backend ran" a)
+  | Ran _, Trapped b -> Some (Printf.sprintf "ref ran, backend trapped (%s)" b)
+  | Ran (s1, r1, d1), Ran (s2, r2, d2) ->
+      let arr_bad =
+        List.length s1 <> List.length s2
+        || List.exists2
+             (fun (na, xa) (nb, xb) ->
+               (not (String.equal na nb))
+               || Array.length xa <> Array.length xb
+               || not (Array.for_all2 float_eq xa xb))
+             s1 s2
+      in
+      let red_bad =
+        List.length r1 <> List.length r2
+        || List.exists2
+             (fun (na, va) (nb, vb) ->
+               (not (String.equal na nb)) || not (float_eq va vb))
+             r1 r2
+      in
+      if arr_bad then Some "memory image differs"
+      else if red_bad then Some "reductions differ"
+      else if not (String.equal d1 d2) then Some "digest differs"
+      else None
+
+(* Interp is the oracle; flat and closure must match it. *)
+let assert_equiv ~what ~n k =
+  let ref_out = run_on Backend.Interp ~n k in
+  List.iter
+    (fun backend ->
+      match outcome_mismatch ref_out (run_on backend ~n k) with
+      | None -> ()
+      | Some why ->
+          Alcotest.failf "%s: %s backend diverges at n=%d: %s" what
+            (Backend.to_string backend) n why)
+    [ Backend.Flat; Backend.Closure ]
+
+(* --- opcode encoding ------------------------------------------------------ *)
+
+(* The dispatch loop and the closure compiler match on integer literals;
+   this pins the [Program] constants those literals must equal. *)
+let test_opcode_encoding () =
+  let expected =
+    [ (Program.op_fadd, 0); (Program.op_fsub, 1); (Program.op_fmul, 2);
+      (Program.op_fdiv, 3); (Program.op_fmin, 4); (Program.op_fmax, 5);
+      (Program.op_fneg, 6); (Program.op_fabs, 7); (Program.op_fsqrt, 8);
+      (Program.op_fma, 9); (Program.op_fceq, 10); (Program.op_fcne, 11);
+      (Program.op_fclt, 12); (Program.op_fcle, 13); (Program.op_fcgt, 14);
+      (Program.op_fcge, 15); (Program.op_fsel, 16); (Program.op_isel, 17);
+      (Program.op_fsel_t, 18); (Program.op_fsel_f, 19); (Program.op_isel_t, 20);
+      (Program.op_isel_f, 21); (Program.op_f_of_i, 22); (Program.op_i_of_f, 23);
+      (Program.op_fmov, 24); (Program.op_imov, 25); (Program.op_iadd, 26);
+      (Program.op_isub, 27); (Program.op_imul, 28); (Program.op_idiv, 29);
+      (Program.op_irem, 30); (Program.op_imin, 31); (Program.op_imax, 32);
+      (Program.op_iand, 33); (Program.op_ior, 34); (Program.op_ixor, 35);
+      (Program.op_ishl, 36); (Program.op_ishr, 37); (Program.op_ineg, 38);
+      (Program.op_iabs, 39); (Program.op_inot, 40); (Program.op_ld_ff, 41);
+      (Program.op_ld_fi, 42); (Program.op_ld_if, 43); (Program.op_ld_ii, 44);
+      (Program.op_st_ff, 45); (Program.op_st_fi, 46); (Program.op_st_if, 47);
+      (Program.op_st_ii, 48); (Program.op_trap, 49) ]
+  in
+  List.iteri
+    (fun i (actual, want) ->
+      check_int (Printf.sprintf "opcode %d" i) want actual)
+    expected;
+  check_int "op_count" 50 Program.op_count;
+  (* Every lowered registry kernel stays inside the opcode space. *)
+  List.iter
+    (fun k ->
+      let p = Program.lower k in
+      Array.iteri
+        (fun i v ->
+          if i mod Program.stride = 0 then
+            check
+              (Printf.sprintf "%s opcode in range" k.Kernel.name)
+              true
+              (v >= 0 && v < Program.op_count))
+        p.Program.code)
+    Tsvc.Registry.kernels
+
+(* --- registry-wide equivalence -------------------------------------------- *)
+
+let registry_entries = Tsvc.Registry.all @ Tsvc.Registry.typed_extension
+
+let test_registry_equivalence () =
+  List.iter
+    (fun (e : Tsvc.Registry.entry) ->
+      let k = e.kernel in
+      List.iter (fun n -> assert_equiv ~what:k.Kernel.name ~n k) [ 64; 101 ])
+    registry_entries
+
+(* Transformed shapes: the Opt normalization pipeline's output and unrolled
+   variants (the scalar forms LLV expands to), both of which Dataset
+   executes on the hot path. *)
+let test_transformed_equivalence () =
+  List.iter
+    (fun (e : Tsvc.Registry.entry) ->
+      let k = e.kernel in
+      let norm = Vanalysis.Opt.normalize k in
+      assert_equiv ~what:(k.Kernel.name ^ "/normalized") ~n:64 norm;
+      List.iter
+        (fun uf ->
+          let unrolled = Vvect.Unroll.by uf k in
+          assert_equiv
+            ~what:(Printf.sprintf "%s/unroll%d" k.Kernel.name uf)
+            ~n:64 unrolled)
+        [ 2; 4 ])
+    registry_entries
+
+(* Reduction kernels get a dedicated pass at more sizes: accumulator
+   plumbing (init, combine order, final values) is where a lowering bug
+   would hide from the memory-image comparison. *)
+let test_reduction_equivalence () =
+  let reducers =
+    List.filter (fun (e : Tsvc.Registry.entry) -> Kernel.has_reduction e.kernel)
+      registry_entries
+  in
+  check "registry has reduction kernels" true (List.length reducers >= 10);
+  List.iter
+    (fun (e : Tsvc.Registry.entry) ->
+      List.iter
+        (fun n -> assert_equiv ~what:(e.kernel.Kernel.name ^ "/red") ~n e.kernel)
+        [ 17; 64; 257 ])
+    reducers
+
+(* --- generated kernels ----------------------------------------------------- *)
+
+let equiv_prop ~name ~count gen =
+  QCheck.Test.make ~count ~name
+    QCheck.(int_bound 100_000)
+    (fun seed ->
+      let k = gen seed in
+      List.iter (fun n -> assert_equiv ~what:k.Kernel.name ~n k) [ 17; 101 ];
+      true)
+
+let prop_synth =
+  equiv_prop ~name:"backend equivalence: synthesized kernels" ~count:350
+    Vsynth.Generator.kernel
+
+let prop_dep =
+  equiv_prop ~name:"backend equivalence: dependence-stress kernels" ~count:100
+    Vsynth.Generator.dep_kernel
+
+let prop_nest =
+  equiv_prop ~name:"backend equivalence: 2-level nests" ~count:100
+    Vsynth.Generator.nest_kernel
+
+(* --- seeded mis-lowerings -------------------------------------------------- *)
+
+(* A kernel with a strided affine access whose program we can corrupt. *)
+let strided_kernel () =
+  match Tsvc.Registry.find "s000" with
+  | Some e -> e.kernel
+  | None -> List.hd Tsvc.Registry.kernels
+
+let run_state st k ~n =
+  let env = Env.create ~n k in
+  let reds = Flat.run_in st env in
+  Backend.digest env reds
+
+(* Corrupting one affine coefficient must change the digest: proves the
+   equivalence harness can see a mis-lowered stride, i.e. the suite is not
+   vacuously green. *)
+let test_seeded_stride_bug () =
+  let k = strided_kernel () in
+  let n = 64 in
+  let reference =
+    let r = Vinterp.Interp.run ~n k in
+    Backend.digest r.Vinterp.Interp.env r.Vinterp.Interp.reductions
+  in
+  let good = run_state (Flat.create (Program.lower k)) k ~n in
+  check_string "uncorrupted program matches interp" reference good;
+  let p = Program.lower k in
+  let corrupted = ref false in
+  Array.iter
+    (fun (a : Program.access) ->
+      if (not !corrupted) && a.Program.acc_ind < 0
+         && Array.length a.Program.acc_terms > 0
+      then begin
+        let t = a.Program.acc_terms.(0) in
+        a.Program.acc_terms.(0) <- { t with Program.t_c1 = t.Program.t_c1 + 1 };
+        corrupted := true
+      end)
+    p.Program.accesses;
+  check "found an affine access to corrupt" true !corrupted;
+  let bad =
+    match run_state (Flat.create p) k ~n with
+    | d -> d
+    | exception (Env.Out_of_bounds _ | Invalid_argument _) -> "trap"
+  in
+  check "stride bug detected by digest" false (String.equal reference bad)
+
+(* Same for a reduction lowered with the wrong initial value. *)
+let test_seeded_reduction_bug () =
+  let k =
+    match
+      List.find_opt
+        (fun (e : Tsvc.Registry.entry) -> Kernel.has_reduction e.kernel)
+        registry_entries
+    with
+    | Some e -> e.kernel
+    | None -> Alcotest.fail "no reduction kernel in registry"
+  in
+  let n = 64 in
+  let reference =
+    let r = Vinterp.Interp.run ~n k in
+    Backend.digest r.Vinterp.Interp.env r.Vinterp.Interp.reductions
+  in
+  let p = Program.lower k in
+  check "program has a reduction" true (Array.length p.Program.reds > 0);
+  let r0 = p.Program.reds.(0) in
+  p.Program.reds.(0) <- { r0 with Program.rd_init = r0.Program.rd_init +. 1.0 };
+  let bad = run_state (Flat.create p) k ~n in
+  check "wrong reduction init detected by digest" false
+    (String.equal reference bad)
+
+(* --- Env.reset ------------------------------------------------------------- *)
+
+let test_env_reset () =
+  let k = strided_kernel () in
+  let n = 101 in
+  let env = Env.create ~n k in
+  let fresh = Env.snapshot env in
+  (* Remember buffer identities, dirty everything, then reset. *)
+  let before =
+    List.map
+      (fun (d : Kernel.array_decl) -> (d.arr_name, Env.store env d.arr_name))
+      k.Kernel.arrays
+  in
+  let prepared = Backend.prepare Backend.Closure k in
+  ignore (Backend.run_in prepared env);
+  Env.reset env k;
+  let after = Env.snapshot env in
+  check "reset restores the exact initial contents" true
+    (List.for_all2
+       (fun (na, xa) (nb, xb) ->
+         String.equal na nb && Array.for_all2 Float.equal xa xb)
+       fresh after);
+  List.iter
+    (fun (name, st) ->
+      check
+        (Printf.sprintf "reset reuses %s's buffer" name)
+        true
+        (st == Env.store env name))
+    before;
+  (* Repeated execute over one environment is digest-stable (this is the
+     Dataset repeat path). *)
+  let e1 = Vmachine.Measure.execute ~backend:Backend.Closure ~repeats:4 ~n k in
+  let e2 = Vmachine.Measure.execute ~backend:Backend.Interp ~repeats:1 ~n k in
+  check_string "repeat digest equals interp digest"
+    e2.Vmachine.Measure.exec_digest e1.Vmachine.Measure.exec_digest
+
+(* --- Dataset integration --------------------------------------------------- *)
+
+let machine = Vmachine.Machines.neon_a57
+let slice () = List.filteri (fun i _ -> i < 24) Tsvc.Registry.all
+
+(* All three backends must produce identical samples (including the
+   execution digest) through the full Dataset pipeline, under both
+   transforms. *)
+let test_dataset_backends_agree () =
+  let build backend transform =
+    Dataset.set_cache_enabled false;
+    let s =
+      Dataset.build ~backend ~machine ~transform ~n:256 (slice ())
+    in
+    Dataset.set_cache_enabled true;
+    s
+  in
+  List.iter
+    (fun transform ->
+      let by_interp = build Backend.Interp transform in
+      let by_flat = build Backend.Flat transform in
+      let by_closure = build Backend.Closure transform in
+      check "interp slice non-empty" true (by_interp <> []);
+      check_int "flat sample count"
+        (List.length by_interp) (List.length by_flat);
+      check_int "closure sample count"
+        (List.length by_interp) (List.length by_closure);
+      List.iter2
+        (fun (a : Dataset.sample) (b : Dataset.sample) ->
+          check_string (a.name ^ " digest interp=flat") a.exec_digest
+            b.exec_digest)
+        by_interp by_flat;
+      List.iter2
+        (fun (a : Dataset.sample) (b : Dataset.sample) ->
+          check_string (a.name ^ " digest interp=closure") a.exec_digest
+            b.exec_digest;
+          check (a.name ^ " measured equal") true
+            (Float.equal a.measured b.measured))
+        by_interp by_closure)
+    [ Dataset.Llv; Dataset.Slp ]
+
+(* Worker-count determinism: backend-computed samples (and their digests)
+   must not depend on pool size. *)
+let test_worker_determinism () =
+  let build workers =
+    let pool = Vpar.Pool.create ~size:workers in
+    Dataset.cache_clear ();
+    let s =
+      Dataset.build ~backend:Backend.Closure ~pool ~machine
+        ~transform:Dataset.Llv ~n:256 (slice ())
+    in
+    Vpar.Pool.shutdown pool;
+    s
+  in
+  let s1 = build 1 in
+  let s4 = build 4 in
+  check "non-empty" true (s1 <> []);
+  check_int "same count" (List.length s1) (List.length s4);
+  List.iter2
+    (fun (a : Dataset.sample) (b : Dataset.sample) ->
+      check_string (a.name ^ " name") a.name b.name;
+      check_string (a.name ^ " digest") a.exec_digest b.exec_digest;
+      check_string (a.name ^ " backend") a.exec_backend b.exec_backend;
+      check (a.name ^ " measured") true (Float.equal a.measured b.measured))
+    s1 s4
+
+(* Backend id is part of the cache key: the same config on two backends
+   must occupy distinct entries, and [cache_backends] must attribute them. *)
+let test_cache_backend_attribution () =
+  Dataset.cache_clear ();
+  let entries = List.filteri (fun i _ -> i < 8) Tsvc.Registry.all in
+  let build backend =
+    Dataset.build ~backend ~machine ~transform:Dataset.Llv ~n:256 entries
+  in
+  let s_interp = build Backend.Interp in
+  let before = (Dataset.cache_stats ()).Dataset.entries in
+  let s_closure = build Backend.Closure in
+  let after = (Dataset.cache_stats ()).Dataset.entries in
+  check "closure build misses the interp-built cache" true (after > before);
+  let counts = Dataset.cache_backends () in
+  check_int "interp entries attributed"
+    (List.length s_interp)
+    (try List.assoc "interp" counts with Not_found -> 0);
+  check_int "closure entries attributed"
+    (List.length s_closure)
+    (try List.assoc "closure" counts with Not_found -> 0);
+  Dataset.cache_clear ()
+
+let tests =
+  [ Alcotest.test_case "opcode encoding pinned" `Quick test_opcode_encoding;
+    Alcotest.test_case "registry: three backends agree" `Slow
+      test_registry_equivalence;
+    Alcotest.test_case "normalized + unrolled: three backends agree" `Slow
+      test_transformed_equivalence;
+    Alcotest.test_case "reduction kernels: three backends agree" `Slow
+      test_reduction_equivalence;
+    QCheck_alcotest.to_alcotest prop_synth;
+    QCheck_alcotest.to_alcotest prop_dep;
+    QCheck_alcotest.to_alcotest prop_nest;
+    Alcotest.test_case "seeded stride bug is detected" `Quick
+      test_seeded_stride_bug;
+    Alcotest.test_case "seeded reduction-init bug is detected" `Quick
+      test_seeded_reduction_bug;
+    Alcotest.test_case "Env.reset restores and reuses buffers" `Quick
+      test_env_reset;
+    Alcotest.test_case "dataset: backends agree through the pipeline" `Slow
+      test_dataset_backends_agree;
+    Alcotest.test_case "dataset: worker-count determinism" `Slow
+      test_worker_determinism;
+    Alcotest.test_case "cache attributes entries to backends" `Quick
+      test_cache_backend_attribution ]

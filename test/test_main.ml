@@ -21,6 +21,7 @@ let () =
       ("tsvc", Test_tsvc.tests);
       ("costmodel", Test_costmodel.tests);
       ("vexec", Test_vexec.tests);
+      ("exec", Test_exec.tests);
       ("cache", Test_cache.tests);
       ("persist", Test_persist.tests);
       ("select", Test_select.tests);

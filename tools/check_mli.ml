@@ -2,21 +2,31 @@
    a matching .mli, so library APIs stay documented and sealed.  Roots are
    walked recursively (dot- and underscore-prefixed directories skipped),
    so a newly added library directory is covered the moment it exists —
-   no per-directory registration.  Wired into [dune runtest] over lib/. *)
+   no per-directory registration.  [--require DIR] additionally asserts
+   that the walk actually visited DIR and found at least one module there,
+   guarding against a hot-path library silently dropping out of the gate
+   (e.g. by being renamed or moved outside the walked roots).  Wired into
+   [dune runtest] over lib/. *)
 
 let has_mli dir base = Sys.file_exists (Filename.concat dir (base ^ ".mli"))
 
 let skip_dir name =
   String.length name = 0 || name.[0] = '.' || name.[0] = '_'
 
+(* modules seen per visited directory, keyed by path as given *)
+let visited : (string, int) Hashtbl.t = Hashtbl.create 16
+
 let rec walk dir =
   Sys.readdir dir |> Array.to_list |> List.sort compare
   |> List.concat_map (fun f ->
          let path = Filename.concat dir f in
          if Sys.is_directory path then if skip_dir f then [] else walk path
-         else if Filename.check_suffix f ".ml" then
+         else if Filename.check_suffix f ".ml" then begin
+           Hashtbl.replace visited dir
+             (1 + Option.value ~default:0 (Hashtbl.find_opt visited dir));
            let base = Filename.chop_suffix f ".ml" in
            if has_mli dir base then [] else [ path ]
+         end
          else [])
 
 let check_root dir =
@@ -26,11 +36,26 @@ let check_root dir =
   walk dir
 
 let () =
-  let dirs =
-    match Array.to_list Sys.argv with [] | [ _ ] -> [ "." ] | _ :: ds -> ds
+  let rec split roots required = function
+    | [] -> (List.rev roots, List.rev required)
+    | "--require" :: d :: rest -> split roots (d :: required) rest
+    | "--require" :: [] ->
+        prerr_endline "check_mli: --require expects a directory";
+        exit 2
+    | d :: rest -> split (d :: roots) required rest
   in
-  match List.concat_map check_root dirs with
-  | [] -> ()
-  | missing ->
-      List.iter (Printf.eprintf "check_mli: %s has no .mli\n") missing;
-      exit 1
+  let roots, required =
+    match Array.to_list Sys.argv with
+    | [] | [ _ ] -> ([ "." ], [])
+    | _ :: args -> split [] [] args
+  in
+  let roots = if roots = [] then [ "." ] else roots in
+  let missing = List.concat_map check_root roots in
+  let unvisited =
+    List.filter (fun d -> not (Hashtbl.mem visited d)) required
+  in
+  List.iter (Printf.eprintf "check_mli: %s has no .mli\n") missing;
+  List.iter
+    (Printf.eprintf "check_mli: required directory %s yielded no modules\n")
+    unvisited;
+  if missing <> [] || unvisited <> [] then exit 1
