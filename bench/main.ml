@@ -189,6 +189,7 @@ let experiments : (string * (unit -> unit)) list =
     ("f10", fun () -> Report.print (Experiment.f10 ()));
     ("f11", fun () -> Report.print (Experiment.f11 ()));
     ("f12", fun () -> Report.print (Experiment.f12 ()));
+    ("f13", fun () -> Report.print (Experiment.f13 ()));
     ("t1", run_t1);
     ("t2", fun () -> Report.print (Experiment.t2 ()));
     ("a1", fun () -> Report.print (Experiment.a1 ()));
@@ -326,6 +327,7 @@ let json_experiments : (string * (unit -> unit)) list =
     ("F10", fun () -> ignore (Experiment.f10 ()));
     ("F11", fun () -> ignore (Experiment.f11 ()));
     ("F12", fun () -> ignore (Experiment.f12 ()));
+    ("F13", fun () -> ignore (Experiment.f13 ()));
     ( "ABSINT",
       fun () ->
         List.iter
@@ -532,6 +534,68 @@ let bench_json out =
   in
   Printf.printf "   EXEC cold-build speedup, closure over interp: %.1fx\n%!"
     exec_speedup;
+  (* CERT: the relational bounds prover over the full registry — certified
+     access fraction and certification wall time, then cold registry-wide
+     Dataset.build on the closure tier with bind-time interval licensing vs
+     static certificate licensing (certified kernels skip the per-bind
+     safety-interval derivation entirely). *)
+  let cert_row =
+    let id = "CERT" in
+    match
+      Option.bind (Checkpoint.Journal.find journal id) parse_triple
+    with
+    | Some (frac, bind_cold, static_cold) ->
+        Printf.printf
+          "   CERT certified %5.3f of accesses   cold build bind-time \
+           %8.4fs   static %8.4fs  (resumed)\n%!"
+          frac bind_cold static_cold;
+        (frac, bind_cold, static_cold)
+    | None ->
+        let certs = ref [] in
+        let cert_wall =
+          wall (fun () ->
+              certs :=
+                List.map
+                  (fun k -> Vanalysis.Cert.certify k)
+                  Tsvc.Registry.kernels)
+        in
+        let total =
+          List.fold_left
+            (fun a (c : Vanalysis.Cert.t) ->
+              a + Array.length c.Vanalysis.Cert.ct_accesses)
+            0 !certs
+        in
+        let safe =
+          List.fold_left
+            (fun a (c : Vanalysis.Cert.t) -> a + c.Vanalysis.Cert.ct_safe)
+            0 !certs
+        in
+        let frac = float_of_int safe /. Float.max 1.0 (float_of_int total) in
+        Printf.printf "   CERT certify %8.4fs, certified %d/%d accesses\n%!"
+          cert_wall safe total;
+        Vpar.Pool.set_sequential true;
+        let backend = Vexec.Backend.Closure in
+        let build () =
+          Dataset.cache_clear ();
+          wall (fun () ->
+              ignore
+                (Dataset.build ~backend ~machine:exec_machine
+                   ~transform:Dataset.Llv ~n:exec_n Tsvc.Registry.all))
+        in
+        Dataset.set_static_licensing false;
+        let bind_cold = build () in
+        Dataset.set_static_licensing true;
+        let static_cold = build () in
+        Dataset.set_static_licensing false;
+        Vpar.Pool.set_sequential false;
+        Printf.printf
+          "   CERT cold build bind-time %8.4fs   static-licensed %8.4fs\n%!"
+          bind_cold static_cold;
+        Checkpoint.Journal.record journal id
+          (Printf.sprintf "%.6f %.6f %.6f" frac bind_cold static_cold);
+        (frac, bind_cold, static_cold)
+  in
+  let cert_frac, cert_bind_cold, cert_static_cold = cert_row in
   let b = Buffer.create 4096 in
   Buffer.add_string b "{\n  \"benchmark\": \"pipeline\",\n";
   Buffer.add_string b
@@ -587,6 +651,11 @@ let bench_json out =
   Buffer.add_string b
     (Printf.sprintf
        "  \"exec_build_speedup_closure_vs_interp\": %.2f,\n" exec_speedup);
+  Buffer.add_string b
+    (Printf.sprintf
+       "  \"cert\": {\"certified_frac\": %.6f, \
+        \"build_cold_bind_time_s\": %.6f, \"build_cold_static_s\": %.6f},\n"
+       cert_frac cert_bind_cold cert_static_cold);
   Buffer.add_string b
     (Printf.sprintf
        "  \"cache\": {\"hits\": %d, \"misses\": %d, \"entries\": %d},\n"

@@ -155,11 +155,13 @@ let features_conv =
     | "absint" -> Ok Linmodel.Absint
     | "opt" -> Ok Linmodel.Opt
     | "deps" -> Ok Linmodel.Deps
+    | "cert" -> Ok Linmodel.Cert
     | s ->
         Error
           (`Msg
             (Printf.sprintf
-               "unknown feature kind %s (raw|rated|extended|absint|opt|deps)" s))
+               "unknown feature kind %s (raw|rated|extended|absint|opt|deps|cert)"
+               s))
   in
   Arg.conv
     (parse, fun fmt f -> Format.pp_print_string fmt (Linmodel.feature_kind_to_string f))
@@ -168,7 +170,7 @@ let features_arg =
   Arg.(
     value & opt features_conv Linmodel.Rated
     & info [ "features" ] ~docv:"F"
-        ~doc:"Feature kind: raw, rated, extended, absint, opt or deps.")
+        ~doc:"Feature kind: raw, rated, extended, absint, opt, deps or cert.")
 
 let target_conv =
   let parse = function
@@ -575,6 +577,132 @@ let opt_cmd =
           deltas and the before/after instruction-class mix")
     Term.(const run $ kernel_opt $ all_flag $ json_flag $ validate_flag $ backend_arg)
 
+(* --- certify ---------------------------------------------------------------- *)
+
+let certify_cmd =
+  let kernel_opt =
+    Arg.(
+      value & pos 0 (some string) None
+      & info [] ~docv:"KERNEL" ~doc:"Kernel to certify (omit with --all).")
+  in
+  let all_flag =
+    Arg.(
+      value & flag
+      & info [ "all"; "a" ]
+          ~doc:"Certify every kernel in the TSVC and application registries.")
+  in
+  let vf_arg =
+    Arg.(
+      value & opt int Vanalysis.Cert.default_vf
+      & info [ "vf" ] ~docv:"N"
+          ~doc:"Vector factor for the alignment annotations. Default: 4.")
+  in
+  let json_flag =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:
+            "Emit the certificates as a JSON array on stdout (deterministic \
+             across worker counts).")
+  in
+  let gate_flag =
+    Arg.(
+      value & flag
+      & info [ "gate" ]
+          ~doc:
+            "Run the soundness gate: execute every guard-free kernel under \
+             its license against the reference interpreter, enforce the \
+             certified-fraction floor, and require the static certificates \
+             to beat the bind-time interval check. Exit 1 on any failure.")
+  in
+  let run kernel all vf json gate =
+    if vf < 2 then begin
+      Printf.eprintf "vecmodel: --vf %d: vector factor must be >= 2\n" vf;
+      exit 124
+    end;
+    let registry = Tsvc.Registry.all @ Vapps.Registry.as_tsvc_entries in
+    let entries =
+      match (kernel, all) with
+      | Some name, false -> (
+          match
+            List.find_opt
+              (fun (e : Tsvc.Registry.entry) ->
+                String.equal e.kernel.Vir.Kernel.name name)
+              registry
+          with
+          | Some e -> [ e ]
+          | None ->
+              Printf.eprintf
+                "vecmodel: unknown kernel %s (try `vecmodel list`)\n" name;
+              exit 124)
+      | None, true | None, false -> registry
+      | Some _, true ->
+          Printf.eprintf "vecmodel: pass either KERNEL or --all, not both\n";
+          exit 124
+    in
+    let ks =
+      List.map (fun (e : Tsvc.Registry.entry) -> e.kernel) entries
+      |> List.sort (fun (a : Vir.Kernel.t) b -> String.compare a.name b.name)
+    in
+    let pairs = Vanalysis.Cert.certify_batch ~vf ks in
+    if json then
+      print_endline
+        ("["
+        ^ String.concat ","
+            (List.map (fun (_, c) -> Vanalysis.Cert.to_json c) pairs)
+        ^ "]")
+    else begin
+      List.iter
+        (fun ((k : Vir.Kernel.t), (c : Vanalysis.Cert.t)) ->
+          Printf.printf "%s: %s, %d/%d certified (bind-time %d)\n" k.name
+            (if c.ct_guard_free then "guard-free" else "guarded")
+            c.ct_safe
+            (Array.length c.ct_accesses)
+            (Vanalysis.Cert.bind_time_guard_free k);
+          Array.iter
+            (fun (a : Vanalysis.Cert.access_cert) ->
+              Printf.printf "  [%d] %s %s%s: %s, %s - %s\n" a.ac_id
+                (if a.ac_store then "store" else "load")
+                a.ac_array
+                (if a.ac_indirect then " (indirect)" else "")
+                (Vanalysis.Cert.verdict_to_string a.ac_verdict)
+                (Vanalysis.Cert.align_to_string a.ac_align)
+                a.ac_reason)
+            c.ct_accesses)
+        pairs;
+      let total =
+        List.fold_left
+          (fun n (_, (c : Vanalysis.Cert.t)) ->
+            n + Array.length c.ct_accesses)
+          0 pairs
+      in
+      let safe =
+        List.fold_left
+          (fun n (_, (c : Vanalysis.Cert.t)) -> n + c.ct_safe)
+          0 pairs
+      in
+      Printf.printf "certified %d/%d accesses across %d kernels\n" safe total
+        (List.length pairs)
+    end;
+    if gate then begin
+      let g = Vanalysis.Cert.gate pairs in
+      Printf.eprintf
+        "certify gate: %d kernels, %d/%d accesses certified, %d guard-free, \
+         bind-time baseline %d\n"
+        g.g_kernels g.g_safe g.g_accesses g.g_guard_free g.g_bind_time;
+      List.iter (fun m -> Printf.eprintf "certify gate: FAIL: %s\n" m)
+        g.g_failures;
+      if not (Vanalysis.Cert.gate_pass g) then exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "certify"
+       ~doc:
+         "Emit static safety certificates: relational bounds verdicts per \
+          access, the guard-free license, and the soundness gate")
+    Term.(
+      const run $ kernel_opt $ all_flag $ vf_arg $ json_flag $ gate_flag)
+
 (* --- simulate --------------------------------------------------------------- *)
 
 let simulate_cmd =
@@ -645,6 +773,7 @@ let fit_cmd =
     print_endline "weights:";
     let weight_names =
       match features with
+      | Linmodel.Cert -> Feature.cert_names
       | Linmodel.Deps -> Feature.deps_names
       | Linmodel.Opt -> Feature.opt_names
       | Linmodel.Absint -> Feature.absint_names
@@ -712,15 +841,15 @@ let report_cmd =
   let which =
     Arg.(
       value & pos_all string []
-      & info [] ~docv:"EXPERIMENT" ~doc:"Experiment ids (f1..f12, t1, t2, a1..a10).")
+      & info [] ~docv:"EXPERIMENT" ~doc:"Experiment ids (f1..f13, t1, t2, a1..a10).")
   in
   let run which faults backend =
     apply_faults faults;
     apply_backend backend;
     let all =
       [ "f1"; "f2"; "f3"; "f4"; "f5"; "f6"; "f7"; "f8"; "f9"; "f10"; "f11";
-        "f12"; "t1"; "t2"; "a1"; "a2"; "a3"; "a4"; "a5"; "a6"; "a7"; "a8"; "a9";
-        "a10" ]
+        "f12"; "f13"; "t1"; "t2"; "a1"; "a2"; "a3"; "a4"; "a5"; "a6"; "a7";
+        "a8"; "a9"; "a10" ]
     in
     let wanted = if which = [] then all else which in
     List.iter
@@ -738,6 +867,7 @@ let report_cmd =
         | "f10" -> Report.print (Experiment.f10 ())
         | "f11" -> Report.print (Experiment.f11 ())
         | "f12" -> Report.print (Experiment.f12 ())
+        | "f13" -> Report.print (Experiment.f13 ())
         | "t2" -> Report.print (Experiment.t2 ())
         | "a1" -> Report.print (Experiment.a1 ())
         | "a2" ->
@@ -1048,6 +1178,6 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ list_cmd; show_cmd; lint_cmd; deps_cmd; absint_cmd; opt_cmd; simulate_cmd; fit_cmd;
+          [ list_cmd; show_cmd; lint_cmd; deps_cmd; absint_cmd; opt_cmd; certify_cmd; simulate_cmd; fit_cmd;
             predict_cmd; loocv_cmd; report_cmd; cachestats_cmd; health_cmd;
             faults_cmd; export_machine_cmd ]))

@@ -152,18 +152,22 @@ let analyze ?vf ~n (k : Kernel.t) =
   let body = Array.of_list k.body in
   let nbody = Array.length body in
   let n2 = Kernel.isqrt n in
-  (* Loop-variable ranges over the executed iterations. *)
+  (* Loop-variable ranges over the executed iterations: the exact
+     iteration-set math is [Vir.Ibox.loop_values], shared with the
+     bind-time guard-elimination proof so the two cannot drift. *)
   let zero_trip = ref false in
   let var_iv =
     List.map
       (fun (l : Kernel.loop) ->
-        let iters = Kernel.iterations ~n l in
-        if iters = 0 then begin
-          zero_trip := true;
-          (l.var, Interval.of_int l.start)
-        end
-        else
-          (l.var, Interval.of_ints l.start (l.start + ((iters - 1) * l.step))))
+        match
+          Ibox.loop_values ~start:l.start ~step:l.step
+            ~bound:(Kernel.trip_bound ~n l.trip)
+        with
+        | `Empty ->
+            zero_trip := true;
+            (l.var, Interval.of_int l.start)
+        | `Unknown -> (l.var, Interval.top)
+        | `Range r -> (l.var, Interval.of_ints r.Ibox.lo r.Ibox.hi))
       k.loops
   in
   (* Array contents, abstracted one interval per array over the values the

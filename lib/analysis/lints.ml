@@ -161,9 +161,27 @@ let lossy_cast (df : Dataflow.t) =
    kernel traps at a real iteration under the interpreter's default
    bindings (an error), while [Possible] only manifests for some parameter
    values inside the environment contract (a warning).  One diagnostic per
-   access, preferring the proven witness. *)
+   access, preferring the proven witness.
+
+   The relational prover's safety certificate refines the [Possible] tier:
+   an access it certifies [Vsafe] is in-bounds for *every* parameter
+   assignment inside the contract, so the parameter-dependent warning is
+   noise and is silenced; an access it refutes ([Vunsafe]) is upgraded to
+   an error.  In theory the exact corner evaluation and a sound prover can
+   never disagree — the silence path is an anti-drift safety net, and the
+   disagreement itself would be the bug worth hearing about. *)
 let out_of_bounds (df : Dataflow.t) =
   let classified = Bounds.classify df.kernel in
+  let cert_verdict =
+    lazy
+      (let c = Cert.certify df.kernel in
+       let tbl = Hashtbl.create 8 in
+       Array.iter
+         (fun (a : Cert.access_cert) ->
+           Hashtbl.replace tbl a.Cert.ac_pos a.Cert.ac_verdict)
+         c.Cert.ct_accesses;
+       tbl)
+  in
   let by_pos : (int, Bounds.classified) Hashtbl.t = Hashtbl.create 4 in
   List.iter
     (fun (c : Bounds.classified) ->
@@ -177,16 +195,25 @@ let out_of_bounds (df : Dataflow.t) =
     classified;
   Hashtbl.fold (fun pos c acc -> (pos, c) :: acc) by_pos []
   |> List.sort compare
-  |> List.map (fun (pos, (c : Bounds.classified)) ->
+  |> List.filter_map (fun (pos, (c : Bounds.classified)) ->
          let v = c.Bounds.c_violation in
          let text = Format.asprintf "%a" Bounds.pp_violation v in
          match c.Bounds.c_verdict with
          | Bounds.Proven ->
-             Diag.error ~pass:"out-of-bounds" ~kernel:(kname df) ~pos
-               "proven: %s" text
-         | Bounds.Possible ->
-             Diag.warning ~pass:"out-of-bounds" ~kernel:(kname df) ~pos
-               "possible (parameter-dependent): %s" text)
+             Some
+               (Diag.error ~pass:"out-of-bounds" ~kernel:(kname df) ~pos
+                  "proven: %s" text)
+         | Bounds.Possible -> (
+             match Hashtbl.find_opt (Lazy.force cert_verdict) pos with
+             | Some Cert.Vsafe -> None
+             | Some Cert.Vunsafe ->
+                 Some
+                   (Diag.error ~pass:"out-of-bounds" ~kernel:(kname df) ~pos
+                      "refuted by safety certificate: %s" text)
+             | Some Cert.Vunknown | None ->
+                 Some
+                   (Diag.warning ~pass:"out-of-bounds" ~kernel:(kname df) ~pos
+                      "possible (parameter-dependent, not certified): %s" text)))
 
 (* --- stores to loop-invariant addresses ------------------------------------ *)
 
@@ -274,6 +301,18 @@ let misaligned_access (df : Dataflow.t) =
   let summary =
     Absint.analyze ~vf:misaligned_vf ~n:Absint.default_n df.Dataflow.kernel
   in
+  (* The safety certificate records the same residue computation; note when
+     the access is otherwise certified in-bounds so the reader knows the
+     misalignment is the only cost left, not a safety problem.  Severity
+     stays [Warning] either way: misalignment skews the cost features but
+     never invalidates the measurement. *)
+  let cert = lazy (Cert.certify ~vf:misaligned_vf df.kernel) in
+  let certified_safe pos =
+    Array.exists
+      (fun (a : Cert.access_cert) ->
+        a.Cert.ac_pos = pos && a.Cert.ac_verdict = Cert.Vsafe)
+      (Lazy.force cert).Cert.ct_accesses
+  in
   List.filter_map
     (fun (ai : Absint.access_info) ->
       match ai.Absint.ai_class with
@@ -284,9 +323,12 @@ let misaligned_access (df : Dataflow.t) =
                 (Diag.warning ~pass:"misaligned-access" ~kernel:(kname df)
                    ~pos:ai.Absint.ai_pos
                    "%s of %s is provably misaligned at vf=%d (block starts \
-                    in residue class %d)"
+                    in residue class %d)%s"
                    (if ai.Absint.ai_store then "store" else "load")
-                   ai.Absint.ai_arr misaligned_vf r)
+                   ai.Absint.ai_arr misaligned_vf r
+                   (if certified_safe ai.Absint.ai_pos then
+                      "; certified in-bounds, misalignment is the only cost"
+                    else ""))
           | None -> None)
       | _ -> None)
     summary.Absint.s_accesses

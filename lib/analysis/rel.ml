@@ -1,0 +1,717 @@
+(* Relational bounds domain: symbolic affine constraints among loop
+   variables, runtime parameters and subscripts, decided parametrically in
+   the problem size.
+
+   Where [Vir.Bounds] samples witness sizes and [Vexec.Closure.affine_safe]
+   decides one concrete binding, this module proves (or declines to prove)
+   bounds-safety for *every* problem size n >= 4 and *every* parameter
+   assignment inside the environment contracts at once.  The machinery is
+   octagon-lite rather than a full polyhedral solver, which is exactly
+   enough for this IR:
+
+   - every quantity is bounded by a *linear form* c + a*n + b*n2 + sum q_p*p
+     with rational coefficients over the basis {1, n, n2 = isqrt n,
+     params};
+   - loop variables get relational constraints start <= v <= B(n) - 1 from
+     the nest (the floor in B = n/k is relaxed to the rational n/k, which
+     is sound for upper bounds);
+   - subscripts inherit interval constraints by sign-split substitution —
+     per dimension for 2-d accesses, so dimension coefficients stay integer
+     and the row-major n2 cross terms never appear;
+   - indirect subscripts are bounded by evaluating the index operand
+     symbolically over the SSA body under the environment's value
+     contracts (index arrays hold [0, n); unwritten int data arrays hold
+     [1, 4]; a store to an array voids its contract);
+   - an obligation L >= 0 is decided by eliminating parameters against
+     their contract windows (sign-directed corner substitution) and then
+     eliminating n via n2 <= sqrt n: what remains is a quadratic in
+     x = sqrt n >= 2 whose minimum is checked in exact rational
+     arithmetic.
+
+   Everything here errs on the side of [Unknown]; the execution tier
+   re-checks every [Safe] verdict against the bind-time interval proof and
+   hard-fails on contradiction, and the qcheck suite runs the certified
+   kernels in the reference interpreter under random parameter
+   assignments. *)
+
+open Vir
+
+(* --- exact rationals ----------------------------------------------------- *)
+
+module Q = struct
+  type t = { nu : int; de : int }  (* de > 0, normalized *)
+
+  let rec gcd a b = if b = 0 then a else gcd b (a mod b)
+
+  let make nu de =
+    if de = 0 then invalid_arg "Rel.Q.make: zero denominator";
+    let s = if de < 0 then -1 else 1 in
+    let nu = s * nu and de = s * de in
+    let g = max 1 (gcd (abs nu) de) in
+    { nu = nu / g; de = de / g }
+
+  let of_int n = { nu = n; de = 1 }
+  let zero = of_int 0
+  let add a b = make ((a.nu * b.de) + (b.nu * a.de)) (a.de * b.de)
+  let neg a = { a with nu = -a.nu }
+  let sub a b = add a (neg b)
+  let mul a b = make (a.nu * b.nu) (a.de * b.de)
+  let sign a = compare a.nu 0
+  let is_zero a = a.nu = 0
+  let equal a b = a.nu = b.nu && a.de = b.de
+
+  let to_string a =
+    if a.de = 1 then string_of_int a.nu
+    else Printf.sprintf "%d/%d" a.nu a.de
+end
+
+(* --- linear forms over {1, n, n2, params} -------------------------------- *)
+
+type form = {
+  fc : Q.t;
+  fn : Q.t;
+  fn2 : Q.t;
+  fp : (string * Q.t) list;  (* sorted by name, no zero coefficients *)
+}
+
+let form_const q = { fc = q; fn = Q.zero; fn2 = Q.zero; fp = [] }
+let form_int c = form_const (Q.of_int c)
+let form_zero = form_int 0
+let form_one = form_int 1
+let form_n = { fc = Q.zero; fn = Q.of_int 1; fn2 = Q.zero; fp = [] }
+let form_n2 = { fc = Q.zero; fn = Q.zero; fn2 = Q.of_int 1; fp = [] }
+
+let merge_params pa pb =
+  let rec go = function
+    | [], rest | rest, [] -> rest
+    | ((p1, q1) :: t1 as l1), ((p2, q2) :: t2 as l2) ->
+        let c = String.compare p1 p2 in
+        if c < 0 then (p1, q1) :: go (t1, l2)
+        else if c > 0 then (p2, q2) :: go (l1, t2)
+        else
+          let q = Q.add q1 q2 in
+          if Q.is_zero q then go (t1, t2) else (p1, q) :: go (t1, t2)
+  in
+  go (pa, pb)
+
+let form_add a b =
+  {
+    fc = Q.add a.fc b.fc;
+    fn = Q.add a.fn b.fn;
+    fn2 = Q.add a.fn2 b.fn2;
+    fp = merge_params a.fp b.fp;
+  }
+
+let form_scale q f =
+  if Q.is_zero q then form_zero
+  else
+    {
+      fc = Q.mul q f.fc;
+      fn = Q.mul q f.fn;
+      fn2 = Q.mul q f.fn2;
+      fp =
+        List.filter_map
+          (fun (p, c) ->
+            let c = Q.mul q c in
+            if Q.is_zero c then None else Some (p, c))
+          f.fp;
+    }
+
+let form_neg f = form_scale (Q.of_int (-1)) f
+let form_sub a b = form_add a (form_neg b)
+
+let form_const_of f =
+  if Q.is_zero f.fn && Q.is_zero f.fn2 && f.fp = [] then Some f.fc else None
+
+let form_equal a b =
+  Q.equal a.fc b.fc && Q.equal a.fn b.fn && Q.equal a.fn2 b.fn2
+  && List.length a.fp = List.length b.fp
+  && List.for_all2
+       (fun (p1, q1) (p2, q2) -> String.equal p1 p2 && Q.equal q1 q2)
+       a.fp b.fp
+
+let form_to_string f =
+  let term q name acc =
+    if Q.is_zero q then acc
+    else
+      let s =
+        if name = "" then Q.to_string q
+        else if Q.equal q (Q.of_int 1) then name
+        else if Q.equal q (Q.of_int (-1)) then "-" ^ name
+        else Q.to_string q ^ "*" ^ name
+      in
+      s :: acc
+  in
+  let terms =
+    term f.fn "n"
+      (term f.fn2 "n2"
+         (List.fold_right (fun (p, q) acc -> term q p acc) f.fp
+            (term f.fc "" [])))
+  in
+  match terms with
+  | [] -> "0"
+  | first :: rest ->
+      List.fold_left
+        (fun acc t ->
+          if String.length t > 0 && t.[0] = '-' then
+            acc ^ " - " ^ String.sub t 1 (String.length t - 1)
+          else acc ^ " + " ^ t)
+        first rest
+
+(* --- the obligation prover ----------------------------------------------- *)
+
+(* Proving context: the kernel (for parameter contracts) plus floors on n
+   and n2 under which obligations must hold.  The baseline is the
+   environment's n >= 4 (hence n2 = isqrt n >= 2); when an obligation
+   concerns a body access, nest nonemptiness sharpens the floors — a
+   perfect nest only reaches its body when every loop executes at least
+   once, so e.g. an inner [for i = 5 to n2] implies n2 >= 6 wherever a
+   subscript is evaluated.  That relational coupling between trip counts
+   and subscript ranges is exactly what the interval domains cannot see. *)
+type ctx = { ck : Kernel.t; cn : int; cn2 : int }
+
+let nest_floors (k : Kernel.t) =
+  let n_min = ref 4 and n2_min = ref 2 in
+  List.iter
+    (fun (l : Kernel.loop) ->
+      if l.step > 0 then
+        let s = l.start in
+        match l.trip with
+        | Kernel.Tn -> n_min := max !n_min (s + 1)
+        | Kernel.Tn_div d -> n_min := max !n_min (d * (s + 1))
+        | Kernel.Tn_minus c -> n_min := max !n_min (s + c + 1)
+        | Kernel.Tn2 -> n2_min := max !n2_min (s + 1)
+        | Kernel.Tn2_minus c -> n2_min := max !n2_min (s + c + 1)
+        | Kernel.Tconst _ -> ())
+    k.loops;
+  (* close under n2 = isqrt n: n >= n2^2 and n2 >= isqrt n_min *)
+  n_min := max !n_min (!n2_min * !n2_min);
+  n2_min := max !n2_min (Kernel.isqrt !n_min);
+  (!n_min, !n2_min)
+
+let ctx_of k =
+  let cn, cn2 = nest_floors k in
+  { ck = k; cn; cn2 }
+
+(* Is [f >= 0] for every n >= cn (hence n2 >= cn2) and every parameter
+   assignment inside its contract window?
+
+   Parameters appear linearly, so each is eliminated at the contract corner
+   that minimizes the form.  What remains is L(n) = a*n + b*n2 + c:
+
+   - a < 0: n2 grows only like sqrt n, so L is eventually dominated by the
+     negative linear term — unprovable;
+   - a >= 0, b >= 0: L is monotone in both and n2 is monotone in n, so the
+     minimum is L(cn, cn2);
+   - a > 0, b < 0: n2 <= sqrt n gives L >= g(x) = a*x^2 + b*x + c at
+     x = sqrt n >= x0 = max(isqrt cn, cn2); the upward parabola's minimum
+     over x >= x0 is at the vertex -b/2a when that lies right of x0 (value
+     nonnegative iff 4ac - b^2 >= 0), else at x0;
+   - a = 0, b < 0: unbounded below — unprovable. *)
+let nonneg (ctx : ctx) (f : form) =
+  let c =
+    List.fold_left
+      (fun acc (p, q) ->
+        let lo, hi = Bounds.param_contract ctx.ck p in
+        Q.add acc (Q.mul q (Q.of_int (if Q.sign q >= 0 then lo else hi))))
+      f.fc f.fp
+  in
+  let a = f.fn and b = f.fn2 in
+  let at_min =
+    Q.add (Q.add (Q.mul (Q.of_int ctx.cn) a) (Q.mul (Q.of_int ctx.cn2) b)) c
+  in
+  if Q.sign a < 0 then false
+  else if Q.sign b >= 0 then Q.sign at_min >= 0
+  else if Q.sign a = 0 then false
+  else
+    let x0 = Q.of_int (max (Kernel.isqrt ctx.cn) ctx.cn2) in
+    if Q.sign (Q.add (Q.mul (Q.mul (Q.of_int 2) a) x0) b) >= 0 then
+      Q.sign (Q.add (Q.add (Q.mul (Q.mul x0 x0) a) (Q.mul x0 b)) c) >= 0
+    else Q.sign (Q.sub (Q.mul (Q.of_int 4) (Q.mul a c)) (Q.mul b b)) >= 0
+
+(* f <= g, parametrically. *)
+let form_le ctx f g = nonneg ctx (form_sub g f)
+
+(* --- loop-nest constraints ----------------------------------------------- *)
+
+(* Rational upper bound on the loop bound B(n); floors relax upward. *)
+let trip_hi_form = function
+  | Kernel.Tn -> form_n
+  | Kernel.Tn_div d -> form_scale (Q.make 1 d) form_n
+  | Kernel.Tn_minus c -> form_sub form_n (form_int c)
+  | Kernel.Tn2 -> form_n2
+  | Kernel.Tn2_minus c -> form_sub form_n2 (form_int c)
+  | Kernel.Tconst c -> form_int c
+
+type nest =
+  | Nempty of string  (* a loop is provably empty for every n: body dead *)
+  | Nirregular of string  (* non-positive step over a possibly nonempty range *)
+  | Nranges of (string * (form * form)) list
+      (* per variable: start <= v <= B(n) - 1 *)
+
+let analyze_nest (k : Kernel.t) =
+  let empty =
+    List.find_opt
+      (fun (l : Kernel.loop) ->
+        match l.trip with Kernel.Tconst c -> c <= l.start | _ -> false)
+      k.loops
+  in
+  match empty with
+  | Some l -> Nempty l.var
+  | None -> (
+      match List.find_opt (fun (l : Kernel.loop) -> l.step <= 0) k.loops with
+      | Some l -> Nirregular l.var
+      | None ->
+          Nranges
+            (List.map
+               (fun (l : Kernel.loop) ->
+                 ( l.var,
+                   ( form_int l.start,
+                     form_sub (trip_hi_form l.trip) form_one ) ))
+               k.loops))
+
+(* --- symbolic intervals -------------------------------------------------- *)
+
+type sym = { s_lo : form option; s_hi : form option }
+
+let sym_top = { s_lo = None; s_hi = None }
+let sym_const f = { s_lo = Some f; s_hi = Some f }
+
+let sym_of_range (lo, hi) = { s_lo = Some lo; s_hi = Some hi }
+
+let opt_map2 f a b =
+  match (a, b) with Some x, Some y -> Some (f x y) | _ -> None
+
+let sym_add a b =
+  { s_lo = opt_map2 form_add a.s_lo b.s_lo;
+    s_hi = opt_map2 form_add a.s_hi b.s_hi }
+
+let sym_neg a =
+  { s_lo = Option.map form_neg a.s_hi; s_hi = Option.map form_neg a.s_lo }
+
+let sym_sub a b = sym_add a (sym_neg b)
+
+let sym_scale q a =
+  if Q.sign q >= 0 then
+    { s_lo = Option.map (form_scale q) a.s_lo;
+      s_hi = Option.map (form_scale q) a.s_hi }
+  else
+    { s_lo = Option.map (form_scale q) a.s_hi;
+      s_hi = Option.map (form_scale q) a.s_lo }
+
+(* Sign-split contribution of [c * v] with v in [lo, hi]. *)
+let term_sym c (lo, hi) =
+  sym_scale (Q.of_int c) (sym_of_range (lo, hi))
+
+(* Truncation toward zero (the interpreter's [int_of_float]):
+   v - 1 < trunc v <= max v (v + 1) — tightened to [lo-1, hi] when the
+   value is provably nonnegative. *)
+let sym_trunc ctx a =
+  let lo = Option.map (fun f -> form_sub f form_one) a.s_lo in
+  let hi =
+    match a.s_hi with
+    | None -> None
+    | Some h -> (
+        match a.s_lo with
+        | Some l when nonneg ctx l -> Some h
+        | _ -> Some (form_add h form_one))
+  in
+  { s_lo = lo; s_hi = hi }
+
+(* Provable-min / provable-max of two optional bounds (for hulls). *)
+let bound_min ctx a b =
+  match (a, b) with
+  | Some x, Some y ->
+      if form_le ctx x y then Some x
+      else if form_le ctx y x then Some y
+      else None
+  | _ -> None
+
+let bound_max ctx a b =
+  match (a, b) with
+  | Some x, Some y ->
+      if form_le ctx x y then Some y
+      else if form_le ctx y x then Some x
+      else None
+  | _ -> None
+
+let sym_hull ctx a b =
+  { s_lo = bound_min ctx a.s_lo b.s_lo; s_hi = bound_max ctx a.s_hi b.s_hi }
+
+(* --- subscript bounds ---------------------------------------------------- *)
+
+(* Interval of one subscript dimension over the whole nest: sign-split
+   substitution of the loop-variable ranges; parameter terms stay symbolic
+   (the prover eliminates them per obligation). *)
+let dim_sym ~ranges ~ndims (d : Instr.dim) =
+  let base = if d.Instr.rel_n then (if ndims >= 2 then form_n2 else form_n) else form_one in
+  let base = if d.Instr.rel_n then form_sub base form_one else form_zero in
+  let acc = ref (sym_const (form_add base (form_int d.Instr.off))) in
+  let ok = ref true in
+  List.iter
+    (fun (v, c) ->
+      if c <> 0 then
+        match List.assoc_opt v ranges with
+        | Some r -> acc := sym_add !acc (term_sym c r)
+        | None -> ok := false)
+    d.Instr.terms;
+  List.iter
+    (fun (p, c) ->
+      if c <> 0 then
+        let pf =
+          { fc = Q.zero; fn = Q.zero; fn2 = Q.zero; fp = [ (p, Q.of_int c) ] }
+        in
+        acc := sym_add !acc (sym_const pf))
+    d.Instr.pterms;
+  if !ok then Some !acc else None
+
+let extent_form = function
+  | Kernel.Lin (a, b) -> Some (form_add (form_scale (Q.of_int a) form_n) (form_int b))
+  | Kernel.Quad -> None
+
+(* --- verdicts ------------------------------------------------------------ *)
+
+type verdict = Safe of string | Unknown of string
+
+type access_report = {
+  ar_id : int;  (* access-descriptor id: memory-instruction order *)
+  ar_pos : int;  (* body position *)
+  ar_array : string;
+  ar_store : bool;
+  ar_indirect : bool;
+  ar_verdict : verdict;
+}
+
+(* Bounded-interval proof for a whole symbolic interval against [0, ext). *)
+let prove_within ctx (s : sym) ~lo_bound ~hi_bound =
+  match (s.s_lo, s.s_hi) with
+  | Some lo, Some hi ->
+      if nonneg ctx (form_sub lo lo_bound) && form_le ctx hi hi_bound then
+        Some (lo, hi)
+      else None
+  | _ -> None
+
+let prove_affine (ctx : ctx) ~ranges arr (dims : Instr.dim list) =
+  match Kernel.find_array ctx.ck arr with
+  | None -> Unknown "undeclared array"
+  | Some decl -> (
+      match dims with
+      | [ d ] -> (
+          match extent_form decl.arr_extent with
+          | None -> Unknown "1-d subscript into a 2-d extent"
+          | Some ext -> (
+              match dim_sym ~ranges ~ndims:1 d with
+              | None -> Unknown "unbound loop variable in subscript"
+              | Some s -> (
+                  match
+                    prove_within ctx s ~lo_bound:form_zero
+                      ~hi_bound:(form_sub ext form_one)
+                  with
+                  | Some (lo, hi) ->
+                      Safe
+                        (Printf.sprintf "0 <= %s /\\ %s <= %s - 1"
+                           (form_to_string lo) (form_to_string hi)
+                           (form_to_string ext))
+                  | None -> Unknown "interval bound not provable")))
+      | [ d0; d1 ] -> (
+          (* Row-major flattening d0*n2 + d1: per-dimension containment in
+             [0, n2) puts the flat index inside [0, n2^2), which covers a
+             [Quad] extent exactly and any Lin(a>=1, b>=0) extent via
+             n2^2 <= n. *)
+          let extent_ok =
+            match decl.arr_extent with
+            | Kernel.Quad -> true
+            | Kernel.Lin (a, b) -> a >= 1 && b >= 0
+          in
+          if not extent_ok then Unknown "2-d subscript into a shrinking extent"
+          else
+            let dim_hi = form_sub form_n2 form_one in
+            match
+              (dim_sym ~ranges ~ndims:2 d0, dim_sym ~ranges ~ndims:2 d1)
+            with
+            | Some s0, Some s1 -> (
+                match
+                  ( prove_within ctx s0 ~lo_bound:form_zero ~hi_bound:dim_hi,
+                    prove_within ctx s1 ~lo_bound:form_zero ~hi_bound:dim_hi )
+                with
+                | Some (lo0, hi0), Some (lo1, hi1) ->
+                    Safe
+                      (Printf.sprintf
+                         "dim0 in [%s, %s] /\\ dim1 in [%s, %s] within [0, n2)"
+                         (form_to_string lo0) (form_to_string hi0)
+                         (form_to_string lo1) (form_to_string hi1))
+                | _ -> Unknown "dimension bound not provable")
+            | _ -> Unknown "unbound loop variable in subscript"
+      )
+      | _ -> Unknown "unsupported dimensionality")
+
+(* --- symbolic evaluation of indirect index operands ---------------------- *)
+
+let analyze (k : Kernel.t) : access_report list =
+  let body = Array.of_list k.body in
+  let nest = analyze_nest k in
+  let ctx = ctx_of k in
+  (* Arrays the body stores to lose their initial-content contracts. *)
+  let stored = Hashtbl.create 4 in
+  Array.iter
+    (fun i ->
+      match i with
+      | Instr.Store { addr; _ } ->
+          Hashtbl.replace stored (Instr.addr_array addr) ()
+      | _ -> ())
+    body;
+  let contract arr =
+    if Hashtbl.mem stored arr then None
+    else
+      match Kernel.find_array k arr with
+      | None -> None
+      | Some decl -> (
+          match (decl.arr_role, decl.arr_ty) with
+          | Kernel.Idx, sty ->
+              (* Index arrays hold a permutation of [0, n). *)
+              Some (sty, sym_of_range (form_zero, form_sub form_n form_one))
+          | Kernel.Data, ((Types.I32 | Types.I64) as sty) ->
+              (* Int data contract: values in [1, 4]. *)
+              Some (sty, sym_of_range (form_one, form_int 4))
+          | Kernel.Data, ((Types.F32 | Types.F64) as sty) ->
+              (* Float data contract: values in [0.5, 1.5). *)
+              Some
+                ( sty,
+                  sym_of_range
+                    (form_const (Q.make 1 2), form_const (Q.make 3 2)) ))
+  in
+  let ranges = match nest with Nranges r -> r | _ -> [] in
+  let operand_kind = function
+    | Instr.Reg r -> (
+        match body.(r) with
+        | Instr.Cmp _ -> `Bool
+        | i -> (
+            match Instr.result_ty i with
+            | Some ty -> if Types.is_float ty then `Float else `Int
+            | None -> `Int))
+    | Instr.Index _ | Instr.Imm_int _ -> `Int
+    | Instr.Param _ | Instr.Imm_float _ -> `Float
+  in
+  let memo : sym option array = Array.make (Array.length body) None in
+  let rec eval_operand (op : Instr.operand) =
+    match op with
+    | Instr.Imm_int c -> sym_const (form_int c)
+    | Instr.Imm_float f ->
+        if Float.is_integer f && Float.abs f < 1e9 then
+          sym_const (form_int (int_of_float f))
+        else sym_top
+    | Instr.Index v -> (
+        match List.assoc_opt v ranges with
+        | Some r -> sym_of_range r
+        | None -> sym_top)
+    | Instr.Param p ->
+        (* The truncated parameter value lies in the contract window; every
+           supported consumer reads parameters through [int_of_float]. *)
+        let lo, hi = Bounds.param_contract k p in
+        sym_of_range (form_int lo, form_int hi)
+    | Instr.Reg r -> (
+        match memo.(r) with
+        | Some s -> s
+        | None ->
+            let s = eval_instr body.(r) in
+            memo.(r) <- Some s;
+            s)
+  (* Operand in integer context: the interpreter truncates float values. *)
+  and eval_int op =
+    match operand_kind op with
+    | `Bool -> sym_top  (* using a mask as a number traps before any access *)
+    | `Int -> eval_operand op
+    | `Float -> (
+        match op with
+        | Instr.Param _ -> eval_operand op  (* already the truncated window *)
+        | _ -> sym_trunc ctx (eval_operand op))
+  and eval_instr (i : Instr.t) =
+    match i with
+    | Instr.Bin { ty; op; a; b } when not (Types.is_float ty) -> (
+        let sa = eval_int a and sb = eval_int b in
+        match op with
+        | Op.Add -> sym_add sa sb
+        | Op.Sub -> sym_sub sa sb
+        | Op.Mul -> (
+            let const_of s =
+              match (s.s_lo, s.s_hi) with
+              | Some l, Some h when form_equal l h -> form_const_of l
+              | _ -> None
+            in
+            match (const_of sa, const_of sb) with
+            | Some q, _ -> sym_scale q sb
+            | _, Some q -> sym_scale q sa
+            | None, None -> sym_top)
+        | Op.Rem -> (
+            match (sb.s_lo, sb.s_hi, sa.s_lo) with
+            | Some l, Some h, Some alo
+              when form_equal l h
+                   && (match form_const_of l with
+                      | Some q -> Q.sign q > 0 && q.Q.de = 1
+                      | None -> false)
+                   && nonneg ctx alo ->
+                let m =
+                  match form_const_of l with Some q -> q.Q.nu | None -> 1
+                in
+                sym_of_range (form_zero, form_int (m - 1))
+            | _ -> sym_top)
+        | Op.Div | Op.Shr -> (
+            let const_int s =
+              match (s.s_lo, s.s_hi) with
+              | Some l, Some h when form_equal l h -> (
+                  match form_const_of l with
+                  | Some q when q.Q.de = 1 -> Some q.Q.nu
+                  | _ -> None)
+              | _ -> None
+            in
+            let m =
+              match (op, const_int sb) with
+              | Op.Shr, Some s when s >= 0 && s <= 62 -> Some (1 lsl s)
+              | Op.Div, Some m when m > 0 -> Some m
+              | _ -> None
+            in
+            match m with
+            | None -> sym_top
+            | Some m ->
+                (* [Shr] is [asr]: floor division by 2^s.  [Div] truncates
+                   toward zero: equal to floor for nonnegative operands,
+                   up to (m-1)/m above v/m for negative ones.  Both are
+                   monotone, so constant bounds divide exactly and
+                   symbolic ones relax by the worst rounding. *)
+                let qm = Q.make 1 m in
+                let qfloor (q : Q.t) =
+                  if q.Q.nu >= 0 then q.Q.nu / q.Q.de
+                  else -(((-q.Q.nu) + q.Q.de - 1) / q.Q.de)
+                in
+                let lo =
+                  match sa.s_lo with
+                  | None -> None
+                  | Some l -> (
+                      match form_const_of l with
+                      | Some q -> Some (form_int (qfloor (Q.mul q qm)))
+                      | None ->
+                          Some
+                            (form_sub (form_scale qm l)
+                               (form_const (Q.make (m - 1) m))))
+                in
+                let hi =
+                  match sa.s_hi with
+                  | None -> None
+                  | Some h -> (
+                      let base =
+                        match form_const_of h with
+                        | Some q when op = Op.Shr ->
+                            form_int (qfloor (Q.mul q qm))
+                        | _ -> form_scale qm h
+                      in
+                      match op with
+                      | Op.Shr -> Some base
+                      | _ ->
+                          if
+                            match sa.s_lo with
+                            | Some l -> nonneg ctx l
+                            | None -> false
+                          then Some base
+                          else
+                            Some (form_add base (form_const (Q.make (m - 1) m))))
+                in
+                { s_lo = lo; s_hi = hi })
+        | Op.Min -> sym_hull ctx sa sb |> fun h ->
+            { h with s_hi = (match (sa.s_hi, sb.s_hi) with
+                             | Some x, _ -> Some x
+                             | None, o -> o) }
+        | Op.Max -> sym_hull ctx sa sb |> fun h ->
+            { h with s_lo = (match (sa.s_lo, sb.s_lo) with
+                             | Some x, _ -> Some x
+                             | None, o -> o) }
+        | _ -> sym_top)
+    | Instr.Una { ty; op; a } when not (Types.is_float ty) -> (
+        match op with
+        | Op.Neg -> sym_neg (eval_int a)
+        | Op.Abs -> (
+            let s = eval_int a in
+            match s.s_lo with
+            | Some l when nonneg ctx l -> s
+            | _ -> (
+                match s.s_hi with
+                | Some h when nonneg ctx (form_neg h) -> sym_neg s
+                | _ -> sym_top))
+        | _ -> sym_top)
+    | Instr.Select { cond = _; if_true; if_false; ty } ->
+        let coerce o = if Types.is_float ty then eval_operand o else eval_int o in
+        sym_hull ctx (coerce if_true) (coerce if_false)
+    | Instr.Load { ty; addr } -> (
+        let arr = Instr.addr_array addr in
+        match contract arr with
+        | None -> sym_top
+        | Some (sty, s) ->
+            (* Truncation only happens when an int-typed load reads float
+               storage; int storage read at any type keeps its values. *)
+            if Types.is_float sty && not (Types.is_float ty) then
+              sym_trunc ctx s
+            else s)
+    | Instr.Cast { dst_ty; a; _ } ->
+        if Types.is_float dst_ty then eval_operand a else eval_int a
+    | _ -> sym_top
+  in
+  let prove_indirect arr idx =
+    match Kernel.find_array k arr with
+    | None -> Unknown "undeclared array"
+    | Some decl -> (
+        let ext =
+          match decl.arr_extent with
+          | Kernel.Lin _ -> extent_form decl.arr_extent
+          | Kernel.Quad ->
+              (* n2^2 elements: bound by n2^2 - 1 >= n - 2*n2 ... too weak;
+                 decline (indirect accesses into 2-d extents do not occur
+                 in the suites). *)
+              None
+        in
+        match ext with
+        | None -> Unknown "indirect subscript into a 2-d extent"
+        | Some ext -> (
+            let s = eval_int idx in
+            match
+              prove_within ctx s ~lo_bound:form_zero
+                ~hi_bound:(form_sub ext form_one)
+            with
+            | Some (lo, hi) ->
+                Safe
+                  (Printf.sprintf
+                     "index in [%s, %s] within [0, %s) (value contract)"
+                     (form_to_string lo) (form_to_string hi)
+                     (form_to_string ext))
+            | None -> Unknown "index operand not boundable"))
+  in
+  let verdict_for (addr : Instr.addr) =
+    match nest with
+    | Nempty var ->
+        Safe (Printf.sprintf "loop %s provably empty: body never executes" var)
+    | Nirregular var ->
+        Unknown (Printf.sprintf "loop %s has non-positive step" var)
+    | Nranges ranges -> (
+        match addr with
+        | Instr.Affine { arr; dims } -> prove_affine ctx ~ranges arr dims
+        | Instr.Indirect { arr; idx } -> prove_indirect arr idx)
+  in
+  let reports = ref [] in
+  let id = ref 0 in
+  Array.iteri
+    (fun pos instr ->
+      match instr with
+      | Instr.Load { addr; _ } | Instr.Store { addr; _ } ->
+          reports :=
+            {
+              ar_id = !id;
+              ar_pos = pos;
+              ar_array = Instr.addr_array addr;
+              ar_store = Instr.is_store instr;
+              ar_indirect =
+                (match addr with Instr.Indirect _ -> true | _ -> false);
+              ar_verdict = verdict_for addr;
+            }
+            :: !reports;
+          incr id
+      | _ -> ())
+    body;
+  List.rev !reports

@@ -29,6 +29,7 @@ type sample = {
   absint : float array;  (* extended + abstract-interpretation columns *)
   opt : float array;  (* absint of normalized body + ratio/hoist columns *)
   deps : float array;  (* opt + dependence-graph and idiom columns *)
+  cert : float array;  (* deps + static safety-certificate columns *)
   vraw : float array;  (* vector body counts (cost-target fits) *)
   exec_backend : string;  (* execution backend that ran the kernel *)
   exec_digest : string;  (* fingerprint of the backend run (Measure.execute) *)
@@ -155,6 +156,15 @@ type build_outcome =
   | Not_vectorizable
   | Quarantined of string
 
+(* When enabled, scalar executions run under the kernel's static safety
+   certificate: guard-free kernels skip the per-bind interval derivation
+   and run the unchecked body directly (with the bind-time check demoted
+   to a licensing cross-check).  Results are digest-identical either way —
+   the exec equivalence tests assert it — so this is purely an execution
+   strategy, off by default. *)
+let static_licensing = Atomic.make false
+let set_static_licensing b = Atomic.set static_licensing b
+
 let build_one ~noise_amp ~seed ~repeats ~backend ~(machine : Vmachine.Descr.t)
     ~transform ~n (e : Tsvc.Registry.entry) =
   let k = e.kernel in
@@ -170,8 +180,14 @@ let build_one ~noise_amp ~seed ~repeats ~backend ~(machine : Vmachine.Descr.t)
             (* Actually execute the scalar kernel on the selected backend;
                the repeats reuse one environment via [Env.reset] and the
                digest is checked for stability across them. *)
+            let cert_summary = Vanalysis.Cert.certify ~vf k in
             let ex =
-              Vmachine.Measure.execute ~backend ~seed ~repeats ~n k
+              let license =
+                if Atomic.get static_licensing then
+                  Some (Vanalysis.Cert.license cert_summary)
+                else None
+              in
+              Vmachine.Measure.execute ?license ~backend ~seed ~repeats ~n k
             in
             let sest = Vmachine.Sched.scalar_estimate machine ~n k in
             let vest = Vmachine.Sched.vector_estimate machine ~n vk in
@@ -194,6 +210,7 @@ let build_one ~noise_amp ~seed ~repeats ~backend ~(machine : Vmachine.Descr.t)
                 absint = Feature.absint ~n ~vf k;
                 opt = Feature.opt ~n ~vf k;
                 deps = Feature.deps ~n ~vf k;
+                cert = Feature.cert ~n ~vf k;
                 vraw = Feature.vcounts vk;
                 exec_backend = Vexec.Backend.to_string backend;
                 exec_digest = ex.Vmachine.Measure.exec_digest;

@@ -46,7 +46,7 @@ let loocv_key ~method_ ~features ~target samples =
       Buffer.add_string b
         (Marshal.to_string
            ( s.raw, s.norm_raw, s.rated, s.extended, s.absint, s.opt, s.deps,
-             s.vraw, s.vf, s.measured, s.scalar_cycles_iter,
+             s.cert, s.vraw, s.vf, s.measured, s.scalar_cycles_iter,
              s.vector_cycles_block )
            []))
     samples;
@@ -422,6 +422,59 @@ let f12 ?(config = default_config) () =
         (Vanalysis.Depsreport.recall st)
         (List.length configs) st.Vanalysis.Depsreport.st_inapplicable;
       "      (the oracle must be sound: precision < 1 fails the CI gate)" ]
+
+(* --- F13: static safety-certificate features ------------------------------ *)
+
+(* The cert columns expose what the relational bounds prover certifies about
+   each kernel: the fraction of memory accesses proved in-bounds
+   parametrically in n and the runtime parameters, and whether the whole
+   kernel earned a guard-free license.  A guard-free kernel pays no bounds
+   checks in the main loop; the column pair lets the fit price that in.  The
+   note reports the correlation delta plus the registry-wide certification
+   census (static vs bind-time licensed access counts). *)
+let f13 ?(config = default_config) () =
+  let machine = Vmachine.Machines.neon_a57 in
+  let s = samples ~config ~machine ~transform:Dataset.Llv () in
+  let without =
+    fitted_row ~method_:Linmodel.Nnls ~features:Linmodel.Deps
+      ~target:Linmodel.Speedup "NNLS deps (no certificates)" s
+  in
+  let with_ =
+    fitted_row ~method_:Linmodel.Nnls ~features:Linmodel.Cert
+      ~target:Linmodel.Speedup "NNLS cert (certified-safe, guard-free columns)"
+      s
+  in
+  let delta =
+    with_.Report.eval.Metrics.pearson -. without.Report.eval.Metrics.pearson
+  in
+  let certs =
+    List.map
+      (fun (smp : Dataset.sample) ->
+        (smp.kernel, Vanalysis.Cert.certify ~vf:smp.vf smp.kernel))
+      s
+  in
+  let total = List.fold_left (fun a (_, c) -> a + Array.length c.Vanalysis.Cert.ct_accesses) 0 certs in
+  let safe = List.fold_left (fun a (_, c) -> a + c.Vanalysis.Cert.ct_safe) 0 certs in
+  let guard_free =
+    List.fold_left
+      (fun a (_, c) -> if c.Vanalysis.Cert.ct_guard_free then a + 1 else a)
+      0 certs
+  in
+  let bind_time =
+    List.fold_left
+      (fun a (k, _) -> a + Vanalysis.Cert.bind_time_guard_free k)
+      0 certs
+  in
+  mk_result ~id:"F13"
+    ~title:"Safety certificates: relational bounds proofs license guard-free runs"
+    ~machine:machine.name ~transform:Dataset.Llv ~samples:s
+    [ baseline_row s; without; with_ ]
+    [ Printf.sprintf
+        "ours: correlation delta from the cert columns: %+.4f" delta;
+      Printf.sprintf
+        "      certified %d/%d accesses, %d/%d kernels guard-free \
+         (bind-time baseline %d accesses)"
+        safe total guard_free (List.length certs) bind_time ]
 
 (* --- T1: LLV vs SLP on one kernel ---------------------------------------- *)
 

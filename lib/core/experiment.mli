@@ -71,6 +71,13 @@ val f11 : ?config:config -> unit -> Report.result
     the legality oracle's precision/recall against the validator. *)
 val f12 : ?config:config -> unit -> Report.result
 
+(** F13 (safety certificates): fit with and without the static
+    safety-certificate columns (certified-safe access fraction, guard-free
+    license flag from the relational bounds prover); the notes report the
+    correlation delta and the registry certification census against the
+    bind-time interval baseline. *)
+val f13 : ?config:config -> unit -> Report.result
+
 type t1_row = {
   t1_transform : string;
   t1_baseline : float;

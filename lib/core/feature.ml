@@ -286,3 +286,21 @@ let deps ~n ~vf (k : Kernel.t) =
       (if Vdeps.Idiom.has_reduction idioms then 1.0 else 0.0);
       (if Vdeps.Idiom.has_recurrence idioms then 1.0 else 0.0);
     |]
+
+let cert_names = deps_names @ [ "x_cert_safe_frac"; "x_cert_guard_free" ]
+let cert_dim = deps_dim + 2
+
+(* Deps features plus what the static safety certificate knows: the
+   certified-safe fraction of the body's memory accesses and whether the
+   whole kernel is licensed guard-free.  Both proxy for how much bounds
+   bookkeeping a vectorized loop would carry at run time — a guard-free
+   kernel vectorizes without per-block range checks, a low certified
+   fraction forecasts guarded (slower) vector bodies. *)
+let cert ~n ~vf (k : Kernel.t) =
+  let base = deps ~n ~vf k in
+  let c = Vanalysis.Cert.certify ~vf k in
+  Array.append base
+    [|
+      Vanalysis.Cert.safe_frac c;
+      (if c.Vanalysis.Cert.ct_guard_free then 1.0 else 0.0);
+    |]

@@ -83,4 +83,12 @@ val deps_names : string list
 
 val deps_dim : int
 val deps : n:int -> vf:int -> Vir.Kernel.t -> float array
+
+(** Cert feature set: deps features plus the certified-safe access fraction
+    and the guard-free license flag from [Vanalysis.Cert] (relational
+    bounds proofs, parametric in n and the runtime parameters). *)
+val cert_names : string list
+
+val cert_dim : int
+val cert : n:int -> vf:int -> Vir.Kernel.t -> float array
 val pp : Format.formatter -> float array -> unit

@@ -14,7 +14,7 @@ let fit_method_to_string = function
   | Svr -> "SVR"
   | Huber -> "Huber"
 
-type feature_kind = Raw | Rated | Extended | Absint | Opt | Deps
+type feature_kind = Raw | Rated | Extended | Absint | Opt | Deps | Cert
 
 let feature_kind_to_string = function
   | Raw -> "raw"
@@ -23,6 +23,7 @@ let feature_kind_to_string = function
   | Absint -> "absint"
   | Opt -> "opt"
   | Deps -> "deps"
+  | Cert -> "cert"
 
 type target = Speedup | Cost
 
@@ -43,6 +44,7 @@ let features_of kind (s : Dataset.sample) =
   | Absint -> s.absint
   | Opt -> s.opt
   | Deps -> s.deps
+  | Cert -> s.cert
 
 let dot w f =
   let acc = ref 0.0 in
@@ -181,6 +183,7 @@ let to_string (m : t) =
   Buffer.add_string b (Printf.sprintf "target %s\n" (target_to_string m.target));
   let names =
     match m.features with
+    | Cert -> Feature.cert_names
     | Deps -> Feature.deps_names
     | Opt -> Feature.opt_names
     | Absint -> Feature.absint_names
@@ -236,6 +239,7 @@ let of_string s =
             | Some "absint" -> Some Absint
             | Some "opt" -> Some Opt
             | Some "deps" -> Some Deps
+            | Some "cert" -> Some Cert
             | _ -> None
           in
           let target =
@@ -248,6 +252,7 @@ let of_string s =
           | Some method_, Some features, Some target ->
               let names =
                 match features with
+                | Cert -> Feature.cert_names
                 | Deps -> Feature.deps_names
                 | Opt -> Feature.opt_names
                 | Absint -> Feature.absint_names

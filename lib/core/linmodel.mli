@@ -10,7 +10,7 @@ type fit_method = L2 | Nnls | Svr | Huber
 
 val fit_method_to_string : fit_method -> string
 
-type feature_kind = Raw | Rated | Extended | Absint | Opt | Deps
+type feature_kind = Raw | Rated | Extended | Absint | Opt | Deps | Cert
 
 val feature_kind_to_string : feature_kind -> string
 

@@ -56,15 +56,18 @@ let default () =
 type prepared =
   | P_interp of Vir.Kernel.t
   | P_flat of Flat.state
-  | P_closure of Flat.state * Closure.t
+  | P_closure of Flat.state * Closure.t * License.t option
 
-let prepare backend k =
+(* A static license only changes behaviour on the closure tier (the one
+   with an unchecked body to license); the other tiers always run fully
+   guarded and ignore it. *)
+let prepare ?license backend k =
   match backend with
   | Interp -> P_interp k
   | Flat -> P_flat (Flat.create (Program.lower k))
   | Closure ->
       let st = Flat.create (Program.lower k) in
-      P_closure (st, Closure.compile st)
+      P_closure (st, Closure.compile st, license)
 
 let backend_of = function
   | P_interp _ -> Interp
@@ -73,13 +76,13 @@ let backend_of = function
 
 let kernel_of = function
   | P_interp k -> k
-  | P_flat st | P_closure (st, _) -> st.Flat.prog.Program.kernel
+  | P_flat st | P_closure (st, _, _) -> st.Flat.prog.Program.kernel
 
 let run_in prepared env =
   match prepared with
   | P_interp k -> Vinterp.Interp.run_in env k
   | P_flat st -> Flat.run_in st env
-  | P_closure (st, c) -> Closure.run_in st c env
+  | P_closure (st, c, license) -> Closure.run_in ?license st c env
 
 let run ?seed ~n backend k =
   let env = Env.create ?seed ~n k in

@@ -22,7 +22,11 @@ type prepared
 (** A kernel lowered (and for [Closure], compiled) once for repeated
     execution; [run_in] only rebinds to the environment. *)
 
-val prepare : t -> Vir.Kernel.t -> prepared
+val prepare : ?license:License.t -> t -> Vir.Kernel.t -> prepared
+(** [license] is a static safety certificate for the kernel; only the
+    closure tier consults it (see {!Closure.run_bound}), the fully guarded
+    tiers ignore it. *)
+
 val backend_of : prepared -> t
 val kernel_of : prepared -> Vir.Kernel.t
 

@@ -757,25 +757,27 @@ let compile (st : Flat.state) =
 (* Can the unchecked body run?  True when every affine access provably stays
    inside [0, len) over the bound iteration space: the index is monotone in
    each loop variable, so its extrema are attained at the per-loop extreme
-   values, which [Flat.bind] has just fixed.  Indirect accesses are checked
-   in both body variants, so they place no obligation here.  Conservative
-   fallbacks (non-positive step) answer [false] and cost only the guards. *)
+   values, which [Flat.bind] has just fixed.  The iteration-range and hull
+   math lives in [Vir.Ibox], shared with the static analyses so the proofs
+   cannot drift.  Indirect accesses are checked in both body variants, so
+   they place no obligation here.  A provably empty loop (including one
+   with a non-positive step whose guard fails immediately) makes the whole
+   nest vacuously safe; a non-positive step over a nonempty range stays
+   conservatively unprovable and costs only the guards. *)
 let affine_safe (st : Flat.state) =
   let prog = st.prog in
   let nloops = Array.length prog.loops in
-  let ivmin = Array.make (max 1 nloops) 0 in
-  let ivmax = Array.make (max 1 nloops) 0 in
+  let ranges = Array.make (max 1 nloops) (Ibox.point 0) in
   let ok = ref true in
   let empty = ref false in
   for d = 0 to nloops - 1 do
     let l = prog.loops.(d) in
-    let b = st.bounds.(d) in
-    if l.l_step <= 0 then ok := false
-    else if l.l_start >= b then empty := true
-    else begin
-      ivmin.(d) <- l.l_start;
-      ivmax.(d) <- l.l_start + (b - 1 - l.l_start) / l.l_step * l.l_step
-    end
+    match
+      Ibox.loop_values ~start:l.l_start ~step:l.l_step ~bound:st.bounds.(d)
+    with
+    | `Empty -> empty := true
+    | `Unknown -> ok := false
+    | `Range r -> ranges.(d) <- r
   done;
   (* An empty loop at any depth means the body never executes at all. *)
   !empty
@@ -785,34 +787,43 @@ let affine_safe (st : Flat.state) =
           Array.iteri
             (fun a (acc : Program.access) ->
               if !safe && acc.acc_ind < 0 then begin
-                let coeff = st.acc_coeff.(a) and depth = st.acc_depth.(a) in
-                let lo = ref st.acc_const.(a) and hi = ref st.acc_const.(a) in
-                for j = 0 to Array.length coeff - 1 do
-                  let c = coeff.(j) and d = depth.(j) in
-                  if c >= 0 then begin
-                    lo := !lo + (c * ivmin.(d));
-                    hi := !hi + (c * ivmax.(d))
-                  end
-                  else begin
-                    lo := !lo + (c * ivmax.(d));
-                    hi := !hi + (c * ivmin.(d))
-                  end
-                done;
-                if !lo < 0 || !hi >= st.arr_len.(acc.acc_arr) then safe := false
+                let hull =
+                  Ibox.affine_hull ~const:st.acc_const.(a)
+                    ~coeff:st.acc_coeff.(a) ~depth:st.acc_depth.(a)
+                    ~env:ranges
+                in
+                if
+                  not
+                    (Ibox.within hull ~lo:0
+                       ~hi:(st.arr_len.(acc.acc_arr) - 1))
+                then safe := false
               end)
             prog.accesses;
           !safe
         end)
 
-let run_bound (st : Flat.state) (compiled : t) =
+(* With a [Safe]-covering static license the unchecked body is selected once
+   at prepare time; [affine_safe] stays on per bind as a mandatory
+   cross-check.  A license the bind-time proof refutes is a hard failure —
+   an unsound certificate must never cause a silent unguarded run. *)
+let run_bound ?license (st : Flat.state) (compiled : t) =
   let reds = st.prog.reds in
   for j = 0 to Array.length reds - 1 do
     st.accs.(j) <- reds.(j).rd_init
   done;
-  (if affine_safe st then compiled.unchecked else compiled.checked) ();
+  (match license with
+  | Some lic when License.guard_free lic st.prog ->
+      if affine_safe st then compiled.unchecked ()
+      else
+        invalid_arg
+          (Printf.sprintf
+             "Vexec.Closure: unsound safety certificate for %s: bind-time \
+              bounds check refutes the static license"
+             st.prog.kernel.Kernel.name)
+  | _ -> (if affine_safe st then compiled.unchecked else compiled.checked) ());
   Array.to_list
     (Array.mapi (fun j (r : Program.red) -> (r.rd_name, st.accs.(j))) reds)
 
-let run_in st compiled env =
+let run_in ?license st compiled env =
   Flat.bind st env;
-  run_bound st compiled
+  run_bound ?license st compiled

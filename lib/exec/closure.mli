@@ -15,14 +15,23 @@ val compile : Flat.state -> t
 
 val affine_safe : Flat.state -> bool
 (** Whether every affine access of the bound state provably stays inside its
-    array over the whole iteration space (interval analysis on the bind-time
-    constants, coefficients and loop ranges). *)
+    array over the whole iteration space ([Vir.Ibox] interval analysis on
+    the bind-time constants, coefficients and loop ranges; a provably empty
+    loop — non-positive steps included — is vacuously safe). *)
 
-val run_bound : Flat.state -> t -> (string * float) list
+val run_bound :
+  ?license:License.t -> Flat.state -> t -> (string * float) list
 (** Reset reduction accumulators, run the compiled nest over the currently
-    bound environment, and return final reduction values. *)
+    bound environment, and return final reduction values.  When [license]
+    covers the program with [Safe] affine verdicts the unchecked body runs
+    unconditionally, with [affine_safe] as a mandatory per-bind cross-check:
+    a refuted license raises [Invalid_argument] (hard failure) instead of
+    running unguarded.  Without a covering license the per-bind
+    [affine_safe] selection applies as before. *)
 
-val run_in : Flat.state -> t -> Vinterp.Env.t -> (string * float) list
+val run_in :
+  ?license:License.t -> Flat.state -> t -> Vinterp.Env.t ->
+  (string * float) list
 (** [Flat.bind] then [run_bound]. *)
 
 val compile_body : ?check:bool -> Flat.state -> unit -> unit

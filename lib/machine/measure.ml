@@ -59,11 +59,11 @@ type execution = {
   exec_reductions : (string * float) list;
 }
 
-let execute ?backend ?(seed = 42) ?(repeats = 1) ~n (k : Kernel.t) =
+let execute ?backend ?license ?(seed = 42) ?(repeats = 1) ~n (k : Kernel.t) =
   let backend =
     match backend with Some b -> b | None -> Vexec.Backend.default ()
   in
-  let prepared = Vexec.Backend.prepare backend k in
+  let prepared = Vexec.Backend.prepare ?license backend k in
   (* Arrays outside the kernel's static store set are never written by any
      backend, so their buffers can alias the shared initialization masters
      instead of being copied per sample. *)

@@ -619,6 +619,234 @@ let test_driver_report () =
   check "seeded bug surfaces in report" true
     (A.Driver.has_errors (A.Driver.lint_kernel bad))
 
+(* --- relational certificates: Ibox, Rel, Cert, License ---------------------- *)
+
+module E = Vexec
+
+(* The shared interval kernel every bounds proof sits on. *)
+let test_ibox_loop_values () =
+  (match Ibox.loop_values ~start:0 ~step:1 ~bound:8 with
+  | `Range r -> check "unit step range" true (r.Ibox.lo = 0 && r.Ibox.hi = 7)
+  | _ -> Alcotest.fail "unit step should give a range");
+  (match Ibox.loop_values ~start:0 ~step:3 ~bound:8 with
+  | `Range r ->
+      check "strided last iteration" true (r.Ibox.lo = 0 && r.Ibox.hi = 6)
+  | _ -> Alcotest.fail "strided loop should give a range");
+  check "empty negative-step loop" true
+    (Ibox.loop_values ~start:5 ~step:(-1) ~bound:5 = `Empty);
+  check "nonempty negative-step loop unbounded" true
+    (Ibox.loop_values ~start:0 ~step:(-1) ~bound:8 = `Unknown);
+  let hull =
+    Ibox.affine_hull ~const:1 ~coeff:[| 2; -3 |] ~depth:[| 0; 1 |]
+      ~env:[| Ibox.make 0 4; Ibox.make 1 2 |]
+  in
+  check "affine hull corners" true (hull.Ibox.lo = -5 && hull.Ibox.hi = 6)
+
+(* Satellite: a provably-empty negative-step loop is vacuously safe — the
+   historical fallback rejected every non-positive step outright, forcing
+   the guarded body even though the nest never reaches the access. *)
+let neg_step_kernel trip =
+  let b = B.make "negstep" in
+  let i = B.loop b "i" (Kernel.Tconst 4) in
+  B.declare b ~extent:(Kernel.Lin (1, 0)) "b";
+  B.declare b ~extent:(Kernel.Lin (1, 0)) "a";
+  let x = B.load b "b" [ B.ix ~off:(-5) i ] in
+  B.store b "a" [ B.ix i ] x;
+  let k = B.finish b in
+  { k with
+    Kernel.loops =
+      [ { (List.hd k.Kernel.loops) with Kernel.trip; step = -1 } ] }
+
+let test_negative_step_affine_safe () =
+  (* trip 0, step -1: the guard fails immediately, so the OOB subscript
+     b[i-5] is unreachable and the binding is vacuously safe. *)
+  let k = neg_step_kernel (Kernel.Tconst 0) in
+  let st = E.Flat.create (E.Program.lower k) in
+  let cl = E.Closure.compile st in
+  let env = Vinterp.Env.create ~n:64 k in
+  E.Flat.bind st env;
+  check "empty negative-step loop is vacuously safe" true
+    (E.Closure.affine_safe st);
+  check "empty nest runs without trapping" true
+    (E.Closure.run_bound st cl = []);
+  (* trip 4, step -1: nonempty with no finite iteration set — must stay
+     unprovable, never vacuously safe. *)
+  let k = neg_step_kernel (Kernel.Tconst 4) in
+  let st = E.Flat.create (E.Program.lower k) in
+  let env = Vinterp.Env.create ~n:64 k in
+  E.Flat.bind st env;
+  check "nonempty negative-step loop stays unproven" false
+    (E.Closure.affine_safe st)
+
+(* Seeded-unsound-certificate negative: a hand-forged all-Safe license on
+   an out-of-bounds kernel must hard-fail inside the closure tier (the
+   bind-time cross-check), and the real certifier must refuse to issue it
+   in the first place. *)
+let test_unsound_license_hard_fails () =
+  let b = B.make "unsound" in
+  let i = B.loop b "i" Kernel.Tn in
+  B.declare b ~extent:(Kernel.Lin (1, 0)) "b";
+  B.declare b ~extent:(Kernel.Lin (1, 0)) "a";
+  let x = B.load b "b" [ B.ix ~off:5 i ] in
+  B.store b "a" [ B.ix i ] x;
+  let k = B.finish b in
+  let c = A.Cert.certify k in
+  check "certifier refuses the OOB kernel" false c.A.Cert.ct_guard_free;
+  check "witness-backed refutation recorded" true
+    (Array.exists
+       (fun (a : A.Cert.access_cert) -> a.A.Cert.ac_verdict = A.Cert.Vunsafe)
+       c.A.Cert.ct_accesses);
+  let st = E.Flat.create (E.Program.lower k) in
+  let cl = E.Closure.compile st in
+  let env = Vinterp.Env.create ~n:64 k in
+  E.Flat.bind st env;
+  let forged =
+    E.License.make ~kernel:k.Kernel.name
+      (Array.make (Array.length st.E.Flat.prog.E.Program.accesses)
+         E.License.Safe)
+  in
+  check "forged license claims the guard-free body" true
+    (E.License.guard_free forged st.E.Flat.prog);
+  match E.Closure.run_bound ~license:forged st cl with
+  | _ -> Alcotest.fail "unsound license was not rejected"
+  | exception Invalid_argument msg ->
+      check "hard failure names the certificate" true
+        (contains msg "unsound safety certificate")
+
+(* A parameter-dependent access the relational prover certifies for every
+   contract assignment: b[i+p] against extent n+4 with p in [1,4]. *)
+let test_cert_param_dependent_safe () =
+  let b = B.make "paramsafe" in
+  let i = B.loop b "i" Kernel.Tn in
+  let _ = B.param b "p" in
+  B.declare b ~extent:(Kernel.Lin (1, 4)) "b";
+  B.declare b ~extent:(Kernel.Lin (1, 0)) "a";
+  let x = B.load b "b" [ B.ix_plus_param b (B.ix i) ("p", 1) ] in
+  B.store b "a" [ B.ix i ] x;
+  let k = B.finish b in
+  let c = A.Cert.certify k in
+  check "parametric proof licenses the kernel" true c.A.Cert.ct_guard_free;
+  check "every access certified" true
+    (c.A.Cert.ct_safe = Array.length c.A.Cert.ct_accesses)
+
+(* The same shape against extent n+2: clean at the default binding (p=1)
+   but violated at the contract corner p=4, so the bounds analysis says
+   [Possible], the prover cannot certify, and the lint keeps its warning —
+   now explicitly marked uncertified. *)
+let test_lint_oob_param_dependent () =
+  let b = B.make "parampossible" in
+  let i = B.loop b "i" Kernel.Tn in
+  let _ = B.param b "p" in
+  B.declare b ~extent:(Kernel.Lin (1, 2)) "b";
+  B.declare b ~extent:(Kernel.Lin (1, 0)) "a";
+  let x = B.load b "b" [ B.ix_plus_param b (B.ix i) ("p", 1) ] in
+  B.store b "a" [ B.ix i ] x;
+  let k = B.finish b in
+  match
+    List.filter (fun d -> d.A.Diag.pass = "out-of-bounds") (A.Pass.run_all k)
+  with
+  | [] -> Alcotest.fail "parameter-dependent OOB not reported"
+  | d :: _ ->
+      check "stays a warning" true (d.A.Diag.severity = A.Diag.Warning);
+      check "message says not certified" true
+        (contains d.A.Diag.message "not certified")
+
+(* qcheck soundness gate: on random kernels, a certified license may never
+   trap or diverge from the reference interpreter — under random
+   in-contract parameter assignments and multiple problem sizes. *)
+let test_cert_soundness_prop =
+  QCheck.Test.make ~count:500
+    ~name:"certified licenses sound on random kernels"
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let k = Vsynth.Generator.kernel seed in
+      let c = A.Cert.certify k in
+      let lic = A.Cert.license c in
+      List.iter
+        (fun n ->
+          let mk_env () =
+            let env = Vinterp.Env.create ~seed:97 ~n k in
+            List.iteri
+              (fun j p ->
+                let lo, hi = Bounds.param_contract k p in
+                let v = lo + ((seed + (7 * j)) mod (hi - lo + 1)) in
+                Vinterp.Env.set_param env p (float_of_int v))
+              k.Kernel.params;
+            env
+          in
+          let st = E.Flat.create (E.Program.lower k) in
+          let cl = E.Closure.compile st in
+          let env = mk_env () in
+          E.Flat.bind st env;
+          if
+            E.License.guard_free lic st.E.Flat.prog
+            && not (E.Closure.affine_safe st)
+          then
+            QCheck.Test.fail_reportf
+              "%s: certificate safe but bind-time proof refutes it at n=%d"
+              k.Kernel.name n;
+          let closure_digest =
+            match E.Closure.run_bound ~license:lic st cl with
+            | reds -> E.Backend.digest env reds
+            | exception Invalid_argument msg ->
+                QCheck.Test.fail_reportf "%s: %s" k.Kernel.name msg
+            | exception Vinterp.Env.Out_of_bounds _ ->
+                if E.License.guard_free lic st.E.Flat.prog then
+                  QCheck.Test.fail_reportf
+                    "%s: licensed run trapped out of bounds at n=%d"
+                    k.Kernel.name n
+                else "trap"
+          in
+          let oracle_env = mk_env () in
+          let oracle_digest =
+            match Vinterp.Interp.run_in oracle_env k with
+            | reds -> E.Backend.digest oracle_env reds
+            | exception Vinterp.Env.Out_of_bounds _ -> "trap"
+          in
+          if not (String.equal closure_digest oracle_digest) then
+            QCheck.Test.fail_reportf
+              "%s: licensed closure diverges from the interpreter at n=%d"
+              k.Kernel.name n)
+        [ 64; 193 ];
+      true)
+
+(* Registry-wide: the static certificates must license strictly more
+   accesses than the bind-time interval check (the negative-step and
+   parameter-dependent accesses are exactly the gap), and the executable
+   soundness gate must pass. *)
+let test_cert_registry_gate () =
+  let ks =
+    List.map
+      (fun (e : Tsvc.Registry.entry) -> e.kernel)
+      (Tsvc.Registry.all @ Vapps.Registry.as_tsvc_entries)
+  in
+  let pairs = A.Cert.certify_batch ks in
+  let g = A.Cert.gate pairs in
+  check "gate passes" true (A.Cert.gate_pass g);
+  check "static strictly beats bind-time licensing" true
+    (g.A.Cert.g_guard_free > 0 && g.A.Cert.g_safe > g.A.Cert.g_bind_time)
+
+(* Certificate JSON is byte-identical whether certification runs on the
+   worker pool or sequentially: the CLI's --json output cannot depend on
+   the worker count. *)
+let test_cert_json_deterministic () =
+  let ks =
+    List.filteri (fun i _ -> i < 40) Tsvc.Registry.all
+    |> List.map (fun (e : Tsvc.Registry.entry) -> e.kernel)
+  in
+  let render () =
+    String.concat "\n"
+      (List.map (fun (_, c) -> A.Cert.to_json c) (A.Cert.certify_batch ks))
+  in
+  let was_seq = Vpar.Pool.sequential () in
+  Vpar.Pool.set_sequential true;
+  let sequential = render () in
+  Vpar.Pool.set_sequential false;
+  let parallel = render () in
+  Vpar.Pool.set_sequential was_seq;
+  Alcotest.(check string) "json stable across worker counts" sequential
+    parallel
+
 let tests =
   [ Alcotest.test_case "diag sort" `Quick test_diag_sort;
     Alcotest.test_case "diag json escaping" `Quick test_diag_json_escaping;
@@ -662,4 +890,17 @@ let tests =
     Alcotest.test_case "equiv unroll dropped copy" `Quick test_equiv_unroll_detects_dropped_copy;
     Alcotest.test_case "registry lint gate" `Quick test_registry_lint_gate;
     Alcotest.test_case "registry vvalidate gate" `Slow test_registry_vvalidate_gate;
+    Alcotest.test_case "ibox loop values" `Quick test_ibox_loop_values;
+    Alcotest.test_case "negative-step affine safety" `Quick
+      test_negative_step_affine_safe;
+    Alcotest.test_case "unsound license hard-fails" `Quick
+      test_unsound_license_hard_fails;
+    Alcotest.test_case "cert parametric proof" `Quick
+      test_cert_param_dependent_safe;
+    Alcotest.test_case "lint oob parameter-dependent" `Quick
+      test_lint_oob_param_dependent;
+    QCheck_alcotest.to_alcotest test_cert_soundness_prop;
+    Alcotest.test_case "cert registry gate" `Slow test_cert_registry_gate;
+    Alcotest.test_case "cert json worker determinism" `Quick
+      test_cert_json_deterministic;
     Alcotest.test_case "driver report" `Quick test_driver_report ]
