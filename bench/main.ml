@@ -596,6 +596,42 @@ let bench_json out =
         (frac, bind_cold, static_cold)
   in
   let cert_frac, cert_bind_cold, cert_static_cold = cert_row in
+  (* SAN: sanitizer overhead on a cold registry-wide Dataset.build on the
+     closure tier — the shadow checksums are verified after every measured
+     run and at pool join points, and the target is <= 20% over the
+     unsanitized build. *)
+  let san_row =
+    let id = "SAN" in
+    match Option.bind (Checkpoint.Journal.find journal id) parse_pair with
+    | Some (off, on) ->
+        Printf.printf
+          "   SAN cold build off %8.4fs   sanitized %8.4fs  (resumed)\n%!"
+          off on;
+        (off, on)
+    | None ->
+        Vpar.Pool.set_sequential true;
+        let backend = Vexec.Backend.Closure in
+        let build () =
+          Dataset.cache_clear ();
+          wall (fun () ->
+              ignore
+                (Dataset.build ~backend ~machine:exec_machine
+                   ~transform:Dataset.Llv ~n:exec_n Tsvc.Registry.all))
+        in
+        let off = build () in
+        Vexec.Sanitize.set_enabled true;
+        let on = build () in
+        Vexec.Sanitize.set_enabled false;
+        Vpar.Pool.set_sequential false;
+        Printf.printf
+          "   SAN cold build off %8.4fs   sanitized %8.4fs  (%+.1f%%)\n%!"
+          off on
+          ((on /. Float.max 1e-9 off -. 1.0) *. 100.0);
+        Checkpoint.Journal.record journal id
+          (Printf.sprintf "%.6f %.6f" off on);
+        (off, on)
+  in
+  let san_off, san_on = san_row in
   let b = Buffer.create 4096 in
   Buffer.add_string b "{\n  \"benchmark\": \"pipeline\",\n";
   Buffer.add_string b
@@ -656,6 +692,12 @@ let bench_json out =
        "  \"cert\": {\"certified_frac\": %.6f, \
         \"build_cold_bind_time_s\": %.6f, \"build_cold_static_s\": %.6f},\n"
        cert_frac cert_bind_cold cert_static_cold);
+  Buffer.add_string b
+    (Printf.sprintf
+       "  \"san\": {\"build_cold_s\": %.6f, \"build_cold_sanitized_s\": \
+        %.6f, \"overhead\": %.4f},\n"
+       san_off san_on
+       (san_on /. Float.max 1e-9 san_off -. 1.0));
   Buffer.add_string b
     (Printf.sprintf
        "  \"cache\": {\"hits\": %d, \"misses\": %d, \"entries\": %d},\n"

@@ -147,6 +147,26 @@ let apply_backend = function
   | None -> ()
   | Some b -> Vexec.Backend.set_default b
 
+(* --- sanitizer --------------------------------------------------------------
+   [--sanitize] arms the shadow-state sanitizer for this invocation:
+   checksums over the shared master buffers verified after every measured
+   run and at pool join points, plus the interpreter's frozen-write
+   barrier.  Equivalent to [VECMODEL_SANITIZE=1]. *)
+
+let sanitize_arg =
+  Arg.(
+    value & flag
+    & info [ "sanitize" ]
+        ~doc:
+          "Enable the shadow-state sanitizer: shared master buffers are \
+           checksum-verified after every measured run and at pool join \
+           points, and writes to frozen buffers trap.  Equivalent to \
+           $(b,VECMODEL_SANITIZE)=1.")
+
+let apply_sanitize = function
+  | true -> Vexec.Sanitize.set_enabled true
+  | false -> ()  (* leave the VECMODEL_SANITIZE environment default *)
+
 let features_conv =
   let parse = function
     | "raw" -> Ok Linmodel.Raw
@@ -462,6 +482,124 @@ let deps_cmd =
           space; optionally cross-check the oracle against the validator")
     Term.(
       const run $ kernel_opt $ all_flag $ json_flag $ crosscheck_flag $ vfs_arg)
+
+(* --- effects ----------------------------------------------------------------- *)
+
+let effects_cmd =
+  let kernel_opt =
+    Arg.(
+      value & pos 0 (some string) None
+      & info [] ~docv:"KERNEL"
+          ~doc:"Kernel to analyze (omit with --all).")
+  in
+  let all_flag =
+    Arg.(
+      value & flag
+      & info [ "all"; "a" ]
+          ~doc:"Analyze every kernel in the TSVC + apps registry.")
+  in
+  let json_flag =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"Emit the summaries as a JSON array on stdout.")
+  in
+  let crosscheck_flag =
+    Arg.(
+      value & flag
+      & info [ "crosscheck" ]
+          ~doc:
+            "Prove the effect summary stable under every LLV/SLP/unroll x \
+             VF transform: the transformed kernel's effects must be \
+             statically subsumed by the source summary, and for \
+             oracle-legal configurations every access observed through the \
+             interpreter's trace must hit a licensed (array, direction) \
+             inside its static region.  Exits 1 on any escape.")
+  in
+  let vfs_arg =
+    Arg.(
+      value & opt_all int []
+      & info [ "vf" ] ~docv:"N"
+          ~doc:
+            "Vectorization factor for the cross-check (repeatable). \
+             Default: 2 4 8.")
+  in
+  let effects_n_arg =
+    Arg.(
+      value & opt int Vanalysis.Absint.default_n
+      & info [ "n" ] ~docv:"N"
+          ~doc:"Problem size the affine regions are computed at.")
+  in
+  let run kernel all json crosscheck vfs n =
+    (match List.find_opt (fun vf -> vf < 2) vfs with
+    | Some vf ->
+        Printf.eprintf "vecmodel: --vf %d: vector factor must be >= 2\n" vf;
+        exit 124
+    | None -> ());
+    let registry = Tsvc.Registry.all @ Vapps.Registry.as_tsvc_entries in
+    let entries =
+      match (kernel, all) with
+      | Some name, false -> (
+          match
+            List.find_opt
+              (fun (e : Tsvc.Registry.entry) ->
+                String.equal e.kernel.Vir.Kernel.name name)
+              registry
+          with
+          | Some e -> [ e ]
+          | None ->
+              Printf.eprintf
+                "vecmodel: unknown kernel %s (try `vecmodel list`)\n" name;
+              exit 124)
+      | None, true | None, false -> registry
+      | Some _, true ->
+          Printf.eprintf "vecmodel: pass either KERNEL or --all, not both\n";
+          exit 124
+    in
+    let kernels =
+      List.map (fun (e : Tsvc.Registry.entry) -> e.kernel) entries
+    in
+    let vfs = if vfs = [] then None else Some vfs in
+    if crosscheck then begin
+      let configs = Vanalysis.Effect.crosscheck ?vfs kernels in
+      let st = Vanalysis.Effect.stats configs in
+      if json then
+        print_endline
+          (Printf.sprintf
+             "{\"configs\":%d,\"stable\":%d,\"escapes\":%d,\
+              \"inapplicable\":%d,\"precision\":%.4f}"
+             (List.length configs) st.Vanalysis.Effect.st_stable st.st_escape
+             st.st_inapplicable
+             (Vanalysis.Effect.precision st))
+      else begin
+        List.iter
+          (fun c -> print_endline (Vanalysis.Effect.config_to_string c))
+          (Vanalysis.Effect.failures configs);
+        Printf.printf
+          "%d configuration(s): %d stable, %d EFFECT ESCAPE(S), %d \
+           inapplicable\n"
+          (List.length configs) st.Vanalysis.Effect.st_stable st.st_escape
+          st.st_inapplicable;
+        Printf.printf "effect precision %.4f\n"
+          (Vanalysis.Effect.precision st)
+      end;
+      if not (Vanalysis.Effect.sound configs) then exit 1
+    end
+    else begin
+      let summaries = Vanalysis.Effect.analyze_kernels ~n kernels in
+      if json then
+        print_endline (Vanalysis.Effect.summaries_to_json summaries)
+      else List.iter (Vanalysis.Effect.print_summary stdout) summaries
+    end
+  in
+  Cmd.v
+    (Cmd.info "effects"
+       ~doc:
+         "Per-array may-read/may-write effect summaries with affine \
+          regions and buffer ownership; optionally cross-check stability \
+          under every transform x VF against observed access traces")
+    Term.(
+      const run $ kernel_opt $ all_flag $ json_flag $ crosscheck_flag
+      $ vfs_arg $ effects_n_arg)
 
 (* --- absint ------------------------------------------------------------------ *)
 
@@ -998,9 +1136,10 @@ let health_cmd =
   let json_flag =
     Arg.(value & flag & info [ "json" ] ~doc:"Emit the report as JSON.")
   in
-  let run machine n transform repeats faults backend json =
+  let run machine n transform repeats faults backend sanitize json =
     apply_faults faults;
     apply_backend backend;
+    apply_sanitize sanitize;
     Dataset.health_reset ();
     Vpar.Pool.reset_stats ();
     Vfault.Inject.reset_counts ();
@@ -1041,11 +1180,19 @@ let health_cmd =
            st.st_crashes st.st_respawned st.st_timeouts st.st_retries
            st.st_failures st.st_degraded);
       Buffer.add_string b
-        (Printf.sprintf "  \"injected\": {%s}\n"
+        (Printf.sprintf "  \"injected\": {%s},\n"
            (String.concat ", "
               (List.map
                  (fun (k, v) -> Printf.sprintf "\"%s\": %d" (json_escape k) v)
                  injected)));
+      Buffer.add_string b
+        (Printf.sprintf
+           "  \"sanitizer\": {\"active\": %b, \"shadowed\": %d, \
+            \"verifications\": %d, \"corruptions\": %d}\n"
+           (Vexec.Sanitize.active ())
+           (Vexec.Sanitize.shadowed ())
+           (Vexec.Sanitize.verification_count ())
+           (Vexec.Sanitize.corruption_count ()));
       Buffer.add_string b "}";
       print_endline (Buffer.contents b)
     end
@@ -1078,7 +1225,14 @@ let health_cmd =
         List.iter
           (fun (k, v) -> Printf.printf "    %-16s %d\n" k v)
           injected
-      end
+      end;
+      if Vexec.Sanitize.active () then
+        Printf.printf
+          "  sanitizer         %d master(s) shadowed, %d verification(s), \
+           %d corruption(s)\n"
+          (Vexec.Sanitize.shadowed ())
+          (Vexec.Sanitize.verification_count ())
+          (Vexec.Sanitize.corruption_count ())
     end
   in
   Cmd.v
@@ -1089,7 +1243,7 @@ let health_cmd =
           counters")
     Term.(
       const run $ machine_arg $ n_arg $ transform_arg $ repeats_arg
-      $ faults_arg $ backend_arg $ json_flag)
+      $ faults_arg $ backend_arg $ sanitize_arg $ json_flag)
 
 (* --- faults ----------------------------------------------------------------- *)
 
@@ -1175,9 +1329,24 @@ let export_machine_cmd =
 let () =
   let doc = "Cost modelling for vectorization on ARM - reproduction toolkit" in
   let info = Cmd.info "vecmodel" ~version:"1.0.0" ~doc in
+  let group =
+    Cmd.group info
+      [ list_cmd; show_cmd; lint_cmd; deps_cmd; effects_cmd; absint_cmd; opt_cmd; certify_cmd; simulate_cmd; fit_cmd;
+        predict_cmd; loocv_cmd; report_cmd; cachestats_cmd; health_cmd;
+        faults_cmd; export_machine_cmd ]
+  in
+  (* Sanitizer verdicts are hard failures, not internal errors: report the
+     site and offending buffer the way the lint driver reports an Error
+     diagnostic, and exit non-zero so CI gates trip. *)
   exit
-    (Cmd.eval
-       (Cmd.group info
-          [ list_cmd; show_cmd; lint_cmd; deps_cmd; absint_cmd; opt_cmd; certify_cmd; simulate_cmd; fit_cmd;
-            predict_cmd; loocv_cmd; report_cmd; cachestats_cmd; health_cmd;
-            faults_cmd; export_machine_cmd ]))
+    (try Cmd.eval ~catch:false group with
+    | Vexec.Sanitize.Corruption (site, key) ->
+        Format.eprintf "%a@." Vanalysis.Diag.pp
+          (Vanalysis.Diag.error ~pass:"sanitizer" ~kernel:site
+             "shared master buffer %s failed checksum verification" key);
+        1
+    | Vinterp.Env.Frozen_write (arr, idx) ->
+        Format.eprintf "%a@." Vanalysis.Diag.pp
+          (Vanalysis.Diag.error ~pass:"sanitizer" ~kernel:"frozen-write"
+             "write to Frozen buffer %s[%d]" arr idx);
+        1)

@@ -1,0 +1,88 @@
+(** Effect & ownership analysis.
+
+    Per-kernel may-read/may-write summaries per array — the effect
+    license the runtime's buffer-ownership discipline consumes
+    ([Vexec.Effects]) — refined with affine flat-index regions from the
+    abstract interpreter and the relational domain's parametric
+    in-bounds verdicts.  [crosscheck] proves the summary stable under
+    every LLV/SLP/unroll x VF transform: the transformed kernel's
+    effects must be subsumed statically, and (for oracle-legal
+    configurations) every access observed through the interpreter's
+    trace hook must hit a licensed (array, direction) inside its static
+    region. *)
+
+open Vir
+
+type region = {
+  r_array : string;
+  r_write : bool;
+  r_range : Interval.t;  (** flat-index interval at the analysis size *)
+}
+
+type summary = {
+  e_kernel : Kernel.t;
+  e_n : int;  (** problem size the regions were computed at *)
+  e_license : Vexec.Effects.t;
+  e_regions : region list;  (** sorted by (array, write) *)
+  e_rel_safe : int;  (** accesses proved in-bounds parametrically *)
+  e_rel_total : int;
+}
+
+(** Per-(array, direction) joined flat-index regions at size [n]. *)
+val regions : n:int -> Kernel.t -> region list
+
+val analyze : ?n:int -> Kernel.t -> summary
+
+(** Registry-order parallel map of {!analyze}. *)
+val analyze_kernels : ?n:int -> Kernel.t list -> summary list
+
+val ownership : summary -> string -> Vinterp.Env.ownership
+val region : summary -> array:string -> write:bool -> region option
+
+(** Effect summary of a vectorized kernel's wide body (the scalar
+    epilogue's effects are the source summary by construction). *)
+val vkernel_effects : Vvect.Vinstr.vkernel -> Vexec.Effects.t
+
+(** {2 The cross-check} *)
+
+type verdict =
+  | Stable
+  | Escape of string  (** transformed effects escape the source summary *)
+  | Inapplicable of string
+
+type config = {
+  c_kernel : string;
+  c_transform : Driver.transform;
+  c_vf : int;
+  c_legal : bool;
+  c_verdict : verdict;
+}
+
+(** Problem sizes of the trace leg: {!Equiv.semantic_sizes}. *)
+val trace_sizes : int list
+
+val check_config :
+  ?sizes:int list -> Kernel.t -> Driver.transform -> vf:int ->
+  bool * verdict
+
+val default_vfs : int list
+val crosscheck_kernel : ?sizes:int list -> ?vfs:int list -> Kernel.t -> config list
+val crosscheck : ?sizes:int list -> ?vfs:int list -> Kernel.t list -> config list
+
+type stats = { st_stable : int; st_escape : int; st_inapplicable : int }
+
+val stats : config list -> stats
+
+(** Of the applicable configurations, the fraction whose transformed
+    effects stay inside the source summary.  Soundness demands 1.0. *)
+val precision : stats -> float
+
+val sound : config list -> bool
+val failures : config list -> config list
+val config_to_string : config -> string
+
+(** {2 Rendering} (byte-stable across worker counts) *)
+
+val summary_to_json : summary -> string
+val summaries_to_json : summary list -> string
+val print_summary : out_channel -> summary -> unit

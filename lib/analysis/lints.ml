@@ -426,3 +426,90 @@ let assumed_conflict_free (df : Dataflow.t) =
              "legality assumes index expressions on %s never conflict \
               (would need a runtime alias check)"
              d.array)
+
+(* --- ownership-discipline violations ------------------------------------- *)
+
+(* First store (affine or scatter) naming [arr], for diagnostic anchoring. *)
+let first_store_pos (df : Dataflow.t) arr =
+  let pos = ref 0 in
+  Array.iteri
+    (fun i instr ->
+      match instr with
+      | Instr.Store { addr; _ }
+        when !pos = 0 && String.equal (Instr.addr_array addr) arr ->
+          pos := i
+      | _ -> ())
+    df.body;
+  !pos
+
+(* Index arrays hold the subscript permutations gather/scatter draw from;
+   the runtime's ownership discipline keeps them [Frozen] — aliased to the
+   process-wide master — in every environment.  A kernel whose effect
+   license may-writes one either trips the frozen-write barrier at runtime
+   or forces a private copy whose mutated subscripts no longer describe
+   the dataset the cost model was fitted over.  Either way the kernel's
+   measurements are meaningless, hence [Error]. *)
+let frozen_buffer_write (df : Dataflow.t) =
+  let license = Vexec.Effects.of_kernel df.Dataflow.kernel in
+  df.Dataflow.kernel.Kernel.arrays
+  |> List.filter_map (fun (d : Kernel.array_decl) ->
+         match d.arr_role with
+         | Kernel.Idx when Vexec.Effects.may_write license d.arr_name ->
+             Some
+               (Diag.error ~pass:"frozen-buffer-write" ~kernel:(kname df)
+                  ~pos:(first_store_pos df d.arr_name)
+                  "store to index array %s violates the ownership \
+                   discipline (index buffers alias the Frozen shared \
+                   master)"
+                  d.arr_name)
+         | _ -> None)
+
+(* --- may-write regions the effect license cannot bound -------------------- *)
+
+(* The effect license is only as sharp as its regions: a scatter write has
+   no affine region at all, and a write whose abstract flat-index range
+   needed widening is unbounded.  Both escape the per-array region the
+   cross-check ([Analysis.Effect]) can verify trace containment against,
+   so downstream consumers fall back to whole-array ownership.  The write
+   regions are joined here straight from the abstract-interpretation
+   accesses ([Effect.regions] does the same join, but through [Driver],
+   which would close a module cycle with the pass registry). *)
+let effect_escape (df : Dataflow.t) =
+  let k = df.Dataflow.kernel in
+  let license = Vexec.Effects.of_kernel k in
+  let write_range =
+    lazy
+      (let summary = Absint.analyze ~n:Absint.default_n k in
+       let tbl = Hashtbl.create 8 in
+       List.iter
+         (fun (a : Absint.access_info) ->
+           if a.ai_store then
+             let r =
+               match Hashtbl.find_opt tbl a.ai_arr with
+               | Some r -> Interval.join r a.ai_range
+               | None -> a.ai_range
+             in
+             Hashtbl.replace tbl a.ai_arr r)
+         summary.Absint.s_accesses;
+       tbl)
+  in
+  license.Vexec.Effects.ef_entries
+  |> List.filter_map (fun (e : Vexec.Effects.entry) ->
+         if not e.e_write then None
+         else if e.e_write_indirect then
+           Some
+             (Diag.warning ~pass:"effect-escape" ~kernel:(kname df)
+                ~pos:(first_store_pos df e.e_array)
+                "scatter writes to %s escape any affine region (whole-array \
+                 may-write in the effect license)"
+                e.e_array)
+         else
+           match Hashtbl.find_opt (Lazy.force write_range) e.e_array with
+           | Some r when not (Interval.is_bounded r) ->
+               Some
+                 (Diag.warning ~pass:"effect-escape" ~kernel:(kname df)
+                    ~pos:(first_store_pos df e.e_array)
+                    "may-write region of %s is unbounded at n=%d (widened \
+                     subscript range escapes the effect license)"
+                    e.e_array Absint.default_n)
+           | _ -> None)

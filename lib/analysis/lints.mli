@@ -52,3 +52,13 @@ val loop_carried_at_vf : Dataflow.t -> Diag.t list
 (** Warn when the legality verdict rests on the conflict-free-subscripts
     assumption for indirect accesses ([Vdeps.Dependence.needs_runtime_assumption]). *)
 val assumed_conflict_free : Dataflow.t -> Diag.t list
+
+(** Error when the effect license may-writes an [Idx]-role array: index
+    buffers alias the runtime's Frozen shared master, so a store either
+    trips the frozen-write barrier or mutates subscript data. *)
+val frozen_buffer_write : Dataflow.t -> Diag.t list
+
+(** Warn when a may-write region escapes the effect license's affine
+    regions: scatter (indirect) writes, or affine writes whose abstract
+    flat-index range is unbounded after widening. *)
+val effect_escape : Dataflow.t -> Diag.t list

@@ -52,6 +52,12 @@ let builtin : t list =
     { name = "assumed-conflict-free";
       descr = "legality resting on assumed conflict-free index arrays";
       run = Lints.assumed_conflict_free };
+    { name = "frozen-buffer-write";
+      descr = "effect license may-writes a Frozen index master buffer";
+      run = Lints.frozen_buffer_write };
+    { name = "effect-escape";
+      descr = "may-write regions escaping the effect license's affine bounds";
+      run = Lints.effect_escape };
   ]
 
 let registry = ref builtin

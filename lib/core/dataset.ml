@@ -12,6 +12,14 @@
 
 open Vir
 
+(* Wire the shadow-state sanitizer into the pool's join points: [Vpar]
+   cannot depend on the execution runtime, so the hook is installed here,
+   where both sides are visible.  [Sanitize.verify] is a no-op unless the
+   sanitizer is active, so idle cost is one atomic load per barrier. *)
+let () =
+  Vpar.Pool.set_join_check (fun () ->
+      Vexec.Sanitize.verify ~site:"pool-join")
+
 type transform = Llv | Slp
 
 let transform_to_string = function Llv -> "llv" | Slp -> "slp"

@@ -1,0 +1,169 @@
+(* Shadow-state sanitizer over the shared master buffers.
+
+   The runtime aliases unwritten ("Frozen") arrays to process-wide master
+   buffers (Vinterp.Env), so a single stray write — a buggy backend, an
+   unsound effect license, an injected fault — corrupts every environment
+   created afterwards, silently skewing all subsequent measurements.  The
+   sanitizer shadows each master with a checksum taken when the master is
+   first observed and re-verifies the whole table after every measured
+   run and at pool join points.  A mismatch raises [Corruption]
+   immediately, attributing the failure to the verification site instead
+   of letting it surface as an unexplainable digest drift three kernels
+   later.  It also arms the interpreter's frozen-write barrier
+   ([Vinterp.Env.set_frozen_guard]) so interpreter-path writes to frozen
+   buffers trap at the offending store.
+
+   Enabled via [VECMODEL_SANITIZE=1] or [set_enabled true] (the CLI's
+   [--sanitize]).  Off by default: the effect summary already makes the
+   aliasing decisions sound; this tier exists to *prove* that, and to
+   catch the failure modes static analysis cannot see.
+
+   Checksums sample up to [sample_cap] evenly-strided elements per master
+   (first and last always included), the same capping discipline as
+   [Backend.digest]: full scans of every master after every run would
+   dwarf the runs themselves on large working sets. *)
+
+exception Corruption of string * string  (* verification site, master key *)
+
+let env_enabled =
+  lazy
+    (match Sys.getenv_opt "VECMODEL_SANITIZE" with
+    | None | Some ("" | "0" | "false" | "no") -> false
+    | Some _ -> true)
+
+(* None = not yet resolved from the environment. *)
+let state : bool option Atomic.t = Atomic.make None
+
+let set_enabled b =
+  Atomic.set state (Some b);
+  Vinterp.Env.set_frozen_guard b
+
+let active () =
+  match Atomic.get state with
+  | Some b -> b
+  | None ->
+      let b = Lazy.force env_enabled in
+      Atomic.set state (Some b);
+      if b then Vinterp.Env.set_frozen_guard true;
+      b
+
+(* Detection kill-switch for the load-bearing proof: with detection off,
+   verification is a no-op and a poisoned master must demonstrably
+   corrupt a downstream digest — showing the check actually carries the
+   guarantee.  Never disable outside that test. *)
+let detection = Atomic.make true
+let set_detection b = Atomic.set detection b
+
+let verifications = Atomic.make 0
+let corruptions = Atomic.make 0
+let verification_count () = Atomic.get verifications
+let corruption_count () = Atomic.get corruptions
+
+let shadow : (string, int) Hashtbl.t = Hashtbl.create 64
+let shadow_lock = Mutex.create ()
+
+let sample_cap = 512
+
+let mix h v =
+  let h = (h lxor v) * 0x9E3779B1 land max_int in
+  h lxor (h lsr 29)
+
+(* The store match is hoisted out of the sampling loop and the accesses
+   are unchecked (indices are in-range by construction): the checksum
+   runs after every measured run, so per-element cost is the sanitizer's
+   overhead, directly. *)
+let checksum (st : Vinterp.Env.store) =
+  let len =
+    match st with
+    | Vinterp.Env.F_arr a -> Array.length a
+    | Vinterp.Env.I_arr a -> Array.length a
+  in
+  let h = ref (mix 0x51ab3e7 len) in
+  if len > 0 then begin
+    let step = if len <= sample_cap then 1 else len / sample_cap in
+    (match st with
+    | Vinterp.Env.F_arr a ->
+        let i = ref 0 in
+        while !i < len do
+          h :=
+            mix !h
+              (Int64.to_int (Int64.bits_of_float (Array.unsafe_get a !i)));
+          i := !i + step
+        done;
+        h :=
+          mix !h
+            (Int64.to_int (Int64.bits_of_float (Array.unsafe_get a (len - 1))))
+    | Vinterp.Env.I_arr a ->
+        let i = ref 0 in
+        while !i < len do
+          h := mix !h (Array.unsafe_get a !i);
+          i := !i + step
+        done;
+        h := mix !h (Array.unsafe_get a (len - 1)))
+  end;
+  !h
+
+(* Record shadows for masters not yet seen, without re-verifying known
+   ones.  Runs right after environment creation so a fresh master's
+   baseline is taken before any run can corrupt it — otherwise the first
+   post-run [verify] would adopt already-corrupted contents as the
+   baseline.  Near-free once the working set's masters are all
+   shadowed. *)
+let observe () =
+  if active () && Atomic.get detection then
+    Vinterp.Env.fold_masters
+      (fun key st () ->
+        Mutex.lock shadow_lock;
+        let known = Hashtbl.mem shadow key in
+        Mutex.unlock shadow_lock;
+        if not known then begin
+          let sum = checksum st in
+          Mutex.lock shadow_lock;
+          if not (Hashtbl.mem shadow key) then Hashtbl.replace shadow key sum;
+          Mutex.unlock shadow_lock
+        end)
+      ()
+
+(* Re-checksum every master against its shadow; first-seen masters are
+   recorded.  Raises [Corruption (site, key)] on the first mismatch.
+   Thread-safe: called concurrently from pool workers and from the
+   submitting domain at join points. *)
+let verify ~site =
+  if active () && Atomic.get detection then begin
+    Atomic.incr verifications;
+    let bad =
+      Vinterp.Env.fold_masters
+        (fun key st acc ->
+          match acc with
+          | Some _ -> acc  (* report the first mismatch deterministically *)
+          | None -> (
+              let sum = checksum st in
+              Mutex.lock shadow_lock;
+              let prev = Hashtbl.find_opt shadow key in
+              if prev = None then Hashtbl.replace shadow key sum;
+              Mutex.unlock shadow_lock;
+              match prev with
+              | None -> None
+              | Some s when s = sum -> None
+              | Some _ -> Some key))
+        None
+    in
+    match bad with
+    | None -> ()
+    | Some key ->
+        Atomic.incr corruptions;
+        raise (Corruption (site, key))
+  end
+
+(* Forget every shadow (tests pairing this with [Env.clear_masters] to
+   recover from a deliberately poisoned table). *)
+let reset () =
+  Mutex.lock shadow_lock;
+  Hashtbl.reset shadow;
+  Mutex.unlock shadow_lock
+
+let shadowed () =
+  Mutex.lock shadow_lock;
+  let n = Hashtbl.length shadow in
+  Mutex.unlock shadow_lock;
+  n

@@ -1,0 +1,44 @@
+(** Shadow-state sanitizer over the shared master buffers.
+
+    Shadows every process-wide master buffer with a checksum and
+    re-verifies the table after measured runs and at pool join points;
+    a mismatch raises {!Corruption} at the verification site.  Enabling
+    the sanitizer also arms the interpreter's frozen-write barrier
+    ([Vinterp.Env.set_frozen_guard]).  Off by default; enabled via
+    [VECMODEL_SANITIZE=1] or {!set_enabled}. *)
+
+exception Corruption of string * string
+(** [(site, master_key)]: a master's checksum no longer matches its
+    first-seen shadow. *)
+
+(** Whether the sanitizer is on ([set_enabled] overrides the
+    [VECMODEL_SANITIZE] environment default, resolved once). *)
+val active : unit -> bool
+
+val set_enabled : bool -> unit
+
+(** Detection kill-switch for the load-bearing proof that verification
+    carries the guarantee (a poisoned master must corrupt a digest when
+    detection is off).  Never disable outside that test. *)
+val set_detection : bool -> unit
+
+(** Record shadows for masters not yet seen without re-verifying known
+    ones — called right after environment creation so a fresh master's
+    baseline predates any run that could corrupt it.  Near-free when
+    every master is already shadowed.  No-op when inactive. *)
+val observe : unit -> unit
+
+(** Checksum every master against its shadow, recording first-seen
+    masters; raises {!Corruption} on the first mismatch (keys checked in
+    deterministic sorted order).  No-op when inactive. *)
+val verify : site:string -> unit
+
+(** Forget all shadows (pair with [Vinterp.Env.clear_masters]). *)
+val reset : unit -> unit
+
+(** Sampled checksum of one store (cap 4096 strided elements). *)
+val checksum : Vinterp.Env.store -> int
+
+val shadowed : unit -> int
+val verification_count : unit -> int
+val corruption_count : unit -> int

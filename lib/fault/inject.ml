@@ -113,3 +113,10 @@ let pool_hang ~key =
   let p = active () in
   if Plan.is_empty p then None
   else drawc p ~site:Plan.Pool ~kind:Plan.Hang ~key
+
+(* Sanitize site: whether to corrupt one shared master buffer after this
+   measured run (the fault the shadow-state sanitizer must catch). *)
+let sanitize_poison ~key =
+  let p = active () in
+  (not (Plan.is_empty p))
+  && drawc p ~site:Plan.Sanitize ~kind:Plan.Poison ~key <> None

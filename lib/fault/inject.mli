@@ -41,6 +41,10 @@ val pool_crash : key:string -> bool
 (** Pool site: simulated hang duration in seconds, if armed. *)
 val pool_hang : key:string -> float option
 
+(** Sanitize site: whether to corrupt one shared master buffer after this
+    measured run (caught by [Vexec.Sanitize]). *)
+val sanitize_poison : key:string -> bool
+
 (** {2 Injection counters} *)
 
 (** Injections so far as [("site.kind", count)], sorted. *)

@@ -13,28 +13,32 @@
      SPEC   := [ CLAUSE ( ';' CLAUSE )* ]
      CLAUSE := 'seed=' INT
              | SITE '.' KIND '=' RATE [ '@' MAG ]
-     SITE   := 'measure' | 'cache' | 'pool'
+     SITE   := 'measure' | 'cache' | 'pool' | 'sanitize'
      KIND   := 'nan' | 'inf' | 'spike' | 'corrupt' | 'hang' | 'crash'
+             | 'poison'
 
    e.g. "seed=7;measure.nan=0.02;measure.spike=0.05@16;pool.crash=0.01"
 
    Valid (site, kind) pairs: measure.{nan,inf,spike}, cache.{corrupt},
-   pool.{hang,crash}.  Rates are in [0, 1]; magnitudes are positive. *)
+   pool.{hang,crash}, sanitize.{poison}.  Rates are in [0, 1];
+   magnitudes are positive. *)
 
-type site = Measure | Cache | Pool
+type site = Measure | Cache | Pool | Sanitize
 
 let site_to_string = function
   | Measure -> "measure"
   | Cache -> "cache"
   | Pool -> "pool"
+  | Sanitize -> "sanitize"
 
 let site_of_string = function
   | "measure" -> Some Measure
   | "cache" -> Some Cache
   | "pool" -> Some Pool
+  | "sanitize" -> Some Sanitize
   | _ -> None
 
-type kind = Nan | Inf | Spike | Corrupt | Hang | Crash
+type kind = Nan | Inf | Spike | Corrupt | Hang | Crash | Poison
 
 let kind_to_string = function
   | Nan -> "nan"
@@ -43,6 +47,7 @@ let kind_to_string = function
   | Corrupt -> "corrupt"
   | Hang -> "hang"
   | Crash -> "crash"
+  | Poison -> "poison"
 
 let kind_of_string = function
   | "nan" -> Some Nan
@@ -51,6 +56,7 @@ let kind_of_string = function
   | "corrupt" -> Some Corrupt
   | "hang" -> Some Hang
   | "crash" -> Some Crash
+  | "poison" -> Some Poison
   | _ -> None
 
 let valid_pair site kind =
@@ -58,6 +64,7 @@ let valid_pair site kind =
   | Measure, (Nan | Inf | Spike) -> true
   | Cache, Corrupt -> true
   | Pool, (Hang | Crash) -> true
+  | Sanitize, Poison -> true
   | _ -> false
 
 (* Spike: multiply the measurement; hang: simulated seconds. *)
@@ -69,9 +76,10 @@ type t = { seed : int; clauses : clause list }
 let empty = { seed = 1; clauses = [] }
 let is_empty p = p.clauses = []
 
-let site_rank = function Measure -> 0 | Cache -> 1 | Pool -> 2
+let site_rank = function Measure -> 0 | Cache -> 1 | Pool -> 2 | Sanitize -> 3
 let kind_rank = function
   | Nan -> 0 | Inf -> 1 | Spike -> 2 | Corrupt -> 3 | Hang -> 4 | Crash -> 5
+  | Poison -> 6
 
 (* Canonical form: clauses sorted by (site, kind), one clause per pair
    (the last one parsed wins).  [to_string] of a parsed spec reparses to
@@ -135,12 +143,14 @@ let parse s =
                   in
                   match (site_of_string site_s, kind_of_string kind_s) with
                   | None, _ ->
-                      err "clause %S: unknown site %S (measure|cache|pool)"
+                      err
+                        "clause %S: unknown site %S \
+                         (measure|cache|pool|sanitize)"
                         part site_s
                   | _, None ->
                       err
                         "clause %S: unknown kind %S \
-                         (nan|inf|spike|corrupt|hang|crash)"
+                         (nan|inf|spike|corrupt|hang|crash|poison)"
                         part kind_s
                   | Some site, Some kind -> (
                       if not (valid_pair site kind) then

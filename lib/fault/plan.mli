@@ -8,19 +8,21 @@
     {v
     SPEC   := [ CLAUSE ( ';' CLAUSE )* ]
     CLAUSE := 'seed=' INT | SITE '.' KIND '=' RATE [ '@' MAG ]
-    SITE   := 'measure' | 'cache' | 'pool'
+    SITE   := 'measure' | 'cache' | 'pool' | 'sanitize'
     KIND   := 'nan' | 'inf' | 'spike' | 'corrupt' | 'hang' | 'crash'
+            | 'poison'
     v}
     Valid pairs: [measure.{nan,inf,spike}], [cache.corrupt],
-    [pool.{hang,crash}].  Rates are probabilities in [0, 1]; the optional
-    magnitude is the spike multiplier or the simulated hang seconds. *)
+    [pool.{hang,crash}], [sanitize.poison].  Rates are probabilities in
+    [0, 1]; the optional magnitude is the spike multiplier or the
+    simulated hang seconds. *)
 
-type site = Measure | Cache | Pool
+type site = Measure | Cache | Pool | Sanitize
 
 val site_to_string : site -> string
 val site_of_string : string -> site option
 
-type kind = Nan | Inf | Spike | Corrupt | Hang | Crash
+type kind = Nan | Inf | Spike | Corrupt | Hang | Crash | Poison
 
 val kind_to_string : kind -> string
 val kind_of_string : string -> kind option

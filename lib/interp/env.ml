@@ -14,10 +14,34 @@ type t = {
   n2 : int;
   arrays : (string, store) Hashtbl.t;
   params : (string, float) Hashtbl.t;
+  frozen : (string, unit) Hashtbl.t;
+      (* arrays that alias a shared master instead of owning a copy *)
   mutable on_access : (string -> int -> bool -> unit) option;
       (* called as [f arr idx is_write] on every element access; used by the
          trace-driven cache simulator *)
 }
+
+(* Ownership of a buffer inside an environment: [Frozen] arrays alias the
+   process-wide master and must never be written (every env in the process
+   sees the same words); [Owned] arrays are private copies. *)
+type ownership = Frozen | Owned
+
+let ownership t name = if Hashtbl.mem t.frozen name then Frozen else Owned
+
+(* Write barrier over frozen buffers.  Off by default (the readonly
+   aliasing contract is enforced statically by the effect summary); the
+   sanitizer flips it on so that any write reaching a frozen array through
+   the interpreter traps immediately instead of corrupting every
+   subsequent environment in the process. *)
+let frozen_guard = Atomic.make false
+let set_frozen_guard b = Atomic.set frozen_guard b
+let frozen_guard_enabled () = Atomic.get frozen_guard
+
+exception Frozen_write of string * int
+
+let check_frozen t name idx =
+  if Atomic.get frozen_guard && Hashtbl.mem t.frozen name then
+    raise (Frozen_write (name, idx))
 
 (* SplitMix64-style hash, reduced to OCaml's 63-bit ints; good enough to
    decorrelate (seed, name, index) triples.  The (seed, name) prefix is
@@ -74,7 +98,15 @@ let fill_ints h0 a len =
    distinct (seed, n) combinations. *)
 type master = M_f of float array | M_i of int array
 
-let memo : (int * int * string * int * int, master) Hashtbl.t =
+let kind_label = function 0 -> "f" | 1 -> "i" | _ -> "idx"
+
+let master_key_string (seed, kind, name, len, n) =
+  Printf.sprintf "%s:%s:seed=%d:len=%d:n=%d" (kind_label kind) name seed len n
+
+(* The printable key is materialized once at memoization time: the
+   sanitizer folds over the table after every measured run, and
+   re-rendering every key per fold would dominate its overhead. *)
+let memo : (int * int * string * int * int, string * master) Hashtbl.t =
   Hashtbl.create 64
 
 let memo_lock = Mutex.create ()
@@ -84,11 +116,11 @@ let master_for key make =
   Mutex.lock memo_lock;
   let m =
     match Hashtbl.find_opt memo key with
-    | Some m -> m
+    | Some (_, m) -> m
     | None ->
         if Hashtbl.length memo >= memo_cap then Hashtbl.reset memo;
         let m = make () in
-        Hashtbl.replace memo key m;
+        Hashtbl.replace memo key (master_key_string key, m);
         m
   in
   Mutex.unlock memo_lock;
@@ -123,6 +155,64 @@ let idx_master seed name len n =
   | M_i a -> a
   | M_f _ -> assert false
 
+(* Fold over the memoized masters in a deterministic (key-sorted) order.
+   The store views share structure with the masters themselves: callers
+   must treat them as strictly read-only.  This is the sanitizer's window
+   into the shared state it shadows. *)
+let fold_masters f init =
+  Mutex.lock memo_lock;
+  let items = Hashtbl.fold (fun _ km acc -> km :: acc) memo [] in
+  Mutex.unlock memo_lock;
+  let items = List.sort (fun (a, _) (b, _) -> String.compare a b) items in
+  List.fold_left
+    (fun acc (key, m) ->
+      let st = match m with M_f a -> F_arr a | M_i a -> I_arr a in
+      f key st acc)
+    init items
+
+(* Drop every memoized master.  Tests use this to recover from a
+   deliberately poisoned table; subsequent [create] calls re-derive
+   masters from the pure (seed, name, index) initialization. *)
+let clear_masters () =
+  Mutex.lock memo_lock;
+  Hashtbl.reset memo;
+  Mutex.unlock memo_lock
+
+(* Deliberately corrupt one memoized master in place — the fault-injection
+   hook behind the [sanitize.poison] site.  This is exactly the failure
+   mode the sanitizer exists to catch: a single flipped word in a shared
+   master silently skews every environment created afterwards.  Prefers
+   float data masters (then int data, then index permutations, whose
+   corruption could additionally send gathers out of bounds); returns the
+   printable key of the poisoned master, or [None] if the table is empty. *)
+let poison_master () =
+  Mutex.lock memo_lock;
+  let keys = Hashtbl.fold (fun key _ acc -> key :: acc) memo [] in
+  let kind_of (_, kind, _, _, _) = kind in
+  let keys =
+    List.sort
+      (fun a b ->
+        match compare (kind_of a) (kind_of b) with
+        | 0 -> compare a b
+        | c -> c)
+      keys
+  in
+  let poisoned =
+    match keys with
+    | [] -> None
+    | key :: _ -> (
+        match Hashtbl.find_opt memo key with
+        | Some (s, M_f a) when Array.length a > 0 ->
+            a.(0) <- a.(0) +. 1.0;
+            Some s
+        | Some (s, M_i a) when Array.length a > 0 ->
+            a.(0) <- a.(0) + 1;
+            Some s
+        | _ -> None)
+  in
+  Mutex.unlock memo_lock;
+  poisoned
+
 (* [readonly name = true] promises the caller will never write [name]
    through this environment; the array then aliases the shared master
    instead of copying it.  [Measure.execute] derives the predicate from
@@ -132,10 +222,12 @@ let create ?(seed = 42) ?(readonly = fun _ -> false) ~n (k : Kernel.t) =
   if n < 4 then invalid_arg "Env.create: n must be at least 4";
   let n2 = Kernel.isqrt n in
   let arrays = Hashtbl.create 8 in
+  let frozen = Hashtbl.create 4 in
   List.iter
     (fun (d : Kernel.array_decl) ->
       let len = max 1 (Kernel.extent_elems ~n d.arr_extent) in
       let share = readonly d.arr_name in
+      if share then Hashtbl.replace frozen d.arr_name ();
       let of_master a = if share then a else Array.copy a in
       let store =
         match (d.arr_role, d.arr_ty) with
@@ -153,7 +245,7 @@ let create ?(seed = 42) ?(readonly = fun _ -> false) ~n (k : Kernel.t) =
       (* Parameter values: small, positive, deterministic, distinct. *)
       Hashtbl.replace params p (1.0 +. (0.5 *. float_of_int (i + 1))))
     k.params;
-  { n; n2; arrays; params; on_access = None }
+  { n; n2; arrays; params; frozen; on_access = None }
 
 (* Re-initialize in place for a fresh run of [k]: contents identical to
    [create ?seed ~n:t.n k], but existing buffers of the right kind and
@@ -189,7 +281,11 @@ let reset ?(seed = 42) t (k : Kernel.t) =
       | Some (I_arr a), Kernel.Idx, _ when Array.length a = len ->
           let m = idx_master seed d.arr_name len t.n in
           if a != m then Array.blit m 0 a 0 len
-      | _ -> Hashtbl.replace t.arrays d.arr_name (fresh ()))
+      | _ ->
+          (* A fresh buffer is a private copy, whatever the name's previous
+             ownership was. *)
+          Hashtbl.remove t.frozen d.arr_name;
+          Hashtbl.replace t.arrays d.arr_name (fresh ()))
     k.arrays;
   (* Drop arrays a previous kernel left behind so [snapshot] stays exact. *)
   let stale =
@@ -197,7 +293,11 @@ let reset ?(seed = 42) t (k : Kernel.t) =
       (fun name _ acc -> if Hashtbl.mem keep name then acc else name :: acc)
       t.arrays []
   in
-  List.iter (fun name -> Hashtbl.remove t.arrays name) stale;
+  List.iter
+    (fun name ->
+      Hashtbl.remove t.arrays name;
+      Hashtbl.remove t.frozen name)
+    stale;
   Hashtbl.reset t.params;
   List.iteri
     (fun i p -> Hashtbl.replace t.params p (1.0 +. (0.5 *. float_of_int (i + 1))))
@@ -247,6 +347,7 @@ let read_int t name idx =
       int_of_float a.(idx)
 
 let write_float t name idx v =
+  check_frozen t name idx;
   trace t name idx true;
   match store t name with
   | F_arr a ->
@@ -257,6 +358,7 @@ let write_float t name idx v =
       a.(idx) <- int_of_float v
 
 let write_int t name idx v =
+  check_frozen t name idx;
   trace t name idx true;
   match store t name with
   | I_arr a ->

@@ -7,10 +7,40 @@ type t = {
   n2 : int;
   arrays : (string, store) Hashtbl.t;
   params : (string, float) Hashtbl.t;
+  frozen : (string, unit) Hashtbl.t;
   mutable on_access : (string -> int -> bool -> unit) option;
 }
 
 exception Out_of_bounds of string * int
+
+(** Ownership of a buffer inside an environment: [Frozen] arrays alias the
+    process-wide shared master and must never be written; [Owned] arrays
+    are private copies of it. *)
+type ownership = Frozen | Owned
+
+val ownership : t -> string -> ownership
+
+(** Global write barrier over frozen buffers.  When enabled, any
+    interpreter-path write to a [Frozen] array raises [Frozen_write]
+    before mutating shared state.  Enabled by the sanitizer
+    ([Vexec.Sanitize]); off by default. *)
+val set_frozen_guard : bool -> unit
+
+val frozen_guard_enabled : unit -> bool
+
+exception Frozen_write of string * int
+
+(** Deterministic key-sorted fold over the process-wide memoized master
+    buffers.  The store views alias the masters themselves — strictly
+    read-only. *)
+val fold_masters : (string -> store -> 'a -> 'a) -> 'a -> 'a
+
+(** Drop every memoized master (tests recovering from a poisoned table). *)
+val clear_masters : unit -> unit
+
+(** Corrupt one memoized master in place (the [sanitize.poison] fault
+    hook); returns its printable key, or [None] if no masters exist. *)
+val poison_master : unit -> string option
 
 (** Allocate and deterministically initialize state for a kernel at problem
     size [n] (>= 4).  Same seed => bit-identical state.  Distinct buffers

@@ -59,24 +59,36 @@ type execution = {
   exec_reductions : (string * float) list;
 }
 
-let execute ?backend ?license ?(seed = 42) ?(repeats = 1) ~n (k : Kernel.t) =
+let execute ?backend ?license ?effects ?(seed = 42) ?(repeats = 1) ~n
+    (k : Kernel.t) =
   let backend =
     match backend with Some b -> b | None -> Vexec.Backend.default ()
   in
   let prepared = Vexec.Backend.prepare ?license backend k in
-  (* Arrays outside the kernel's static store set are never written by any
-     backend, so their buffers can alias the shared initialization masters
-     instead of being copied per sample. *)
-  let written = Hashtbl.create 4 in
-  List.iter
-    (fun (i : Vir.Instr.t) ->
-      match i with
-      | Vir.Instr.Store { addr; _ } ->
-          Hashtbl.replace written (Vir.Instr.addr_array addr) ()
-      | _ -> ())
-    k.Kernel.body;
-  let readonly name = not (Hashtbl.mem written name) in
+  (* Ownership of the working set comes from the kernel's effect license:
+     arrays the summary proves unwritten are [Frozen] (they alias the
+     shared initialization masters instead of being copied per sample),
+     possibly-written arrays are [Owned].  The default summary is the
+     sound recursive-walk baseline; a caller-provided one must cover this
+     kernel — a mismatched license must never silently widen aliasing. *)
+  let effects =
+    match effects with
+    | Some e ->
+        if not (Vexec.Effects.covers e k) then
+          invalid_arg
+            (Printf.sprintf
+               "Measure.execute: effect license %s does not cover kernel %s"
+               e.Vexec.Effects.ef_kernel k.Kernel.name);
+        e
+    | None -> Vexec.Effects.of_kernel k
+  in
+  let readonly = Vexec.Effects.readonly effects in
   let env = Vinterp.Env.create ~seed ~readonly ~n k in
+  (* Shadow any master this env just created, before the run can touch
+     it.  Record-only: a full pre-run verify would double the sanitizer's
+     hot-path cost for attribution the previous execute's post-run verify
+     already provides. *)
+  Vexec.Sanitize.observe ();
   let digest = ref "" in
   let reds = ref [] in
   for r = 0 to max 1 repeats - 1 do
@@ -100,6 +112,14 @@ let execute ?backend ?license ?(seed = 42) ?(repeats = 1) ~n (k : Kernel.t) =
            k.Kernel.name
            (Vexec.Backend.to_string backend))
   done;
+  (* Fault site [sanitize.poison]: corrupt one shared master after the
+     measured runs.  The post-run verification below must catch it — this
+     is the seeded proof that the sanitizer's detection path works. *)
+  if
+    Vfault.Inject.sanitize_poison
+      ~key:(k.Kernel.name ^ "#" ^ string_of_int seed)
+  then ignore (Vinterp.Env.poison_master ());
+  Vexec.Sanitize.verify ~site:("measure:" ^ k.Kernel.name);
   { exec_backend = backend; exec_digest = !digest; exec_reductions = !reds }
 
 let measure ?(noise_amp = default_noise) ?(seed = 1) (d : Descr.t) ~n

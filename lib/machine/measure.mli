@@ -34,7 +34,17 @@ type execution = {
     otherwise).  [license] is a static safety certificate passed through to
     {!Vexec.Backend.prepare}: on the closure tier it selects the unchecked
     body once per kernel instead of per bind (a refuted license surfaces as
-    a ["trap:..."] digest, which the soundness tests reject). *)
+    a ["trap:..."] digest, which the soundness tests reject).
+
+    Buffer ownership comes from the kernel's effect license: arrays it
+    proves unwritten alias the shared masters ([Frozen]), written arrays
+    get owned copies.  [effects] substitutes a statically-refined license;
+    it must cover the kernel ([Invalid_argument] otherwise).  Under
+    [Vexec.Sanitize] the shared masters are checksum-verified before and
+    after the run, and the [sanitize.poison] fault site can corrupt one
+    master after the measured runs — which the post-run verification must
+    catch. *)
 val execute :
-  ?backend:Vexec.Backend.t -> ?license:Vexec.License.t -> ?seed:int ->
+  ?backend:Vexec.Backend.t -> ?license:Vexec.License.t ->
+  ?effects:Vexec.Effects.t -> ?seed:int ->
   ?repeats:int -> n:int -> Vir.Kernel.t -> execution

@@ -230,6 +230,21 @@ let ranges ~n ~chunk =
   in
   go 0 []
 
+(* Join-point hook: run by the *submitting* domain after every fan-out
+   barrier ([run_indexed] and each [supervised_map] call), before task
+   failures are re-raised.  This library cannot see the execution
+   runtime, so consistency checks over state shared across workers (the
+   sanitizer's master-buffer verification) are installed from above; an
+   exception from the hook propagates to the submitter.  The hook must be
+   cheap when idle and safe to call from any domain. *)
+let join_check : (unit -> unit) option Atomic.t = Atomic.make None
+
+let set_join_check f = Atomic.set join_check (Some f)
+let clear_join_check () = Atomic.set join_check None
+
+let run_join_check () =
+  match Atomic.get join_check with Some f -> f () | None -> ()
+
 (* Record the failure with the smallest task index: first-by-index is
    stable across worker counts and chunkings, first-observed is not. *)
 let record_failure slot i e bt =
@@ -241,6 +256,9 @@ let run_indexed ?pool ?chunk ~n compute =
   if n > 0 then begin
     let first_exn = ref None in
     let finish () =
+      (* Join point: corruption of shared state is attributed here, ahead
+         of any individual task failure it may have caused. *)
+      run_join_check ();
       match !first_exn with
       | Some (index, exn, backtrace) ->
           raise (Task_failed { index; exn; backtrace })
@@ -536,6 +554,7 @@ let supervised_map ?pool ?(retries = 2) ?timeout_s ?(backoff_s = 0.0)
       end
     in
     rounds 0;
+    run_join_check ();
     Array.to_list
       (Array.mapi
          (fun i slot ->

@@ -54,6 +54,16 @@ val set_sequential : bool -> unit
 
 val sequential : unit -> bool
 
+(** Install a hook the submitting domain runs after every fan-out barrier
+    ({!parallel_map} and its variants, and each {!supervised_map} call),
+    before per-task failures are re-raised.  Used by the shadow-state
+    sanitizer to verify shared master buffers at join points; exceptions
+    propagate to the submitter.  Must be cheap when idle and callable
+    from any domain. *)
+val set_join_check : (unit -> unit) -> unit
+
+val clear_join_check : unit -> unit
+
 (** [parallel_map f l] = [List.map f l] for pure [f], computed on the pool
     ([?pool] defaults to the shared pool) in chunks of [?chunk] elements
     (default: a multiple of the pool size).  If any application raises,

@@ -56,6 +56,14 @@ type stride = Sconst of int | Srow of int | Sindirect
 val coeff_of : string -> Instr.dim -> int
 val access_stride : t -> Instr.addr -> stride
 
+(** Sorted, duplicate-free set of arrays the body may write (resp. read).
+    The single source of truth for master-buffer aliasing decisions: a
+    recursive body walker, so future compound instruction forms cannot be
+    silently skipped the way a top-level [Store] scan would. *)
+val written_arrays : t -> string list
+
+val read_arrays : t -> string list
+
 val bytes_per_iteration : t -> int
 val footprint_bytes : n:int -> t -> int
 val has_reduction : t -> bool

@@ -363,10 +363,47 @@ let test_lint_assumed_conflict_free_diag () =
       check "clean kernel quiet" false
         (fired "assumed-conflict-free" (simple ()))
 
+(* ip[i] = ip[i] + 1: the effect license may-writes an Idx-role array,
+   violating the Frozen ownership of index masters — an Error. *)
+let test_lint_frozen_buffer_write_diag () =
+  let b = B.make "fbwseed" in
+  let i = B.loop b "i" Kernel.Tn in
+  let x = B.load_index b "ip" [ B.ix i ] in
+  B.store b ~ty:Types.I32 "ip" [ B.ix i ] (B.addi b x (B.ci 1));
+  let k = B.finish b in
+  match
+    List.filter
+      (fun d -> d.A.Diag.pass = "frozen-buffer-write")
+      (A.Pass.run_all k)
+  with
+  | [] -> Alcotest.fail "seeded frozen-buffer write not reported"
+  | d :: _ ->
+      check "severity Error" true (d.A.Diag.severity = A.Diag.Error);
+      check "names the array" true (contains d.A.Diag.message "ip");
+      check "clean kernel quiet" false
+        (fired "frozen-buffer-write" (simple ()))
+
+(* a[ix[i]] = b[i]: the scatter's may-write has no affine region, so it
+   escapes the effect license's bounds — a Warning. *)
+let test_lint_effect_escape_diag () =
+  let b = B.make "escseed" in
+  let i = B.loop b "i" Kernel.Tn in
+  let ix = B.load_index b "ix" [ B.ix i ] in
+  B.store_ix b "a" ix (B.load b "b" [ B.ix i ]);
+  let k = B.finish b in
+  match
+    List.filter (fun d -> d.A.Diag.pass = "effect-escape") (A.Pass.run_all k)
+  with
+  | [] -> Alcotest.fail "seeded effect escape not reported"
+  | d :: _ ->
+      check "severity Warning" true (d.A.Diag.severity = A.Diag.Warning);
+      check "names the scatter" true (contains d.A.Diag.message "scatter");
+      check "clean kernel quiet" false (fired "effect-escape" (simple ()))
+
 (* --- pass registry --------------------------------------------------------- *)
 
 let test_pass_registry () =
-  check "13 builtin passes" true (List.length A.Pass.builtin = 13);
+  check "15 builtin passes" true (List.length A.Pass.builtin = 15);
   check "find works" true (A.Pass.find "dead-result" <> None);
   check "unknown absent" true (A.Pass.find "no-such-pass" = None);
   let names = List.map (fun p -> p.A.Pass.name) (A.Pass.all ()) in
@@ -872,6 +909,8 @@ let tests =
     Alcotest.test_case "lint loop invariant compute diag" `Quick test_lint_loop_invariant_compute_diag;
     Alcotest.test_case "lint loop carried at vf diag" `Quick test_lint_loop_carried_at_vf_diag;
     Alcotest.test_case "lint assumed conflict free diag" `Quick test_lint_assumed_conflict_free_diag;
+    Alcotest.test_case "lint frozen buffer write diag" `Quick test_lint_frozen_buffer_write_diag;
+    Alcotest.test_case "lint effect escape diag" `Quick test_lint_effect_escape_diag;
     Alcotest.test_case "pass registry" `Quick test_pass_registry;
     Alcotest.test_case "vvalidate good body" `Quick test_vvalidate_good;
     Alcotest.test_case "vvalidate undefined register" `Quick test_vvalidate_undefined_register;

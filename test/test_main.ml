@@ -32,6 +32,7 @@ let () =
       ("coverage", Test_coverage.tests);
       ("extensions", Test_extensions.tests);
       ("analysis", Test_analysis.tests);
+      ("effects", Test_effects.tests);
       ("crosscheck", Test_crosscheck.tests);
       ("absint", Test_absint.tests);
       ("par", Test_par.tests);
