@@ -632,6 +632,38 @@ let bench_json out =
         (off, on)
   in
   let san_off, san_on = san_row in
+  (* SERVE: the serving tier under the deterministic virtual-time load
+     simulation — one clean run, one seeded chaos run with the serve and
+     pool sites armed.  Virtual time only, so both rows are byte-stable
+     across machines and worker counts, and the chaos row doubles as the
+     accounting witness: sent = answered + rejected even while requests
+     are being dropped, slowed and spuriously rejected. *)
+  let serve_clean =
+    Vserve.Loadtest.run_sim ~seed:7 ~requests:400 ~servers:4
+      ~arrival_rate:600.0 ~config:Vserve.Engine.default_config ()
+  in
+  let serve_chaos =
+    let plan =
+      match
+        Vfault.Plan.parse
+          "seed=11;serve.drop=0.02;serve.slow=0.08;serve.reject=0.02;pool.crash=0.01"
+      with
+      | Ok p -> p
+      | Error m -> failwith m
+    in
+    Vfault.Inject.set_active plan;
+    Fun.protect ~finally:Vfault.Inject.clear_override (fun () ->
+        Vserve.Loadtest.run_sim ~seed:11 ~requests:300 ~servers:4
+          ~arrival_rate:600.0 ~config:Vserve.Engine.default_config ())
+  in
+  List.iter
+    (fun (label, (r : Vserve.Loadtest.result)) ->
+      Printf.printf
+        "   SERVE %-5s %d sent: %d answered, %d rejected, %d degraded/partial  \
+         p99 %.6fs\n%!"
+        label r.Vserve.Loadtest.lt_sent r.lt_answered r.lt_rejected
+        (r.lt_degraded + r.lt_partials) r.lt_p99)
+    [ ("clean", serve_clean); ("chaos", serve_chaos) ];
   let b = Buffer.create 4096 in
   Buffer.add_string b "{\n  \"benchmark\": \"pipeline\",\n";
   Buffer.add_string b
@@ -698,6 +730,13 @@ let bench_json out =
         %.6f, \"overhead\": %.4f},\n"
        san_off san_on
        (san_on /. Float.max 1e-9 san_off -. 1.0));
+  Buffer.add_string b "  \"serve\": {\n";
+  Buffer.add_string b
+    (Printf.sprintf "    \"clean\": %s,\n"
+       (String.trim (Vserve.Loadtest.result_to_json serve_clean)));
+  Buffer.add_string b
+    (Printf.sprintf "    \"chaos\": %s\n  },\n"
+       (String.trim (Vserve.Loadtest.result_to_json serve_chaos)));
   Buffer.add_string b
     (Printf.sprintf
        "  \"cache\": {\"hits\": %d, \"misses\": %d, \"entries\": %d},\n"

@@ -1124,6 +1124,118 @@ let json_escape s =
     s;
   Buffer.contents b
 
+(* The serving tier in [health]: offline from the serving journal (last
+   checkpointed counters, reload count, last-reload model checksum), or
+   live from a running daemon's [health] op (queue bound, breaker states,
+   current model digest).  Either flag skips the dataset build — serving
+   health must be readable without measuring 151 kernels. *)
+let serve_health_offline path json =
+  let j = Checkpoint.Journal.load path in
+  match Checkpoint.Journal.find j "serve-stats" with
+  | None ->
+      if json then Printf.printf "{\"serving\": {\"journal\": \"%s\", \"present\": false}}\n" (json_escape path)
+      else Printf.printf "serving: no checkpoint in journal %s\n" path
+  | Some payload -> (
+      match Vserve.Jsonv.parse payload with
+      | Error e ->
+          Printf.eprintf "serving: corrupt journal payload: %s\n" e;
+          exit 1
+      | Ok v ->
+          if json then
+            Printf.printf "{\"serving\": {\"journal\": \"%s\", \"present\": true, \"checkpoint\": %s}}\n"
+              (json_escape path) (Vserve.Jsonv.to_string v)
+          else begin
+            let geti k = Option.value ~default:0 (Vserve.Jsonv.mem_int k v) in
+            let gets k = Option.value ~default:"-" (Vserve.Jsonv.mem_str k v) in
+            Printf.printf "serving (journal %s, last checkpoint):\n" path;
+            Printf.printf "  received          %d\n" (geti "received");
+            Printf.printf "  answered          %d\n" (geti "answered");
+            Printf.printf
+              "  rejected          %d overload, %d rate, %d bad, %d deadline, \
+               %d dropped\n"
+              (geti "rejected_overload") (geti "rejected_rate")
+              (geti "rejected_bad") (geti "deadline_errors") (geti "dropped");
+            Printf.printf "  degraded          %d baseline, %d lint-skipped, %d partial\n"
+              (geti "degraded_baseline") (geti "degraded_lint_skipped")
+              (geti "partials");
+            Printf.printf "  reloads           %d ok, %d rejected\n"
+              (geti "reloads") (geti "reloads_rejected");
+            Printf.printf "  model             %s (generation %d, origin %s)\n"
+              (gets "model_digest") (geti "generation") (gets "model_origin")
+          end)
+
+let serve_health_live path json =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  match Unix.connect fd (Unix.ADDR_UNIX path) with
+  | exception Unix.Unix_error (e, _, _) ->
+      Printf.eprintf "serving: cannot connect to %s: %s\n" path
+        (Unix.error_message e);
+      exit 1
+  | () ->
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () ->
+          let line =
+            Vserve.Proto.request_to_line
+              { Vserve.Proto.rq_id = "health"; rq_client = "health-cli";
+                rq_op = Vserve.Proto.Health }
+            ^ "\n"
+          in
+          let _ = Unix.write_substring fd line 0 (String.length line) in
+          let buf = Bytes.create 65536 in
+          let b = Buffer.create 1024 in
+          let rec read_line () =
+            match Unix.read fd buf 0 (Bytes.length buf) with
+            | 0 -> Buffer.contents b
+            | k ->
+                Buffer.add_subbytes b buf 0 k;
+                if String.contains (Buffer.contents b) '\n' then
+                  List.hd (String.split_on_char '\n' (Buffer.contents b))
+                else read_line ()
+          in
+          let resp = read_line () in
+          if json then Printf.printf "{\"serving\": %s}\n" resp
+          else begin
+            match Vserve.Jsonv.parse resp with
+            | Error e ->
+                Printf.eprintf "serving: bad health response: %s\n" e;
+                exit 1
+            | Ok v ->
+                let gets k = Option.value ~default:"-" (Vserve.Jsonv.mem_str k v) in
+                let geti k = Option.value ~default:0 (Vserve.Jsonv.mem_int k v) in
+                Printf.printf "serving (live, %s):\n" path;
+                Printf.printf "  status            %s\n" (gets "status");
+                Printf.printf "  queue limit       %d\n" (geti "queue_limit");
+                (match Vserve.Jsonv.member "breakers" v with
+                | Some (Vserve.Jsonv.Obj bs) ->
+                    List.iter
+                      (fun (name, bv) ->
+                        Printf.printf "  breaker %-9s %s (%d trip%s)\n" name
+                          (Option.value ~default:"?"
+                             (Vserve.Jsonv.mem_str "state" bv))
+                          (Option.value ~default:0
+                             (Vserve.Jsonv.mem_int "trips" bv))
+                          (if Option.value ~default:0
+                                (Vserve.Jsonv.mem_int "trips" bv)
+                              = 1
+                           then "" else "s"))
+                      bs
+                | _ -> ());
+                Printf.printf "  reloads           %d ok, %d rejected\n"
+                  (geti "reloads") (geti "reloads_rejected");
+                Printf.printf "  model             %s (generation %d, origin %s)\n"
+                  (gets "model") (geti "generation") (gets "origin");
+                (match Vserve.Jsonv.member "stats" v with
+                | Some s ->
+                    Printf.printf "  received          %d\n"
+                      (Option.value ~default:0
+                         (Vserve.Jsonv.mem_int "received" s));
+                    Printf.printf "  answered          %d\n"
+                      (Option.value ~default:0
+                         (Vserve.Jsonv.mem_int "answered" s))
+                | None -> ())
+          end)
+
 let health_cmd =
   let repeats_arg =
     Arg.(
@@ -1136,10 +1248,39 @@ let health_cmd =
   let json_flag =
     Arg.(value & flag & info [ "json" ] ~doc:"Emit the report as JSON.")
   in
-  let run machine n transform repeats faults backend sanitize json =
+  let serve_journal_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "serve-journal" ] ~docv:"FILE"
+          ~doc:
+            "Report the serving tier from its stats journal (last \
+             checkpointed counters, reload count, last-reload model \
+             checksum) instead of building the dataset.")
+  in
+  let serve_connect_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "serve-connect" ] ~docv:"PATH"
+          ~doc:
+            "Query a running daemon's health op at this Unix socket (live \
+             queue bound, breaker states, model digest) instead of \
+             building the dataset.")
+  in
+  let run machine n transform repeats faults backend sanitize json
+      serve_journal serve_connect =
     apply_faults faults;
     apply_backend backend;
     apply_sanitize sanitize;
+    (match (serve_journal, serve_connect) with
+    | Some path, _ ->
+        serve_health_offline path json;
+        exit 0
+    | None, Some path ->
+        serve_health_live path json;
+        exit 0
+    | None, None -> ());
     Dataset.health_reset ();
     Vpar.Pool.reset_stats ();
     Vfault.Inject.reset_counts ();
@@ -1243,7 +1384,8 @@ let health_cmd =
           counters")
     Term.(
       const run $ machine_arg $ n_arg $ transform_arg $ repeats_arg
-      $ faults_arg $ backend_arg $ sanitize_arg $ json_flag)
+      $ faults_arg $ backend_arg $ sanitize_arg $ json_flag
+      $ serve_journal_arg $ serve_connect_arg)
 
 (* --- faults ----------------------------------------------------------------- *)
 
@@ -1307,6 +1449,234 @@ let faults_cmd =
           VECMODEL_FAULTS) in canonical form")
     Term.(const run $ faults_arg $ json_flag)
 
+(* --- serve / loadtest -------------------------------------------------------
+   The serving tier: [serve] runs the daemon, [loadtest] either drives
+   the deterministic virtual-time simulation (the bench/CI mode) or
+   floods a running daemon over its socket. *)
+
+let socket_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "socket" ] ~docv:"PATH"
+        ~doc:"Unix-domain socket path (default vecmodel.sock).")
+
+let port_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "port" ] ~docv:"PORT"
+        ~doc:"Serve on loopback TCP instead of a Unix socket.")
+
+let transport_of socket port =
+  match (socket, port) with
+  | _, Some p -> Vserve.Server.Tcp p
+  | Some s, None -> Vserve.Server.Unix_path s
+  | None, None -> Vserve.Server.Unix_path "vecmodel.sock"
+
+let model_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "model" ] ~docv:"FILE"
+        ~doc:
+          "Fitted model checkpoint to serve (validated against the \
+           configured feature set; a rejected model falls back to the \
+           baseline).")
+
+let queue_arg =
+  Arg.(
+    value & opt int 64
+    & info [ "queue" ] ~docv:"N"
+        ~doc:"Admission bound: requests queued beyond N are rejected.")
+
+let deadline_arg =
+  Arg.(
+    value & opt float 0.02
+    & info [ "deadline" ] ~docv:"SECONDS"
+        ~doc:
+          "Cooperative per-request budget in virtual seconds; expiry after \
+           the decision yields a partial answer, before it an explicit \
+           rejection.")
+
+let rate_limit_arg =
+  Arg.(
+    value & opt float 200.0
+    & info [ "rate-limit" ] ~docv:"TOKENS"
+        ~doc:
+          "Per-client token-bucket rate (tokens per virtual second); 0 \
+           disables rate limiting.")
+
+let journal_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "journal" ] ~docv:"FILE"
+        ~doc:
+          "Serving-stats journal: counters checkpoint here periodically \
+           and are replayed on restart (crash-only recovery).")
+
+let serve_engine_config machine features model queue deadline rate journal =
+  { Vserve.Engine.default_config with
+    machine; features; model_path = model; queue_limit = queue;
+    deadline_s = deadline; rate; journal_path = journal }
+
+let serve_cmd =
+  let run machine features model queue deadline rate journal socket port
+      faults =
+    apply_faults faults;
+    let cfg =
+      serve_engine_config machine features model queue deadline rate journal
+    in
+    let engine = Vserve.Engine.create cfg in
+    Vserve.Server.run ~engine (transport_of socket port)
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the prediction daemon: newline-delimited JSON over a Unix or \
+          loopback TCP socket (ops: predict, lint, certify, health, stats, \
+          reload, shutdown), with bounded admission, per-client rate \
+          limits, cooperative deadlines, per-stage circuit breakers and \
+          validated hot model reload")
+    Term.(
+      const run $ machine_arg $ features_arg $ model_arg $ queue_arg
+      $ deadline_arg $ rate_limit_arg $ journal_arg $ socket_arg $ port_arg
+      $ faults_arg)
+
+let loadtest_cmd =
+  let requests_arg =
+    Arg.(
+      value & opt int 400
+      & info [ "requests" ] ~docv:"N" ~doc:"Requests to send.")
+  in
+  let seed_arg =
+    Arg.(
+      value & opt int 42
+      & info [ "seed" ] ~docv:"SEED" ~doc:"Arrival-process seed.")
+  in
+  let servers_arg =
+    Arg.(
+      value & opt int 2
+      & info [ "servers" ] ~docv:"K"
+          ~doc:"Virtual servers in the simulation (independent of \
+                $(b,VECMODEL_JOBS): results are byte-stable across worker \
+                counts).")
+  in
+  let arrival_arg =
+    Arg.(
+      value & opt float 300.0
+      & info [ "arrival-rate" ] ~docv:"R"
+          ~doc:"Arrivals per virtual second in the simulation.")
+  in
+  let connect_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "connect" ] ~docv:"PATH"
+          ~doc:
+            "Flood a running daemon at this Unix socket instead of \
+             simulating (wall-clock mode).")
+  in
+  let shutdown_flag =
+    Arg.(
+      value & flag
+      & info [ "shutdown" ]
+          ~doc:"After the stream, ask the daemon to shut down cleanly.")
+  in
+  let json_flag =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit the result as JSON.")
+  in
+  let p99_arg =
+    Arg.(
+      value & opt float 0.5
+      & info [ "p99-bound" ] ~docv:"SECONDS"
+          ~doc:"Gate: fail when the p99 sojourn exceeds this bound.")
+  in
+  let expect_degraded_flag =
+    Arg.(
+      value & flag
+      & info [ "expect-degraded" ]
+          ~doc:
+            "Gate: fail unless at least one answer was served in a \
+             degraded mode (chaos runs).")
+  in
+  let expect_clean_flag =
+    Arg.(
+      value & flag
+      & info [ "expect-clean" ]
+          ~doc:
+            "Gate: fail when any fault was injected during the run.  CI \
+             inverts this under a seeded plan to prove injected faults \
+             are reported, not swallowed.")
+  in
+  let run machine features model queue deadline rate journal requests seed
+      servers arrival connect port shutdown json p99 expect_degraded
+      expect_clean faults =
+    apply_faults faults;
+    let finish (r : Vserve.Loadtest.result) =
+      if json then print_endline (Vserve.Loadtest.result_to_json r)
+      else print_string (Vserve.Loadtest.result_to_string r);
+      let gate =
+        Vserve.Loadtest.gate ~p99_bound:p99 ~expect_degraded:expect_degraded r
+      in
+      let clean_violation =
+        expect_clean && r.Vserve.Loadtest.lt_injected <> []
+      in
+      (match gate with
+      | Ok () -> ()
+      | Error ps ->
+          List.iter (fun p -> Printf.eprintf "loadtest gate: %s\n" p) ps);
+      if clean_violation then
+        Printf.eprintf "loadtest gate: expected a clean run but faults were \
+                        injected (%s)\n"
+          (String.concat ", "
+             (List.map
+                (fun (k, v) -> Printf.sprintf "%s=%d" k v)
+                r.Vserve.Loadtest.lt_injected));
+      if gate <> Ok () || clean_violation then exit 1
+    in
+    match (connect, port) with
+    | Some path, _ -> (
+        match
+          Vserve.Loadtest.run_socket ~seed ~requests ~shutdown
+            (Vserve.Server.Unix_path path)
+        with
+        | Ok r -> finish r
+        | Error m ->
+            Printf.eprintf "loadtest: %s\n" m;
+            exit 1)
+    | None, Some p -> (
+        match
+          Vserve.Loadtest.run_socket ~seed ~requests ~shutdown
+            (Vserve.Server.Tcp p)
+        with
+        | Ok r -> finish r
+        | Error m ->
+            Printf.eprintf "loadtest: %s\n" m;
+            exit 1)
+    | None, None ->
+        let cfg =
+          serve_engine_config machine features model queue deadline rate
+            journal
+        in
+        finish
+          (Vserve.Loadtest.run_sim ~seed ~requests ~servers
+             ~arrival_rate:arrival ~config:cfg ())
+  in
+  Cmd.v
+    (Cmd.info "loadtest"
+       ~doc:
+         "Load-test the serving tier: a deterministic virtual-time \
+          simulation (default; byte-stable p50/p99/qps for bench and CI) \
+          or a real client against a running daemon (--connect/--port)")
+    Term.(
+      const run $ machine_arg $ features_arg $ model_arg $ queue_arg
+      $ deadline_arg $ rate_limit_arg $ journal_arg $ requests_arg $ seed_arg
+      $ servers_arg $ arrival_arg $ connect_arg $ port_arg $ shutdown_flag
+      $ json_flag $ p99_arg $ expect_degraded_flag $ expect_clean_flag
+      $ faults_arg)
+
 (* --- export-machine -------------------------------------------------------- *)
 
 let export_machine_cmd =
@@ -1333,7 +1703,7 @@ let () =
     Cmd.group info
       [ list_cmd; show_cmd; lint_cmd; deps_cmd; effects_cmd; absint_cmd; opt_cmd; certify_cmd; simulate_cmd; fit_cmd;
         predict_cmd; loocv_cmd; report_cmd; cachestats_cmd; health_cmd;
-        faults_cmd; export_machine_cmd ]
+        faults_cmd; serve_cmd; loadtest_cmd; export_machine_cmd ]
   in
   (* Sanitizer verdicts are hard failures, not internal errors: report the
      site and offending buffer the way the lint driver reports an Error

@@ -29,6 +29,16 @@ type target = Speedup | Cost
 
 let target_to_string = function Speedup -> "speedup" | Cost -> "cost"
 
+let names_of_kind = function
+  | Cert -> Feature.cert_names
+  | Deps -> Feature.deps_names
+  | Opt -> Feature.opt_names
+  | Absint -> Feature.absint_names
+  | Extended -> Feature.extended_names
+  | Raw | Rated -> Feature.names
+
+let dim_of kind = List.length (names_of_kind kind)
+
 type t = {
   weights : float array;
   method_ : fit_method;
@@ -169,6 +179,56 @@ let predict (m : t) (s : Dataset.sample) =
 
 let predict_all m samples = Array.of_list (List.map (predict m) samples)
 
+(* --- compatibility ---------------------------------------------------------
+   The serving tier extracts feature vectors itself, so a loaded model
+   must agree with the server's configured feature set in both kind and
+   column arity.  A stale checkpoint that disagrees must be rejected with
+   a typed error, never loaded to mispredict silently. *)
+
+type mismatch = {
+  mm_expected : feature_kind;
+  mm_expected_dim : int;
+  mm_got : feature_kind;
+  mm_got_dim : int;
+}
+
+exception Incompatible of mismatch
+
+let mismatch_to_string m =
+  Printf.sprintf
+    "model features %s (%d column%s) incompatible with configured %s (%d \
+     column%s)"
+    (feature_kind_to_string m.mm_got)
+    m.mm_got_dim
+    (if m.mm_got_dim = 1 then "" else "s")
+    (feature_kind_to_string m.mm_expected)
+    m.mm_expected_dim
+    (if m.mm_expected_dim = 1 then "" else "s")
+
+let compat ~features (m : t) =
+  let expected_dim = dim_of features in
+  let got_dim = Array.length m.weights in
+  if m.features = features && got_dim = expected_dim then Ok ()
+  else
+    Error
+      { mm_expected = features; mm_expected_dim = expected_dim;
+        mm_got = m.features; mm_got_dim = got_dim }
+
+let check_compat ~features m =
+  match compat ~features m with Ok () -> () | Error mm -> raise (Incompatible mm)
+
+(* Predict from a feature vector the caller extracted (the serving hot
+   path: no Dataset.sample exists).  Speedup-target models only — a
+   cost-target model needs scalar and vector block counts. *)
+let predict_vec (m : t) feats =
+  if m.target <> Speedup then
+    invalid_arg "Linmodel.predict_vec: cost-target model";
+  if Array.length feats <> Array.length m.weights then
+    invalid_arg
+      (Printf.sprintf "Linmodel.predict_vec: %d features against %d weights"
+         (Array.length feats) (Array.length m.weights));
+  dot m.weights feats
+
 (* --- persistence ----------------------------------------------------------
    A fitted model is a handful of floats; the textual format is one
    key/value pair per line so models can be versioned and diffed. *)
@@ -181,15 +241,7 @@ let to_string (m : t) =
   Buffer.add_string b
     (Printf.sprintf "features %s\n" (feature_kind_to_string m.features));
   Buffer.add_string b (Printf.sprintf "target %s\n" (target_to_string m.target));
-  let names =
-    match m.features with
-    | Cert -> Feature.cert_names
-    | Deps -> Feature.deps_names
-    | Opt -> Feature.opt_names
-    | Absint -> Feature.absint_names
-    | Extended -> Feature.extended_names
-    | Raw | Rated -> Feature.names
-  in
+  let names = names_of_kind m.features in
   List.iteri
     (fun i n -> Buffer.add_string b (Printf.sprintf "w %s %.17g\n" n m.weights.(i)))
     names;
@@ -249,16 +301,22 @@ let of_string s =
             | _ -> None
           in
           match (method_, features, target) with
-          | Some method_, Some features, Some target ->
-              let names =
-                match features with
-                | Cert -> Feature.cert_names
-                | Deps -> Feature.deps_names
-                | Opt -> Feature.opt_names
-                | Absint -> Feature.absint_names
-                | Extended -> Feature.extended_names
-                | Raw | Rated -> Feature.names
+          | Some method_, Some features, Some target -> (
+              let names = names_of_kind features in
+              (* Strict arity: a weight naming a column the declared
+                 feature set doesn't have means the file was written
+                 against a different feature schema — reject it rather
+                 than silently dropping the extra columns. *)
+              let unknown =
+                Hashtbl.fold
+                  (fun n _ acc -> if List.mem n names then acc else n :: acc)
+                  weights []
               in
+              match List.sort compare unknown with
+              | u :: _ ->
+                  err "unknown weight %s for %s features" u
+                    (feature_kind_to_string features)
+              | [] ->
               let w =
                 List.map
                   (fun n ->
@@ -272,7 +330,7 @@ let of_string s =
               else
                 Ok
                   { weights = Array.of_list (List.map Result.get_ok w);
-                    method_; features; target }
+                    method_; features; target })
           | _ -> err "missing or invalid method/features/target header"))
   | _ -> err "not a vecmodel-linmodel v1 file"
 

@@ -18,6 +18,12 @@ type target = Speedup | Cost
 
 val target_to_string : target -> string
 
+(** Feature-column names of a kind, in weight order. *)
+val names_of_kind : feature_kind -> string list
+
+(** Column arity of a feature kind. *)
+val dim_of : feature_kind -> int
+
 type t = {
   weights : float array;
   method_ : fit_method;
@@ -38,6 +44,32 @@ val fit :
 val predict : t -> Dataset.sample -> float
 
 val predict_all : t -> Dataset.sample list -> float array
+
+(** A loaded model whose feature kind or column arity disagrees with the
+    configured feature set.  The serving tier must reject such a model at
+    reload time — loading it would mispredict silently. *)
+type mismatch = {
+  mm_expected : feature_kind;
+  mm_expected_dim : int;
+  mm_got : feature_kind;
+  mm_got_dim : int;
+}
+
+exception Incompatible of mismatch
+
+val mismatch_to_string : mismatch -> string
+
+(** Check a model against the configured feature set: kind must match and
+    the weight vector must have exactly [dim_of features] columns. *)
+val compat : features:feature_kind -> t -> (unit, mismatch) result
+
+(** [compat] or raise {!Incompatible}. *)
+val check_compat : features:feature_kind -> t -> unit
+
+(** Predict from an already-extracted feature vector (the serving hot
+    path).  Raises [Invalid_argument] on a cost-target model or an arity
+    mismatch — call {!compat} first. *)
+val predict_vec : t -> float array -> float
 
 (** Textual serialization (one key/value per line, versioned header). *)
 val to_string : t -> string

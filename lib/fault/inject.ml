@@ -120,3 +120,24 @@ let sanitize_poison ~key =
   let p = active () in
   (not (Plan.is_empty p))
   && drawc p ~site:Plan.Sanitize ~kind:Plan.Poison ~key <> None
+
+(* Serve site: whether this stage attempt's work is lost (the serving
+   engine retries, then answers with an explicit error — never silence). *)
+let serve_drop ~key =
+  let p = active () in
+  (not (Plan.is_empty p))
+  && drawc p ~site:Plan.Serve ~kind:Plan.Drop ~key <> None
+
+(* Serve site: added virtual service seconds for this stage, if armed —
+   what pushes a request over its cooperative deadline. *)
+let serve_slow ~key =
+  let p = active () in
+  if Plan.is_empty p then None
+  else drawc p ~site:Plan.Serve ~kind:Plan.Slow ~key
+
+(* Serve site: spurious admission rejection — the client must see an
+   explicit overload answer, not a hang. *)
+let serve_reject ~key =
+  let p = active () in
+  (not (Plan.is_empty p))
+  && drawc p ~site:Plan.Serve ~kind:Plan.Reject ~key <> None

@@ -45,6 +45,19 @@ val pool_hang : key:string -> float option
     measured run (caught by [Vexec.Sanitize]). *)
 val sanitize_poison : key:string -> bool
 
+(** Serve site: whether this serving-stage attempt's work is lost.  The
+    engine retries the stage and, if every attempt is dropped, answers
+    with an explicit error — a request is never silently lost. *)
+val serve_drop : key:string -> bool
+
+(** Serve site: added virtual service seconds for this stage, if armed
+    (what pushes a request over its cooperative deadline). *)
+val serve_slow : key:string -> float option
+
+(** Serve site: spurious admission rejection for this request (served as
+    an explicit overload answer). *)
+val serve_reject : key:string -> bool
+
 (** {2 Injection counters} *)
 
 (** Injections so far as [("site.kind", count)], sorted. *)

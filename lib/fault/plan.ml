@@ -13,32 +13,36 @@
      SPEC   := [ CLAUSE ( ';' CLAUSE )* ]
      CLAUSE := 'seed=' INT
              | SITE '.' KIND '=' RATE [ '@' MAG ]
-     SITE   := 'measure' | 'cache' | 'pool' | 'sanitize'
+     SITE   := 'measure' | 'cache' | 'pool' | 'sanitize' | 'serve'
      KIND   := 'nan' | 'inf' | 'spike' | 'corrupt' | 'hang' | 'crash'
-             | 'poison'
+             | 'poison' | 'drop' | 'slow' | 'reject'
 
    e.g. "seed=7;measure.nan=0.02;measure.spike=0.05@16;pool.crash=0.01"
 
    Valid (site, kind) pairs: measure.{nan,inf,spike}, cache.{corrupt},
-   pool.{hang,crash}, sanitize.{poison}.  Rates are in [0, 1];
-   magnitudes are positive. *)
+   pool.{hang,crash}, sanitize.{poison}, serve.{drop,slow,reject}.
+   Rates are in [0, 1]; magnitudes are positive. *)
 
-type site = Measure | Cache | Pool | Sanitize
+type site = Measure | Cache | Pool | Sanitize | Serve
 
 let site_to_string = function
   | Measure -> "measure"
   | Cache -> "cache"
   | Pool -> "pool"
   | Sanitize -> "sanitize"
+  | Serve -> "serve"
 
 let site_of_string = function
   | "measure" -> Some Measure
   | "cache" -> Some Cache
   | "pool" -> Some Pool
   | "sanitize" -> Some Sanitize
+  | "serve" -> Some Serve
   | _ -> None
 
-type kind = Nan | Inf | Spike | Corrupt | Hang | Crash | Poison
+type kind =
+  | Nan | Inf | Spike | Corrupt | Hang | Crash | Poison | Drop | Slow
+  | Reject
 
 let kind_to_string = function
   | Nan -> "nan"
@@ -48,6 +52,9 @@ let kind_to_string = function
   | Hang -> "hang"
   | Crash -> "crash"
   | Poison -> "poison"
+  | Drop -> "drop"
+  | Slow -> "slow"
+  | Reject -> "reject"
 
 let kind_of_string = function
   | "nan" -> Some Nan
@@ -57,6 +64,9 @@ let kind_of_string = function
   | "hang" -> Some Hang
   | "crash" -> Some Crash
   | "poison" -> Some Poison
+  | "drop" -> Some Drop
+  | "slow" -> Some Slow
+  | "reject" -> Some Reject
   | _ -> None
 
 let valid_pair site kind =
@@ -65,10 +75,16 @@ let valid_pair site kind =
   | Cache, Corrupt -> true
   | Pool, (Hang | Crash) -> true
   | Sanitize, Poison -> true
+  | Serve, (Drop | Slow | Reject) -> true
   | _ -> false
 
-(* Spike: multiply the measurement; hang: simulated seconds. *)
-let default_magnitude = function Spike -> 16.0 | Hang -> 0.02 | _ -> 1.0
+(* Spike: multiply the measurement; hang: simulated seconds; slow: added
+   virtual service seconds in the serving tier. *)
+let default_magnitude = function
+  | Spike -> 16.0
+  | Hang -> 0.02
+  | Slow -> 0.05
+  | _ -> 1.0
 
 type clause = { site : site; kind : kind; rate : float; magnitude : float }
 type t = { seed : int; clauses : clause list }
@@ -76,10 +92,11 @@ type t = { seed : int; clauses : clause list }
 let empty = { seed = 1; clauses = [] }
 let is_empty p = p.clauses = []
 
-let site_rank = function Measure -> 0 | Cache -> 1 | Pool -> 2 | Sanitize -> 3
+let site_rank = function
+  | Measure -> 0 | Cache -> 1 | Pool -> 2 | Sanitize -> 3 | Serve -> 4
 let kind_rank = function
   | Nan -> 0 | Inf -> 1 | Spike -> 2 | Corrupt -> 3 | Hang -> 4 | Crash -> 5
-  | Poison -> 6
+  | Poison -> 6 | Drop -> 7 | Slow -> 8 | Reject -> 9
 
 (* Canonical form: clauses sorted by (site, kind), one clause per pair
    (the last one parsed wins).  [to_string] of a parsed spec reparses to
@@ -145,12 +162,13 @@ let parse s =
                   | None, _ ->
                       err
                         "clause %S: unknown site %S \
-                         (measure|cache|pool|sanitize)"
+                         (measure|cache|pool|sanitize|serve)"
                         part site_s
                   | _, None ->
                       err
                         "clause %S: unknown kind %S \
-                         (nan|inf|spike|corrupt|hang|crash|poison)"
+                         (nan|inf|spike|corrupt|hang|crash|poison|drop|slow|\
+                         reject)"
                         part kind_s
                   | Some site, Some kind -> (
                       if not (valid_pair site kind) then

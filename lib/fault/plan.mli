@@ -8,21 +8,24 @@
     {v
     SPEC   := [ CLAUSE ( ';' CLAUSE )* ]
     CLAUSE := 'seed=' INT | SITE '.' KIND '=' RATE [ '@' MAG ]
-    SITE   := 'measure' | 'cache' | 'pool' | 'sanitize'
+    SITE   := 'measure' | 'cache' | 'pool' | 'sanitize' | 'serve'
     KIND   := 'nan' | 'inf' | 'spike' | 'corrupt' | 'hang' | 'crash'
-            | 'poison'
+            | 'poison' | 'drop' | 'slow' | 'reject'
     v}
     Valid pairs: [measure.{nan,inf,spike}], [cache.corrupt],
-    [pool.{hang,crash}], [sanitize.poison].  Rates are probabilities in
-    [0, 1]; the optional magnitude is the spike multiplier or the
-    simulated hang seconds. *)
+    [pool.{hang,crash}], [sanitize.poison], [serve.{drop,slow,reject}].
+    Rates are probabilities in [0, 1]; the optional magnitude is the
+    spike multiplier, the simulated hang seconds, or the added virtual
+    service seconds for [serve.slow]. *)
 
-type site = Measure | Cache | Pool | Sanitize
+type site = Measure | Cache | Pool | Sanitize | Serve
 
 val site_to_string : site -> string
 val site_of_string : string -> site option
 
-type kind = Nan | Inf | Spike | Corrupt | Hang | Crash | Poison
+type kind =
+  | Nan | Inf | Spike | Corrupt | Hang | Crash | Poison | Drop | Slow
+  | Reject
 
 val kind_to_string : kind -> string
 val kind_of_string : string -> kind option
@@ -31,7 +34,8 @@ val kind_of_string : string -> kind option
 val valid_pair : site -> kind -> bool
 
 (** Default magnitude per kind: 16.0 for [Spike] (multiplier), 0.02 for
-    [Hang] (seconds), 1.0 otherwise. *)
+    [Hang] (seconds), 0.05 for [Slow] (virtual service seconds), 1.0
+    otherwise. *)
 val default_magnitude : kind -> float
 
 type clause = { site : site; kind : kind; rate : float; magnitude : float }

@@ -1,0 +1,74 @@
+(* Per-stage circuit breakers, counted in requests rather than seconds.
+
+   The serving tier's clock is virtual, so breaker cooldowns are measured
+   on the request counter: "open for 8 requests" is deterministic in the
+   loadtest simulation where "open for 100ms" would not be. *)
+
+type state = Closed | Open | Half_open
+
+let state_to_string = function
+  | Closed -> "closed"
+  | Open -> "open"
+  | Half_open -> "half-open"
+
+type t = {
+  name : string;
+  threshold : int;
+  cooldown : int;
+  mutable consecutive : int;  (* consecutive failures while closed *)
+  mutable opened_at : int;  (* tick of the last trip; -1 = never *)
+  mutable is_open : bool;
+  mutable trips : int;
+  lock : Mutex.t;
+}
+
+let create ?(threshold = 5) ?(cooldown = 8) ~name () =
+  { name; threshold = max 1 threshold; cooldown = max 1 cooldown;
+    consecutive = 0; opened_at = -1; is_open = false; trips = 0;
+    lock = Mutex.create () }
+
+let name b = b.name
+
+let state_locked b ~tick =
+  if not b.is_open then Closed
+  else if tick - b.opened_at >= b.cooldown then Half_open
+  else Open
+
+let state b ~tick =
+  Mutex.lock b.lock;
+  let s = state_locked b ~tick in
+  Mutex.unlock b.lock;
+  s
+
+let allow b ~tick =
+  match state b ~tick with Closed | Half_open -> true | Open -> false
+
+let success b =
+  Mutex.lock b.lock;
+  b.consecutive <- 0;
+  b.is_open <- false;
+  Mutex.unlock b.lock
+
+let failure b ~tick =
+  Mutex.lock b.lock;
+  (match state_locked b ~tick with
+  | Half_open ->
+      (* The probe failed: re-open for another cooldown without counting
+         a fresh trip streak. *)
+      b.opened_at <- tick
+  | Open -> ()
+  | Closed ->
+      b.consecutive <- b.consecutive + 1;
+      if b.consecutive >= b.threshold then begin
+        b.is_open <- true;
+        b.opened_at <- tick;
+        b.trips <- b.trips + 1;
+        b.consecutive <- 0
+      end);
+  Mutex.unlock b.lock
+
+let trips b =
+  Mutex.lock b.lock;
+  let v = b.trips in
+  Mutex.unlock b.lock;
+  v

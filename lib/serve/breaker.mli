@@ -1,0 +1,34 @@
+(** Per-stage circuit breakers.  A breaker counts consecutive failures of
+    one serving stage; at the threshold it opens and the engine serves a
+    degraded answer instead of exercising the faulty stage.  Time is the
+    request counter, not a clock: after [cooldown] further requests the
+    breaker goes half-open and lets one probe through — success closes
+    it, failure re-opens it for another cooldown.  Deterministic given
+    the request sequence. *)
+
+type state = Closed | Open | Half_open
+
+val state_to_string : state -> string
+
+type t
+
+(** [threshold] consecutive failures open the breaker (default 5);
+    [cooldown] requests later it half-opens (default 8). *)
+val create : ?threshold:int -> ?cooldown:int -> name:string -> unit -> t
+
+val name : t -> string
+
+(** The state as of request counter [tick]. *)
+val state : t -> tick:int -> state
+
+(** Whether the stage may run at [tick]: [true] when closed, or when
+    half-open (the probe).  [false] = serve the degraded path. *)
+val allow : t -> tick:int -> bool
+
+(** Record the stage outcome at [tick]. *)
+val success : t -> unit
+
+val failure : t -> tick:int -> unit
+
+(** Times this breaker transitioned closed -> open. *)
+val trips : t -> int

@@ -1,0 +1,629 @@
+(* The serving engine.
+
+   Transport-independent: the daemon feeds it decoded lines from a
+   socket, the loadtest simulation calls [handle] directly, and both get
+   identical behaviour because time is virtual — stages charge nominal
+   virtual costs (plus injected [serve.slow] seconds) against the
+   request's cooperative deadline, exactly like the pool's simulated
+   hangs.  The invariant the chaos suite holds us to: every request gets
+   exactly one explicit response — answered (possibly degraded or
+   partial), or rejected with a typed error.  Nothing is silently lost.
+
+   Pipeline order is decision-first: parse -> feature extraction ->
+   prediction, then diagnostics (lint) with whatever budget remains.  A
+   deadline that expires after the decision yields a partial response
+   (the decision without diagnostics); before the decision, an explicit
+   [E_deadline] rejection. *)
+
+open Costmodel
+
+type config = {
+  features : Linmodel.feature_kind;
+  machine : Vmachine.Descr.t;
+  n : int;
+  queue_limit : int;
+  deadline_s : float;
+  rate : float;
+  burst : float;
+  breaker_threshold : int;
+  breaker_cooldown : int;
+  journal_path : string option;
+  journal_every : int;
+  model_path : string option;
+}
+
+let default_config =
+  {
+    features = Linmodel.Cert;
+    machine = Vmachine.Machines.neon_a57;
+    n = Tsvc.Registry.default_n;
+    queue_limit = 64;
+    deadline_s = 0.02;
+    rate = 200.0;
+    burst = 50.0;
+    breaker_threshold = 5;
+    breaker_cooldown = 8;
+    journal_path = None;
+    journal_every = 32;
+    model_path = None;
+  }
+
+(* Nominal virtual stage costs, in seconds.  These price relative stage
+   weight (analysis is the expensive tail), not wall time. *)
+let parse_cost = 1e-4
+let extract_cost = 1e-3
+let predict_cost = 5e-4
+let analyze_cost = 2e-3
+let certify_cost = 3e-3
+
+(* Lost-work retries per stage, beyond the first attempt. *)
+let stage_retries = 2
+
+type stats = {
+  received : int;
+  answered : int;
+  rejected_overload : int;
+  rejected_rate : int;
+  rejected_bad : int;
+  deadline_errors : int;
+  dropped : int;
+  partials : int;
+  degraded_baseline : int;
+  degraded_lint_skipped : int;
+  internal_errors : int;
+}
+
+let stats_names =
+  [ "received"; "answered"; "rejected_overload"; "rejected_rate";
+    "rejected_bad"; "deadline_errors"; "dropped"; "partials";
+    "degraded_baseline"; "degraded_lint_skipped"; "internal_errors" ]
+
+let stats_to_list s =
+  [ ("received", s.received); ("answered", s.answered);
+    ("rejected_overload", s.rejected_overload);
+    ("rejected_rate", s.rejected_rate); ("rejected_bad", s.rejected_bad);
+    ("deadline_errors", s.deadline_errors); ("dropped", s.dropped);
+    ("partials", s.partials); ("degraded_baseline", s.degraded_baseline);
+    ("degraded_lint_skipped", s.degraded_lint_skipped);
+    ("internal_errors", s.internal_errors) ]
+
+(* Internal mutable mirror of [stats], guarded by the engine lock. *)
+type m_stats = {
+  mutable m_received : int;
+  mutable m_answered : int;
+  mutable m_rejected_overload : int;
+  mutable m_rejected_rate : int;
+  mutable m_rejected_bad : int;
+  mutable m_deadline_errors : int;
+  mutable m_dropped : int;
+  mutable m_partials : int;
+  mutable m_degraded_baseline : int;
+  mutable m_degraded_lint_skipped : int;
+  mutable m_internal_errors : int;
+  mutable m_since_checkpoint : int;
+}
+
+let m_zero () =
+  { m_received = 0; m_answered = 0; m_rejected_overload = 0;
+    m_rejected_rate = 0; m_rejected_bad = 0; m_deadline_errors = 0;
+    m_dropped = 0; m_partials = 0; m_degraded_baseline = 0;
+    m_degraded_lint_skipped = 0; m_internal_errors = 0;
+    m_since_checkpoint = 0 }
+
+type t = {
+  cfg : config;
+  slot : Modelslot.t;
+  analyze_breaker : Breaker.t;
+  extract_breaker : Breaker.t;
+  predict_breaker : Breaker.t;
+  buckets : Bucket.Family.t;
+  m : m_stats;
+  lock : Mutex.t;
+  journal : Checkpoint.Journal.t option;
+  mutable resumed : bool;
+  mutable startup_error : string option;
+}
+
+let journal_key = "serve-stats"
+
+let snapshot_locked m =
+  { received = m.m_received; answered = m.m_answered;
+    rejected_overload = m.m_rejected_overload;
+    rejected_rate = m.m_rejected_rate; rejected_bad = m.m_rejected_bad;
+    deadline_errors = m.m_deadline_errors; dropped = m.m_dropped;
+    partials = m.m_partials; degraded_baseline = m.m_degraded_baseline;
+    degraded_lint_skipped = m.m_degraded_lint_skipped;
+    internal_errors = m.m_internal_errors }
+
+let stats t =
+  Mutex.lock t.lock;
+  let s = snapshot_locked t.m in
+  Mutex.unlock t.lock;
+  s
+
+let stats_json s =
+  Jsonv.Obj
+    (List.map (fun (k, v) -> (k, Jsonv.Num (float_of_int v))) (stats_to_list s))
+
+let restore_stats m v =
+  let get k = Option.value ~default:0 (Jsonv.mem_int k v) in
+  m.m_received <- get "received";
+  m.m_answered <- get "answered";
+  m.m_rejected_overload <- get "rejected_overload";
+  m.m_rejected_rate <- get "rejected_rate";
+  m.m_rejected_bad <- get "rejected_bad";
+  m.m_deadline_errors <- get "deadline_errors";
+  m.m_dropped <- get "dropped";
+  m.m_partials <- get "partials";
+  m.m_degraded_baseline <- get "degraded_baseline";
+  m.m_degraded_lint_skipped <- get "degraded_lint_skipped";
+  m.m_internal_errors <- get "internal_errors"
+
+let checkpoint_locked t =
+  match t.journal with
+  | None -> ()
+  | Some j ->
+      t.m.m_since_checkpoint <- 0;
+      let loaded = Modelslot.current t.slot in
+      let payload =
+        match stats_json (snapshot_locked t.m) with
+        | Jsonv.Obj fields ->
+            Jsonv.Obj
+              (fields
+              @ [ ( "reloads",
+                    Jsonv.Num (float_of_int (Modelslot.reloads t.slot)) );
+                  ( "reloads_rejected",
+                    Jsonv.Num (float_of_int (Modelslot.rejected t.slot)) );
+                  ("model_digest", Jsonv.Str loaded.Modelslot.digest);
+                  ("model_origin", Jsonv.Str loaded.Modelslot.origin);
+                  ( "generation",
+                    Jsonv.Num (float_of_int loaded.Modelslot.generation) ) ])
+        | v -> v
+      in
+      Checkpoint.Journal.record j journal_key (Jsonv.to_string payload)
+
+let checkpoint t =
+  Mutex.lock t.lock;
+  checkpoint_locked t;
+  Mutex.unlock t.lock
+
+let create cfg =
+  let journal = Option.map Checkpoint.Journal.load cfg.journal_path in
+  let m = m_zero () in
+  let resumed =
+    match journal with
+    | None -> false
+    | Some j -> (
+        match Checkpoint.Journal.find j journal_key with
+        | None -> false
+        | Some payload -> (
+            match Jsonv.parse payload with
+            | Ok v ->
+                restore_stats m v;
+                true
+            | Error _ -> false))
+  in
+  let mk name =
+    Breaker.create ~threshold:cfg.breaker_threshold
+      ~cooldown:cfg.breaker_cooldown ~name ()
+  in
+  let t =
+    {
+      cfg;
+      slot = Modelslot.create ~features:cfg.features ();
+      analyze_breaker = mk "analyze";
+      extract_breaker = mk "extract";
+      predict_breaker = mk "predict";
+      buckets = Bucket.Family.create ~rate:cfg.rate ~burst:cfg.burst;
+      m;
+      lock = Mutex.create ();
+      journal;
+      resumed;
+      startup_error = None;
+    }
+  in
+  (match cfg.model_path with
+  | None -> ()
+  | Some path -> (
+      match Modelslot.reload t.slot ~path with
+      | Ok _ -> ()
+      | Error e ->
+          (* A bad initial model must not kill the daemon: serve the
+             baseline and surface the rejection through health. *)
+          t.startup_error <- Some (Modelslot.reload_error_to_string e)));
+  t
+
+let config t = t.cfg
+let slot t = t.slot
+let startup_error t = t.startup_error
+let resumed t = t.resumed
+
+(* --- stage runner ---------------------------------------------------------
+
+   One stage execution: charge the nominal cost, add injected slowness,
+   then run the work unless this attempt's result is injected as lost
+   ([serve.drop]).  Lost attempts are retried; a stage whose every
+   attempt is lost reports [`Dropped] and the request is answered with an
+   explicit error.  Every faulted attempt (drop or exception) counts
+   against the stage's breaker; a completed attempt resets it. *)
+
+let run_stage ~breaker ~tick ~rq_id ~stage ~cost ~elapsed f =
+  let rec attempt k =
+    elapsed := !elapsed +. cost;
+    let key = Printf.sprintf "%s|%s#%d" stage rq_id k in
+    (match Vfault.Inject.serve_slow ~key with
+    | Some extra -> elapsed := !elapsed +. extra
+    | None -> ());
+    if Vfault.Inject.serve_drop ~key then begin
+      Breaker.failure breaker ~tick;
+      if k < stage_retries then attempt (k + 1) else Error `Dropped
+    end
+    else
+      match f () with
+      | v ->
+          Breaker.success breaker;
+          Ok v
+      | exception e ->
+          Breaker.failure breaker ~tick;
+          Error (`Failed (Printexc.to_string e))
+  in
+  attempt 0
+
+(* --- the pipeline ---------------------------------------------------------- *)
+
+let resolve_machine t = function
+  | None -> Ok t.cfg.machine
+  | Some name -> (
+      match Vmachine.Machines.by_name name with
+      | Some m -> Ok m
+      | None -> Error name)
+
+let resolve_kernel name =
+  match Tsvc.Registry.find name with
+  | Some e -> Ok e.Tsvc.Registry.kernel
+  | None -> Error name
+
+let extract_features kind ~n ~vf kernel =
+  match (kind : Linmodel.feature_kind) with
+  | Raw -> Feature.counts kernel
+  | Rated -> Feature.rated kernel
+  | Extended -> Feature.extended kernel
+  | Absint -> Feature.absint ~n ~vf kernel
+  | Opt -> Feature.opt ~n ~vf kernel
+  | Deps -> Feature.deps ~n ~vf kernel
+  | Cert -> Feature.cert ~n ~vf kernel
+
+let baseline_speedup ~vf kernel =
+  match Dataset.apply_transform Dataset.Llv ~vf kernel with
+  | Some vk -> Some (Baseline.predicted_speedup vk)
+  | None -> None
+
+(* The prediction decision: the fitted model when one is loaded, its
+   stage breakers are closed and it produces a finite value; the static
+   baseline otherwise, tagged so clients can see the degradation.  The
+   deadline is checked between stages: a budget exhausted before the
+   decision exists is [`Deadline] (the request is explicitly rejected),
+   never a late answer. *)
+let decide t ~tick ~rq_id ~vf ~budget ~elapsed kernel =
+  let loaded = Modelslot.current t.slot in
+  (* A kernel the transform cannot vectorize is an honest speedup-1
+     answer, not a degradation: it is reported through the [vectorized]
+     payload field rather than a degraded tag. *)
+  let baseline tags =
+    match baseline_speedup ~vf kernel with
+    | Some s -> Ok (Float.max 0.0 s, loaded, tags, true)
+    | None -> Ok (1.0, loaded, tags, false)
+  in
+  match loaded.Modelslot.model with
+  | None -> baseline []
+  | Some model ->
+      if
+        not
+          (Breaker.allow t.extract_breaker ~tick
+          && Breaker.allow t.predict_breaker ~tick)
+      then baseline [ "baseline-model" ]
+      else
+        let feats =
+          run_stage ~breaker:t.extract_breaker ~tick ~rq_id ~stage:"extract"
+            ~cost:extract_cost ~elapsed (fun () ->
+              extract_features t.cfg.features ~n:t.cfg.n ~vf kernel)
+        in
+        match feats with
+        | Error e -> Error e
+        | Ok _ when !elapsed > budget -> Error `Deadline
+        | Ok feats -> (
+            let pred =
+              run_stage ~breaker:t.predict_breaker ~tick ~rq_id ~stage:"predict"
+                ~cost:predict_cost ~elapsed (fun () ->
+                  let v = Linmodel.predict_vec model feats in
+                  (* A poisoned or degenerate model is a stage fault: it
+                     trips the predict breaker and this request falls back
+                     to the baseline. *)
+                  if not (Float.is_finite v) then
+                    failwith "non-finite prediction"
+                  else v)
+            in
+            match pred with
+            | Ok v -> Ok (Float.max 0.0 v, loaded, [], true)
+            | Error `Dropped -> Error `Dropped
+            | Error (`Failed _) -> baseline [ "baseline-model" ])
+
+let diag_fields report =
+  let errors = Vanalysis.Driver.error_count report in
+  let diags = List.length (Vanalysis.Driver.report_diags report) in
+  [ ("lint_errors", Jsonv.Num (float_of_int errors));
+    ("lint_diags", Jsonv.Num (float_of_int diags)) ]
+
+let loaded_fields (l : Modelslot.loaded) =
+  [ ("model", Jsonv.Str l.digest); ("origin", Jsonv.Str l.origin);
+    ("generation", Jsonv.Num (float_of_int l.generation)) ]
+
+let breaker_states t =
+  Mutex.lock t.lock;
+  let tick = t.m.m_received in
+  Mutex.unlock t.lock;
+  List.map
+    (fun b ->
+      ( Breaker.name b,
+        Breaker.state_to_string (Breaker.state b ~tick),
+        Breaker.trips b ))
+    [ t.analyze_breaker; t.extract_breaker; t.predict_breaker ]
+
+let health_payload t =
+  let s = stats t in
+  let breakers = breaker_states t in
+  let degraded_now =
+    List.exists (fun (_, st, _) -> st <> "closed") breakers
+    || t.startup_error <> None
+  in
+  let loaded = Modelslot.current t.slot in
+  [ ("status", Jsonv.Str (if degraded_now then "degraded" else "ok"));
+    ("queue_limit", Jsonv.Num (float_of_int t.cfg.queue_limit));
+    ("deadline_s", Jsonv.Num t.cfg.deadline_s);
+    ("features", Jsonv.Str (Linmodel.feature_kind_to_string t.cfg.features));
+    ("machine", Jsonv.Str t.cfg.machine.Vmachine.Descr.name);
+    ( "breakers",
+      Jsonv.Obj
+        (List.map
+           (fun (name, st, trips) ->
+             ( name,
+               Jsonv.Obj
+                 [ ("state", Jsonv.Str st);
+                   ("trips", Jsonv.Num (float_of_int trips)) ] ))
+           breakers) );
+    ("reloads", Jsonv.Num (float_of_int (Modelslot.reloads t.slot)));
+    ( "reloads_rejected",
+      Jsonv.Num (float_of_int (Modelslot.rejected t.slot)) );
+    ("resumed", Jsonv.Bool t.resumed);
+    ("clients", Jsonv.Num (float_of_int (Bucket.Family.clients t.buckets)));
+    ( "startup_error",
+      match t.startup_error with None -> Jsonv.Null | Some m -> Jsonv.Str m );
+    ("stats", stats_json s) ]
+  @ loaded_fields loaded
+
+(* --- request handling ------------------------------------------------------ *)
+
+type outcome =
+  | O_answered
+  | O_overload
+  | O_rate
+  | O_bad
+  | O_deadline
+  | O_dropped
+  | O_internal
+
+let record t outcome ~partial ~tags =
+  Mutex.lock t.lock;
+  let m = t.m in
+  (match outcome with
+  | O_answered ->
+      m.m_answered <- m.m_answered + 1;
+      m.m_since_checkpoint <- m.m_since_checkpoint + 1;
+      if partial then m.m_partials <- m.m_partials + 1;
+      if List.mem "baseline-model" tags then
+        m.m_degraded_baseline <- m.m_degraded_baseline + 1;
+      if List.mem "lint-skipped" tags then
+        m.m_degraded_lint_skipped <- m.m_degraded_lint_skipped + 1
+  | O_overload -> m.m_rejected_overload <- m.m_rejected_overload + 1
+  | O_rate -> m.m_rejected_rate <- m.m_rejected_rate + 1
+  | O_bad -> m.m_rejected_bad <- m.m_rejected_bad + 1
+  | O_deadline -> m.m_deadline_errors <- m.m_deadline_errors + 1
+  | O_dropped -> m.m_dropped <- m.m_dropped + 1
+  | O_internal -> m.m_internal_errors <- m.m_internal_errors + 1);
+  let due =
+    t.journal <> None && m.m_since_checkpoint >= t.cfg.journal_every
+  in
+  if due then checkpoint_locked t;
+  Mutex.unlock t.lock
+
+let handle t ?(now = 0.0) ?(queue_depth = 0) (req : Proto.request) =
+  let id = req.Proto.rq_id in
+  let elapsed = ref parse_cost in
+  let tick =
+    Mutex.lock t.lock;
+    t.m.m_received <- t.m.m_received + 1;
+    let v = t.m.m_received in
+    Mutex.unlock t.lock;
+    v
+  in
+  let finish outcome ~partial resp =
+    record t outcome ~partial ~tags:resp.Proto.rs_degraded;
+    (resp, !elapsed)
+  in
+  let reject outcome code msg =
+    finish outcome ~partial:false (Proto.error ~id code msg)
+  in
+  let budget = t.cfg.deadline_s in
+  let over () = !elapsed > budget in
+  let client = if req.Proto.rq_client = "" then "local" else req.Proto.rq_client in
+  let data_op =
+    match req.Proto.rq_op with
+    | Proto.Predict _ | Proto.Lint _ | Proto.Certify _ -> true
+    | _ -> false
+  in
+  try
+    (* Admission: injected spurious rejection, then the queue bound, then
+       the client's token bucket.  Admin ops (health, stats, reload,
+       shutdown) bypass admission so operators can always reach a
+       struggling daemon. *)
+    if data_op && Vfault.Inject.serve_reject ~key:(Printf.sprintf "reject|%s" id)
+    then reject O_overload Proto.E_overload "injected admission rejection"
+    else if data_op && queue_depth >= t.cfg.queue_limit then
+      reject O_overload Proto.E_overload
+        (Printf.sprintf "queue full (%d >= %d)" queue_depth t.cfg.queue_limit)
+    else if data_op && not (Bucket.Family.admit t.buckets ~client ~now) then
+      reject O_rate Proto.E_rate_limited
+        (Printf.sprintf "client %s over rate %g/s" client t.cfg.rate)
+    else
+      match req.Proto.rq_op with
+      | Proto.Health -> finish O_answered ~partial:false (Proto.ok ~id (health_payload t))
+      | Proto.Stats ->
+          finish O_answered ~partial:false
+            (Proto.ok ~id
+               (("stats", stats_json (stats t))
+               :: ( "injected",
+                    Jsonv.Obj
+                      (List.map
+                         (fun (k, v) -> (k, Jsonv.Num (float_of_int v)))
+                         (Vfault.Inject.counts ())) )
+               :: loaded_fields (Modelslot.current t.slot)))
+      | Proto.Shutdown ->
+          checkpoint t;
+          finish O_answered ~partial:false
+            (Proto.ok ~id [ ("stopping", Jsonv.Bool true) ])
+      | Proto.Reload { path } -> (
+          match Modelslot.reload t.slot ~path with
+          | Ok loaded ->
+              finish O_answered ~partial:false (Proto.ok ~id (loaded_fields loaded))
+          | Error e ->
+              (* The old model keeps serving; the rejection is explicit. *)
+              finish O_answered ~partial:false
+                (Proto.error ~id Proto.E_reload_failed
+                   (Modelslot.reload_error_to_string e)))
+      | Proto.Lint { kernel } -> (
+          match resolve_kernel kernel with
+          | Error name -> reject O_bad Proto.E_unknown_kernel name
+          | Ok k -> (
+              let r =
+                run_stage ~breaker:t.analyze_breaker ~tick ~rq_id:id
+                  ~stage:"analyze" ~cost:analyze_cost ~elapsed (fun () ->
+                    Vanalysis.Driver.lint_kernel k)
+              in
+              match r with
+              | Ok report ->
+                  finish O_answered ~partial:false
+                    (Proto.ok ~id
+                       (("kernel", Jsonv.Str kernel) :: diag_fields report))
+              | Error `Dropped ->
+                  reject O_dropped Proto.E_dropped "lint work lost on every attempt"
+              | Error (`Failed m) -> reject O_internal Proto.E_internal m))
+      | Proto.Certify { kernel; vf } -> (
+          match resolve_kernel kernel with
+          | Error name -> reject O_bad Proto.E_unknown_kernel name
+          | Ok k -> (
+              let vf =
+                match vf with
+                | Some v -> v
+                | None -> Vmachine.Descr.vf_for_kernel t.cfg.machine k
+              in
+              let r =
+                run_stage ~breaker:t.analyze_breaker ~tick ~rq_id:id
+                  ~stage:"certify" ~cost:certify_cost ~elapsed (fun () ->
+                    Vanalysis.Cert.certify ~vf k)
+              in
+              match r with
+              | Ok cert ->
+                  finish O_answered ~partial:false
+                    (Proto.ok ~id
+                       [ ("kernel", Jsonv.Str kernel);
+                         ("vf", Jsonv.Num (float_of_int vf));
+                         ("safe_frac", Jsonv.Num (Vanalysis.Cert.safe_frac cert));
+                         ("guard_free", Jsonv.Bool cert.Vanalysis.Cert.ct_guard_free) ])
+              | Error `Dropped ->
+                  reject O_dropped Proto.E_dropped
+                    "certify work lost on every attempt"
+              | Error (`Failed m) -> reject O_internal Proto.E_internal m))
+      | Proto.Predict { kernel; machine; vf } -> (
+          match resolve_machine t machine with
+          | Error name -> reject O_bad Proto.E_unknown_machine name
+          | Ok mach -> (
+              match resolve_kernel kernel with
+              | Error name -> reject O_bad Proto.E_unknown_kernel name
+              | Ok k -> (
+                  let vf =
+                    match vf with
+                    | Some v -> v
+                    | None -> Vmachine.Descr.vf_for_kernel mach k
+                  in
+                  match decide t ~tick ~rq_id:id ~vf ~budget ~elapsed k with
+                  | Error `Dropped ->
+                      reject O_dropped Proto.E_dropped
+                        "prediction work lost on every attempt"
+                  | Error `Deadline ->
+                      reject O_deadline Proto.E_deadline
+                        (Printf.sprintf
+                           "budget %.3fs exhausted before a decision" budget)
+                  | Error (`Failed m) -> reject O_internal Proto.E_internal m
+                  | Ok (speedup, loaded, tags, vectorized) ->
+                        let base =
+                          [ ("kernel", Jsonv.Str kernel);
+                            ("speedup", Jsonv.Num speedup);
+                            ("vf", Jsonv.Num (float_of_int vf));
+                            ("vectorized", Jsonv.Bool vectorized) ]
+                          @ loaded_fields loaded
+                        in
+                        (* Diagnostics run on the remaining budget: a
+                           deadline that expired after the decision yields
+                           a partial answer, an open analysis breaker the
+                           lint-skipped fast path. *)
+                        if over () then
+                          finish O_answered ~partial:true
+                            (Proto.ok ~id ~degraded:("no-diagnostics" :: tags) base)
+                        else if not (Breaker.allow t.analyze_breaker ~tick) then
+                          finish O_answered ~partial:false
+                            (Proto.ok ~id ~degraded:("lint-skipped" :: tags) base)
+                        else
+                          let r =
+                            run_stage ~breaker:t.analyze_breaker ~tick
+                              ~rq_id:id ~stage:"analyze" ~cost:analyze_cost
+                              ~elapsed (fun () ->
+                                Vanalysis.Driver.lint_kernel ~vfs:[ vf ] k)
+                          in
+                          (match r with
+                          | Ok report when not (over ()) ->
+                              finish O_answered ~partial:false
+                                (Proto.ok ~id ~degraded:tags
+                                   (base @ diag_fields report))
+                          | Ok _ ->
+                              (* The lint finished but blew the budget:
+                                 the decision still counts, diagnostics
+                                 are withheld as stale-late. *)
+                              finish O_answered ~partial:true
+                                (Proto.ok ~id
+                                   ~degraded:("no-diagnostics" :: tags) base)
+                          | Error _ ->
+                              (* Diagnostics lost or faulted: the decision
+                                 is still good — answer without them. *)
+                              finish O_answered ~partial:true
+                                (Proto.ok ~id
+                                   ~degraded:("no-diagnostics" :: tags) base)))))
+  with e ->
+    (* The last line of defence: no exception escapes the engine. *)
+    reject O_internal Proto.E_internal (Printexc.to_string e)
+
+let handle_line t ?now ?queue_depth ~client line =
+  match Proto.request_of_line line with
+  | Error (id, code, msg) ->
+      Mutex.lock t.lock;
+      t.m.m_received <- t.m.m_received + 1;
+      Mutex.unlock t.lock;
+      record t O_bad ~partial:false ~tags:[];
+      (Proto.response_to_line (Proto.error ~id code msg), false)
+  | Ok req ->
+      let req =
+        if req.Proto.rq_client = "" then { req with Proto.rq_client = client }
+        else req
+      in
+      let resp, _ = handle t ?now ?queue_depth req in
+      ( Proto.response_to_line resp,
+        match req.Proto.rq_op with Proto.Shutdown -> true | _ -> false )

@@ -1,0 +1,98 @@
+(** The serving engine: the request pipeline behind the daemon and the
+    loadtest simulation, independent of any transport.
+
+    A request flows parse -> decision (feature extraction + model
+    prediction, or the baseline fallback) -> diagnostics (lint), under a
+    cooperative {e virtual} deadline: stages charge nominal virtual costs
+    (plus any injected [serve.slow] seconds), and when the budget runs
+    out after the decision the response is partial — the decision without
+    diagnostics — rather than late or lost.  Admission control (queue
+    bound, per-client token buckets), per-stage circuit breakers and
+    injected [serve.{drop,slow,reject}] faults all answer explicitly:
+    every request gets exactly one response. *)
+
+type config = {
+  features : Costmodel.Linmodel.feature_kind;  (** served feature schema *)
+  machine : Vmachine.Descr.t;
+  n : int;  (** problem size for analysis-dependent features *)
+  queue_limit : int;  (** admission bound on queued requests *)
+  deadline_s : float;  (** virtual seconds per request *)
+  rate : float;  (** per-client tokens per virtual second; <= 0 = off *)
+  burst : float;
+  breaker_threshold : int;  (** consecutive stage faults before opening *)
+  breaker_cooldown : int;  (** requests an open breaker stays open *)
+  journal_path : string option;  (** serving-stats journal for crash-only restart *)
+  journal_every : int;  (** answered requests between journal checkpoints *)
+  model_path : string option;  (** initial model; [None] serves the baseline *)
+}
+
+(** neon-a57, cert features, n = 32000, queue 64, 20ms virtual deadline,
+    200 tokens/s burst 50, breaker 5/8, journal every 32, no journal, no
+    model (baseline). *)
+val default_config : config
+
+(** Cumulative serving counters.  In sequential use every request is
+    counted exactly once, so
+    [received = answered + rejected_overload + rejected_rate +
+     rejected_bad + deadline_errors + dropped + internal_errors]. *)
+type stats = {
+  received : int;
+  answered : int;  (** ok responses, including degraded and partial *)
+  rejected_overload : int;  (** queue full or injected admission reject *)
+  rejected_rate : int;
+  rejected_bad : int;  (** malformed requests, unknown kernels/machines *)
+  deadline_errors : int;  (** budget exhausted before a decision *)
+  dropped : int;  (** all attempts lost; answered with [E_dropped] *)
+  partials : int;  (** answered without diagnostics (deadline) *)
+  degraded_baseline : int;  (** fitted model unusable; baseline answered *)
+  degraded_lint_skipped : int;  (** analysis breaker open; lint skipped *)
+  internal_errors : int;
+}
+
+val stats_names : string list
+val stats_to_list : stats -> (string * int) list
+
+type t
+
+(** Build an engine.  When [config.journal_path] names an existing
+    serving journal its counters are replayed (crash-only restart); when
+    [config.model_path] is set the model is loaded and validated, and a
+    rejected model leaves the engine serving the baseline (the error is
+    returned by {!startup_error}). *)
+val create : config -> t
+
+val config : t -> config
+val slot : t -> Modelslot.t
+
+(** [Some message] when the configured initial model was rejected. *)
+val startup_error : t -> string option
+
+(** Whether {!create} replayed counters from an existing journal. *)
+val resumed : t -> bool
+
+val stats : t -> stats
+
+(** Handle one request.  [now] is the virtual arrival time (drives token
+    buckets and the deadline); [queue_depth] is the caller's current
+    queue occupancy, checked against [queue_limit].  Returns the response
+    and the virtual service seconds consumed.  Never raises. *)
+val handle :
+  t -> ?now:float -> ?queue_depth:int -> Proto.request -> Proto.response * float
+
+(** Decode, handle and encode one wire line.  The [bool] is true when the
+    line was a shutdown request (the transport decides what to do with
+    it).  Never raises. *)
+val handle_line :
+  t -> ?now:float -> ?queue_depth:int -> client:string -> string ->
+  string * bool
+
+(** Persist the serving counters to the journal now (no-op without a
+    journal).  Called by transports on clean shutdown; crash-only
+    restarts rely on the periodic checkpoints instead. *)
+val checkpoint : t -> unit
+
+(** Breaker states as [(stage, state, trips)], for health reporting. *)
+val breaker_states : t -> (string * string * int) list
+
+(** The health payload also served to [op = health] requests. *)
+val health_payload : t -> (string * Jsonv.t) list

@@ -36,4 +36,5 @@ let () =
       ("crosscheck", Test_crosscheck.tests);
       ("absint", Test_absint.tests);
       ("par", Test_par.tests);
-      ("fault", Test_fault.tests) ]
+      ("fault", Test_fault.tests);
+      ("serve", Test_serve.tests) ]
